@@ -1,0 +1,229 @@
+//! Parameter checkpointing: save and restore a [`ParamStore`] as JSON.
+//!
+//! Used for (a) persisting trained models, and (b) the paper's
+//! validation-based model selection ("we save the model that has the best
+//! performance on the validation set", Sec. IV-A.2) — training snapshots
+//! the store whenever validation improves and restores the best one at
+//! the end.
+
+use crate::params::ParamStore;
+use gb_tensor::Matrix;
+use std::io::{Read, Write};
+
+/// Serializes all parameters as a compact JSON object
+/// `{name: {rows, cols, data}}`.
+pub fn save_json<W: Write>(store: &ParamStore, mut w: W) -> std::io::Result<()> {
+    write!(w, "{{")?;
+    for (i, (_, name, value)) in store.iter().enumerate() {
+        if i > 0 {
+            write!(w, ",")?;
+        }
+        write!(
+            w,
+            "\"{}\":{{\"rows\":{},\"cols\":{},\"data\":[",
+            escape(name),
+            value.rows(),
+            value.cols()
+        )?;
+        for (j, v) in value.as_slice().iter().enumerate() {
+            if j > 0 {
+                write!(w, ",")?;
+            }
+            // Ryu-style shortest form is unnecessary; full precision f32.
+            write!(w, "{v:e}")?;
+        }
+        write!(w, "]}}")?;
+    }
+    write!(w, "}}")
+}
+
+/// Restores parameter *values* from JSON produced by [`save_json`].
+///
+/// Every parameter in `store` must be present in the checkpoint with a
+/// matching shape; extra checkpoint entries are rejected. Returns the
+/// number of parameters restored.
+pub fn load_json<R: Read>(store: &mut ParamStore, mut r: R) -> std::io::Result<usize> {
+    let mut text = String::new();
+    r.read_to_string(&mut text)?;
+    let parsed: std::collections::HashMap<String, RawParam> = parse(&text)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+
+    let expected = store.len();
+    if parsed.len() != expected {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("checkpoint has {} params, store has {expected}", parsed.len()),
+        ));
+    }
+    let names: Vec<String> = store.iter().map(|(_, n, _)| n.to_string()).collect();
+    for name in names {
+        let raw = parsed.get(&name).ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("parameter `{name}` missing from checkpoint"),
+            )
+        })?;
+        let id = store.id(&name).expect("name from iteration");
+        let current = store.value(id);
+        if current.shape() != (raw.rows, raw.cols) {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!(
+                    "shape mismatch for `{name}`: checkpoint {}x{}, store {}x{}",
+                    raw.rows,
+                    raw.cols,
+                    current.rows(),
+                    current.cols()
+                ),
+            ));
+        }
+        *store.value_mut(id) = Matrix::from_vec(raw.rows, raw.cols, raw.data.clone());
+    }
+    Ok(expected)
+}
+
+/// Deep-copies all parameter values (an in-memory checkpoint).
+pub fn snapshot(store: &ParamStore) -> Vec<Matrix> {
+    store.iter().map(|(_, _, v)| v.clone()).collect()
+}
+
+/// Restores an in-memory checkpoint taken by [`snapshot`].
+///
+/// # Panics
+/// Panics on length or shape mismatch — snapshots are only valid for the
+/// store they were taken from.
+pub fn restore(store: &mut ParamStore, snap: &[Matrix]) {
+    assert_eq!(snap.len(), store.len(), "snapshot/store length mismatch");
+    for (id, m) in snap.iter().enumerate() {
+        assert_eq!(m.shape(), store.value(id).shape(), "snapshot shape mismatch");
+        *store.value_mut(id) = m.clone();
+    }
+}
+
+struct RawParam {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Minimal recursive-descent parser for the exact JSON shape emitted by
+/// [`save_json`] (object of objects with `rows`/`cols`/`data`).
+fn parse(text: &str) -> Result<std::collections::HashMap<String, RawParam>, String> {
+    let mut out = std::collections::HashMap::new();
+    let bytes = text.trim();
+    let inner = bytes
+        .strip_prefix('{')
+        .and_then(|s| s.strip_suffix('}'))
+        .ok_or("not a JSON object")?;
+    let mut rest = inner.trim();
+    while !rest.is_empty() {
+        // "name":
+        rest = rest.strip_prefix('"').ok_or("expected key quote")?;
+        let end = rest.find('"').ok_or("unterminated key")?;
+        let name = rest[..end].replace("\\\"", "\"").replace("\\\\", "\\");
+        rest = rest[end + 1..].trim().strip_prefix(':').ok_or("expected colon")?.trim();
+        // {"rows":R,"cols":C,"data":[...]}
+        let body_end = rest.find(']').ok_or("unterminated data array")?;
+        let close = rest[body_end..].find('}').ok_or("unterminated param object")? + body_end;
+        let body = &rest[..=close];
+        let rows = field_usize(body, "rows")?;
+        let cols = field_usize(body, "cols")?;
+        let data_start = body.find('[').ok_or("missing data array")?;
+        let data_str = &body[data_start + 1..body.find(']').unwrap()];
+        let data: Vec<f32> = if data_str.trim().is_empty() {
+            Vec::new()
+        } else {
+            data_str
+                .split(',')
+                .map(|t| t.trim().parse::<f32>().map_err(|e| e.to_string()))
+                .collect::<Result<_, _>>()?
+        };
+        if data.len() != rows * cols {
+            return Err(format!("`{name}`: expected {} values, got {}", rows * cols, data.len()));
+        }
+        out.insert(name, RawParam { rows, cols, data });
+        rest = rest[close + 1..].trim().trim_start_matches(',').trim_start();
+    }
+    Ok(out)
+}
+
+fn field_usize(body: &str, key: &str) -> Result<usize, String> {
+    let pat = format!("\"{key}\":");
+    let at = body.find(&pat).ok_or_else(|| format!("missing field {key}"))? + pat.len();
+    let tail = &body[at..];
+    let end = tail
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(tail.len());
+    tail[..end].parse().map_err(|e: std::num::ParseIntError| e.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store() -> ParamStore {
+        let mut s = ParamStore::new();
+        s.add("emb.user", Matrix::from_fn(3, 2, |r, c| (r * 2 + c) as f32 * 0.5 - 1.0));
+        s.add("w", Matrix::from_vec(1, 2, vec![0.25, -7.5]));
+        s
+    }
+
+    #[test]
+    fn json_roundtrip_restores_exact_values() {
+        let src = store();
+        let mut buf = Vec::new();
+        save_json(&src, &mut buf).unwrap();
+
+        let mut dst = store();
+        dst.value_mut(0).fill(9.0); // perturb before loading
+        let n = load_json(&mut dst, buf.as_slice()).unwrap();
+        assert_eq!(n, 2);
+        for id in 0..src.len() {
+            assert_eq!(src.value(id), dst.value(id));
+        }
+    }
+
+    #[test]
+    fn shape_mismatch_is_an_error() {
+        let src = store();
+        let mut buf = Vec::new();
+        save_json(&src, &mut buf).unwrap();
+        let mut wrong = ParamStore::new();
+        wrong.add("emb.user", Matrix::zeros(2, 2)); // wrong shape
+        wrong.add("w", Matrix::zeros(1, 2));
+        assert!(load_json(&mut wrong, buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn missing_param_is_an_error() {
+        let src = store();
+        let mut buf = Vec::new();
+        save_json(&src, &mut buf).unwrap();
+        let mut other = ParamStore::new();
+        other.add("emb.user", Matrix::zeros(3, 2));
+        other.add("different", Matrix::zeros(1, 2));
+        assert!(load_json(&mut other, buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrip() {
+        let mut s = store();
+        let snap = snapshot(&s);
+        s.value_mut(0).fill(3.0);
+        s.value_mut(1).fill(-2.0);
+        restore(&mut s, &snap);
+        assert_eq!(s.value(0), &Matrix::from_fn(3, 2, |r, c| (r * 2 + c) as f32 * 0.5 - 1.0));
+        assert_eq!(s.value(1), &Matrix::from_vec(1, 2, vec![0.25, -7.5]));
+    }
+
+    #[test]
+    fn malformed_json_rejected() {
+        let mut s = store();
+        assert!(load_json(&mut s, "not json".as_bytes()).is_err());
+        assert!(load_json(&mut s, "{\"emb.user\":{\"rows\":3,\"cols\":2,\"data\":[1]}}".as_bytes()).is_err());
+    }
+}

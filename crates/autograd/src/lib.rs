@@ -1,0 +1,34 @@
+//! # gb-autograd
+//!
+//! Tape-based reverse-mode automatic differentiation over [`gb_tensor`].
+//!
+//! The paper trains GBGCN (and every baseline) with mini-batch gradient
+//! descent through graph-convolutional propagation, fully-connected
+//! transforms, and pairwise ranking losses. The original code relies on
+//! PyTorch + DGL; this crate is the from-scratch replacement. It provides:
+//!
+//! * [`Tape`] — a record of the forward computation; each op stores enough
+//!   to compute vector-Jacobian products in [`Tape::backward`].
+//! * [`ParamStore`] — named trainable parameters (embedding tables, FC
+//!   weights and biases) addressed by stable [`ParamId`]s.
+//! * [`Gradients`] — per-parameter gradient accumulator returned by
+//!   `backward`, consumed by the optimizers.
+//! * [`optim`] — vanilla [`optim::Sgd`] (the paper's fine-tuning stage) and
+//!   [`optim::Adam`] (the pre-training stage).
+//! * [`gradcheck`] — finite-difference verification used by the test suite
+//!   for every differentiable op.
+//!
+//! Graph-specific ops (`gather_param`, `segment_mean`) make sparse
+//! embedding training efficient: a mini-batch touches only the rows that
+//! appear in the batch, and neighbourhood mean-aggregation (Eqs. 1–2 and
+//! 4–7 of the paper) is a single CSR-driven op with an exact backward pass.
+
+pub mod checkpoint;
+pub mod gradcheck;
+pub mod optim;
+pub mod params;
+pub mod tape;
+
+pub use optim::{Adam, AdamConfig, Sgd};
+pub use params::{Gradients, ParamId, ParamStore};
+pub use tape::{Tape, Var};

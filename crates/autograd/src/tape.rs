@@ -1,0 +1,568 @@
+//! The computation tape: forward op recording and reverse-mode backward.
+
+use crate::params::{Gradients, ParamId, ParamStore};
+use gb_tensor::{kernels, Matrix};
+use std::rc::Rc;
+
+/// Handle to a node on the [`Tape`].
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct Var(usize);
+
+/// One recorded operation. Each variant stores its inputs (as `Var`s or
+/// captured data) so `backward` can compute exact vector-Jacobian products.
+enum Op {
+    /// Leaf with no gradient (input data, fixed masks, …).
+    Constant,
+    /// Full parameter matrix as a node.
+    Param(ParamId),
+    /// Rows of a parameter table selected by index (embedding lookup).
+    GatherParam { param: ParamId, indices: Rc<Vec<u32>> },
+    /// Rows of an upstream node selected by index.
+    Gather { src: Var, indices: Rc<Vec<u32>> },
+    /// CSR-driven neighbourhood mean (GCN aggregation, Eqs. 1–2, 4–7).
+    SegmentMean { src: Var, offsets: Rc<Vec<usize>>, members: Rc<Vec<u32>> },
+    MatMul { a: Var, b: Var },
+    Add { a: Var, b: Var },
+    Sub { a: Var, b: Var },
+    Mul { a: Var, b: Var },
+    AddBias { x: Var, bias: Var },
+    Scale { a: Var, alpha: f32 },
+    ConcatCols { parts: Vec<Var> },
+    RowwiseDot { a: Var, b: Var },
+    Sigmoid { a: Var },
+    Tanh { a: Var },
+    LeakyRelu { a: Var, alpha: f32 },
+    LogSigmoid { a: Var },
+    SumAll { a: Var },
+    MeanAll { a: Var },
+    SumSq { a: Var },
+    MeanRows { a: Var },
+    ScaleRows { a: Var, s: Var },
+}
+
+struct Node {
+    value: Matrix,
+    op: Op,
+}
+
+/// A forward-computation record supporting one reverse sweep.
+///
+/// Typical training-step usage:
+///
+/// ```
+/// use gb_autograd::{ParamStore, Tape, Sgd};
+/// use gb_tensor::Matrix;
+///
+/// let mut store = ParamStore::new();
+/// let w = store.add("w", Matrix::full(2, 1, 0.5));
+///
+/// let mut tape = Tape::new();
+/// let x = tape.constant(Matrix::from_vec(3, 2, vec![1., 2., 3., 4., 5., 6.]));
+/// let wv = tape.param(&store, w);
+/// let y = tape.matmul(x, wv);
+/// let loss = tape.sum_sq(y);
+/// let grads = tape.backward(loss, &store);
+/// Sgd::new(0.1).step(&mut store, &grads);
+/// ```
+#[derive(Default)]
+pub struct Tape {
+    nodes: Vec<Node>,
+}
+
+impl Tape {
+    /// Creates an empty tape.
+    pub fn new() -> Self {
+        Self { nodes: Vec::with_capacity(64) }
+    }
+
+    /// Number of recorded nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the tape has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Value of a node (for inspection / prediction extraction).
+    pub fn value(&self, v: Var) -> &Matrix {
+        &self.nodes[v.0].value
+    }
+
+    fn push(&mut self, value: Matrix, op: Op) -> Var {
+        debug_assert!(!value.has_non_finite(), "non-finite forward value");
+        self.nodes.push(Node { value, op });
+        Var(self.nodes.len() - 1)
+    }
+
+    // ----- leaves -------------------------------------------------------
+
+    /// Records a constant (non-differentiable) leaf.
+    pub fn constant(&mut self, value: Matrix) -> Var {
+        self.push(value, Op::Constant)
+    }
+
+    /// Records a full parameter matrix as a node.
+    pub fn param(&mut self, store: &ParamStore, id: ParamId) -> Var {
+        self.push(store.value(id).clone(), Op::Param(id))
+    }
+
+    /// Embedding lookup: rows of parameter `id` at `indices`.
+    pub fn gather_param(
+        &mut self,
+        store: &ParamStore,
+        id: ParamId,
+        indices: Rc<Vec<u32>>,
+    ) -> Var {
+        let value = kernels::gather_rows(store.value(id), &indices);
+        self.push(value, Op::GatherParam { param: id, indices })
+    }
+
+    // ----- structural ops ------------------------------------------------
+
+    /// Rows of node `src` at `indices`.
+    pub fn gather(&mut self, src: Var, indices: Rc<Vec<u32>>) -> Var {
+        let value = kernels::gather_rows(&self.nodes[src.0].value, &indices);
+        self.push(value, Op::Gather { src, indices })
+    }
+
+    /// CSR segment mean: output row `i` is the mean of
+    /// `src[members[offsets[i]..offsets[i+1]]]`; empty segments yield zero.
+    pub fn segment_mean(
+        &mut self,
+        src: Var,
+        offsets: Rc<Vec<usize>>,
+        members: Rc<Vec<u32>>,
+    ) -> Var {
+        let value = kernels::segment_mean(&self.nodes[src.0].value, &offsets, &members);
+        self.push(value, Op::SegmentMean { src, offsets, members })
+    }
+
+    /// Horizontal concatenation of nodes with equal row counts.
+    pub fn concat_cols(&mut self, parts: &[Var]) -> Var {
+        let mats: Vec<&Matrix> = parts.iter().map(|p| &self.nodes[p.0].value).collect();
+        let value = kernels::concat_cols(&mats);
+        self.push(value, Op::ConcatCols { parts: parts.to_vec() })
+    }
+
+    // ----- linear algebra -------------------------------------------------
+
+    /// Matrix product `a * b`.
+    pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let value = kernels::matmul(&self.nodes[a.0].value, &self.nodes[b.0].value);
+        self.push(value, Op::MatMul { a, b })
+    }
+
+    /// Elementwise sum.
+    pub fn add(&mut self, a: Var, b: Var) -> Var {
+        let value = kernels::add(&self.nodes[a.0].value, &self.nodes[b.0].value);
+        self.push(value, Op::Add { a, b })
+    }
+
+    /// Elementwise difference `a - b`.
+    pub fn sub(&mut self, a: Var, b: Var) -> Var {
+        let value = kernels::sub(&self.nodes[a.0].value, &self.nodes[b.0].value);
+        self.push(value, Op::Sub { a, b })
+    }
+
+    /// Elementwise (Hadamard) product.
+    pub fn mul(&mut self, a: Var, b: Var) -> Var {
+        let value = kernels::mul(&self.nodes[a.0].value, &self.nodes[b.0].value);
+        self.push(value, Op::Mul { a, b })
+    }
+
+    /// Adds a `1 x cols` bias row to every row of `x`.
+    pub fn add_bias(&mut self, x: Var, bias: Var) -> Var {
+        let value = kernels::add_bias(&self.nodes[x.0].value, &self.nodes[bias.0].value);
+        self.push(value, Op::AddBias { x, bias })
+    }
+
+    /// Scalar multiple `alpha * a`.
+    pub fn scale(&mut self, a: Var, alpha: f32) -> Var {
+        let value = kernels::scale(&self.nodes[a.0].value, alpha);
+        self.push(value, Op::Scale { a, alpha })
+    }
+
+    /// Row-wise dot products, producing an `n x 1` column of scores.
+    pub fn rowwise_dot(&mut self, a: Var, b: Var) -> Var {
+        let value = kernels::rowwise_dot(&self.nodes[a.0].value, &self.nodes[b.0].value);
+        self.push(value, Op::RowwiseDot { a, b })
+    }
+
+    /// Scales row `i` of `a` by the scalar `s[i]` (`s` is `n x 1`).
+    pub fn scale_rows(&mut self, a: Var, s: Var) -> Var {
+        let value = kernels::scale_rows(&self.nodes[a.0].value, &self.nodes[s.0].value);
+        self.push(value, Op::ScaleRows { a, s })
+    }
+
+    // ----- activations -----------------------------------------------------
+
+    /// Elementwise logistic sigmoid.
+    pub fn sigmoid(&mut self, a: Var) -> Var {
+        let value = kernels::sigmoid(&self.nodes[a.0].value);
+        self.push(value, Op::Sigmoid { a })
+    }
+
+    /// Elementwise tanh.
+    pub fn tanh(&mut self, a: Var) -> Var {
+        let value = kernels::tanh(&self.nodes[a.0].value);
+        self.push(value, Op::Tanh { a })
+    }
+
+    /// Elementwise LeakyReLU (negative slope `alpha`).
+    pub fn leaky_relu(&mut self, a: Var, alpha: f32) -> Var {
+        let value = kernels::leaky_relu(&self.nodes[a.0].value, alpha);
+        self.push(value, Op::LeakyRelu { a, alpha })
+    }
+
+    /// Numerically stable `ln(sigmoid(x))` — the BPR building block
+    /// (Eqs. 10–11 of the paper).
+    pub fn log_sigmoid(&mut self, a: Var) -> Var {
+        let value = self.nodes[a.0].value.map(kernels::log_sigmoid_scalar);
+        self.push(value, Op::LogSigmoid { a })
+    }
+
+    // ----- reductions -------------------------------------------------------
+
+    /// Sum of all elements, as a `1 x 1` node.
+    pub fn sum_all(&mut self, a: Var) -> Var {
+        let value = kernels::sum_all(&self.nodes[a.0].value);
+        self.push(value, Op::SumAll { a })
+    }
+
+    /// Mean of all elements, as a `1 x 1` node.
+    pub fn mean_all(&mut self, a: Var) -> Var {
+        let value = kernels::mean_all(&self.nodes[a.0].value);
+        self.push(value, Op::MeanAll { a })
+    }
+
+    /// Sum of squared elements, as a `1 x 1` node (L2 regularization term).
+    pub fn sum_sq(&mut self, a: Var) -> Var {
+        let value = Matrix::from_vec(1, 1, vec![self.nodes[a.0].value.sq_norm()]);
+        self.push(value, Op::SumSq { a })
+    }
+
+    /// Mean over rows producing a `1 x cols` row vector.
+    pub fn mean_rows(&mut self, a: Var) -> Var {
+        let m = &self.nodes[a.0].value;
+        let mut value = kernels::col_sum(m);
+        if m.rows() > 0 {
+            let inv = 1.0 / m.rows() as f32;
+            value.map_inplace(|v| v * inv);
+        }
+        self.push(value, Op::MeanRows { a })
+    }
+
+    // ----- backward ---------------------------------------------------------
+
+    /// Reverse sweep from scalar node `loss`, returning parameter gradients.
+    ///
+    /// # Panics
+    /// Panics if `loss` is not `1 x 1`.
+    pub fn backward(&self, loss: Var, store: &ParamStore) -> Gradients {
+        assert_eq!(
+            self.nodes[loss.0].value.shape(),
+            (1, 1),
+            "backward seed must be a scalar node"
+        );
+        let mut node_grads: Vec<Option<Matrix>> = (0..self.nodes.len()).map(|_| None).collect();
+        node_grads[loss.0] = Some(Matrix::from_vec(1, 1, vec![1.0]));
+        let mut param_grads = Gradients::empty(store.len());
+
+        for idx in (0..=loss.0).rev() {
+            let Some(g) = node_grads[idx].take() else { continue };
+            let node = &self.nodes[idx];
+            match &node.op {
+                Op::Constant => {}
+                Op::Param(pid) => param_grads.accumulate(*pid, g),
+                Op::GatherParam { param, indices } => {
+                    let mut acc = Matrix::zeros(
+                        store.value(*param).rows(),
+                        store.value(*param).cols(),
+                    );
+                    kernels::scatter_add_rows(&mut acc, indices, &g);
+                    param_grads.accumulate(*param, acc);
+                }
+                Op::Gather { src, indices } => {
+                    let src_shape = self.nodes[src.0].value.shape();
+                    let mut acc = Matrix::zeros(src_shape.0, src_shape.1);
+                    kernels::scatter_add_rows(&mut acc, indices, &g);
+                    accumulate(&mut node_grads, *src, acc);
+                }
+                Op::SegmentMean { src, offsets, members } => {
+                    let src_rows = self.nodes[src.0].value.rows();
+                    let back = kernels::segment_mean_backward(&g, offsets, members, src_rows);
+                    accumulate(&mut node_grads, *src, back);
+                }
+                Op::MatMul { a, b } => {
+                    let da = kernels::matmul_nt(&g, &self.nodes[b.0].value);
+                    let db = kernels::matmul_tn(&self.nodes[a.0].value, &g);
+                    accumulate(&mut node_grads, *a, da);
+                    accumulate(&mut node_grads, *b, db);
+                }
+                Op::Add { a, b } => {
+                    accumulate(&mut node_grads, *a, g.clone());
+                    accumulate(&mut node_grads, *b, g);
+                }
+                Op::Sub { a, b } => {
+                    accumulate(&mut node_grads, *b, kernels::scale(&g, -1.0));
+                    accumulate(&mut node_grads, *a, g);
+                }
+                Op::Mul { a, b } => {
+                    let da = kernels::mul(&g, &self.nodes[b.0].value);
+                    let db = kernels::mul(&g, &self.nodes[a.0].value);
+                    accumulate(&mut node_grads, *a, da);
+                    accumulate(&mut node_grads, *b, db);
+                }
+                Op::AddBias { x, bias } => {
+                    accumulate(&mut node_grads, *bias, kernels::col_sum(&g));
+                    accumulate(&mut node_grads, *x, g);
+                }
+                Op::Scale { a, alpha } => {
+                    accumulate(&mut node_grads, *a, kernels::scale(&g, *alpha));
+                }
+                Op::ConcatCols { parts } => {
+                    let mut at = 0;
+                    for p in parts {
+                        let w = self.nodes[p.0].value.cols();
+                        accumulate(&mut node_grads, *p, kernels::slice_cols(&g, at, w));
+                        at += w;
+                    }
+                }
+                Op::RowwiseDot { a, b } => {
+                    // d(a·b)/da = g[i] * b[i] rowwise (g is n x 1).
+                    let av = &self.nodes[a.0].value;
+                    let bv = &self.nodes[b.0].value;
+                    let mut da = bv.clone();
+                    let mut db = av.clone();
+                    for r in 0..g.rows() {
+                        let gr = g.get(r, 0);
+                        da.row_mut(r).iter_mut().for_each(|v| *v *= gr);
+                        db.row_mut(r).iter_mut().for_each(|v| *v *= gr);
+                    }
+                    accumulate(&mut node_grads, *a, da);
+                    accumulate(&mut node_grads, *b, db);
+                }
+                Op::Sigmoid { a } => {
+                    // dσ/dx = σ(x)(1-σ(x)); use stored output.
+                    let y = &node.value;
+                    let mut da = g;
+                    for (d, &yy) in da.as_mut_slice().iter_mut().zip(y.as_slice()) {
+                        *d *= yy * (1.0 - yy);
+                    }
+                    accumulate(&mut node_grads, *a, da);
+                }
+                Op::Tanh { a } => {
+                    let y = &node.value;
+                    let mut da = g;
+                    for (d, &yy) in da.as_mut_slice().iter_mut().zip(y.as_slice()) {
+                        *d *= 1.0 - yy * yy;
+                    }
+                    accumulate(&mut node_grads, *a, da);
+                }
+                Op::LeakyRelu { a, alpha } => {
+                    // For alpha > 0 the output sign matches the input sign.
+                    let y = &node.value;
+                    let mut da = g;
+                    for (d, &yy) in da.as_mut_slice().iter_mut().zip(y.as_slice()) {
+                        if yy < 0.0 {
+                            *d *= alpha;
+                        }
+                    }
+                    accumulate(&mut node_grads, *a, da);
+                }
+                Op::LogSigmoid { a } => {
+                    // d/dx ln σ(x) = σ(-x).
+                    let x = &self.nodes[a.0].value;
+                    let mut da = g;
+                    for (d, &xx) in da.as_mut_slice().iter_mut().zip(x.as_slice()) {
+                        *d *= kernels::sigmoid_scalar(-xx);
+                    }
+                    accumulate(&mut node_grads, *a, da);
+                }
+                Op::SumAll { a } => {
+                    let shape = self.nodes[a.0].value.shape();
+                    let da = Matrix::full(shape.0, shape.1, g.get(0, 0));
+                    accumulate(&mut node_grads, *a, da);
+                }
+                Op::MeanAll { a } => {
+                    let shape = self.nodes[a.0].value.shape();
+                    let n = (shape.0 * shape.1).max(1) as f32;
+                    let da = Matrix::full(shape.0, shape.1, g.get(0, 0) / n);
+                    accumulate(&mut node_grads, *a, da);
+                }
+                Op::SumSq { a } => {
+                    let da = kernels::scale(&self.nodes[a.0].value, 2.0 * g.get(0, 0));
+                    accumulate(&mut node_grads, *a, da);
+                }
+                Op::ScaleRows { a, s } => {
+                    // out[i] = s[i] * a[i]  =>  da[i] = s[i] * g[i],
+                    // ds[i] = g[i] · a[i].
+                    let av = &self.nodes[a.0].value;
+                    let sv = &self.nodes[s.0].value;
+                    let da = kernels::scale_rows(&g, sv);
+                    let ds = kernels::rowwise_dot(&g, av);
+                    accumulate(&mut node_grads, *a, da);
+                    accumulate(&mut node_grads, *s, ds);
+                }
+                Op::MeanRows { a } => {
+                    let shape = self.nodes[a.0].value.shape();
+                    let inv = 1.0 / shape.0.max(1) as f32;
+                    let mut da = Matrix::zeros(shape.0, shape.1);
+                    for r in 0..shape.0 {
+                        for (d, &gg) in da.row_mut(r).iter_mut().zip(g.row(0)) {
+                            *d = gg * inv;
+                        }
+                    }
+                    accumulate(&mut node_grads, *a, da);
+                }
+            }
+        }
+        param_grads
+    }
+}
+
+fn accumulate(node_grads: &mut [Option<Matrix>], v: Var, g: Matrix) {
+    match &mut node_grads[v.0] {
+        Some(existing) => kernels::add_assign(existing, &g),
+        slot @ None => *slot = Some(g),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store_with(name: &str, m: Matrix) -> (ParamStore, ParamId) {
+        let mut s = ParamStore::new();
+        let id = s.add(name, m);
+        (s, id)
+    }
+
+    #[test]
+    fn linear_chain_gradient() {
+        // loss = sum(3 * w) => d loss / d w = 3.
+        let (store, w) = store_with("w", Matrix::full(2, 2, 1.0));
+        let mut t = Tape::new();
+        let wv = t.param(&store, w);
+        let s = t.scale(wv, 3.0);
+        let loss = t.sum_all(s);
+        let grads = t.backward(loss, &store);
+        assert_eq!(grads.get(w).unwrap().as_slice(), &[3.0; 4]);
+    }
+
+    #[test]
+    fn fan_out_accumulates() {
+        // loss = sum(w) + sum(w) => gradient 2 everywhere.
+        let (store, w) = store_with("w", Matrix::full(1, 3, 5.0));
+        let mut t = Tape::new();
+        let wv = t.param(&store, w);
+        let s1 = t.sum_all(wv);
+        let s2 = t.sum_all(wv);
+        let loss = t.add(s1, s2);
+        let grads = t.backward(loss, &store);
+        assert_eq!(grads.get(w).unwrap().as_slice(), &[2.0; 3]);
+    }
+
+    #[test]
+    fn matmul_gradient_shapes() {
+        let mut store = ParamStore::new();
+        let a = store.add("a", Matrix::full(2, 3, 1.0));
+        let b = store.add("b", Matrix::full(3, 4, 1.0));
+        let mut t = Tape::new();
+        let av = t.param(&store, a);
+        let bv = t.param(&store, b);
+        let c = t.matmul(av, bv);
+        let loss = t.sum_all(c);
+        let grads = t.backward(loss, &store);
+        assert_eq!(grads.get(a).unwrap().shape(), (2, 3));
+        assert_eq!(grads.get(b).unwrap().shape(), (3, 4));
+        // dA = ones(2,4) * B^T = rows of 4s.
+        assert_eq!(grads.get(a).unwrap().as_slice(), &[4.0; 6]);
+        assert_eq!(grads.get(b).unwrap().as_slice(), &[2.0; 12]);
+    }
+
+    #[test]
+    fn gather_param_routes_sparse_grads() {
+        let (store, w) = store_with("emb", Matrix::from_fn(4, 2, |r, c| (r * 2 + c) as f32));
+        let mut t = Tape::new();
+        let g = t.gather_param(&store, w, Rc::new(vec![1, 1, 3]));
+        let loss = t.sum_all(g);
+        let grads = t.backward(loss, &store);
+        let gw = grads.get(w).unwrap();
+        assert_eq!(gw.row(0), &[0.0, 0.0]);
+        assert_eq!(gw.row(1), &[2.0, 2.0]); // picked twice
+        assert_eq!(gw.row(2), &[0.0, 0.0]);
+        assert_eq!(gw.row(3), &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn segment_mean_grad_scales_by_len() {
+        let (store, w) = store_with("emb", Matrix::full(3, 2, 1.0));
+        let mut t = Tape::new();
+        let wv = t.param(&store, w);
+        // one segment holding all three rows
+        let sm = t.segment_mean(wv, Rc::new(vec![0, 3]), Rc::new(vec![0, 1, 2]));
+        let loss = t.sum_all(sm);
+        let grads = t.backward(loss, &store);
+        for r in 0..3 {
+            for &v in grads.get(w).unwrap().row(r) {
+                assert!((v - 1.0 / 3.0).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn bpr_style_loss_direction() {
+        // loss = -ln σ(pos - neg): gradient should push pos up, neg down.
+        let mut store = ParamStore::new();
+        let p = store.add("pos", Matrix::from_vec(1, 1, vec![0.2]));
+        let n = store.add("neg", Matrix::from_vec(1, 1, vec![0.4]));
+        let mut t = Tape::new();
+        let pv = t.param(&store, p);
+        let nv = t.param(&store, n);
+        let diff = t.sub(pv, nv);
+        let ls = t.log_sigmoid(diff);
+        let sum = t.sum_all(ls);
+        let loss = t.scale(sum, -1.0);
+        let grads = t.backward(loss, &store);
+        assert!(grads.get(p).unwrap().get(0, 0) < 0.0, "pos grad must be negative (descent raises pos)");
+        assert!(grads.get(n).unwrap().get(0, 0) > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "scalar node")]
+    fn backward_rejects_non_scalar() {
+        let (store, w) = store_with("w", Matrix::zeros(2, 2));
+        let mut t = Tape::new();
+        let wv = t.param(&store, w);
+        t.backward(wv, &store);
+    }
+
+    #[test]
+    fn constant_receives_no_gradient() {
+        let (store, w) = store_with("w", Matrix::full(1, 2, 1.0));
+        let mut t = Tape::new();
+        let c = t.constant(Matrix::full(1, 2, 7.0));
+        let wv = t.param(&store, w);
+        let prod = t.mul(c, wv);
+        let loss = t.sum_all(prod);
+        let grads = t.backward(loss, &store);
+        // d loss / d w = c
+        assert_eq!(grads.get(w).unwrap().as_slice(), &[7.0, 7.0]);
+    }
+
+    #[test]
+    fn mean_rows_backward_uniform() {
+        let (store, w) = store_with("w", Matrix::full(4, 3, 2.0));
+        let mut t = Tape::new();
+        let wv = t.param(&store, w);
+        let m = t.mean_rows(wv);
+        let loss = t.sum_all(m);
+        let grads = t.backward(loss, &store);
+        for &v in grads.get(w).unwrap().as_slice() {
+            assert!((v - 0.25).abs() < 1e-6);
+        }
+    }
+}

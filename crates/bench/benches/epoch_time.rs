@@ -1,0 +1,51 @@
+//! Criterion bench backing Table IV: one training epoch of each model
+//! family on a small standard workload.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gb_bench::Workload;
+use gb_core::{GbgcnConfig, GbgcnModel};
+use gb_data::convert::InteractionKind;
+use gb_models::{Gbmf, GbmfConfig, Mf, Recommender, TrainConfig};
+
+fn one_epoch_cfg() -> TrainConfig {
+    TrainConfig { dim: 32, epochs: 1, batch_size: 512, ..Default::default() }
+}
+
+fn bench_epochs(c: &mut Criterion) {
+    let w = Workload::standard("small");
+    let mut group = c.benchmark_group("epoch_time");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+
+    group.bench_function("mf", |b| {
+        b.iter(|| {
+            let mut m = Mf::new(one_epoch_cfg(), InteractionKind::BothRoles);
+            m.fit(&w.split.train)
+        })
+    });
+
+    group.bench_function("gbmf", |b| {
+        b.iter(|| {
+            let mut m = Gbmf::new(GbmfConfig { base: one_epoch_cfg(), alpha: 0.5 });
+            m.fit(&w.split.train)
+        })
+    });
+
+    group.bench_function("gbgcn_finetune", |b| {
+        // Pre-built model; measure steady-state fine-tuning epochs.
+        let cfg = GbgcnConfig {
+            dim: 32,
+            pretrain_epochs: 0,
+            finetune_epochs: 1,
+            batch_size: 512,
+            ..GbgcnConfig::default()
+        };
+        let mut m = GbgcnModel::new(cfg, &w.split.train);
+        b.iter(|| m.measure_epoch_secs(1));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_epochs);
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! Criterion bench for the DESIGN.md §6 ablation: in-view propagation
+//! without FC layers (the paper's LightGCN-style choice, Eqs. 1–2)
+//! versus an NGCF-style propagation with per-layer FC transforms.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gb_autograd::{ParamStore, Tape};
+use gb_data::synth::{generate, SynthConfig};
+use gb_tensor::init;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_propagation(c: &mut Criterion) {
+    let data = generate(&SynthConfig { n_users: 1000, n_items: 250, ..SynthConfig::beibei_like() });
+    let graphs = data.build_hetero();
+    let gi = &graphs.initiator;
+    let d = 32;
+
+    let mut rng = StdRng::seed_from_u64(0);
+    let mut store = ParamStore::new();
+    let u = store.add("u", init::xavier_uniform(data.n_users(), d, &mut rng));
+    let v = store.add("v", init::xavier_uniform(data.n_items(), d, &mut rng));
+    let w = store.add("w", init::xavier_uniform(d, d, &mut rng));
+
+    let mut group = c.benchmark_group("propagation");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+
+    // The paper's choice: propagation without FC (Eqs. 1-2).
+    group.bench_function("lightgcn_style_2layer", |b| {
+        b.iter(|| {
+            let mut tape = Tape::new();
+            let mut uc = tape.param(&store, u);
+            let mut vc = tape.param(&store, v);
+            for _ in 0..2 {
+                let un = tape.segment_mean(
+                    vc,
+                    gi.user_to_item().offsets(),
+                    gi.user_to_item().members(),
+                );
+                let vn = tape.segment_mean(
+                    uc,
+                    gi.item_to_user().offsets(),
+                    gi.item_to_user().members(),
+                );
+                uc = un;
+                vc = vn;
+            }
+            tape.len()
+        })
+    });
+
+    // NGCF-style: FC transform + activation per layer.
+    group.bench_function("ngcf_style_2layer", |b| {
+        b.iter(|| {
+            let mut tape = Tape::new();
+            let mut uc = tape.param(&store, u);
+            let mut vc = tape.param(&store, v);
+            let wv = tape.param(&store, w);
+            for _ in 0..2 {
+                let ua = tape.segment_mean(
+                    vc,
+                    gi.user_to_item().offsets(),
+                    gi.user_to_item().members(),
+                );
+                let ul = tape.matmul(ua, wv);
+                let un = tape.leaky_relu(ul, 0.2);
+                let va = tape.segment_mean(
+                    uc,
+                    gi.item_to_user().offsets(),
+                    gi.item_to_user().members(),
+                );
+                let vl = tape.matmul(va, wv);
+                let vn = tape.leaky_relu(vl, 0.2);
+                uc = un;
+                vc = vn;
+            }
+            tape.len()
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_propagation);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Criterion bench for negative sampling and batch construction — the
+//! per-step data-path costs of the Sec. III-C.2 training loop.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gb_core::batch::LossBatch;
+use gb_data::synth::{generate, SynthConfig};
+use gb_data::NegativeSampler;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_sampling(c: &mut Criterion) {
+    let data = generate(&SynthConfig { n_users: 1000, n_items: 250, ..SynthConfig::beibei_like() });
+    let sampler = NegativeSampler::from_dataset(&data);
+
+    let mut group = c.benchmark_group("sampling");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+
+    group.bench_function("negative_sample_10k", |b| {
+        let mut rng = StdRng::seed_from_u64(0);
+        b.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..10_000u32 {
+                acc += sampler.sample_one(i % data.n_users() as u32, &mut rng) as u64;
+            }
+            acc
+        })
+    });
+
+    group.bench_function("candidate_sample_999", |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| sampler.sample_distinct(3, 200, &[0], &mut rng))
+    });
+
+    group.bench_function("loss_batch_build_512", |b| {
+        let mut rng = StdRng::seed_from_u64(2);
+        let indices: Vec<usize> = (0..512.min(data.behaviors().len())).collect();
+        b.iter(|| LossBatch::build(&data, &indices, 1, &sampler, &mut rng))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_sampling);
+criterion_main!(benches);

@@ -1,0 +1,102 @@
+//! Criterion bench for the Eq. 9 scoring fast path (DESIGN.md §6):
+//! friend-mean precomputation (exact, by linearity of the dot product)
+//! versus naive per-friend scoring.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gb_data::synth::{generate, SynthConfig};
+use gb_tensor::{init, kernels, Matrix};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_scoring(c: &mut Criterion) {
+    let data = generate(&SynthConfig { n_users: 1000, n_items: 250, ..SynthConfig::beibei_like() });
+    let social = data.social().csr().clone();
+    let d = 64;
+    let mut rng = StdRng::seed_from_u64(1);
+    let user_emb = init::xavier_uniform(data.n_users(), d, &mut rng);
+    let item_emb = init::xavier_uniform(data.n_items(), d, &mut rng);
+    let items: Vec<u32> = (0..data.n_items() as u32).collect();
+    let alpha = 0.6f32;
+
+    let mut group = c.benchmark_group("eq9_scoring");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+
+    // Precomputed friend-mean (what GbgcnModel/Gbmf do).
+    group.bench_function("friend_mean_precomputed", |b| {
+        let friend_mean =
+            kernels::segment_mean(&user_emb, &social.offsets(), &social.members());
+        b.iter(|| {
+            let mut acc = 0.0f32;
+            for user in 0..100u32 {
+                let own = user_emb.row(user as usize);
+                let fm = friend_mean.row(user as usize);
+                for &i in &items {
+                    let row = item_emb.row(i as usize);
+                    let mut o = 0.0;
+                    let mut s = 0.0;
+                    for k in 0..d {
+                        o += own[k] * row[k];
+                        s += fm[k] * row[k];
+                    }
+                    acc += (1.0 - alpha) * o + alpha * s;
+                }
+            }
+            acc
+        })
+    });
+
+    // Naive: iterate friends per (user, item) pair.
+    group.bench_function("per_friend_naive", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f32;
+            for user in 0..100u32 {
+                let own = user_emb.row(user as usize);
+                let friends = social.neighbors(user);
+                for &i in &items {
+                    let row = item_emb.row(i as usize);
+                    let mut o = 0.0;
+                    for k in 0..d {
+                        o += own[k] * row[k];
+                    }
+                    let mut s = 0.0;
+                    for &f in friends {
+                        let fr = user_emb.row(f as usize);
+                        for k in 0..d {
+                            s += fr[k] * row[k];
+                        }
+                    }
+                    if !friends.is_empty() {
+                        s /= friends.len() as f32;
+                    }
+                    acc += (1.0 - alpha) * o + alpha * s;
+                }
+            }
+            acc
+        })
+    });
+
+    group.finish();
+
+    // Correctness cross-check (also asserted in unit tests): both paths
+    // agree to float tolerance.
+    let friend_mean = kernels::segment_mean(&user_emb, &social.offsets(), &social.members());
+    let check_user = 7u32;
+    let fm = friend_mean.row(check_user as usize);
+    let friends = social.neighbors(check_user);
+    if !friends.is_empty() {
+        let mut manual = Matrix::zeros(1, d);
+        for &f in friends {
+            for k in 0..d {
+                manual.row_mut(0)[k] += user_emb.row(f as usize)[k];
+            }
+        }
+        for k in 0..d {
+            let m = manual.row(0)[k] / friends.len() as f32;
+            assert!((m - fm[k]).abs() < 1e-4);
+        }
+    }
+}
+
+criterion_group!(benches, bench_scoring);
+criterion_main!(benches);

@@ -1,0 +1,100 @@
+//! Regenerates **Fig. 6** — t-SNE visualization of user and item final
+//! embeddings in the initiator and participant views.
+//!
+//! The paper samples 1000 users and 1000 items, projects the four final
+//! embedding sets (`û_i`, `û_p`, `v̂_i`, `v̂_p`) jointly to 2-D and
+//! observes a clear initiator-view / participant-view separation. This
+//! binary writes the 2-D coordinates with view/entity labels to CSV and
+//! prints a cluster-separation score.
+
+use gb_bench::{train_gbgcn, tuned_gbgcn_config, write_csv, Workload};
+use gb_eval::tsne::{tsne, TsneConfig};
+use gb_tensor::Matrix;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+fn main() {
+    let scale = Workload::scale_from_args();
+    let w = Workload::standard(&scale);
+    println!("=== Fig. 6: t-SNE of view embeddings (scale = {scale}) ===\n");
+
+    let model = train_gbgcn(&w, tuned_gbgcn_config());
+    let a = model.embedding_analysis();
+
+    // Sample up to 1000 users and 1000 items (paper's sample sizes).
+    let mut rng = StdRng::seed_from_u64(6);
+    let mut users: Vec<usize> = (0..a.u_hat_i.rows()).collect();
+    users.shuffle(&mut rng);
+    users.truncate(1000.min(users.len()).min(400)); // cap for O(n^2) t-SNE speed
+    let mut items: Vec<usize> = (0..a.v_hat_i.rows()).collect();
+    items.shuffle(&mut rng);
+    items.truncate(1000.min(items.len()).min(400));
+
+    // Stack: [users x û_i; users x û_p; items x v̂_i; items x v̂_p].
+    let d = a.u_hat_i.cols();
+    let n = 2 * users.len() + 2 * items.len();
+    let mut stacked = Matrix::zeros(n, d);
+    let mut labels = Vec::with_capacity(n);
+    let mut row = 0;
+    for (mat, label) in [
+        (&a.u_hat_i, "user_initiator"),
+        (&a.u_hat_p, "user_participant"),
+    ] {
+        for &u in &users {
+            stacked.set_row(row, mat.row(u));
+            labels.push(label);
+            row += 1;
+        }
+    }
+    for (mat, label) in [
+        (&a.v_hat_i, "item_initiator"),
+        (&a.v_hat_p, "item_participant"),
+    ] {
+        for &i in &items {
+            stacked.set_row(row, mat.row(i));
+            labels.push(label);
+            row += 1;
+        }
+    }
+
+    println!("running exact t-SNE on {n} points...");
+    let coords = tsne(&stacked, &TsneConfig { n_iter: 300, ..TsneConfig::default() });
+
+    let rows: Vec<String> = (0..n)
+        .map(|r| format!("{},{:.4},{:.4}", labels[r], coords.get(r, 0), coords.get(r, 1)))
+        .collect();
+    let path = write_csv("fig6_tsne.csv", "label,x,y", &rows);
+
+    // Separation score: mean distance between view centroids relative to
+    // mean intra-view spread, for users and for items.
+    let centroid = |label: &str| -> (f32, f32, f32) {
+        let pts: Vec<(f32, f32)> = (0..n)
+            .filter(|&r| labels[r] == label)
+            .map(|r| (coords.get(r, 0), coords.get(r, 1)))
+            .collect();
+        let cx = pts.iter().map(|p| p.0).sum::<f32>() / pts.len() as f32;
+        let cy = pts.iter().map(|p| p.1).sum::<f32>() / pts.len() as f32;
+        let spread = pts
+            .iter()
+            .map(|p| ((p.0 - cx).powi(2) + (p.1 - cy).powi(2)).sqrt())
+            .sum::<f32>()
+            / pts.len() as f32;
+        (cx, cy, spread)
+    };
+    for (a_label, b_label, what) in [
+        ("user_initiator", "user_participant", "users"),
+        ("item_initiator", "item_participant", "items"),
+    ] {
+        let (ax, ay, asp) = centroid(a_label);
+        let (bx, by, bsp) = centroid(b_label);
+        let dist = ((ax - bx).powi(2) + (ay - by).powi(2)).sqrt();
+        let ratio = dist / (0.5 * (asp + bsp));
+        println!(
+            "{what}: centroid distance {dist:.2}, mean spread {:.2}, separation ratio {ratio:.2} {}",
+            0.5 * (asp + bsp),
+            if ratio > 0.5 { "(views separated)" } else { "(views overlap)" }
+        );
+    }
+    println!("\ncoordinates written to {}", path.display());
+}

@@ -1,0 +1,32 @@
+//! Runs the complete experiment suite (Tables II–V, Figs. 4–6) in
+//! sequence by invoking the sibling binaries with a shared scale
+//! argument. Usage: `run_all [small|paper|large]`.
+
+use std::process::Command;
+
+fn main() {
+    let scale = std::env::args().nth(1).unwrap_or_else(|| "paper".to_string());
+    let bins = [
+        "table2_stats",
+        "table3_overall",
+        "table4_time",
+        "table5_ablation",
+        "fig4_alpha",
+        "fig4_beta",
+        "fig5_cosine_pdf",
+        "fig6_tsne",
+    ];
+    let me = std::env::current_exe().expect("current exe");
+    let dir = me.parent().expect("bin dir");
+    for bin in bins {
+        println!("\n================================================================");
+        println!("running {bin} ({scale})");
+        println!("================================================================");
+        let status = Command::new(dir.join(bin))
+            .arg(&scale)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to spawn {bin}: {e}"));
+        assert!(status.success(), "{bin} exited with {status}");
+    }
+    println!("\nall experiments complete; CSVs in target/experiments/");
+}

@@ -1,0 +1,88 @@
+//! Regenerates **Table III** — overall performance comparison of all ten
+//! methods on the group-buying recommendation task.
+//!
+//! Trains the nine baselines and GBGCN on the leave-one-out training
+//! split, evaluates Recall@{3,5,10,20} and NDCG@{3,5,10,20}, prints the
+//! table in the paper's row order, reports GBGCN's improvement over the
+//! best baseline per metric, and runs the paired significance test
+//! (paper: p < 0.05).
+
+use gb_bench::{
+    baseline_zoo, metric_header, metric_row, train_gbgcn, tuned_gbgcn_config, write_csv, Workload,
+};
+use gb_eval::paired_t_test;
+
+fn main() {
+    let scale = Workload::scale_from_args();
+    let w = Workload::standard(&scale);
+    println!("=== Table III: overall performance (scale = {scale}) ===");
+    println!("{}", w.data.stats());
+    println!("\n{}", metric_header());
+
+    let mut rows = Vec::new();
+    let mut best_baseline: Option<(String, gb_eval::RankingMetrics)> = None;
+
+    for (name, mut model) in baseline_zoo() {
+        let report = model.fit(&w.split.train);
+        let m = w.evaluate(model.as_ref());
+        println!("{}   ({:.2}s/epoch)", metric_row(name, &m), report.mean_epoch_secs);
+        rows.push(format!(
+            "{name},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4}",
+            m.recall_at(3),
+            m.recall_at(5),
+            m.recall_at(10),
+            m.recall_at(20),
+            m.ndcg_at(3),
+            m.ndcg_at(5),
+            m.ndcg_at(10),
+            m.ndcg_at(20)
+        ));
+        let better = match &best_baseline {
+            Some((_, best)) => m.ndcg_at(10) > best.ndcg_at(10),
+            None => true,
+        };
+        if better {
+            best_baseline = Some((name.to_string(), m));
+        }
+    }
+
+    let gbgcn = train_gbgcn(&w, tuned_gbgcn_config());
+    let gm = w.evaluate(&gbgcn);
+    println!("{}", metric_row("GBGCN", &gm));
+    rows.push(format!(
+        "GBGCN,{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4}",
+        gm.recall_at(3),
+        gm.recall_at(5),
+        gm.recall_at(10),
+        gm.recall_at(20),
+        gm.ndcg_at(3),
+        gm.ndcg_at(5),
+        gm.ndcg_at(10),
+        gm.ndcg_at(20)
+    ));
+
+    let (best_name, best) = best_baseline.expect("at least one baseline");
+    println!("\nimprovement of GBGCN over best baseline ({best_name}):");
+    for k in [3usize, 5, 10, 20] {
+        println!(
+            "  Recall@{k:<2} {:+.2}%   NDCG@{k:<2} {:+.2}%",
+            100.0 * (gm.recall_at(k) / best.recall_at(k) - 1.0),
+            100.0 * (gm.ndcg_at(k) / best.ndcg_at(k) - 1.0)
+        );
+    }
+
+    let t = paired_t_test(&gm.ndcg_column(10), &best.ndcg_column(10));
+    println!(
+        "\npaired t-test on per-user NDCG@10 vs {best_name}: t = {:.3}, p = {:.4} ({})",
+        t.t,
+        t.p_two_sided,
+        if t.significant_at(0.05) { "significant at 0.05" } else { "not significant" }
+    );
+
+    let path = write_csv(
+        "table3_overall.csv",
+        "method,recall@3,recall@5,recall@10,recall@20,ndcg@3,ndcg@5,ndcg@10,ndcg@20",
+        &rows,
+    );
+    println!("\nCSV written to {}", path.display());
+}

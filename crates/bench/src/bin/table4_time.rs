@@ -1,0 +1,36 @@
+//! Regenerates **Table IV** — time-efficiency comparison (training and
+//! testing wall-clock time per epoch / per evaluation pass).
+//!
+//! The paper measured one TITAN Xp with DGL; here everything runs
+//! single-threaded CPU, so absolute numbers differ, but the *shape*
+//! claim is preserved: CF and social baselines are fast, group and
+//! group-buying models pay for variable-size friend/group aggregation,
+//! and GBGCN is the slowest of all (Sec. IV-C).
+
+use gb_bench::{baseline_zoo, train_gbgcn, tuned_gbgcn_config, write_csv, Workload};
+use gb_eval::timing::timed;
+
+fn main() {
+    let scale = Workload::scale_from_args();
+    let w = Workload::standard(&scale);
+    println!("=== Table IV: time efficiency (scale = {scale}) ===\n");
+    println!("{:<10} {:>22} {:>22}", "Method", "Training (sec/epoch)", "Testing (sec/pass)");
+
+    let mut rows = Vec::new();
+    for (name, mut model) in baseline_zoo() {
+        let report = model.fit(&w.split.train);
+        let (_, test_secs) = timed(|| w.evaluate(model.as_ref()));
+        println!("{name:<10} {:>22.3} {:>22.3}", report.mean_epoch_secs, test_secs);
+        rows.push(format!("{name},{:.4},{:.4}", report.mean_epoch_secs, test_secs));
+    }
+
+    let mut gbgcn = train_gbgcn(&w, tuned_gbgcn_config());
+    // Re-measure steady-state fine-tuning epochs explicitly.
+    let train_secs = gbgcn.measure_epoch_secs(3);
+    let (_, test_secs) = timed(|| w.evaluate(&gbgcn));
+    println!("{:<10} {:>22.3} {:>22.3}", "GBGCN", train_secs, test_secs);
+    rows.push(format!("GBGCN,{train_secs:.4},{test_secs:.4}"));
+
+    let path = write_csv("table4_time.csv", "method,train_sec_per_epoch,test_sec", &rows);
+    println!("\nCSV written to {}", path.display());
+}

@@ -1,0 +1,188 @@
+//! Mini-batch construction for the double-pairwise loss (Sec. III-C.2).
+//!
+//! A batch samples group-buying behaviors, attaches `k` negative items to
+//! each (Sec. III-C.2's quadruples), and flattens them into the index
+//! lists the loss needs:
+//!
+//! * **forward pairs** — `(user, observed item, negative item)` ranked
+//!   `observed > negative`: the initiator of *every* behavior plus every
+//!   participant of *successful* behaviors (Eqs. 10 first term, 11);
+//! * **reversed pairs** — `(friend, negative item, failed item)` ranked
+//!   `negative > failed`, weighted by `β`: every friend of the initiator
+//!   of a *failed* behavior (Eq. 10 second term).
+
+use gb_data::{Dataset, NegativeSampler};
+use rand::rngs::StdRng;
+
+/// Flattened index lists for one training batch.
+#[derive(Debug, Default)]
+pub struct LossBatch {
+    /// Users of the forward BPR pairs (initiators + successful
+    /// participants).
+    pub fwd_users: Vec<u32>,
+    /// Observed items of the forward pairs.
+    pub fwd_pos: Vec<u32>,
+    /// Negative items of the forward pairs.
+    pub fwd_neg: Vec<u32>,
+    /// Friends of failed-behavior initiators (reversed pairs).
+    pub rev_users: Vec<u32>,
+    /// The *negative* item, ranked higher for the friend (Eq. 10).
+    pub rev_pos: Vec<u32>,
+    /// The failed target item, ranked lower for the friend.
+    pub rev_neg: Vec<u32>,
+    /// Number of behaviors represented (loss normalizer).
+    pub n_behaviors: usize,
+}
+
+impl LossBatch {
+    /// Assembles a batch from the behaviors at `indices`.
+    pub fn build(
+        dataset: &Dataset,
+        indices: &[usize],
+        neg_ratio: usize,
+        sampler: &NegativeSampler,
+        rng: &mut StdRng,
+    ) -> Self {
+        let mut batch = LossBatch { n_behaviors: indices.len() * neg_ratio.max(1), ..Default::default() };
+        for &idx in indices {
+            let b = &dataset.behaviors()[idx];
+            let successful = dataset.is_successful(b);
+            for _ in 0..neg_ratio.max(1) {
+                let neg = sampler.sample_one(b.initiator, rng);
+                // Initiator term: present for successful AND failed
+                // behaviors (the initiator did want the item).
+                batch.fwd_users.push(b.initiator);
+                batch.fwd_pos.push(b.item);
+                batch.fwd_neg.push(neg);
+                if successful {
+                    // Participants wanted the item too (Eq. 11).
+                    for &p in &b.participants {
+                        batch.fwd_users.push(p);
+                        batch.fwd_pos.push(b.item);
+                        batch.fwd_neg.push(neg);
+                    }
+                } else {
+                    // Friends implicitly rejected the item (Eq. 10):
+                    // ranked the unobserved item above the failed one.
+                    for &f in dataset.social().friends(b.initiator) {
+                        batch.rev_users.push(f);
+                        batch.rev_pos.push(neg);
+                        batch.rev_neg.push(b.item);
+                    }
+                }
+            }
+        }
+        batch
+    }
+
+    /// All distinct users appearing in the batch (for regularization).
+    pub fn touched_users(&self) -> Vec<u32> {
+        let mut users: Vec<u32> =
+            self.fwd_users.iter().chain(&self.rev_users).copied().collect();
+        users.sort_unstable();
+        users.dedup();
+        users
+    }
+
+    /// All distinct items appearing in the batch.
+    pub fn touched_items(&self) -> Vec<u32> {
+        let mut items: Vec<u32> = self
+            .fwd_pos
+            .iter()
+            .chain(&self.fwd_neg)
+            .chain(&self.rev_pos)
+            .chain(&self.rev_neg)
+            .copied()
+            .collect();
+        items.sort_unstable();
+        items.dedup();
+        items
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gb_data::GroupBehavior;
+    use rand::SeedableRng;
+
+    fn dataset() -> Dataset {
+        Dataset::new(
+            5,
+            10,
+            vec![
+                GroupBehavior::new(0, 0, vec![1, 2]), // success (t=1)
+                GroupBehavior::new(3, 1, vec![]),     // failed: friends 4
+            ],
+            vec![(0, 1), (0, 2), (3, 4)],
+            vec![1; 10],
+        )
+    }
+
+    #[test]
+    fn successful_behavior_contributes_initiator_and_participants() {
+        let d = dataset();
+        let sampler = NegativeSampler::from_dataset(&d);
+        let mut rng = StdRng::seed_from_u64(0);
+        let b = LossBatch::build(&d, &[0], 1, &sampler, &mut rng);
+        // initiator + 2 participants
+        assert_eq!(b.fwd_users, vec![0, 1, 2]);
+        assert_eq!(b.fwd_pos, vec![0, 0, 0]);
+        assert_eq!(b.fwd_neg.len(), 3);
+        // same negative shared within the behavior
+        assert!(b.fwd_neg.iter().all(|&n| n == b.fwd_neg[0]));
+        assert!(b.rev_users.is_empty());
+        assert_eq!(b.n_behaviors, 1);
+    }
+
+    #[test]
+    fn failed_behavior_contributes_initiator_and_reversed_friends() {
+        let d = dataset();
+        let sampler = NegativeSampler::from_dataset(&d);
+        let mut rng = StdRng::seed_from_u64(0);
+        let b = LossBatch::build(&d, &[1], 1, &sampler, &mut rng);
+        assert_eq!(b.fwd_users, vec![3]); // initiator still a positive pair
+        assert_eq!(b.rev_users, vec![4]); // friend 4 gets the reversed pair
+        assert_eq!(b.rev_neg, vec![1]);   // failed item ranked lower
+        assert_eq!(b.rev_pos.len(), 1);   // the sampled negative ranked higher
+        assert_ne!(b.rev_pos[0], 1);
+    }
+
+    #[test]
+    fn neg_ratio_multiplies_quadruples() {
+        let d = dataset();
+        let sampler = NegativeSampler::from_dataset(&d);
+        let mut rng = StdRng::seed_from_u64(0);
+        let b = LossBatch::build(&d, &[0], 3, &sampler, &mut rng);
+        assert_eq!(b.fwd_users.len(), 9); // 3 negatives x (1 init + 2 parts)
+        assert_eq!(b.n_behaviors, 3);
+    }
+
+    #[test]
+    fn negatives_are_unobserved_for_the_initiator() {
+        let d = dataset();
+        let sampler = NegativeSampler::from_dataset(&d);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..20 {
+            // Behavior 0's initiator is user 0, whose positives are {0}.
+            let b = LossBatch::build(&d, &[0], 1, &sampler, &mut rng);
+            assert!(b.fwd_neg.iter().all(|&n| !sampler.is_positive(0, n)));
+            // Behavior 1's initiator is user 3, whose positives are {1}.
+            let b = LossBatch::build(&d, &[1], 1, &sampler, &mut rng);
+            assert!(b.fwd_neg.iter().all(|&n| !sampler.is_positive(3, n)));
+        }
+    }
+
+    #[test]
+    fn touched_sets_are_sorted_and_deduped() {
+        let d = dataset();
+        let sampler = NegativeSampler::from_dataset(&d);
+        let mut rng = StdRng::seed_from_u64(0);
+        let b = LossBatch::build(&d, &[0, 1], 2, &sampler, &mut rng);
+        let users = b.touched_users();
+        assert!(users.windows(2).all(|w| w[0] < w[1]));
+        let items = b.touched_items();
+        assert!(items.windows(2).all(|w| w[0] < w[1]));
+        assert!(items.contains(&0) && items.contains(&1));
+    }
+}

@@ -1,0 +1,136 @@
+//! Dataset conversions for the baseline families (Sec. IV-A.1).
+//!
+//! The paper describes two conversions of group-buying records into pure
+//! user–item interactions for CF and social baselines, plus a group-
+//! recommendation variant for AGREE/SIGR:
+//!
+//! 1. *(oi)* — keep only initiator–item interactions;
+//! 2. *(both)* — treat initiator–item **and** participant–item pairs as
+//!    plain interactions (the better-performing option in Table III);
+//! 3. *groups* — "each user and those who do group buying with him/her"
+//!    form that user's group; each **successful** behavior becomes one
+//!    activity of the initiator's group.
+
+use crate::dataset::Dataset;
+
+/// Which user–item conversion a CF/social baseline trains on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum InteractionKind {
+    /// Initiator–item interactions only (the *(oi)* marker in Table III).
+    InitiatorOnly,
+    /// Initiator–item plus participant–item interactions.
+    BothRoles,
+}
+
+/// Flattens a group-buying dataset into deduplicated `(user, item)` pairs.
+pub fn to_pairs(dataset: &Dataset, kind: InteractionKind) -> Vec<(u32, u32)> {
+    let mut pairs = Vec::with_capacity(dataset.behaviors().len() * 2);
+    for b in dataset.behaviors() {
+        pairs.push((b.initiator, b.item));
+        if kind == InteractionKind::BothRoles {
+            for &p in &b.participants {
+                pairs.push((p, b.item));
+            }
+        }
+    }
+    pairs.sort_unstable();
+    pairs.dedup();
+    pairs
+}
+
+/// Group-recommendation view of a group-buying dataset, as the paper
+/// constructs it for AGREE and SIGR.
+#[derive(Clone, Debug)]
+pub struct GroupData {
+    /// `members[u]` is user `u`'s group: the user plus everyone who has
+    /// done group buying with them (as initiator or participant), sorted.
+    /// Group ids coincide with user ids so that "replace each user with the
+    /// group corresponding to the user" at test time is the identity map on
+    /// ids.
+    pub members: Vec<Vec<u32>>,
+    /// Deduplicated `(group, item)` activities from successful behaviors.
+    pub group_items: Vec<(u32, u32)>,
+}
+
+/// Builds the group-recommendation variant.
+pub fn to_groups(dataset: &Dataset) -> GroupData {
+    let mut members: Vec<Vec<u32>> = (0..dataset.n_users()).map(|u| vec![u as u32]).collect();
+    for b in dataset.behaviors() {
+        for &p in &b.participants {
+            members[b.initiator as usize].push(p);
+            members[p as usize].push(b.initiator);
+        }
+    }
+    for m in &mut members {
+        m.sort_unstable();
+        m.dedup();
+    }
+
+    let mut group_items: Vec<(u32, u32)> =
+        dataset.successful().map(|b| (b.initiator, b.item)).collect();
+    group_items.sort_unstable();
+    group_items.dedup();
+
+    GroupData { members, group_items }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::behavior::GroupBehavior;
+
+    fn dataset() -> Dataset {
+        Dataset::new(
+            4,
+            3,
+            vec![
+                GroupBehavior::new(0, 0, vec![1, 2]), // success (t=1)
+                GroupBehavior::new(0, 1, vec![]),     // failed
+                GroupBehavior::new(3, 2, vec![1]),    // success
+            ],
+            vec![(0, 1), (0, 2), (3, 1)],
+            vec![1, 1, 1],
+        )
+    }
+
+    #[test]
+    fn initiator_only_drops_participants() {
+        let pairs = to_pairs(&dataset(), InteractionKind::InitiatorOnly);
+        assert_eq!(pairs, vec![(0, 0), (0, 1), (3, 2)]);
+    }
+
+    #[test]
+    fn both_roles_includes_participants() {
+        let pairs = to_pairs(&dataset(), InteractionKind::BothRoles);
+        assert_eq!(pairs, vec![(0, 0), (0, 1), (1, 0), (1, 2), (2, 0), (3, 2)]);
+    }
+
+    #[test]
+    fn groups_are_cobuyer_sets() {
+        let g = to_groups(&dataset());
+        assert_eq!(g.members[0], vec![0, 1, 2]);
+        assert_eq!(g.members[1], vec![0, 1, 3]); // co-bought with 0 and 3
+        assert_eq!(g.members[2], vec![0, 2]);
+        assert_eq!(g.members[3], vec![1, 3]);
+    }
+
+    #[test]
+    fn group_activities_come_from_successful_behaviors_only() {
+        let g = to_groups(&dataset());
+        assert_eq!(g.group_items, vec![(0, 0), (3, 2)]); // failed (0,1) excluded
+    }
+
+    #[test]
+    fn singleton_group_for_isolated_user() {
+        let d = Dataset::new(
+            2,
+            1,
+            vec![GroupBehavior::new(0, 0, vec![])],
+            vec![],
+            vec![1],
+        );
+        let g = to_groups(&d);
+        assert_eq!(g.members[1], vec![1]);
+        assert!(g.group_items.is_empty());
+    }
+}

@@ -1,0 +1,150 @@
+//! Leave-one-out train/validation/test splitting (Sec. IV-A.2).
+//!
+//! Following the paper (and the NCF evaluation lineage it cites), for each
+//! user one group-buying record *as initiator* is withheld for testing and
+//! one more for validation; everything else trains. Users with too few
+//! launches keep all their records in training and are not evaluated —
+//! mirroring the paper's preprocessing, which filters low-activity users.
+
+use crate::behavior::GroupBehavior;
+use crate::dataset::Dataset;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// A single held-out ranking instance: the ground-truth item a user
+/// launched, to be ranked against sampled negatives.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TestInstance {
+    /// The initiator being evaluated.
+    pub user: u32,
+    /// The held-out ground-truth item.
+    pub item: u32,
+}
+
+/// Result of leave-one-out splitting.
+#[derive(Clone, Debug)]
+pub struct Split {
+    /// Training dataset (same user/item/social universe, fewer behaviors).
+    pub train: Dataset,
+    /// One held-out instance per eligible user.
+    pub test: Vec<TestInstance>,
+    /// One held-out instance per user eligible for validation.
+    pub validation: Vec<TestInstance>,
+}
+
+/// Performs the leave-one-out split.
+///
+/// Users need at least 3 launches to contribute both a test and a
+/// validation instance, and at least 2 to contribute a test instance.
+/// The withheld behavior is chosen uniformly at random (seeded).
+pub fn leave_one_out(dataset: &Dataset, seed: u64) -> Split {
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // Indices of behaviors grouped by initiator.
+    let mut by_user: Vec<Vec<usize>> = vec![Vec::new(); dataset.n_users()];
+    for (idx, b) in dataset.behaviors().iter().enumerate() {
+        by_user[b.initiator as usize].push(idx);
+    }
+
+    let mut held_out = vec![false; dataset.behaviors().len()];
+    let mut test = Vec::new();
+    let mut validation = Vec::new();
+
+    for (user, mut indices) in by_user.into_iter().enumerate() {
+        if indices.len() < 2 {
+            continue;
+        }
+        indices.shuffle(&mut rng);
+        let test_idx = indices[0];
+        held_out[test_idx] = true;
+        let b = &dataset.behaviors()[test_idx];
+        test.push(TestInstance { user: user as u32, item: b.item });
+
+        if indices.len() >= 3 {
+            let val_idx = indices[1];
+            held_out[val_idx] = true;
+            let vb = &dataset.behaviors()[val_idx];
+            validation.push(TestInstance { user: user as u32, item: vb.item });
+        }
+    }
+
+    let train_behaviors: Vec<GroupBehavior> = dataset
+        .behaviors()
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| !held_out[*i])
+        .map(|(_, b)| b.clone())
+        .collect();
+
+    Split { train: dataset.with_behaviors(train_behaviors), test, validation }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{generate, SynthConfig};
+
+    #[test]
+    fn split_is_disjoint_and_complete() {
+        let d = generate(&SynthConfig::tiny());
+        let split = leave_one_out(&d, 1);
+        let total =
+            split.train.behaviors().len() + split.test.len() + split.validation.len();
+        assert_eq!(total, d.behaviors().len());
+    }
+
+    #[test]
+    fn every_user_with_min_launches_is_tested() {
+        let d = generate(&SynthConfig::tiny()); // min_launches = 3
+        let split = leave_one_out(&d, 1);
+        assert_eq!(split.test.len(), d.n_users());
+        assert_eq!(split.validation.len(), d.n_users());
+    }
+
+    #[test]
+    fn train_still_contains_every_tested_user() {
+        // Each tested user must keep >= 1 training launch, otherwise its
+        // embedding never gets an initiator-view signal.
+        let d = generate(&SynthConfig::tiny());
+        let split = leave_one_out(&d, 1);
+        let mut launches = vec![0usize; d.n_users()];
+        for b in split.train.behaviors() {
+            launches[b.initiator as usize] += 1;
+        }
+        for t in &split.test {
+            assert!(launches[t.user as usize] >= 1, "user {} lost all train data", t.user);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let d = generate(&SynthConfig::tiny());
+        let a = leave_one_out(&d, 5);
+        let b = leave_one_out(&d, 5);
+        assert_eq!(a.test, b.test);
+        assert_eq!(a.validation, b.validation);
+        let c = leave_one_out(&d, 6);
+        assert_ne!(a.test, c.test);
+    }
+
+    #[test]
+    fn users_with_one_launch_are_skipped() {
+        use crate::behavior::GroupBehavior;
+        let d = Dataset::new(
+            3,
+            2,
+            vec![
+                GroupBehavior::new(0, 0, vec![]),
+                GroupBehavior::new(1, 0, vec![]),
+                GroupBehavior::new(1, 1, vec![]),
+            ],
+            vec![(0, 1)],
+            vec![1, 1],
+        );
+        let split = leave_one_out(&d, 0);
+        assert!(split.test.iter().all(|t| t.user == 1));
+        assert_eq!(split.test.len(), 1);
+        assert!(split.validation.is_empty());
+    }
+}

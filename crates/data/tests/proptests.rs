@@ -1,0 +1,85 @@
+//! Property-based tests of the data layer: splits, samplers, conversions.
+
+use gb_data::convert::{to_groups, to_pairs, InteractionKind};
+use gb_data::split::leave_one_out;
+use gb_data::synth::{generate, SynthConfig};
+use gb_data::NegativeSampler;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn small_config(seed: u64) -> SynthConfig {
+    SynthConfig { n_users: 80, n_items: 30, ..SynthConfig::tiny().with_seed(seed) }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Leave-one-out always partitions the behavior multiset exactly.
+    #[test]
+    fn split_partitions_behaviors(seed in 0u64..40, split_seed in 0u64..10) {
+        let d = generate(&small_config(seed));
+        let s = leave_one_out(&d, split_seed);
+        prop_assert_eq!(
+            s.train.behaviors().len() + s.test.len() + s.validation.len(),
+            d.behaviors().len()
+        );
+        // Each held-out instance corresponds to a real behavior.
+        for t in s.test.iter().chain(&s.validation) {
+            prop_assert!(d
+                .behaviors()
+                .iter()
+                .any(|b| b.initiator == t.user && b.item == t.item));
+        }
+    }
+
+    /// Negative samples never collide with any-role positives.
+    #[test]
+    fn negatives_exclude_positives(seed in 0u64..20, user in 0u32..80) {
+        let d = generate(&small_config(seed));
+        let sampler = NegativeSampler::from_dataset(&d);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xAB);
+        for _ in 0..50 {
+            let n = sampler.sample_one(user, &mut rng);
+            prop_assert!(!sampler.is_positive(user, n));
+        }
+    }
+
+    /// The (oi) conversion is always a subset of the both-roles one.
+    #[test]
+    fn oi_pairs_subset_of_both(seed in 0u64..20) {
+        let d = generate(&small_config(seed));
+        let oi = to_pairs(&d, InteractionKind::InitiatorOnly);
+        let both = to_pairs(&d, InteractionKind::BothRoles);
+        prop_assert!(oi.len() <= both.len());
+        for p in &oi {
+            prop_assert!(both.binary_search(p).is_ok());
+        }
+    }
+
+    /// Group membership is symmetric: u in group(v) iff v in group(u).
+    #[test]
+    fn group_membership_symmetric(seed in 0u64..20) {
+        let d = generate(&small_config(seed));
+        let g = to_groups(&d);
+        for (u, members) in g.members.iter().enumerate() {
+            for &m in members {
+                prop_assert!(
+                    g.members[m as usize].binary_search(&(u as u32)).is_ok(),
+                    "asymmetric membership {u} / {m}"
+                );
+            }
+        }
+    }
+
+    /// Generated statistics stay in the calibrated bands across seeds.
+    #[test]
+    fn stats_stay_in_band(seed in 0u64..15) {
+        let d = generate(&small_config(seed));
+        let s = d.stats();
+        prop_assert!(s.n_behaviors > 0);
+        let ratio = s.success_ratio();
+        prop_assert!((0.3..=0.99).contains(&ratio), "success ratio {ratio}");
+        prop_assert!(s.mean_friends > 1.0);
+    }
+}

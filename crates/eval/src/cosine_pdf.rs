@@ -1,0 +1,132 @@
+//! Cosine-similarity probability-density curves (Fig. 5).
+//!
+//! The paper compares, per user and per item, the cosine similarity of
+//! the initiator-view and participant-view embeddings — once for the
+//! in-view-propagation outputs (`u{0}`, `v{0}`) and once for the
+//! cross-view-propagation outputs (`u{1}`, `v{1}`). The four resulting
+//! distributions (Fig. 5a–d) show items nearly aligned in-view, users
+//! slightly diverging, and both diverging clearly after cross-view
+//! transforms.
+
+use gb_tensor::{kernels, Matrix};
+
+/// Row-wise cosine similarities between two matrices of equal shape.
+pub fn rowwise_cosine(a: &Matrix, b: &Matrix) -> Vec<f32> {
+    assert_eq!(a.shape(), b.shape(), "cosine inputs must align");
+    (0..a.rows()).map(|r| kernels::cosine_similarity(a.row(r), b.row(r))).collect()
+}
+
+/// One bin of an empirical probability-density estimate.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DensityBin {
+    /// Bin center.
+    pub center: f32,
+    /// Estimated density (integrates to ~1 over the histogram support).
+    pub density: f32,
+}
+
+/// Histogram-based PDF estimate over `values`.
+///
+/// Bins span `[lo, hi]`; values outside are clamped into the edge bins
+/// (cosines are in [-1, 1] anyway). Density is normalized so the sum of
+/// `density * bin_width` equals 1 for non-empty input.
+pub fn histogram_density(values: &[f32], bins: usize, lo: f32, hi: f32) -> Vec<DensityBin> {
+    assert!(bins > 0, "need at least one bin");
+    assert!(hi > lo, "empty support");
+    let width = (hi - lo) / bins as f32;
+    let mut counts = vec![0usize; bins];
+    for &v in values {
+        let idx = (((v - lo) / width) as isize).clamp(0, bins as isize - 1) as usize;
+        counts[idx] += 1;
+    }
+    let n = values.len().max(1) as f32;
+    counts
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| DensityBin {
+            center: lo + (i as f32 + 0.5) * width,
+            density: c as f32 / (n * width),
+        })
+        .collect()
+}
+
+/// Convenience: the PDF of row-wise cosine similarities between two
+/// embedding matrices, over `bins` bins spanning the observed range
+/// (padded slightly to avoid degenerate support).
+pub fn cosine_pdf(a: &Matrix, b: &Matrix, bins: usize) -> Vec<DensityBin> {
+    let sims = rowwise_cosine(a, b);
+    let lo = sims.iter().cloned().fold(f32::INFINITY, f32::min);
+    let hi = sims.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    let (lo, hi) = if lo.is_finite() && hi > lo {
+        (lo, hi)
+    } else {
+        (-1.0, 1.0)
+    };
+    let pad = 1e-4 * (hi - lo).max(1e-3);
+    histogram_density(&sims, bins, lo - pad, hi + pad)
+}
+
+/// Mean of a slice (0 for empty input) — used when summarizing Fig. 5.
+pub fn mean(values: &[f32]) -> f32 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f32>() / values.len() as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_matrices_have_unit_cosine() {
+        let a = Matrix::from_fn(5, 3, |r, c| (r + c) as f32 + 1.0);
+        let sims = rowwise_cosine(&a, &a);
+        assert!(sims.iter().all(|&s| (s - 1.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn opposite_rows_have_negative_cosine() {
+        let a = Matrix::from_vec(1, 2, vec![1.0, 2.0]);
+        let b = Matrix::from_vec(1, 2, vec![-1.0, -2.0]);
+        assert!((rowwise_cosine(&a, &b)[0] + 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn density_integrates_to_one() {
+        let values: Vec<f32> = (0..1000).map(|i| (i as f32 / 999.0) * 2.0 - 1.0).collect();
+        let bins = histogram_density(&values, 20, -1.0, 1.0);
+        let width = 2.0 / 20.0;
+        let total: f32 = bins.iter().map(|b| b.density * width).sum();
+        assert!((total - 1.0).abs() < 1e-4, "integral = {total}");
+    }
+
+    #[test]
+    fn out_of_range_values_clamp_to_edge_bins() {
+        let bins = histogram_density(&[-5.0, 5.0], 4, -1.0, 1.0);
+        assert!(bins[0].density > 0.0);
+        assert!(bins[3].density > 0.0);
+        assert_eq!(bins[1].density, 0.0);
+    }
+
+    #[test]
+    fn concentrated_values_yield_peaked_pdf() {
+        let tight = vec![0.95f32; 100];
+        let pdf = histogram_density(&tight, 10, 0.0, 1.0);
+        let peak = pdf.iter().map(|b| b.density).fold(0.0f32, f32::max);
+        assert!(peak >= 9.9, "all mass in one 0.1-wide bin -> density 10");
+    }
+
+    #[test]
+    fn cosine_pdf_handles_degenerate_identical_input() {
+        let a = Matrix::full(4, 3, 1.0);
+        let pdf = cosine_pdf(&a, &a, 8);
+        assert_eq!(pdf.len(), 8);
+        let total: f32 = pdf
+            .iter()
+            .map(|b| b.density)
+            .sum::<f32>();
+        assert!(total > 0.0);
+    }
+}

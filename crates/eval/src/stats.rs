@@ -1,0 +1,215 @@
+//! Significance testing.
+//!
+//! The paper reports that GBGCN's improvement over the best baseline is
+//! significant with p < 0.05. This module provides the matching paired
+//! t-test over per-user metric values, with the Student-t CDF computed
+//! via the regularized incomplete beta function (continued-fraction
+//! evaluation, Numerical Recipes §6.4).
+
+/// Result of a paired t-test.
+#[derive(Clone, Copy, Debug)]
+pub struct TTest {
+    /// The t statistic (positive when `a` has the larger mean).
+    pub t: f64,
+    /// Degrees of freedom (`n - 1`).
+    pub df: f64,
+    /// Two-sided p-value.
+    pub p_two_sided: f64,
+    /// Mean of the pairwise differences `a[i] - b[i]`.
+    pub mean_diff: f64,
+}
+
+impl TTest {
+    /// Whether the difference is significant at the given level.
+    pub fn significant_at(&self, alpha: f64) -> bool {
+        self.p_two_sided < alpha
+    }
+}
+
+/// Paired t-test over two aligned per-user metric vectors.
+///
+/// # Panics
+/// Panics if the slices differ in length or have fewer than 2 entries.
+pub fn paired_t_test(a: &[f32], b: &[f32]) -> TTest {
+    assert_eq!(a.len(), b.len(), "paired test needs aligned samples");
+    let n = a.len();
+    assert!(n >= 2, "paired test needs at least 2 pairs");
+
+    let diffs: Vec<f64> = a.iter().zip(b).map(|(&x, &y)| (x - y) as f64).collect();
+    let mean = diffs.iter().sum::<f64>() / n as f64;
+    let var = diffs.iter().map(|d| (d - mean) * (d - mean)).sum::<f64>() / (n as f64 - 1.0);
+    let df = n as f64 - 1.0;
+
+    if var == 0.0 {
+        // All differences identical: either exactly zero (p = 1) or a
+        // deterministic shift (p -> 0).
+        let p = if mean == 0.0 { 1.0 } else { 0.0 };
+        return TTest { t: if mean == 0.0 { 0.0 } else { f64::INFINITY }, df, p_two_sided: p, mean_diff: mean };
+    }
+
+    let se = (var / n as f64).sqrt();
+    let t = mean / se;
+    let p = 2.0 * student_t_sf(t.abs(), df);
+    TTest { t, df, p_two_sided: p.clamp(0.0, 1.0), mean_diff: mean }
+}
+
+/// Survival function `P(T > t)` of Student's t with `df` degrees of
+/// freedom, for `t >= 0`.
+fn student_t_sf(t: f64, df: f64) -> f64 {
+    let x = df / (df + t * t);
+    0.5 * inc_beta(0.5 * df, 0.5, x)
+}
+
+/// Regularized incomplete beta function `I_x(a, b)`.
+fn inc_beta(a: f64, b: f64, x: f64) -> f64 {
+    if x <= 0.0 {
+        return 0.0;
+    }
+    if x >= 1.0 {
+        return 1.0;
+    }
+    let ln_beta = ln_gamma(a) + ln_gamma(b) - ln_gamma(a + b);
+    let front = (a * x.ln() + b * (1.0 - x).ln() - ln_beta).exp();
+    if x < (a + 1.0) / (a + b + 2.0) {
+        front * beta_cf(a, b, x) / a
+    } else {
+        1.0 - front * beta_cf(b, a, 1.0 - x) / b
+    }
+}
+
+/// Continued fraction for the incomplete beta (Lentz's algorithm).
+fn beta_cf(a: f64, b: f64, x: f64) -> f64 {
+    const MAX_ITER: usize = 200;
+    const EPS: f64 = 1e-14;
+    const TINY: f64 = 1e-30;
+
+    let qab = a + b;
+    let qap = a + 1.0;
+    let qam = a - 1.0;
+    let mut c = 1.0;
+    let mut d = 1.0 - qab * x / qap;
+    if d.abs() < TINY {
+        d = TINY;
+    }
+    d = 1.0 / d;
+    let mut h = d;
+    for m in 1..=MAX_ITER {
+        let m = m as f64;
+        let m2 = 2.0 * m;
+        // Even step.
+        let aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        h *= d * c;
+        // Odd step.
+        let aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < EPS {
+            break;
+        }
+    }
+    h
+}
+
+/// Lanczos approximation of `ln Γ(x)`.
+fn ln_gamma(x: f64) -> f64 {
+    const COEF: [f64; 6] = [
+        76.18009172947146,
+        -86.50532032941677,
+        24.01409824083091,
+        -1.231739572450155,
+        0.1208650973866179e-2,
+        -0.5395239384953e-5,
+    ];
+    let mut y = x;
+    let tmp = x + 5.5;
+    let tmp = tmp - (x + 0.5) * tmp.ln();
+    let mut ser = 1.000000000190015;
+    for c in COEF {
+        y += 1.0;
+        ser += c / y;
+    }
+    -tmp + (2.5066282746310005 * ser / x).ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ln_gamma_known_values() {
+        // Γ(1) = Γ(2) = 1, Γ(5) = 24.
+        assert!(ln_gamma(1.0).abs() < 1e-10);
+        assert!(ln_gamma(2.0).abs() < 1e-10);
+        assert!((ln_gamma(5.0) - 24.0_f64.ln()).abs() < 1e-10);
+        // Γ(0.5) = sqrt(pi).
+        assert!((ln_gamma(0.5) - 0.5 * std::f64::consts::PI.ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn t_sf_matches_table_values() {
+        // For df=10: P(T > 1.812) ≈ 0.05; P(T > 2.764) ≈ 0.01.
+        assert!((student_t_sf(1.812, 10.0) - 0.05).abs() < 2e-3);
+        assert!((student_t_sf(2.764, 10.0) - 0.01).abs() < 1e-3);
+        // Symmetric center: P(T > 0) = 0.5.
+        assert!((student_t_sf(0.0, 5.0) - 0.5).abs() < 1e-10);
+    }
+
+    #[test]
+    fn identical_samples_not_significant() {
+        let a = vec![0.5f32; 20];
+        let r = paired_t_test(&a, &a);
+        assert_eq!(r.p_two_sided, 1.0);
+        assert!(!r.significant_at(0.05));
+    }
+
+    #[test]
+    fn clear_improvement_is_significant() {
+        let a: Vec<f32> = (0..40).map(|i| 0.5 + 0.01 * ((i % 5) as f32) + 0.1).collect();
+        let b: Vec<f32> = (0..40).map(|i| 0.5 + 0.01 * ((i % 5) as f32)).collect();
+        let r = paired_t_test(&a, &b);
+        assert!(r.mean_diff > 0.0);
+        assert!(r.significant_at(0.001), "p = {}", r.p_two_sided);
+    }
+
+    #[test]
+    fn noisy_equal_means_not_significant() {
+        // Alternating +-e differences cancel out.
+        let a: Vec<f32> = (0..50).map(|i| if i % 2 == 0 { 0.6 } else { 0.4 }).collect();
+        let b: Vec<f32> = (0..50).map(|i| if i % 2 == 0 { 0.4 } else { 0.6 }).collect();
+        let r = paired_t_test(&a, &b);
+        assert!((r.mean_diff).abs() < 1e-9);
+        assert!(!r.significant_at(0.05));
+    }
+
+    #[test]
+    fn direction_of_t_follows_mean() {
+        let a = vec![1.0f32, 1.1, 0.9, 1.0, 1.05, 0.95];
+        let b = vec![0.5f32, 0.6, 0.4, 0.5, 0.55, 0.45];
+        assert!(paired_t_test(&a, &b).t > 0.0);
+        assert!(paired_t_test(&b, &a).t < 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "aligned samples")]
+    fn mismatched_lengths_panic() {
+        paired_t_test(&[1.0, 2.0], &[1.0]);
+    }
+}

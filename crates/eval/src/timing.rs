@@ -1,0 +1,88 @@
+//! Wall-clock helpers for the time-efficiency study (Table IV).
+
+use std::time::{Duration, Instant};
+
+/// A simple stopwatch accumulating named phases.
+///
+/// Table IV reports per-epoch training and testing times; the experiment
+/// driver wraps each epoch and each evaluation pass with [`Stopwatch::time`]
+/// and reads the means afterwards.
+#[derive(Default, Debug)]
+pub struct Stopwatch {
+    samples: Vec<Duration>,
+}
+
+impl Stopwatch {
+    /// Creates an empty stopwatch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Times a closure, recording its duration and returning its result.
+    pub fn time<R>(&mut self, f: impl FnOnce() -> R) -> R {
+        let start = Instant::now();
+        let out = f();
+        self.samples.push(start.elapsed());
+        out
+    }
+
+    /// Records an externally measured duration.
+    pub fn record(&mut self, d: Duration) {
+        self.samples.push(d);
+    }
+
+    /// Number of recorded samples.
+    pub fn n_samples(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Mean duration in seconds (0.0 when empty).
+    pub fn mean_secs(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().map(Duration::as_secs_f64).sum::<f64>() / self.samples.len() as f64
+    }
+
+    /// Total recorded time in seconds.
+    pub fn total_secs(&self) -> f64 {
+        self.samples.iter().map(Duration::as_secs_f64).sum()
+    }
+}
+
+/// Times a closure once, returning `(result, seconds)`.
+pub fn timed<R>(f: impl FnOnce() -> R) -> (R, f64) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_averages() {
+        let mut sw = Stopwatch::new();
+        sw.record(Duration::from_millis(100));
+        sw.record(Duration::from_millis(300));
+        assert_eq!(sw.n_samples(), 2);
+        assert!((sw.mean_secs() - 0.2).abs() < 1e-9);
+        assert!((sw.total_secs() - 0.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn time_returns_closure_result() {
+        let mut sw = Stopwatch::new();
+        let v = sw.time(|| 41 + 1);
+        assert_eq!(v, 42);
+        assert_eq!(sw.n_samples(), 1);
+    }
+
+    #[test]
+    fn timed_measures_nonnegative() {
+        let (v, secs) = timed(|| "done");
+        assert_eq!(v, "done");
+        assert!(secs >= 0.0);
+    }
+}

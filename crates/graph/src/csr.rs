@@ -1,0 +1,199 @@
+//! Compressed sparse row adjacency.
+
+use std::rc::Rc;
+
+/// CSR adjacency over `n` source nodes.
+///
+/// Neighbour lists are sorted and deduplicated. `offsets` and `members` are
+/// reference-counted so propagation layers can share them with the autodiff
+/// tape's `segment_mean` op without copying.
+#[derive(Clone, Debug)]
+pub struct Csr {
+    offsets: Rc<Vec<usize>>,
+    members: Rc<Vec<u32>>,
+}
+
+impl Csr {
+    /// Builds a CSR from an edge list `(src, dst)` over `n_src` source
+    /// nodes. Edges are sorted per source and duplicates removed.
+    pub fn from_edges(n_src: usize, edges: &[(u32, u32)]) -> Self {
+        let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n_src];
+        for &(s, d) in edges {
+            assert!(
+                (s as usize) < n_src,
+                "source {s} out of bounds (n_src = {n_src})"
+            );
+            adj[s as usize].push(d);
+        }
+        Self::from_adj(adj)
+    }
+
+    /// Builds a CSR from per-node adjacency lists (sorted + deduped here).
+    pub fn from_adj(mut adj: Vec<Vec<u32>>) -> Self {
+        let mut offsets = Vec::with_capacity(adj.len() + 1);
+        offsets.push(0usize);
+        let mut members = Vec::new();
+        for list in adj.iter_mut() {
+            list.sort_unstable();
+            list.dedup();
+            members.extend_from_slice(list);
+            offsets.push(members.len());
+        }
+        Self { offsets: Rc::new(offsets), members: Rc::new(members) }
+    }
+
+    /// An empty CSR with `n_src` sources and no edges.
+    pub fn empty(n_src: usize) -> Self {
+        Self { offsets: Rc::new(vec![0; n_src + 1]), members: Rc::new(Vec::new()) }
+    }
+
+    /// Number of source nodes.
+    #[inline]
+    pub fn n_nodes(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Total number of (deduplicated) edges.
+    #[inline]
+    pub fn n_edges(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Sorted neighbour list of node `u`.
+    #[inline]
+    pub fn neighbors(&self, u: u32) -> &[u32] {
+        let u = u as usize;
+        &self.members[self.offsets[u]..self.offsets[u + 1]]
+    }
+
+    /// Out-degree of node `u`.
+    #[inline]
+    pub fn degree(&self, u: u32) -> usize {
+        let u = u as usize;
+        self.offsets[u + 1] - self.offsets[u]
+    }
+
+    /// Whether edge `(u, v)` exists (binary search on the sorted list).
+    pub fn contains(&self, u: u32, v: u32) -> bool {
+        self.neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// Shared handle to the offsets array (for `Tape::segment_mean`).
+    pub fn offsets(&self) -> Rc<Vec<usize>> {
+        Rc::clone(&self.offsets)
+    }
+
+    /// Shared handle to the members array (for `Tape::segment_mean`).
+    pub fn members(&self) -> Rc<Vec<u32>> {
+        Rc::clone(&self.members)
+    }
+
+    /// Mean out-degree.
+    pub fn mean_degree(&self) -> f64 {
+        if self.n_nodes() == 0 {
+            0.0
+        } else {
+            self.n_edges() as f64 / self.n_nodes() as f64
+        }
+    }
+
+    /// Maximum out-degree.
+    pub fn max_degree(&self) -> usize {
+        (0..self.n_nodes() as u32).map(|u| self.degree(u)).max().unwrap_or(0)
+    }
+
+    /// Number of nodes with at least one neighbour.
+    pub fn active_nodes(&self) -> usize {
+        (0..self.n_nodes() as u32).filter(|&u| self.degree(u) > 0).count()
+    }
+
+    /// Reverses the graph: produces the CSR of incoming edges over
+    /// `n_dst` destination nodes.
+    pub fn reversed(&self, n_dst: usize) -> Csr {
+        let mut edges = Vec::with_capacity(self.n_edges());
+        for u in 0..self.n_nodes() as u32 {
+            for &v in self.neighbors(u) {
+                assert!((v as usize) < n_dst, "dst {v} out of bounds (n_dst = {n_dst})");
+                edges.push((v, u));
+            }
+        }
+        Csr::from_edges(n_dst, &edges)
+    }
+
+    /// Iterates all `(src, dst)` edges.
+    pub fn edges(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        (0..self.n_nodes() as u32)
+            .flat_map(move |u| self.neighbors(u).iter().map(move |&v| (u, v)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_edges_sorts_and_dedups() {
+        let csr = Csr::from_edges(3, &[(0, 5), (0, 1), (0, 5), (2, 0)]);
+        assert_eq!(csr.neighbors(0), &[1, 5]);
+        assert_eq!(csr.neighbors(1), &[] as &[u32]);
+        assert_eq!(csr.neighbors(2), &[0]);
+        assert_eq!(csr.n_edges(), 3);
+        assert_eq!(csr.degree(0), 2);
+    }
+
+    #[test]
+    fn contains_uses_sorted_lists() {
+        let csr = Csr::from_edges(2, &[(0, 9), (0, 3), (0, 7)]);
+        assert!(csr.contains(0, 7));
+        assert!(!csr.contains(0, 5));
+        assert!(!csr.contains(1, 7));
+    }
+
+    #[test]
+    fn reversed_flips_edges() {
+        let csr = Csr::from_edges(3, &[(0, 1), (2, 1), (2, 0)]);
+        let rev = csr.reversed(2);
+        assert_eq!(rev.neighbors(0), &[2]);
+        assert_eq!(rev.neighbors(1), &[0, 2]);
+    }
+
+    #[test]
+    fn reversed_twice_is_identity_on_edge_set() {
+        let csr = Csr::from_edges(4, &[(0, 3), (1, 2), (3, 0), (3, 1)]);
+        let back = csr.reversed(4).reversed(4);
+        let mut a: Vec<_> = csr.edges().collect();
+        let mut b: Vec<_> = back.edges().collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn degree_stats() {
+        let csr = Csr::from_edges(4, &[(0, 1), (0, 2), (1, 0)]);
+        assert_eq!(csr.max_degree(), 2);
+        assert_eq!(csr.active_nodes(), 2);
+        assert!((csr.mean_degree() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn from_edges_checks_bounds() {
+        let _ = Csr::from_edges(2, &[(2, 0)]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let csr = Csr::empty(5);
+        assert_eq!(csr.n_nodes(), 5);
+        assert_eq!(csr.n_edges(), 0);
+        assert_eq!(csr.neighbors(4), &[] as &[u32]);
+    }
+
+    #[test]
+    fn edges_iterator_yields_all() {
+        let csr = Csr::from_edges(3, &[(1, 0), (1, 2), (0, 2)]);
+        let edges: Vec<_> = csr.edges().collect();
+        assert_eq!(edges, vec![(0, 2), (1, 0), (1, 2)]);
+    }
+}

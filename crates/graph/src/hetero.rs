@@ -1,0 +1,143 @@
+//! Assembly of the directed heterogeneous graphs `G = {Gi, Gp, Gs}`.
+
+use crate::bipartite::Bipartite;
+use crate::share::ShareGraph;
+
+/// The paper's heterogeneous graph set built from group-buying behaviors
+/// (Sec. III-A):
+///
+/// * for each behavior `b = ⟨mi, n, Mp⟩`,
+///   * `Gi` gains the bidirectional edge `(mi, n)`,
+///   * `Gp` gains edges `(mpj, n)` for every participant,
+///   * `Gs` gains directed edges `(mi → mpj)`.
+#[derive(Clone, Debug)]
+pub struct HeteroGraphs {
+    /// Initiator view `Gi`.
+    pub initiator: Bipartite,
+    /// Participant view `Gp`.
+    pub participant: Bipartite,
+    /// Directed share relations `Gs`.
+    pub share: ShareGraph,
+}
+
+impl HeteroGraphs {
+    /// Number of users.
+    pub fn n_users(&self) -> usize {
+        self.initiator.n_users()
+    }
+
+    /// Number of items.
+    pub fn n_items(&self) -> usize {
+        self.initiator.n_items()
+    }
+}
+
+/// Incremental builder for [`HeteroGraphs`].
+///
+/// ```
+/// use gb_graph::HeteroBuilder;
+///
+/// let mut b = HeteroBuilder::new(4, 2);
+/// // user 0 launches item 1; users 2 and 3 join.
+/// b.add_behavior(0, 1, &[2, 3]);
+/// let g = b.build();
+/// assert_eq!(g.initiator.items_of(0), &[1]);
+/// assert_eq!(g.participant.items_of(2), &[1]);
+/// assert_eq!(g.share.outgoing(0), &[2, 3]);
+/// assert_eq!(g.share.incoming(3), &[0]);
+/// ```
+#[derive(Debug)]
+pub struct HeteroBuilder {
+    n_users: usize,
+    n_items: usize,
+    init_edges: Vec<(u32, u32)>,
+    part_edges: Vec<(u32, u32)>,
+    share_edges: Vec<(u32, u32)>,
+}
+
+impl HeteroBuilder {
+    /// Creates a builder for `n_users` users and `n_items` items.
+    pub fn new(n_users: usize, n_items: usize) -> Self {
+        Self {
+            n_users,
+            n_items,
+            init_edges: Vec::new(),
+            part_edges: Vec::new(),
+            share_edges: Vec::new(),
+        }
+    }
+
+    /// Records one group-buying behavior `⟨initiator, item, participants⟩`.
+    ///
+    /// Failed behaviors (possibly with an empty participant set) still
+    /// contribute their initiator–item edge: the initiator *did* purchase
+    /// and launch (Sec. III-C.1).
+    pub fn add_behavior(&mut self, initiator: u32, item: u32, participants: &[u32]) {
+        assert!((initiator as usize) < self.n_users, "initiator out of bounds");
+        assert!((item as usize) < self.n_items, "item out of bounds");
+        self.init_edges.push((initiator, item));
+        for &p in participants {
+            assert!((p as usize) < self.n_users, "participant out of bounds");
+            self.part_edges.push((p, item));
+            self.share_edges.push((initiator, p));
+        }
+    }
+
+    /// Finalizes the three graphs.
+    pub fn build(self) -> HeteroGraphs {
+        HeteroGraphs {
+            initiator: Bipartite::from_interactions(self.n_users, self.n_items, &self.init_edges),
+            participant: Bipartite::from_interactions(
+                self.n_users,
+                self.n_items,
+                &self.part_edges,
+            ),
+            share: ShareGraph::from_edges(self.n_users, &self.share_edges),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn behavior_populates_all_three_graphs() {
+        let mut b = HeteroBuilder::new(5, 3);
+        b.add_behavior(1, 0, &[2, 4]);
+        b.add_behavior(2, 1, &[1]);
+        let g = b.build();
+
+        assert_eq!(g.initiator.items_of(1), &[0]);
+        assert_eq!(g.initiator.items_of(2), &[1]);
+        assert_eq!(g.participant.items_of(2), &[0]);
+        assert_eq!(g.participant.items_of(4), &[0]);
+        assert_eq!(g.participant.items_of(1), &[1]);
+        assert_eq!(g.share.outgoing(1), &[2, 4]);
+        assert_eq!(g.share.incoming(1), &[2]);
+        assert_eq!(g.n_users(), 5);
+        assert_eq!(g.n_items(), 3);
+    }
+
+    #[test]
+    fn failed_behavior_keeps_initiator_edge() {
+        let mut b = HeteroBuilder::new(2, 2);
+        b.add_behavior(0, 1, &[]); // failed: nobody joined
+        let g = b.build();
+        assert_eq!(g.initiator.items_of(0), &[1]);
+        assert_eq!(g.participant.n_interactions(), 0);
+        assert_eq!(g.share.n_edges(), 0);
+    }
+
+    #[test]
+    fn user_in_both_roles_appears_in_both_views() {
+        let mut b = HeteroBuilder::new(3, 2);
+        b.add_behavior(0, 0, &[1]); // user 1 participates
+        b.add_behavior(1, 1, &[0]); // user 1 initiates
+        let g = b.build();
+        assert_eq!(g.initiator.items_of(1), &[1]);
+        assert_eq!(g.participant.items_of(1), &[0]);
+        assert_eq!(g.share.outgoing(1), &[0]);
+        assert_eq!(g.share.incoming(1), &[0]);
+    }
+}

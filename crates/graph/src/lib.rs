@@ -1,0 +1,31 @@
+//! # gb-graph
+//!
+//! Graph containers for the directed heterogeneous graphs of Sec. III-A of
+//! the paper: `G = {Gi, Gp, Gs}`.
+//!
+//! * [`Csr`] — compressed sparse row adjacency, the storage primitive.
+//! * [`Bipartite`] — a user–item interaction view (`Gi` or `Gp`) with both
+//!   user→item and item→user adjacency, ready to drive the segment-mean
+//!   propagation of Eqs. 1–2.
+//! * [`ShareGraph`] — the directed initiator→participant graph `Gs`, with
+//!   outgoing (`N_s^O`, "shared to") and incoming (`N_s^I`, "was shared
+//!   by") adjacency used in the cross-view propagation (Eqs. 4 and 6).
+//! * [`SocialGraph`] — the symmetric friendship matrix `S` used in the
+//!   prediction function (Eq. 9) and the failed-group loss (Eq. 10).
+//! * [`HeteroGraphs`] / [`HeteroBuilder`] — the assembled `G`, built from
+//!   raw group-buying behaviors.
+//!
+//! All node ids are `u32`; CSR neighbour lists are sorted and deduplicated,
+//! matching the convention of DGL graphs built from unique edges.
+
+pub mod bipartite;
+pub mod csr;
+pub mod hetero;
+pub mod share;
+pub mod social;
+
+pub use bipartite::Bipartite;
+pub use csr::Csr;
+pub use hetero::{HeteroBuilder, HeteroGraphs};
+pub use share::ShareGraph;
+pub use social::SocialGraph;

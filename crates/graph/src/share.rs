@@ -1,0 +1,86 @@
+//! The directed initiator→participant share graph `Gs`.
+
+use crate::csr::Csr;
+
+/// Directed graph of sharing behaviour: an edge `(mi → mp)` records that
+/// initiator `mi` shared a group that participant `mp` joined.
+///
+/// The cross-view propagation distinguishes directions:
+/// * `outgoing(m)` = `N_s^O(m)` — users `m` has shared to; aggregated from
+///   the participant view into the initiator view (Eq. 4).
+/// * `incoming(m)` = `N_s^I(m)` — users who have shared to `m`; aggregated
+///   from the initiator view into the participant view (Eq. 6).
+#[derive(Clone, Debug)]
+pub struct ShareGraph {
+    out: Csr,
+    inc: Csr,
+}
+
+impl ShareGraph {
+    /// Builds `Gs` from directed `(initiator, participant)` pairs.
+    pub fn from_edges(n_users: usize, edges: &[(u32, u32)]) -> Self {
+        for &(_, p) in edges {
+            assert!((p as usize) < n_users, "participant {p} out of bounds");
+        }
+        let out = Csr::from_edges(n_users, edges);
+        let inc = out.reversed(n_users);
+        Self { out, inc }
+    }
+
+    /// Graph with no share edges.
+    pub fn empty(n_users: usize) -> Self {
+        Self { out: Csr::empty(n_users), inc: Csr::empty(n_users) }
+    }
+
+    /// Number of users.
+    pub fn n_users(&self) -> usize {
+        self.out.n_nodes()
+    }
+
+    /// Number of unique directed share edges.
+    pub fn n_edges(&self) -> usize {
+        self.out.n_edges()
+    }
+
+    /// `N_s^O(m)`: users this user has shared groups to.
+    pub fn outgoing(&self, user: u32) -> &[u32] {
+        self.out.neighbors(user)
+    }
+
+    /// `N_s^I(m)`: users who have shared groups to this user.
+    pub fn incoming(&self, user: u32) -> &[u32] {
+        self.inc.neighbors(user)
+    }
+
+    /// Outgoing CSR handle.
+    pub fn out_csr(&self) -> &Csr {
+        &self.out
+    }
+
+    /// Incoming CSR handle.
+    pub fn in_csr(&self) -> &Csr {
+        &self.inc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn directions_are_distinct() {
+        let g = ShareGraph::from_edges(4, &[(0, 1), (0, 2), (3, 0)]);
+        assert_eq!(g.outgoing(0), &[1, 2]);
+        assert_eq!(g.incoming(0), &[3]);
+        assert_eq!(g.incoming(1), &[0]);
+        assert_eq!(g.outgoing(1), &[] as &[u32]);
+        assert_eq!(g.n_edges(), 3);
+    }
+
+    #[test]
+    fn repeated_share_edges_dedup() {
+        // The same pair can co-occur in many groups; Gs keeps one edge.
+        let g = ShareGraph::from_edges(2, &[(0, 1), (0, 1), (0, 1)]);
+        assert_eq!(g.n_edges(), 1);
+    }
+}

@@ -1,0 +1,194 @@
+//! Shared training infrastructure for all recommenders.
+
+use gb_autograd::{Tape, Var};
+use gb_data::Dataset;
+use gb_eval::Scorer;
+use gb_tensor::Matrix;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+
+/// Hyper-parameters shared by every model in the comparison.
+///
+/// Matches the experimental settings of Sec. IV-A.2: embedding size 32,
+/// negative-sampling ratio 1:1, mini-batches, Xavier initialization. The
+/// epoch budget defaults to a scaled-down value suitable for the synthetic
+/// dataset (the paper trains 500 epochs on the full Beibei data; the
+/// experiment binaries override this per run).
+#[derive(Clone, Debug)]
+pub struct TrainConfig {
+    /// Embedding size `d` (the paper fixes 32 for all methods).
+    pub dim: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Mini-batch size (the paper uses 4096; scaled datasets use less).
+    pub batch_size: usize,
+    /// Negative samples per observed interaction (paper: 1).
+    pub neg_ratio: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// L2 regularization coefficient applied to batch embeddings.
+    pub l2: f32,
+    /// RNG seed controlling init, shuffling, and negative sampling.
+    pub seed: u64,
+    /// Print per-epoch loss to stderr.
+    pub verbose: bool,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        Self {
+            dim: 32,
+            epochs: 30,
+            batch_size: 1024,
+            neg_ratio: 1,
+            lr: 5e-3,
+            l2: 1e-5,
+            seed: 42,
+            verbose: false,
+        }
+    }
+}
+
+impl TrainConfig {
+    /// Config with a different epoch budget.
+    pub fn with_epochs(mut self, epochs: usize) -> Self {
+        self.epochs = epochs;
+        self
+    }
+
+    /// Config with a different seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Summary of one training run.
+#[derive(Clone, Copy, Debug)]
+pub struct TrainReport {
+    /// Epochs executed.
+    pub epochs: usize,
+    /// Mean wall-clock seconds per epoch.
+    pub mean_epoch_secs: f64,
+    /// Mean loss of the final epoch.
+    pub final_loss: f32,
+}
+
+/// A trainable, evaluatable recommender.
+///
+/// `fit` consumes the *training* split; scoring afterwards goes through
+/// [`gb_eval::Scorer`], reading cached post-training embeddings.
+pub trait Recommender: Scorer {
+    /// Display name used in the experiment tables.
+    fn name(&self) -> &str;
+
+    /// Trains on `train`, returning timing/loss telemetry.
+    fn fit(&mut self, train: &Dataset) -> TrainReport;
+}
+
+/// Yields shuffled mini-batches of indices `0..n`.
+pub fn shuffled_batches(n: usize, batch_size: usize, rng: &mut StdRng) -> Vec<Vec<usize>> {
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.shuffle(rng);
+    idx.chunks(batch_size.max(1)).map(|c| c.to_vec()).collect()
+}
+
+/// BPR loss `-mean(ln σ(pos - neg))` over aligned `n x 1` score columns
+/// (Rendle et al. [27], the loss the paper uses for most baselines).
+pub fn bpr_loss(tape: &mut Tape, pos: Var, neg: Var) -> Var {
+    let diff = tape.sub(pos, neg);
+    let ls = tape.log_sigmoid(diff);
+    let mean = tape.mean_all(ls);
+    tape.scale(mean, -1.0)
+}
+
+/// Adds `coef * Σ sum_sq(vars) / denom` to `loss` — the standard
+/// batch-embedding L2 penalty.
+pub fn add_l2(tape: &mut Tape, loss: Var, vars: &[Var], coef: f32, denom: usize) -> Var {
+    if coef == 0.0 || vars.is_empty() {
+        return loss;
+    }
+    let mut acc: Option<Var> = None;
+    for &v in vars {
+        let sq = tape.sum_sq(v);
+        acc = Some(match acc {
+            Some(a) => tape.add(a, sq),
+            None => sq,
+        });
+    }
+    let scaled = tape.scale(acc.expect("non-empty vars"), coef / denom.max(1) as f32);
+    tape.add(loss, scaled)
+}
+
+/// Plain dot-product scoring of `items` for one user row — the shared
+/// fast path for every cached-embedding scorer.
+pub fn dot_scores(user_emb: &[f32], item_table: &Matrix, items: &[u32]) -> Vec<f32> {
+    items
+        .iter()
+        .map(|&i| {
+            let row = item_table.row(i as usize);
+            user_emb.iter().zip(row).map(|(a, b)| a * b).sum()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gb_autograd::ParamStore;
+    use rand::SeedableRng;
+
+    #[test]
+    fn batches_cover_all_indices_once() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let batches = shuffled_batches(10, 3, &mut rng);
+        let mut all: Vec<usize> = batches.into_iter().flatten().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn batch_sizes_respect_limit() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let batches = shuffled_batches(10, 4, &mut rng);
+        assert_eq!(batches.len(), 3);
+        assert!(batches.iter().all(|b| b.len() <= 4));
+    }
+
+    #[test]
+    fn bpr_loss_decreases_with_margin() {
+        // Larger positive margin => smaller loss.
+        let mut store = ParamStore::new();
+        let small = store.add("small", Matrix::from_vec(2, 1, vec![0.1, 0.1]));
+        let large = store.add("large", Matrix::from_vec(2, 1, vec![3.0, 3.0]));
+        let zero = store.add("zero", Matrix::zeros(2, 1));
+
+        let mut t = Tape::new();
+        let s = t.param(&store, small);
+        let l = t.param(&store, large);
+        let z = t.param(&store, zero);
+        let loss_small = bpr_loss(&mut t, s, z);
+        let loss_large = bpr_loss(&mut t, l, z);
+        assert!(t.value(loss_large).get(0, 0) < t.value(loss_small).get(0, 0));
+    }
+
+    #[test]
+    fn l2_penalty_scales_with_coef() {
+        let mut store = ParamStore::new();
+        let w = store.add("w", Matrix::full(2, 2, 2.0)); // sum_sq = 16
+        let mut t = Tape::new();
+        let wv = t.param(&store, w);
+        let zero = t.constant(Matrix::zeros(1, 1));
+        let with_l2 = add_l2(&mut t, zero, &[wv], 0.5, 4);
+        assert!((t.value(with_l2).get(0, 0) - 2.0).abs() < 1e-6); // 0.5*16/4
+        let no_l2 = add_l2(&mut t, zero, &[wv], 0.0, 4);
+        assert_eq!(t.value(no_l2).get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn dot_scores_match_manual() {
+        let table = Matrix::from_vec(3, 2, vec![1.0, 0.0, 0.0, 1.0, 1.0, 1.0]);
+        let scores = dot_scores(&[2.0, 3.0], &table, &[0, 1, 2]);
+        assert_eq!(scores, vec![2.0, 3.0, 5.0]);
+    }
+}

@@ -1,0 +1,260 @@
+//! SIGR [21]: social-influence-based group recommendation.
+
+use crate::common::{add_l2, shuffled_batches, Recommender, TrainConfig, TrainReport};
+use gb_autograd::{Adam, AdamConfig, ParamId, ParamStore, Tape, Var};
+use gb_data::convert::{to_groups, to_pairs, GroupData, InteractionKind};
+use gb_data::{Dataset, NegativeSampler};
+use gb_eval::Scorer;
+use gb_graph::Bipartite;
+use gb_tensor::{init, kernels, Matrix};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::rc::Rc;
+use std::time::Instant;
+
+/// SIGR combines bipartite-graph embeddings (user–item propagation) with a
+/// learned per-user **social influence** weight that controls how much
+/// each member shapes the group representation, and classifies positive
+/// vs. sampled-negative items with a **log loss** — the loss the paper
+/// attributes to SIGR when analysing its weakness against BPR training.
+///
+/// Faithfulness note (documented in DESIGN.md): the original's latent
+/// influence attention with global/local contexts is reduced to a learned
+/// per-user influence scalar gating member contributions after one round
+/// of bipartite propagation. The structure that matters for the
+/// comparison — bipartite graph embedding + influence-weighted group
+/// aggregation + log loss — is preserved.
+pub struct Sigr {
+    cfg: TrainConfig,
+    state: Option<SigrState>,
+}
+
+struct SigrState {
+    store: ParamStore,
+    user_emb: ParamId,
+    item_emb: ParamId,
+    influence: ParamId,
+    groups: GroupData,
+    /// Cached post-training propagated embeddings.
+    user_final: Matrix,
+    item_final: Matrix,
+}
+
+/// One round of bipartite propagation: `u' = (u + mean items)/2`,
+/// `v' = (v + mean users)/2`.
+fn propagate(
+    store: &ParamStore,
+    user_emb: ParamId,
+    item_emb: ParamId,
+    tape: &mut Tape,
+    graph: &Bipartite,
+) -> (Var, Var) {
+    let u0 = tape.param(store, user_emb);
+    let v0 = tape.param(store, item_emb);
+    let agg_u = tape.segment_mean(v0, graph.user_to_item().offsets(), graph.user_to_item().members());
+    let agg_v = tape.segment_mean(u0, graph.item_to_user().offsets(), graph.item_to_user().members());
+    let u_sum = tape.add(u0, agg_u);
+    let v_sum = tape.add(v0, agg_v);
+    (tape.scale(u_sum, 0.5), tape.scale(v_sum, 0.5))
+}
+
+impl Sigr {
+    /// Creates an untrained SIGR model.
+    pub fn new(cfg: TrainConfig) -> Self {
+        Self { cfg, state: None }
+    }
+
+    /// Group representation for aligned group batches on the tape.
+    fn group_repr(
+        s: &SigrState,
+        tape: &mut Tape,
+        u_final: Var,
+        gids: &[u32],
+    ) -> Var {
+        let mut flat = Vec::new();
+        let mut offsets = vec![0usize];
+        for &g in gids {
+            flat.extend_from_slice(&s.groups.members[g as usize]);
+            offsets.push(flat.len());
+        }
+        let n_edges = flat.len();
+        let flat = Rc::new(flat);
+        let mem = tape.gather(u_final, flat.clone());
+        let infl = tape.gather_param(&s.store, s.influence, flat);
+        let gate = tape.sigmoid(infl);
+        let gated = tape.scale_rows(mem, gate);
+        let ident: Rc<Vec<u32>> = Rc::new((0..n_edges as u32).collect());
+        tape.segment_mean(gated, Rc::new(offsets), ident)
+    }
+}
+
+impl Recommender for Sigr {
+    fn name(&self) -> &str {
+        "SIGR"
+    }
+
+    fn fit(&mut self, train: &Dataset) -> TrainReport {
+        let cfg = self.cfg.clone();
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let groups = to_groups(train);
+
+        let mut store = ParamStore::new();
+        let d = cfg.dim;
+        let user_emb = store.add("sigr.user", init::xavier_uniform(train.n_users(), d, &mut rng));
+        let item_emb = store.add("sigr.item", init::xavier_uniform(train.n_items(), d, &mut rng));
+        let influence = store.add("sigr.influence", Matrix::zeros(train.n_users(), 1));
+        let mut adam = Adam::new(AdamConfig::with_lr(cfg.lr), &store);
+
+        let pairs = to_pairs(train, InteractionKind::BothRoles);
+        let graph = Bipartite::from_interactions(train.n_users(), train.n_items(), &pairs);
+        let sampler = NegativeSampler::from_dataset(train);
+
+        let mut state = SigrState {
+            store,
+            user_emb,
+            item_emb,
+            influence,
+            groups,
+            user_final: Matrix::zeros(0, 0),
+            item_final: Matrix::zeros(0, 0),
+        };
+        let activities = state.groups.group_items.clone();
+
+        let mut final_loss = 0.0f32;
+        let start = Instant::now();
+        for epoch in 0..cfg.epochs {
+            let mut epoch_loss = 0.0f32;
+            let mut n_batches = 0usize;
+            for batch in shuffled_batches(activities.len(), cfg.batch_size, &mut rng) {
+                let mut gids = Vec::new();
+                let mut pos = Vec::new();
+                let mut neg = Vec::new();
+                for idx in batch {
+                    let (g, item) = activities[idx];
+                    for _ in 0..cfg.neg_ratio.max(1) {
+                        gids.push(g);
+                        pos.push(item);
+                        neg.push(sampler.sample_one(g, &mut rng));
+                    }
+                }
+                let n = gids.len();
+
+                let mut tape = Tape::new();
+                let (u_final, v_final) =
+                    propagate(&state.store, state.user_emb, state.item_emb, &mut tape, &graph);
+                let grp = Sigr::group_repr(&state, &mut tape, u_final, &gids);
+                let pe = tape.gather(v_final, Rc::new(pos));
+                let ne = tape.gather(v_final, Rc::new(neg));
+                let pos_s = tape.rowwise_dot(grp, pe);
+                let neg_s = tape.rowwise_dot(grp, ne);
+
+                // Log loss: -mean(ln σ(pos)) - mean(ln σ(-neg)).
+                let lp = tape.log_sigmoid(pos_s);
+                let neg_neg = tape.scale(neg_s, -1.0);
+                let ln = tape.log_sigmoid(neg_neg);
+                let mp = tape.mean_all(lp);
+                let mn = tape.mean_all(ln);
+                let sum = tape.add(mp, mn);
+                let loss = tape.scale(sum, -1.0);
+                let loss = add_l2(&mut tape, loss, &[grp, pe, ne], cfg.l2, n);
+
+                epoch_loss += tape.value(loss).get(0, 0);
+                n_batches += 1;
+                let grads = tape.backward(loss, &state.store);
+                adam.step(&mut state.store, &grads);
+            }
+            final_loss = epoch_loss / n_batches.max(1) as f32;
+            if cfg.verbose {
+                eprintln!("[SIGR] epoch {epoch}: loss {final_loss:.4}");
+            }
+        }
+        let elapsed = start.elapsed().as_secs_f64();
+
+        // Cache propagated embeddings for scoring.
+        let mut tape = Tape::new();
+        let (u_final, v_final) =
+            propagate(&state.store, state.user_emb, state.item_emb, &mut tape, &graph);
+        state.user_final = tape.value(u_final).clone();
+        state.item_final = tape.value(v_final).clone();
+        self.state = Some(state);
+
+        TrainReport {
+            epochs: cfg.epochs,
+            mean_epoch_secs: elapsed / cfg.epochs.max(1) as f64,
+            final_loss,
+        }
+    }
+}
+
+impl Scorer for Sigr {
+    fn score_items(&self, user: u32, items: &[u32]) -> Vec<f32> {
+        let s = self.state.as_ref().expect("model not fitted");
+        // Influence-gated mean of the user's group members.
+        let members = &s.groups.members[user as usize];
+        let d = s.user_final.cols();
+        let mut grp = vec![0.0f32; d];
+        for &m in members {
+            let infl = s.store.value(s.influence).get(m as usize, 0);
+            let gate = kernels::sigmoid_scalar(infl);
+            for (g, &e) in grp.iter_mut().zip(s.user_final.row(m as usize)) {
+                *g += gate * e;
+            }
+        }
+        let inv = 1.0 / members.len().max(1) as f32;
+        grp.iter_mut().for_each(|g| *g *= inv);
+
+        items
+            .iter()
+            .map(|&i| {
+                grp.iter()
+                    .zip(s.item_final.row(i as usize))
+                    .map(|(a, b)| a * b)
+                    .sum()
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gb_data::GroupBehavior;
+
+    fn toy() -> Dataset {
+        let behaviors = vec![
+            GroupBehavior::new(0, 0, vec![1]),
+            GroupBehavior::new(0, 1, vec![1]),
+            GroupBehavior::new(2, 2, vec![3]),
+            GroupBehavior::new(2, 3, vec![3]),
+        ];
+        Dataset::new(4, 4, behaviors, vec![(0, 1), (2, 3)], vec![1; 4])
+    }
+
+    #[test]
+    fn learns_group_preferences() {
+        let cfg = TrainConfig { dim: 8, epochs: 200, batch_size: 8, lr: 0.03, ..Default::default() };
+        let mut m = Sigr::new(cfg);
+        m.fit(&toy());
+        let s = m.score_items(0, &[0, 1, 2, 3]);
+        assert!(s[0] > s[2] && s[1] > s[3], "scores {s:?}");
+    }
+
+    #[test]
+    fn influence_weights_stay_finite() {
+        let cfg = TrainConfig { dim: 8, epochs: 20, batch_size: 8, ..Default::default() };
+        let mut m = Sigr::new(cfg);
+        m.fit(&toy());
+        let s = m.state.as_ref().unwrap();
+        assert!(!s.store.value(s.influence).has_non_finite());
+    }
+
+    #[test]
+    fn scores_finite_for_all_users() {
+        let cfg = TrainConfig { dim: 4, epochs: 3, ..Default::default() };
+        let mut m = Sigr::new(cfg);
+        m.fit(&toy());
+        for u in 0..4 {
+            assert!(m.score_items(u, &[0, 1, 2, 3]).iter().all(|v| v.is_finite()));
+        }
+    }
+}

@@ -1,0 +1,556 @@
+//! Numeric kernels over [`Matrix`].
+//!
+//! Each kernel is a free function so the autodiff tape in `gb-autograd` can
+//! compose forward and backward passes from the same verified primitives.
+//! Kernels are written as simple row-major loops: at the paper's scale
+//! (d = 32, a few hundred thousand graph nodes) these are memory-bound and
+//! the compiler auto-vectorizes the inner loops.
+
+use crate::Matrix;
+
+/// `C = A * B` (matrix product).
+///
+/// # Panics
+/// Panics if `a.cols() != b.rows()`.
+pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(
+        a.cols(),
+        b.rows(),
+        "matmul shape mismatch: {:?} x {:?}",
+        a.shape(),
+        b.shape()
+    );
+    let (m, k) = a.shape();
+    let n = b.cols();
+    let mut out = Matrix::zeros(m, n);
+    // ikj loop order: streams through contiguous rows of B and C.
+    for i in 0..m {
+        let a_row = a.row(i);
+        let out_row = out.row_mut(i);
+        for (kk, &a_ik) in a_row.iter().enumerate().take(k) {
+            if a_ik == 0.0 {
+                continue;
+            }
+            let b_row = b.row(kk);
+            for j in 0..n {
+                out_row[j] += a_ik * b_row[j];
+            }
+        }
+    }
+    out
+}
+
+/// `C = A^T * B`.
+///
+/// Used by matmul backward (`dW = X^T * dY`) without materializing `A^T`.
+pub fn matmul_tn(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(
+        a.rows(),
+        b.rows(),
+        "matmul_tn shape mismatch: {:?} x {:?}",
+        a.shape(),
+        b.shape()
+    );
+    let m = a.cols();
+    let n = b.cols();
+    let mut out = Matrix::zeros(m, n);
+    for r in 0..a.rows() {
+        let a_row = a.row(r);
+        let b_row = b.row(r);
+        for (i, &a_ri) in a_row.iter().enumerate() {
+            if a_ri == 0.0 {
+                continue;
+            }
+            let out_row = out.row_mut(i);
+            for j in 0..n {
+                out_row[j] += a_ri * b_row[j];
+            }
+        }
+    }
+    out
+}
+
+/// `C = A * B^T`.
+///
+/// Used by matmul backward (`dX = dY * W^T`) without materializing `B^T`.
+pub fn matmul_nt(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(
+        a.cols(),
+        b.cols(),
+        "matmul_nt shape mismatch: {:?} x {:?}",
+        a.shape(),
+        b.shape()
+    );
+    let m = a.rows();
+    let n = b.rows();
+    let mut out = Matrix::zeros(m, n);
+    for i in 0..m {
+        let a_row = a.row(i);
+        let out_row = out.row_mut(i);
+        for j in 0..n {
+            let b_row = b.row(j);
+            let mut acc = 0.0;
+            for k in 0..a_row.len() {
+                acc += a_row[k] * b_row[k];
+            }
+            out_row[j] = acc;
+        }
+    }
+    out
+}
+
+/// Elementwise `a + b`.
+pub fn add(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.shape(), b.shape(), "add shape mismatch");
+    let mut out = a.clone();
+    add_assign(&mut out, b);
+    out
+}
+
+/// Elementwise `a += b`.
+pub fn add_assign(a: &mut Matrix, b: &Matrix) {
+    assert_eq!(a.shape(), b.shape(), "add_assign shape mismatch");
+    for (x, y) in a.as_mut_slice().iter_mut().zip(b.as_slice()) {
+        *x += y;
+    }
+}
+
+/// Elementwise `a - b`.
+pub fn sub(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.shape(), b.shape(), "sub shape mismatch");
+    let mut out = a.clone();
+    for (x, y) in out.as_mut_slice().iter_mut().zip(b.as_slice()) {
+        *x -= y;
+    }
+    out
+}
+
+/// Elementwise Hadamard product `a ⊙ b`.
+pub fn mul(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.shape(), b.shape(), "mul shape mismatch");
+    let mut out = a.clone();
+    for (x, y) in out.as_mut_slice().iter_mut().zip(b.as_slice()) {
+        *x *= y;
+    }
+    out
+}
+
+/// `a += alpha * b` (AXPY).
+pub fn axpy(a: &mut Matrix, alpha: f32, b: &Matrix) {
+    assert_eq!(a.shape(), b.shape(), "axpy shape mismatch");
+    for (x, y) in a.as_mut_slice().iter_mut().zip(b.as_slice()) {
+        *x += alpha * y;
+    }
+}
+
+/// `alpha * a` as a new matrix.
+pub fn scale(a: &Matrix, alpha: f32) -> Matrix {
+    a.map(|v| v * alpha)
+}
+
+/// Adds a `1 x cols` bias row to every row of `a`.
+pub fn add_bias(a: &Matrix, bias: &Matrix) -> Matrix {
+    assert_eq!(bias.rows(), 1, "bias must be a row vector");
+    assert_eq!(a.cols(), bias.cols(), "bias width mismatch");
+    let mut out = a.clone();
+    let b = bias.row(0);
+    for r in 0..out.rows() {
+        let row = out.row_mut(r);
+        for (x, y) in row.iter_mut().zip(b) {
+            *x += y;
+        }
+    }
+    out
+}
+
+/// Column-wise sum producing a `1 x cols` row vector.
+///
+/// The backward pass of [`add_bias`] (bias gradient).
+pub fn col_sum(a: &Matrix) -> Matrix {
+    let mut out = Matrix::zeros(1, a.cols());
+    for r in 0..a.rows() {
+        let row = a.row(r);
+        let o = out.row_mut(0);
+        for (x, y) in o.iter_mut().zip(row) {
+            *x += y;
+        }
+    }
+    out
+}
+
+/// Row-wise dot products of two equally-shaped matrices, as an `n x 1`
+/// column: `out[i] = a[i] · b[i]`.
+///
+/// This is the similarity primitive of the prediction layer (Eq. 9).
+pub fn rowwise_dot(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.shape(), b.shape(), "rowwise_dot shape mismatch");
+    let mut out = Matrix::zeros(a.rows(), 1);
+    for r in 0..a.rows() {
+        let mut acc = 0.0;
+        for (x, y) in a.row(r).iter().zip(b.row(r)) {
+            acc += x * y;
+        }
+        out.set(r, 0, acc);
+    }
+    out
+}
+
+/// Scales each row of `a` by the matching entry of the `n x 1` column
+/// vector `s`: `out[i] = s[i] * a[i]`.
+///
+/// This is the gating primitive of the attention-style aggregations in the
+/// AGREE/SIGR baselines.
+pub fn scale_rows(a: &Matrix, s: &Matrix) -> Matrix {
+    assert_eq!(s.cols(), 1, "scale factor must be a column vector");
+    assert_eq!(a.rows(), s.rows(), "scale_rows row mismatch");
+    let mut out = a.clone();
+    for r in 0..out.rows() {
+        let f = s.get(r, 0);
+        out.row_mut(r).iter_mut().for_each(|v| *v *= f);
+    }
+    out
+}
+
+/// Gathers rows of `src` listed in `indices` into a new matrix.
+pub fn gather_rows(src: &Matrix, indices: &[u32]) -> Matrix {
+    let mut out = Matrix::zeros(indices.len(), src.cols());
+    for (dst, &idx) in indices.iter().enumerate() {
+        out.row_mut(dst).copy_from_slice(src.row(idx as usize));
+    }
+    out
+}
+
+/// Scatter-add: `dst[indices[i]] += src[i]` for every row `i`.
+///
+/// The backward pass of [`gather_rows`]; duplicate indices accumulate.
+pub fn scatter_add_rows(dst: &mut Matrix, indices: &[u32], src: &Matrix) {
+    assert_eq!(indices.len(), src.rows(), "scatter_add_rows index count mismatch");
+    assert_eq!(dst.cols(), src.cols(), "scatter_add_rows width mismatch");
+    for (i, &idx) in indices.iter().enumerate() {
+        let s = src.row(i);
+        let d = dst.row_mut(idx as usize);
+        for (x, y) in d.iter_mut().zip(s) {
+            *x += y;
+        }
+    }
+}
+
+/// Mean-aggregates rows of `src` over CSR-style segments.
+///
+/// `offsets` has `n_out + 1` entries; output row `i` is the mean of
+/// `src[members[offsets[i]..offsets[i+1]]]`. Empty segments produce a zero
+/// row — exactly the convention of the paper's propagation (a node with no
+/// neighbours in a view contributes nothing).
+pub fn segment_mean(src: &Matrix, offsets: &[usize], members: &[u32]) -> Matrix {
+    let n_out = offsets.len() - 1;
+    let mut out = Matrix::zeros(n_out, src.cols());
+    for i in 0..n_out {
+        let seg = &members[offsets[i]..offsets[i + 1]];
+        if seg.is_empty() {
+            continue;
+        }
+        let inv = 1.0 / seg.len() as f32;
+        let o = out.row_mut(i);
+        for &m in seg {
+            let s = src.row(m as usize);
+            for (x, y) in o.iter_mut().zip(s) {
+                *x += y;
+            }
+        }
+        for x in o.iter_mut() {
+            *x *= inv;
+        }
+    }
+    out
+}
+
+/// Backward of [`segment_mean`]: routes `grad` (one row per segment) back to
+/// the member rows, scaled by `1 / segment_len`.
+pub fn segment_mean_backward(
+    grad: &Matrix,
+    offsets: &[usize],
+    members: &[u32],
+    src_rows: usize,
+) -> Matrix {
+    let mut out = Matrix::zeros(src_rows, grad.cols());
+    for i in 0..offsets.len() - 1 {
+        let seg = &members[offsets[i]..offsets[i + 1]];
+        if seg.is_empty() {
+            continue;
+        }
+        let inv = 1.0 / seg.len() as f32;
+        let g = grad.row(i);
+        for &m in seg {
+            let o = out.row_mut(m as usize);
+            for (x, y) in o.iter_mut().zip(g) {
+                *x += inv * y;
+            }
+        }
+    }
+    out
+}
+
+/// Horizontally concatenates matrices with equal row counts.
+pub fn concat_cols(parts: &[&Matrix]) -> Matrix {
+    assert!(!parts.is_empty(), "concat_cols of zero matrices");
+    let rows = parts[0].rows();
+    let cols: usize = parts.iter().map(|p| p.cols()).sum();
+    let mut out = Matrix::zeros(rows, cols);
+    for r in 0..rows {
+        let mut at = 0;
+        let o = out.row_mut(r);
+        for p in parts {
+            assert_eq!(p.rows(), rows, "concat_cols row mismatch");
+            let pr = p.row(r);
+            o[at..at + pr.len()].copy_from_slice(pr);
+            at += pr.len();
+        }
+    }
+    out
+}
+
+/// Extracts columns `[start, start+width)` into a new matrix (backward of
+/// [`concat_cols`] for one part).
+pub fn slice_cols(a: &Matrix, start: usize, width: usize) -> Matrix {
+    assert!(start + width <= a.cols(), "slice_cols out of bounds");
+    let mut out = Matrix::zeros(a.rows(), width);
+    for r in 0..a.rows() {
+        out.row_mut(r).copy_from_slice(&a.row(r)[start..start + width]);
+    }
+    out
+}
+
+/// Numerically stable sigmoid `1 / (1 + e^{-x})`.
+#[inline]
+pub fn sigmoid_scalar(x: f32) -> f32 {
+    if x >= 0.0 {
+        let z = (-x).exp();
+        1.0 / (1.0 + z)
+    } else {
+        let z = x.exp();
+        z / (1.0 + z)
+    }
+}
+
+/// Numerically stable `ln(sigmoid(x)) = -softplus(-x)`.
+#[inline]
+pub fn log_sigmoid_scalar(x: f32) -> f32 {
+    // ln σ(x) = -ln(1 + e^{-x}); rewrite for both signs of x.
+    if x >= 0.0 {
+        -((-x).exp()).ln_1p()
+    } else {
+        x - (x.exp()).ln_1p()
+    }
+}
+
+/// Elementwise sigmoid.
+pub fn sigmoid(a: &Matrix) -> Matrix {
+    a.map(sigmoid_scalar)
+}
+
+/// Elementwise tanh.
+pub fn tanh(a: &Matrix) -> Matrix {
+    a.map(f32::tanh)
+}
+
+/// Elementwise LeakyReLU with slope `alpha` for negative inputs.
+pub fn leaky_relu(a: &Matrix, alpha: f32) -> Matrix {
+    a.map(|v| if v >= 0.0 { v } else { alpha * v })
+}
+
+/// Mean of all elements as a `1 x 1` matrix.
+pub fn mean_all(a: &Matrix) -> Matrix {
+    Matrix::from_vec(1, 1, vec![a.mean()])
+}
+
+/// Sum of all elements as a `1 x 1` matrix.
+pub fn sum_all(a: &Matrix) -> Matrix {
+    Matrix::from_vec(1, 1, vec![a.sum()])
+}
+
+/// Row-wise L2 normalization; zero rows are left untouched.
+///
+/// Used to normalize pre-trained embeddings before fine-tuning
+/// (Sec. III-C.3 of the paper).
+pub fn normalize_rows(a: &Matrix) -> Matrix {
+    let mut out = a.clone();
+    for r in 0..out.rows() {
+        let row = out.row_mut(r);
+        let norm: f32 = row.iter().map(|v| v * v).sum::<f32>().sqrt();
+        if norm > 0.0 {
+            let inv = 1.0 / norm;
+            row.iter_mut().for_each(|v| *v *= inv);
+        }
+    }
+    out
+}
+
+/// Cosine similarity between two equal-length vectors; 0.0 if either is a
+/// zero vector.
+pub fn cosine_similarity(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "cosine_similarity length mismatch");
+    let mut dot = 0.0;
+    let mut na = 0.0;
+    let mut nb = 0.0;
+    for (x, y) in a.iter().zip(b) {
+        dot += x * y;
+        na += x * x;
+        nb += y * y;
+    }
+    if na == 0.0 || nb == 0.0 {
+        0.0
+    } else {
+        dot / (na.sqrt() * nb.sqrt())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(rows: usize, cols: usize, v: &[f32]) -> Matrix {
+        Matrix::from_vec(rows, cols, v.to_vec())
+    }
+
+    #[test]
+    fn matmul_small_known_product() {
+        let a = m(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = m(3, 2, &[7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = matmul(&a, &b);
+        assert_eq!(c.as_slice(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let a = Matrix::from_fn(4, 4, |r, c| (r * 4 + c) as f32);
+        assert_eq!(matmul(&a, &Matrix::eye(4)), a);
+        assert_eq!(matmul(&Matrix::eye(4), &a), a);
+    }
+
+    #[test]
+    fn matmul_tn_matches_explicit_transpose() {
+        let a = Matrix::from_fn(3, 2, |r, c| (r + c) as f32);
+        let b = Matrix::from_fn(3, 4, |r, c| (r * c) as f32 + 1.0);
+        assert_eq!(matmul_tn(&a, &b), matmul(&a.transposed(), &b));
+    }
+
+    #[test]
+    fn matmul_nt_matches_explicit_transpose() {
+        let a = Matrix::from_fn(3, 2, |r, c| (r + 2 * c) as f32);
+        let b = Matrix::from_fn(5, 2, |r, c| (r * 2 + c) as f32 - 3.0);
+        assert_eq!(matmul_nt(&a, &b), matmul(&a, &b.transposed()));
+    }
+
+    #[test]
+    fn bias_broadcast_and_grad() {
+        let a = m(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        let b = m(1, 2, &[10.0, 20.0]);
+        let out = add_bias(&a, &b);
+        assert_eq!(out.as_slice(), &[11.0, 22.0, 13.0, 24.0]);
+        assert_eq!(col_sum(&a).as_slice(), &[4.0, 6.0]);
+    }
+
+    #[test]
+    fn rowwise_dot_known() {
+        let a = m(2, 3, &[1.0, 0.0, 2.0, -1.0, 1.0, 0.5]);
+        let b = m(2, 3, &[3.0, 5.0, 0.5, 2.0, 2.0, 2.0]);
+        let d = rowwise_dot(&a, &b);
+        assert_eq!(d.as_slice(), &[4.0, 1.0]);
+    }
+
+    #[test]
+    fn gather_scatter_roundtrip_accumulates() {
+        let src = Matrix::from_fn(4, 2, |r, c| (r * 2 + c) as f32);
+        let idx = [2u32, 0, 2];
+        let g = gather_rows(&src, &idx);
+        assert_eq!(g.row(0), src.row(2));
+        assert_eq!(g.row(1), src.row(0));
+
+        let mut acc = Matrix::zeros(4, 2);
+        scatter_add_rows(&mut acc, &idx, &Matrix::full(3, 2, 1.0));
+        assert_eq!(acc.row(2), &[2.0, 2.0]); // duplicated index accumulates
+        assert_eq!(acc.row(0), &[1.0, 1.0]);
+        assert_eq!(acc.row(1), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn segment_mean_handles_empty_segments() {
+        let src = m(3, 2, &[2.0, 4.0, 6.0, 8.0, 10.0, 12.0]);
+        // segment 0 = {0,1}, segment 1 = {}, segment 2 = {2}
+        let offsets = [0usize, 2, 2, 3];
+        let members = [0u32, 1, 2];
+        let out = segment_mean(&src, &offsets, &members);
+        assert_eq!(out.row(0), &[4.0, 6.0]);
+        assert_eq!(out.row(1), &[0.0, 0.0]);
+        assert_eq!(out.row(2), &[10.0, 12.0]);
+    }
+
+    #[test]
+    fn segment_mean_backward_distributes_scaled_grad() {
+        let offsets = [0usize, 2, 2, 3];
+        let members = [0u32, 1, 2];
+        let grad = m(3, 2, &[1.0, 2.0, 99.0, 99.0, 3.0, 4.0]);
+        let back = segment_mean_backward(&grad, &offsets, &members, 3);
+        assert_eq!(back.row(0), &[0.5, 1.0]);
+        assert_eq!(back.row(1), &[0.5, 1.0]);
+        assert_eq!(back.row(2), &[3.0, 4.0]);
+    }
+
+    #[test]
+    fn concat_then_slice_recovers_parts() {
+        let a = m(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        let b = m(2, 1, &[5.0, 6.0]);
+        let cat = concat_cols(&[&a, &b]);
+        assert_eq!(cat.shape(), (2, 3));
+        assert_eq!(slice_cols(&cat, 0, 2), a);
+        assert_eq!(slice_cols(&cat, 2, 1), b);
+    }
+
+    #[test]
+    fn sigmoid_stability_at_extremes() {
+        assert!(sigmoid_scalar(100.0) <= 1.0);
+        assert!(sigmoid_scalar(-100.0) >= 0.0);
+        assert!((sigmoid_scalar(0.0) - 0.5).abs() < 1e-7);
+        assert!(log_sigmoid_scalar(-100.0).is_finite());
+        assert!((log_sigmoid_scalar(100.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn log_sigmoid_consistent_with_sigmoid() {
+        for &x in &[-5.0f32, -1.0, 0.0, 0.5, 3.0] {
+            let expect = sigmoid_scalar(x).ln();
+            assert!((log_sigmoid_scalar(x) - expect).abs() < 1e-5, "x={x}");
+        }
+    }
+
+    #[test]
+    fn normalize_rows_unit_norm() {
+        let a = m(2, 2, &[3.0, 4.0, 0.0, 0.0]);
+        let n = normalize_rows(&a);
+        assert!((n.row(0)[0] - 0.6).abs() < 1e-6);
+        assert!((n.row(0)[1] - 0.8).abs() < 1e-6);
+        assert_eq!(n.row(1), &[0.0, 0.0]); // zero row untouched
+    }
+
+    #[test]
+    fn cosine_similarity_bounds() {
+        assert!((cosine_similarity(&[1.0, 0.0], &[1.0, 0.0]) - 1.0).abs() < 1e-6);
+        assert!((cosine_similarity(&[1.0, 0.0], &[-1.0, 0.0]) + 1.0).abs() < 1e-6);
+        assert_eq!(cosine_similarity(&[0.0, 0.0], &[1.0, 2.0]), 0.0);
+    }
+
+    #[test]
+    fn scale_rows_gates_each_row() {
+        let a = m(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        let s = m(2, 1, &[2.0, -1.0]);
+        let out = scale_rows(&a, &s);
+        assert_eq!(out.as_slice(), &[2.0, 4.0, -3.0, -4.0]);
+    }
+
+    #[test]
+    fn leaky_relu_slope() {
+        let a = m(1, 3, &[-2.0, 0.0, 3.0]);
+        let out = leaky_relu(&a, 0.1);
+        assert_eq!(out.as_slice(), &[-0.2, 0.0, 3.0]);
+    }
+}

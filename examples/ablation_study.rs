@@ -1,0 +1,61 @@
+//! A miniature Table V: trains GBGCN and its three multi-view ablations
+//! on the same split, demonstrating why role-specific embeddings matter.
+//!
+//! ```bash
+//! cargo run --release --example ablation_study
+//! ```
+
+use gbgcn_repro::data::split::leave_one_out;
+use gbgcn_repro::data::synth::{generate, SynthConfig};
+use gbgcn_repro::gbgcn::{AblationMode, GbgcnConfig, GbgcnModel};
+use gbgcn_repro::models::Recommender;
+use gbgcn_repro::prelude::*;
+
+fn main() {
+    let data = generate(&SynthConfig {
+        n_users: 400,
+        n_items: 100,
+        ..SynthConfig::tiny()
+    });
+    let split = leave_one_out(&data, 1);
+    let sampler = NegativeSampler::from_dataset(&split.train);
+    let protocol = EvalProtocol::exhaustive();
+
+    println!("{:<30} {:>10} {:>10}", "Variant", "R@10", "N@10");
+    let mut reference: Option<f64> = None;
+    for mode in [
+        AblationMode::Full,
+        AblationMode::NoItemRoles,
+        AblationMode::NoUserRoles,
+        AblationMode::NoRoles,
+    ] {
+        let cfg = GbgcnConfig {
+            dim: 16,
+            pretrain_epochs: 25,
+            finetune_epochs: 25,
+            batch_size: 128,
+            ablation: mode,
+            ..GbgcnConfig::default()
+        };
+        let mut model = GbgcnModel::new(cfg, &split.train);
+        model.fit(&split.train);
+        let m = protocol.evaluate(&model, &split.test, &sampler, data.n_items());
+        match reference {
+            None => {
+                println!("{:<30} {:>10.4} {:>10.4}", mode.label(), m.recall_at(10), m.ndcg_at(10));
+                reference = Some(m.ndcg_at(10));
+            }
+            Some(r) => println!(
+                "{:<30} {:>10.4} {:>10.4}  ({:+.2}% NDCG@10)",
+                mode.label(),
+                m.recall_at(10),
+                m.ndcg_at(10),
+                100.0 * (m.ndcg_at(10) / r - 1.0)
+            ),
+        }
+    }
+    println!(
+        "\nexpected shape (paper Table V): every ablation hurts; removing both\n\
+         user and item roles hurts the most."
+    );
+}

@@ -1,0 +1,71 @@
+//! A miniature of the paper's Sec. IV-F analysis (Figs. 5–6): trains
+//! GBGCN, then (1) compares the cosine similarity of initiator-view vs
+//! participant-view embeddings before and after cross-view propagation,
+//! and (2) runs t-SNE on the final embeddings and reports how the views
+//! separate in 2-D.
+//!
+//! ```bash
+//! cargo run --release --example embedding_analysis
+//! ```
+
+use gbgcn_repro::data::split::leave_one_out;
+use gbgcn_repro::data::synth::{generate, SynthConfig};
+use gbgcn_repro::eval::cosine_pdf::{mean, rowwise_cosine};
+use gbgcn_repro::eval::tsne::{tsne, TsneConfig};
+use gbgcn_repro::gbgcn::{GbgcnConfig, GbgcnModel};
+use gbgcn_repro::models::Recommender;
+use gbgcn_repro::tensor::Matrix;
+
+fn main() {
+    let data = generate(&SynthConfig::tiny());
+    let split = leave_one_out(&data, 1);
+    let cfg = GbgcnConfig {
+        dim: 16,
+        pretrain_epochs: 20,
+        finetune_epochs: 20,
+        batch_size: 128,
+        ..GbgcnConfig::default()
+    };
+    let mut model = GbgcnModel::new(cfg, &split.train);
+    model.fit(&split.train);
+    let a = model.embedding_analysis();
+
+    println!("mean cosine similarity between initiator and participant views:");
+    println!("  users, in-view outputs:    {:.4}", mean(&rowwise_cosine(&a.u_inview_i, &a.u_inview_p)));
+    println!("  items, in-view outputs:    {:.4}", mean(&rowwise_cosine(&a.v_inview_i, &a.v_inview_p)));
+    println!("  users, cross-view outputs: {:.4}", mean(&rowwise_cosine(&a.u_cross_i, &a.u_cross_p)));
+    println!("  items, cross-view outputs: {:.4}", mean(&rowwise_cosine(&a.v_cross_i, &a.v_cross_p)));
+    println!(
+        "\n(paper Fig. 5: in-view items ≈ 1, in-view users slightly lower,\n\
+         cross-view outputs clearly diverged — view-specific information captured)\n"
+    );
+
+    // t-SNE on a sample of users in both views (Fig. 6 in miniature).
+    let n = 120.min(a.u_hat_i.rows());
+    let d = a.u_hat_i.cols();
+    let mut stacked = Matrix::zeros(2 * n, d);
+    for u in 0..n {
+        stacked.set_row(u, a.u_hat_i.row(u));
+        stacked.set_row(n + u, a.u_hat_p.row(u));
+    }
+    println!("running t-SNE on {} points...", 2 * n);
+    let coords = tsne(&stacked, &TsneConfig { n_iter: 250, perplexity: 15.0, ..Default::default() });
+
+    let centroid = |range: std::ops::Range<usize>| {
+        let mut cx = 0.0f32;
+        let mut cy = 0.0f32;
+        let len = range.len() as f32;
+        for r in range {
+            cx += coords.get(r, 0);
+            cy += coords.get(r, 1);
+        }
+        (cx / len, cy / len)
+    };
+    let (ix, iy) = centroid(0..n);
+    let (px, py) = centroid(n..2 * n);
+    let dist = ((ix - px).powi(2) + (iy - py).powi(2)).sqrt();
+    println!(
+        "initiator-view centroid ({ix:.2}, {iy:.2}) vs participant-view ({px:.2}, {py:.2});\n\
+         centroid distance {dist:.2} — the two roles occupy distinct regions (paper Fig. 6)."
+    );
+}

@@ -1,0 +1,96 @@
+//! Domain scenario from the paper's introduction: a user opens the app to
+//! *launch a group buying* and the platform must pick target items whose
+//! deals will actually clinch — items the initiator likes **and** their
+//! friends will join for.
+//!
+//! This example contrasts GBGCN's role-aware recommendation with a
+//! selfish MF recommendation for the same user, and inspects the user's
+//! friends to explain *why* the group-aware list differs.
+//!
+//! ```bash
+//! cargo run --release --example launch_recommendation
+//! ```
+
+use gbgcn_repro::data::convert::InteractionKind;
+use gbgcn_repro::data::split::leave_one_out;
+use gbgcn_repro::data::synth::{generate, SynthConfig};
+use gbgcn_repro::gbgcn::{GbgcnConfig, GbgcnModel};
+use gbgcn_repro::models::{Mf, Recommender, TrainConfig};
+use gbgcn_repro::prelude::*;
+
+fn top_k(scores: &[f32], k: usize) -> Vec<(u32, f32)> {
+    let mut ranked: Vec<(u32, f32)> =
+        scores.iter().enumerate().map(|(i, &s)| (i as u32, s)).collect();
+    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    ranked.truncate(k);
+    ranked
+}
+
+fn main() {
+    let data = generate(&SynthConfig {
+        n_users: 400,
+        n_items: 100,
+        ..SynthConfig::tiny()
+    });
+    let split = leave_one_out(&data, 1);
+    println!("{}\n", data.stats());
+
+    // A selfish recommender: plain MF on the initiator's own history.
+    let mut mf = Mf::new(
+        TrainConfig { dim: 16, epochs: 30, batch_size: 256, ..Default::default() },
+        InteractionKind::BothRoles,
+    );
+    mf.fit(&split.train);
+
+    // The group-aware recommender.
+    let cfg = GbgcnConfig {
+        dim: 16,
+        pretrain_epochs: 20,
+        finetune_epochs: 20,
+        batch_size: 256,
+        ..GbgcnConfig::default()
+    };
+    let mut gbgcn = GbgcnModel::new(cfg, &split.train);
+    gbgcn.fit(&split.train);
+
+    // Pick the most social user (most friends) as the initiator.
+    let user = (0..data.n_users() as u32)
+        .max_by_key(|&u| data.social().degree(u))
+        .unwrap();
+    let friends = data.social().friends(user);
+    println!(
+        "initiator: user {user} with {} friends: {:?}",
+        friends.len(),
+        &friends[..friends.len().min(8)]
+    );
+
+    let items: Vec<u32> = (0..data.n_items() as u32).collect();
+    let mf_top = top_k(&mf.score_items(user, &items), 5);
+    let gb_top = top_k(&gbgcn.score_items(user, &items), 5);
+
+    println!("\nselfish MF top-5 (ignores whether friends would join):");
+    for (rank, (item, score)) in mf_top.iter().enumerate() {
+        println!("  {}. item {item:>4}  score {score:.4}", rank + 1);
+    }
+    println!("\nGBGCN top-5 (initiator interest + friends' participant interest, α = 0.6):");
+    for (rank, (item, score)) in gb_top.iter().enumerate() {
+        println!("  {}. item {item:>4}  score {score:.4}", rank + 1);
+    }
+
+    let overlap = gb_top.iter().filter(|(i, _)| mf_top.iter().any(|(j, _)| i == j)).count();
+    println!(
+        "\noverlap between the two lists: {overlap}/5 — the {} item(s) GBGCN swaps in are those\n\
+         its participant view predicts the initiator's friends will actually join for.",
+        5 - overlap
+    );
+
+    // Ground-truth sanity: how often did this user's past groups clinch?
+    let launches: Vec<_> =
+        data.behaviors().iter().filter(|b| b.initiator == user).collect();
+    let clinched = launches.iter().filter(|b| data.is_successful(b)).count();
+    println!(
+        "\nhistorical context: user {user} launched {} groups, {} clinched.",
+        launches.len(),
+        clinched
+    );
+}

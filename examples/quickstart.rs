@@ -1,0 +1,68 @@
+//! Quickstart: generate a group-buying dataset, train GBGCN, and get
+//! top-K launch recommendations for a user.
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! ```
+
+use gbgcn_repro::data::split::leave_one_out;
+use gbgcn_repro::data::synth::{generate, SynthConfig};
+use gbgcn_repro::gbgcn::{GbgcnConfig, GbgcnModel};
+use gbgcn_repro::models::Recommender;
+use gbgcn_repro::prelude::*;
+
+fn main() {
+    // 1. A small synthetic social e-commerce workload (Beibei-like
+    //    proportions: ~77% of groups clinch, ~8 friends/user).
+    let data = generate(&SynthConfig::tiny());
+    println!("dataset:\n{}\n", data.stats());
+
+    // 2. Hold out one launch per user for testing.
+    let split = leave_one_out(&data, 1);
+
+    // 3. Train GBGCN: Adam pre-training of the propagation-free model,
+    //    then SGD fine-tuning of the full two-view GCN.
+    let cfg = GbgcnConfig {
+        dim: 16,
+        pretrain_epochs: 15,
+        finetune_epochs: 15,
+        batch_size: 128,
+        ..GbgcnConfig::default()
+    };
+    let mut model = GbgcnModel::new(cfg, &split.train);
+    let report = model.fit(&split.train);
+    println!(
+        "trained {} parameters, final loss {:.4}, {:.2}s/epoch\n",
+        model.n_parameters(),
+        report.final_loss,
+        report.mean_epoch_secs
+    );
+
+    // 4. Score every item for user 0 and print the top-5 launch
+    //    recommendations (Eq. 9: own interest + friends' interest).
+    let user = 0u32;
+    let items: Vec<u32> = (0..data.n_items() as u32).collect();
+    let scores = model.score_items(user, &items);
+    let mut ranked: Vec<(u32, f32)> = items.iter().copied().zip(scores).collect();
+    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+
+    println!("top-5 group-buying launch recommendations for user {user}:");
+    for (rank, (item, score)) in ranked.iter().take(5).enumerate() {
+        println!("  {}. item {item:>4}  score {score:.4}", rank + 1);
+    }
+
+    // 5. Evaluate on the held-out launches (Recall/NDCG, Sec. IV-A.2).
+    let sampler = NegativeSampler::from_dataset(&split.train);
+    let metrics = EvalProtocol::exhaustive().evaluate(
+        &model,
+        &split.test,
+        &sampler,
+        data.n_items(),
+    );
+    println!(
+        "\nleave-one-out: Recall@10 = {:.4}, NDCG@10 = {:.4} over {} users",
+        metrics.recall_at(10),
+        metrics.ndcg_at(10),
+        metrics.n_users()
+    );
+}

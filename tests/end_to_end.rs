@@ -1,0 +1,133 @@
+//! End-to-end integration: generate → split → train → evaluate, across
+//! every crate in the workspace.
+
+use gbgcn_repro::data::convert::InteractionKind;
+use gbgcn_repro::data::split::leave_one_out;
+use gbgcn_repro::data::synth::{generate, SynthConfig};
+use gbgcn_repro::gbgcn::{GbgcnConfig, GbgcnModel};
+use gbgcn_repro::models::{Gbmf, GbmfConfig, Mf, Recommender, TrainConfig};
+use gbgcn_repro::prelude::*;
+
+fn workload() -> (gbgcn_repro::data::Dataset, gbgcn_repro::data::Split) {
+    let data = generate(&SynthConfig::tiny());
+    let split = leave_one_out(&data, 1);
+    (data, split)
+}
+
+/// A scorer that ranks by item id — a fixed, data-independent baseline.
+struct Arbitrary;
+impl Scorer for Arbitrary {
+    fn score_items(&self, _user: u32, items: &[u32]) -> Vec<f32> {
+        items.iter().map(|&i| (i % 17) as f32).collect()
+    }
+}
+
+
+#[test]
+fn trained_gbgcn_beats_arbitrary_ranking() {
+    let (data, split) = workload();
+    let sampler = NegativeSampler::from_dataset(&split.train);
+    let protocol = EvalProtocol::exhaustive();
+
+    let arbitrary = protocol.evaluate(&Arbitrary, &split.test, &sampler, data.n_items());
+
+    let cfg = GbgcnConfig {
+        dim: 16,
+        pretrain_epochs: 15,
+        finetune_epochs: 15,
+        batch_size: 128,
+        ..GbgcnConfig::default()
+    };
+    let mut model = GbgcnModel::new(cfg, &split.train);
+    model.fit(&split.train);
+    let trained = protocol.evaluate(&model, &split.test, &sampler, data.n_items());
+
+    assert!(
+        trained.ndcg_at(10) > 2.0 * arbitrary.ndcg_at(10),
+        "GBGCN NDCG@10 {:.4} should dominate arbitrary {:.4}",
+        trained.ndcg_at(10),
+        arbitrary.ndcg_at(10)
+    );
+}
+
+#[test]
+fn mf_both_roles_beats_initiator_only() {
+    // The paper's Table III observation: feeding participant interactions
+    // helps CF models.
+    let (data, split) = workload();
+    let sampler = NegativeSampler::from_dataset(&split.train);
+    let protocol = EvalProtocol::exhaustive();
+    let tc = TrainConfig { dim: 16, epochs: 25, batch_size: 256, ..Default::default() };
+
+    let mut oi = Mf::new(tc.clone(), InteractionKind::InitiatorOnly);
+    oi.fit(&split.train);
+    let m_oi = protocol.evaluate(&oi, &split.test, &sampler, data.n_items());
+
+    let mut both = Mf::new(tc, InteractionKind::BothRoles);
+    both.fit(&split.train);
+    let m_both = protocol.evaluate(&both, &split.test, &sampler, data.n_items());
+
+    assert!(
+        m_both.ndcg_at(10) > m_oi.ndcg_at(10),
+        "both-roles {:.4} must beat initiator-only {:.4}",
+        m_both.ndcg_at(10),
+        m_oi.ndcg_at(10)
+    );
+}
+
+#[test]
+fn gbgcn_and_gbmf_are_the_strongest_pair() {
+    // Shape check of the Table III ordering at miniature scale: the two
+    // purpose-built group-buying models should both beat initiator-only MF.
+    let (data, split) = workload();
+    let sampler = NegativeSampler::from_dataset(&split.train);
+    let protocol = EvalProtocol::exhaustive();
+    let tc = TrainConfig { dim: 16, epochs: 25, batch_size: 256, ..Default::default() };
+
+    let mut mf_oi = Mf::new(tc.clone(), InteractionKind::InitiatorOnly);
+    mf_oi.fit(&split.train);
+    let weak = protocol.evaluate(&mf_oi, &split.test, &sampler, data.n_items());
+
+    let mut gbmf = Gbmf::new(GbmfConfig { base: tc, alpha: 0.5 });
+    gbmf.fit(&split.train);
+    let g1 = protocol.evaluate(&gbmf, &split.test, &sampler, data.n_items());
+
+    let cfg = GbgcnConfig {
+        dim: 16,
+        pretrain_epochs: 15,
+        finetune_epochs: 15,
+        batch_size: 128,
+        ..GbgcnConfig::default()
+    };
+    let mut gbgcn = GbgcnModel::new(cfg, &split.train);
+    gbgcn.fit(&split.train);
+    let g2 = protocol.evaluate(&gbgcn, &split.test, &sampler, data.n_items());
+
+    assert!(g1.ndcg_at(10) > weak.ndcg_at(10), "GBMF must beat MF(oi)");
+    assert!(g2.ndcg_at(10) > weak.ndcg_at(10), "GBGCN must beat MF(oi)");
+}
+
+#[test]
+fn evaluation_never_sees_training_positives_as_candidates() {
+    let (data, split) = workload();
+    let sampler = NegativeSampler::from_dataset(&split.train);
+    // Spot-check: for every test instance, the held-out item is NOT a
+    // training positive of that user (leave-one-out correctness).
+    for t in &split.test {
+        assert!(
+            !sampler.is_positive(t.user, t.item) || {
+                // The same (user, item) pair may also occur in another
+                // retained behavior; that is legitimate — verify it really
+                // is present in training in that case.
+                split
+                    .train
+                    .behaviors()
+                    .iter()
+                    .any(|b| (b.initiator == t.user || b.participants.contains(&t.user)) && b.item == t.item)
+            },
+            "held-out item leaked for user {}",
+            t.user
+        );
+    }
+    let _ = data;
+}

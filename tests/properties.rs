@@ -1,0 +1,183 @@
+//! Property-based tests on the core invariants, spanning crates.
+
+use gbgcn_repro::autograd::{gradcheck, ParamStore};
+use gbgcn_repro::data::synth::{generate, SynthConfig};
+use gbgcn_repro::data::{Dataset, GroupBehavior};
+use gbgcn_repro::eval::metrics::{ndcg_at_k, rank_of, recall_at_k};
+use gbgcn_repro::graph::Csr;
+use gbgcn_repro::tensor::{kernels, Matrix};
+use proptest::prelude::*;
+use std::rc::Rc;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// matmul distributes over addition: (A+B)C = AC + BC.
+    #[test]
+    fn matmul_distributes(
+        a in prop::collection::vec(-2.0f32..2.0, 12),
+        b in prop::collection::vec(-2.0f32..2.0, 12),
+        c in prop::collection::vec(-2.0f32..2.0, 8),
+    ) {
+        let ma = Matrix::from_vec(3, 4, a);
+        let mb = Matrix::from_vec(3, 4, b);
+        let mc = Matrix::from_vec(4, 2, c);
+        let lhs = kernels::matmul(&kernels::add(&ma, &mb), &mc);
+        let rhs = kernels::add(&kernels::matmul(&ma, &mc), &kernels::matmul(&mb, &mc));
+        for (x, y) in lhs.as_slice().iter().zip(rhs.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-3, "{x} vs {y}");
+        }
+    }
+
+    /// Transposed matmul identities hold on random matrices.
+    #[test]
+    fn matmul_transpose_identities(
+        a in prop::collection::vec(-2.0f32..2.0, 12),
+        b in prop::collection::vec(-2.0f32..2.0, 12),
+    ) {
+        let ma = Matrix::from_vec(4, 3, a);
+        let mb = Matrix::from_vec(4, 3, b);
+        let tn = kernels::matmul_tn(&ma, &mb);
+        let explicit = kernels::matmul(&ma.transposed(), &mb);
+        prop_assert_eq!(tn.shape(), explicit.shape());
+        for (x, y) in tn.as_slice().iter().zip(explicit.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    /// segment_mean output rows are convex combinations: bounded by the
+    /// min/max of member rows.
+    #[test]
+    fn segment_mean_is_bounded(
+        data in prop::collection::vec(-5.0f32..5.0, 20),
+        split in 1usize..4,
+    ) {
+        let src = Matrix::from_vec(5, 4, data);
+        let offsets = vec![0usize, split, 5];
+        let members: Vec<u32> = (0..5).collect();
+        let out = kernels::segment_mean(&src, &offsets, &members);
+        for seg in 0..2 {
+            let range = offsets[seg]..offsets[seg + 1];
+            for col in 0..4 {
+                let vals: Vec<f32> = range.clone().map(|r| src.get(r, col)).collect();
+                let lo = vals.iter().cloned().fold(f32::INFINITY, f32::min);
+                let hi = vals.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+                let got = out.get(seg, col);
+                prop_assert!(got >= lo - 1e-5 && got <= hi + 1e-5);
+            }
+        }
+    }
+
+    /// Gradient check holds for a random small composite graph.
+    #[test]
+    fn gradcheck_random_composite(seed in 0u64..50) {
+        let vals: Vec<f32> = (0..12)
+            .map(|i| (((seed as f32) * 0.37 + i as f32 * 0.61).sin()) * 0.5)
+            .collect();
+        let mut store = ParamStore::new();
+        let w = store.add("w", Matrix::from_vec(4, 3, vals));
+        gradcheck::assert_grads_match(&mut store, w, 5e-2, |s, t| {
+            let wv = t.param(s, w);
+            let g = t.gather(wv, Rc::new(vec![0, 2, 2, 1]));
+            let sm = t.segment_mean(g, Rc::new(vec![0, 2, 4]), Rc::new(vec![0, 1, 2, 3]));
+            let act = t.tanh(sm);
+            let dot = t.rowwise_dot(act, act);
+            let m = t.mean_all(dot);
+            t.scale(m, -1.0)
+        });
+    }
+
+    /// Recall/NDCG monotonicity: larger K never decreases either metric,
+    /// and NDCG is bounded by recall.
+    #[test]
+    fn metric_monotonicity(rank in 0usize..40) {
+        let mut prev_r = 0.0f32;
+        let mut prev_n = 0.0f32;
+        for k in [1usize, 3, 5, 10, 20, 40] {
+            let r = recall_at_k(rank, k);
+            let n = ndcg_at_k(rank, k);
+            prop_assert!(r >= prev_r);
+            prop_assert!(n >= prev_n);
+            prop_assert!(n <= r + 1e-6, "NDCG must not exceed Recall");
+            prev_r = r;
+            prev_n = n;
+        }
+    }
+
+    /// rank_of is consistent: adding a lower-scored candidate never
+    /// improves (lowers) the rank, adding a higher-scored one increases it.
+    #[test]
+    fn rank_of_is_monotone(
+        scores in prop::collection::vec(-10.0f32..10.0, 1..30),
+        test in -10.0f32..10.0,
+    ) {
+        let base = rank_of(test, &scores);
+        let mut with_lower = scores.clone();
+        with_lower.push(test - 1.0);
+        prop_assert_eq!(rank_of(test, &with_lower), base);
+        let mut with_higher = scores.clone();
+        with_higher.push(test + 1.0);
+        prop_assert_eq!(rank_of(test, &with_higher), base + 1);
+    }
+
+    /// CSR reversal preserves the edge multiset.
+    #[test]
+    fn csr_reverse_preserves_edges(
+        edges in prop::collection::vec((0u32..8, 0u32..8), 0..30),
+    ) {
+        let csr = Csr::from_edges(8, &edges);
+        let rev = csr.reversed(8);
+        let mut fwd: Vec<(u32, u32)> = csr.edges().collect();
+        let mut back: Vec<(u32, u32)> = rev.edges().map(|(a, b)| (b, a)).collect();
+        fwd.sort_unstable();
+        back.sort_unstable();
+        prop_assert_eq!(fwd, back);
+    }
+
+    /// The generator always produces structurally valid datasets.
+    #[test]
+    fn generator_output_always_valid(seed in 0u64..12) {
+        let cfg = SynthConfig {
+            n_users: 60,
+            n_items: 20,
+            min_launches: 1,
+            ..SynthConfig::tiny().with_seed(seed)
+        };
+        let d = generate(&cfg);
+        for b in d.behaviors() {
+            prop_assert!((b.initiator as usize) < d.n_users());
+            prop_assert!((b.item as usize) < d.n_items());
+            for &p in &b.participants {
+                prop_assert!(d.social().are_friends(b.initiator, p));
+                prop_assert!(p != b.initiator);
+            }
+            // Groups close at their threshold.
+            prop_assert!(b.participants.len() <= d.threshold(b.item) as usize);
+        }
+    }
+}
+
+#[test]
+fn dataset_roundtrip_preserves_success_partition() {
+    // Deterministic cross-crate property: io roundtrip keeps B+/B- split.
+    let d = generate(&SynthConfig::tiny());
+    let mut buf = Vec::new();
+    gbgcn_repro::data::io::write_json(&d, &mut buf).unwrap();
+    let back = gbgcn_repro::data::io::read_json(buf.as_slice()).unwrap();
+    assert_eq!(d.successful().count(), back.successful().count());
+    assert_eq!(d.failed().count(), back.failed().count());
+}
+
+#[test]
+fn hetero_graph_edge_counts_match_behaviors() {
+    let behaviors = vec![
+        GroupBehavior::new(0, 0, vec![1, 2]),
+        GroupBehavior::new(1, 1, vec![0]),
+        GroupBehavior::new(2, 0, vec![]),
+    ];
+    let d = Dataset::new(3, 2, behaviors, vec![(0, 1), (0, 2), (1, 2)], vec![1, 1]);
+    let g = d.build_hetero();
+    assert_eq!(g.initiator.n_interactions(), 3);
+    assert_eq!(g.participant.n_interactions(), 3);
+    assert_eq!(g.share.n_edges(), 3);
+}
