@@ -45,14 +45,17 @@ pub fn save_json<W: Write>(store: &ParamStore, mut w: W) -> std::io::Result<()> 
 pub fn load_json<R: Read>(store: &mut ParamStore, mut r: R) -> std::io::Result<usize> {
     let mut text = String::new();
     r.read_to_string(&mut text)?;
-    let parsed: std::collections::HashMap<String, RawParam> = parse(&text)
-        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+    let parsed: std::collections::HashMap<String, RawParam> =
+        parse(&text).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
 
     let expected = store.len();
     if parsed.len() != expected {
         return Err(std::io::Error::new(
             std::io::ErrorKind::InvalidData,
-            format!("checkpoint has {} params, store has {expected}", parsed.len()),
+            format!(
+                "checkpoint has {} params, store has {expected}",
+                parsed.len()
+            ),
         ));
     }
     let names: Vec<String> = store.iter().map(|(_, n, _)| n.to_string()).collect();
@@ -95,7 +98,11 @@ pub fn snapshot(store: &ParamStore) -> Vec<Matrix> {
 pub fn restore(store: &mut ParamStore, snap: &[Matrix]) {
     assert_eq!(snap.len(), store.len(), "snapshot/store length mismatch");
     for (id, m) in snap.iter().enumerate() {
-        assert_eq!(m.shape(), store.value(id).shape(), "snapshot shape mismatch");
+        assert_eq!(
+            m.shape(),
+            store.value(id).shape(),
+            "snapshot shape mismatch"
+        );
         *store.value_mut(id) = m.clone();
     }
 }
@@ -125,10 +132,17 @@ fn parse(text: &str) -> Result<std::collections::HashMap<String, RawParam>, Stri
         rest = rest.strip_prefix('"').ok_or("expected key quote")?;
         let end = rest.find('"').ok_or("unterminated key")?;
         let name = rest[..end].replace("\\\"", "\"").replace("\\\\", "\\");
-        rest = rest[end + 1..].trim().strip_prefix(':').ok_or("expected colon")?.trim();
+        rest = rest[end + 1..]
+            .trim()
+            .strip_prefix(':')
+            .ok_or("expected colon")?
+            .trim();
         // {"rows":R,"cols":C,"data":[...]}
         let body_end = rest.find(']').ok_or("unterminated data array")?;
-        let close = rest[body_end..].find('}').ok_or("unterminated param object")? + body_end;
+        let close = rest[body_end..]
+            .find('}')
+            .ok_or("unterminated param object")?
+            + body_end;
         let body = &rest[..=close];
         let rows = field_usize(body, "rows")?;
         let cols = field_usize(body, "cols")?;
@@ -143,22 +157,34 @@ fn parse(text: &str) -> Result<std::collections::HashMap<String, RawParam>, Stri
                 .collect::<Result<_, _>>()?
         };
         if data.len() != rows * cols {
-            return Err(format!("`{name}`: expected {} values, got {}", rows * cols, data.len()));
+            return Err(format!(
+                "`{name}`: expected {} values, got {}",
+                rows * cols,
+                data.len()
+            ));
         }
         out.insert(name, RawParam { rows, cols, data });
-        rest = rest[close + 1..].trim().trim_start_matches(',').trim_start();
+        rest = rest[close + 1..]
+            .trim()
+            .trim_start_matches(',')
+            .trim_start();
     }
     Ok(out)
 }
 
 fn field_usize(body: &str, key: &str) -> Result<usize, String> {
     let pat = format!("\"{key}\":");
-    let at = body.find(&pat).ok_or_else(|| format!("missing field {key}"))? + pat.len();
+    let at = body
+        .find(&pat)
+        .ok_or_else(|| format!("missing field {key}"))?
+        + pat.len();
     let tail = &body[at..];
     let end = tail
         .find(|c: char| !c.is_ascii_digit())
         .unwrap_or(tail.len());
-    tail[..end].parse().map_err(|e: std::num::ParseIntError| e.to_string())
+    tail[..end]
+        .parse()
+        .map_err(|e: std::num::ParseIntError| e.to_string())
 }
 
 #[cfg(test)]
@@ -167,7 +193,10 @@ mod tests {
 
     fn store() -> ParamStore {
         let mut s = ParamStore::new();
-        s.add("emb.user", Matrix::from_fn(3, 2, |r, c| (r * 2 + c) as f32 * 0.5 - 1.0));
+        s.add(
+            "emb.user",
+            Matrix::from_fn(3, 2, |r, c| (r * 2 + c) as f32 * 0.5 - 1.0),
+        );
         s.add("w", Matrix::from_vec(1, 2, vec![0.25, -7.5]));
         s
     }
@@ -216,7 +245,10 @@ mod tests {
         s.value_mut(0).fill(3.0);
         s.value_mut(1).fill(-2.0);
         restore(&mut s, &snap);
-        assert_eq!(s.value(0), &Matrix::from_fn(3, 2, |r, c| (r * 2 + c) as f32 * 0.5 - 1.0));
+        assert_eq!(
+            s.value(0),
+            &Matrix::from_fn(3, 2, |r, c| (r * 2 + c) as f32 * 0.5 - 1.0)
+        );
         assert_eq!(s.value(1), &Matrix::from_vec(1, 2, vec![0.25, -7.5]));
     }
 
@@ -224,6 +256,10 @@ mod tests {
     fn malformed_json_rejected() {
         let mut s = store();
         assert!(load_json(&mut s, "not json".as_bytes()).is_err());
-        assert!(load_json(&mut s, "{\"emb.user\":{\"rows\":3,\"cols\":2,\"data\":[1]}}".as_bytes()).is_err());
+        assert!(load_json(
+            &mut s,
+            "{\"emb.user\":{\"rows\":3,\"cols\":2,\"data\":[1]}}".as_bytes()
+        )
+        .is_err());
     }
 }

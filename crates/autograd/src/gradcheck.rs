@@ -42,6 +42,9 @@ pub fn check_param_grad(
     let n = store.value(param).len();
     let mut max_abs_err = 0.0f32;
     let mut max_rel_err = 0.0f32;
+    // An index loop is required: each step mutably perturbs `store` while
+    // `analytic[i]` is read, so iterating `analytic` would hold a borrow.
+    #[allow(clippy::needless_range_loop)]
     for i in 0..n {
         let orig = store.value(param).as_slice()[i];
 
@@ -63,7 +66,11 @@ pub fn check_param_grad(
         max_abs_err = max_abs_err.max(abs_err);
         max_rel_err = max_rel_err.max(abs_err / denom);
     }
-    GradCheckReport { max_abs_err, max_rel_err, checked: n }
+    GradCheckReport {
+        max_abs_err,
+        max_rel_err,
+        checked: n,
+    }
 }
 
 /// Asserts that the gradient check passes within `tol` relative error.

@@ -23,7 +23,11 @@ pub struct Sgd {
 impl Sgd {
     /// SGD with the given learning rate, no weight decay, no clipping.
     pub fn new(lr: f32) -> Self {
-        Self { lr, weight_decay: 0.0, clip_norm: 0.0 }
+        Self {
+            lr,
+            weight_decay: 0.0,
+            clip_norm: 0.0,
+        }
     }
 
     /// Adds L2 weight decay.
@@ -70,14 +74,24 @@ pub struct AdamConfig {
 
 impl Default for AdamConfig {
     fn default() -> Self {
-        Self { lr: 1e-3, beta1: 0.9, beta2: 0.999, eps: 1e-8, weight_decay: 0.0, clip_norm: 0.0 }
+        Self {
+            lr: 1e-3,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay: 0.0,
+            clip_norm: 0.0,
+        }
     }
 }
 
 impl AdamConfig {
     /// Config with the given learning rate and library defaults otherwise.
     pub fn with_lr(lr: f32) -> Self {
-        Self { lr, ..Self::default() }
+        Self {
+            lr,
+            ..Self::default()
+        }
     }
 }
 
@@ -211,7 +225,10 @@ mod tests {
         let mut grads = Gradients::empty(1);
         grads.accumulate(a, Matrix::full(1, 1, 100.0));
         sgd.step(&mut store, &grads);
-        assert!((store.value(a).get(0, 0) + 1.0).abs() < 1e-6, "clipped to norm 1");
+        assert!(
+            (store.value(a).get(0, 0) + 1.0).abs() < 1e-6,
+            "clipped to norm 1"
+        );
     }
 
     #[test]

@@ -109,7 +109,9 @@ pub struct Gradients {
 impl Gradients {
     /// Creates an all-`None` gradient set for `n_params` parameters.
     pub fn empty(n_params: usize) -> Self {
-        Self { grads: (0..n_params).map(|_| None).collect() }
+        Self {
+            grads: (0..n_params).map(|_| None).collect(),
+        }
     }
 
     /// Gradient for `id`, if that parameter participated in the loss.

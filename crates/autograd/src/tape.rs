@@ -16,28 +16,81 @@ enum Op {
     /// Full parameter matrix as a node.
     Param(ParamId),
     /// Rows of a parameter table selected by index (embedding lookup).
-    GatherParam { param: ParamId, indices: Rc<Vec<u32>> },
+    GatherParam {
+        param: ParamId,
+        indices: Rc<Vec<u32>>,
+    },
     /// Rows of an upstream node selected by index.
-    Gather { src: Var, indices: Rc<Vec<u32>> },
+    Gather {
+        src: Var,
+        indices: Rc<Vec<u32>>,
+    },
     /// CSR-driven neighbourhood mean (GCN aggregation, Eqs. 1–2, 4–7).
-    SegmentMean { src: Var, offsets: Rc<Vec<usize>>, members: Rc<Vec<u32>> },
-    MatMul { a: Var, b: Var },
-    Add { a: Var, b: Var },
-    Sub { a: Var, b: Var },
-    Mul { a: Var, b: Var },
-    AddBias { x: Var, bias: Var },
-    Scale { a: Var, alpha: f32 },
-    ConcatCols { parts: Vec<Var> },
-    RowwiseDot { a: Var, b: Var },
-    Sigmoid { a: Var },
-    Tanh { a: Var },
-    LeakyRelu { a: Var, alpha: f32 },
-    LogSigmoid { a: Var },
-    SumAll { a: Var },
-    MeanAll { a: Var },
-    SumSq { a: Var },
-    MeanRows { a: Var },
-    ScaleRows { a: Var, s: Var },
+    SegmentMean {
+        src: Var,
+        offsets: Rc<Vec<usize>>,
+        members: Rc<Vec<u32>>,
+    },
+    MatMul {
+        a: Var,
+        b: Var,
+    },
+    Add {
+        a: Var,
+        b: Var,
+    },
+    Sub {
+        a: Var,
+        b: Var,
+    },
+    Mul {
+        a: Var,
+        b: Var,
+    },
+    AddBias {
+        x: Var,
+        bias: Var,
+    },
+    Scale {
+        a: Var,
+        alpha: f32,
+    },
+    ConcatCols {
+        parts: Vec<Var>,
+    },
+    RowwiseDot {
+        a: Var,
+        b: Var,
+    },
+    Sigmoid {
+        a: Var,
+    },
+    Tanh {
+        a: Var,
+    },
+    LeakyRelu {
+        a: Var,
+        alpha: f32,
+    },
+    LogSigmoid {
+        a: Var,
+    },
+    SumAll {
+        a: Var,
+    },
+    MeanAll {
+        a: Var,
+    },
+    SumSq {
+        a: Var,
+    },
+    MeanRows {
+        a: Var,
+    },
+    ScaleRows {
+        a: Var,
+        s: Var,
+    },
 }
 
 struct Node {
@@ -72,7 +125,9 @@ pub struct Tape {
 impl Tape {
     /// Creates an empty tape.
     pub fn new() -> Self {
-        Self { nodes: Vec::with_capacity(64) }
+        Self {
+            nodes: Vec::with_capacity(64),
+        }
     }
 
     /// Number of recorded nodes.
@@ -109,12 +164,7 @@ impl Tape {
     }
 
     /// Embedding lookup: rows of parameter `id` at `indices`.
-    pub fn gather_param(
-        &mut self,
-        store: &ParamStore,
-        id: ParamId,
-        indices: Rc<Vec<u32>>,
-    ) -> Var {
+    pub fn gather_param(&mut self, store: &ParamStore, id: ParamId, indices: Rc<Vec<u32>>) -> Var {
         let value = kernels::gather_rows(store.value(id), &indices);
         self.push(value, Op::GatherParam { param: id, indices })
     }
@@ -136,14 +186,26 @@ impl Tape {
         members: Rc<Vec<u32>>,
     ) -> Var {
         let value = kernels::segment_mean(&self.nodes[src.0].value, &offsets, &members);
-        self.push(value, Op::SegmentMean { src, offsets, members })
+        self.push(
+            value,
+            Op::SegmentMean {
+                src,
+                offsets,
+                members,
+            },
+        )
     }
 
     /// Horizontal concatenation of nodes with equal row counts.
     pub fn concat_cols(&mut self, parts: &[Var]) -> Var {
         let mats: Vec<&Matrix> = parts.iter().map(|p| &self.nodes[p.0].value).collect();
         let value = kernels::concat_cols(&mats);
-        self.push(value, Op::ConcatCols { parts: parts.to_vec() })
+        self.push(
+            value,
+            Op::ConcatCols {
+                parts: parts.to_vec(),
+            },
+        )
     }
 
     // ----- linear algebra -------------------------------------------------
@@ -271,16 +333,16 @@ impl Tape {
         let mut param_grads = Gradients::empty(store.len());
 
         for idx in (0..=loss.0).rev() {
-            let Some(g) = node_grads[idx].take() else { continue };
+            let Some(g) = node_grads[idx].take() else {
+                continue;
+            };
             let node = &self.nodes[idx];
             match &node.op {
                 Op::Constant => {}
                 Op::Param(pid) => param_grads.accumulate(*pid, g),
                 Op::GatherParam { param, indices } => {
-                    let mut acc = Matrix::zeros(
-                        store.value(*param).rows(),
-                        store.value(*param).cols(),
-                    );
+                    let mut acc =
+                        Matrix::zeros(store.value(*param).rows(), store.value(*param).cols());
                     kernels::scatter_add_rows(&mut acc, indices, &g);
                     param_grads.accumulate(*param, acc);
                 }
@@ -290,7 +352,11 @@ impl Tape {
                     kernels::scatter_add_rows(&mut acc, indices, &g);
                     accumulate(&mut node_grads, *src, acc);
                 }
-                Op::SegmentMean { src, offsets, members } => {
+                Op::SegmentMean {
+                    src,
+                    offsets,
+                    members,
+                } => {
                     let src_rows = self.nodes[src.0].value.rows();
                     let back = kernels::segment_mean_backward(&g, offsets, members, src_rows);
                     accumulate(&mut node_grads, *src, back);
@@ -527,7 +593,10 @@ mod tests {
         let sum = t.sum_all(ls);
         let loss = t.scale(sum, -1.0);
         let grads = t.backward(loss, &store);
-        assert!(grads.get(p).unwrap().get(0, 0) < 0.0, "pos grad must be negative (descent raises pos)");
+        assert!(
+            grads.get(p).unwrap().get(0, 0) < 0.0,
+            "pos grad must be negative (descent raises pos)"
+        );
         assert!(grads.get(n).unwrap().get(0, 0) > 0.0);
     }
 

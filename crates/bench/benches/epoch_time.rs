@@ -8,7 +8,12 @@ use gb_data::convert::InteractionKind;
 use gb_models::{Gbmf, GbmfConfig, Mf, Recommender, TrainConfig};
 
 fn one_epoch_cfg() -> TrainConfig {
-    TrainConfig { dim: 32, epochs: 1, batch_size: 512, ..Default::default() }
+    TrainConfig {
+        dim: 32,
+        epochs: 1,
+        batch_size: 512,
+        ..Default::default()
+    }
 }
 
 fn bench_epochs(c: &mut Criterion) {
@@ -26,7 +31,10 @@ fn bench_epochs(c: &mut Criterion) {
 
     group.bench_function("gbmf", |b| {
         b.iter(|| {
-            let mut m = Gbmf::new(GbmfConfig { base: one_epoch_cfg(), alpha: 0.5 });
+            let mut m = Gbmf::new(GbmfConfig {
+                base: one_epoch_cfg(),
+                alpha: 0.5,
+            });
             m.fit(&w.split.train)
         })
     });

@@ -10,7 +10,11 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn bench_propagation(c: &mut Criterion) {
-    let data = generate(&SynthConfig { n_users: 1000, n_items: 250, ..SynthConfig::beibei_like() });
+    let data = generate(&SynthConfig {
+        n_users: 1000,
+        n_items: 250,
+        ..SynthConfig::beibei_like()
+    });
     let graphs = data.build_hetero();
     let gi = &graphs.initiator;
     let d = 32;
@@ -32,16 +36,10 @@ fn bench_propagation(c: &mut Criterion) {
             let mut uc = tape.param(&store, u);
             let mut vc = tape.param(&store, v);
             for _ in 0..2 {
-                let un = tape.segment_mean(
-                    vc,
-                    gi.user_to_item().offsets(),
-                    gi.user_to_item().members(),
-                );
-                let vn = tape.segment_mean(
-                    uc,
-                    gi.item_to_user().offsets(),
-                    gi.item_to_user().members(),
-                );
+                let un =
+                    tape.segment_mean(vc, gi.user_to_item().offsets(), gi.user_to_item().members());
+                let vn =
+                    tape.segment_mean(uc, gi.item_to_user().offsets(), gi.item_to_user().members());
                 uc = un;
                 vc = vn;
             }
@@ -57,18 +55,12 @@ fn bench_propagation(c: &mut Criterion) {
             let mut vc = tape.param(&store, v);
             let wv = tape.param(&store, w);
             for _ in 0..2 {
-                let ua = tape.segment_mean(
-                    vc,
-                    gi.user_to_item().offsets(),
-                    gi.user_to_item().members(),
-                );
+                let ua =
+                    tape.segment_mean(vc, gi.user_to_item().offsets(), gi.user_to_item().members());
                 let ul = tape.matmul(ua, wv);
                 let un = tape.leaky_relu(ul, 0.2);
-                let va = tape.segment_mean(
-                    uc,
-                    gi.item_to_user().offsets(),
-                    gi.item_to_user().members(),
-                );
+                let va =
+                    tape.segment_mean(uc, gi.item_to_user().offsets(), gi.item_to_user().members());
                 let vl = tape.matmul(va, wv);
                 let vn = tape.leaky_relu(vl, 0.2);
                 uc = un;

@@ -9,7 +9,11 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn bench_sampling(c: &mut Criterion) {
-    let data = generate(&SynthConfig { n_users: 1000, n_items: 250, ..SynthConfig::beibei_like() });
+    let data = generate(&SynthConfig {
+        n_users: 1000,
+        n_items: 250,
+        ..SynthConfig::beibei_like()
+    });
     let sampler = NegativeSampler::from_dataset(&data);
 
     let mut group = c.benchmark_group("sampling");

@@ -9,7 +9,11 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn bench_scoring(c: &mut Criterion) {
-    let data = generate(&SynthConfig { n_users: 1000, n_items: 250, ..SynthConfig::beibei_like() });
+    let data = generate(&SynthConfig {
+        n_users: 1000,
+        n_items: 250,
+        ..SynthConfig::beibei_like()
+    });
     let social = data.social().csr().clone();
     let d = 64;
     let mut rng = StdRng::seed_from_u64(1);
@@ -24,8 +28,7 @@ fn bench_scoring(c: &mut Criterion) {
 
     // Precomputed friend-mean (what GbgcnModel/Gbmf do).
     group.bench_function("friend_mean_precomputed", |b| {
-        let friend_mean =
-            kernels::segment_mean(&user_emb, &social.offsets(), &social.members());
+        let friend_mean = kernels::segment_mean(&user_emb, &social.offsets(), &social.members());
         b.iter(|| {
             let mut acc = 0.0f32;
             for user in 0..100u32 {
@@ -91,9 +94,9 @@ fn bench_scoring(c: &mut Criterion) {
                 manual.row_mut(0)[k] += user_emb.row(f as usize)[k];
             }
         }
-        for k in 0..d {
-            let m = manual.row(0)[k] / friends.len() as f32;
-            assert!((m - fm[k]).abs() < 1e-4);
+        for (&raw, &mean) in manual.row(0).iter().zip(fm) {
+            let m = raw / friends.len() as f32;
+            assert!((m - mean).abs() < 1e-4);
         }
     }
 }

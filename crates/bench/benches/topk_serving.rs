@@ -1,0 +1,102 @@
+//! Criterion bench: the serving engine's blocked-kernel + bounded-heap
+//! top-K against the eval path's materialize-and-sort baseline, on a
+//! catalogue large enough (20k items) that the asymptotics show.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use gb_eval::topk::reference_topk;
+use gb_models::EmbeddingSnapshot;
+use gb_serve::{EngineConfig, QueryEngine};
+use gb_tensor::init;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const N_USERS: usize = 512;
+const N_ITEMS: usize = 20_000;
+const DIM: usize = 64;
+const K: usize = 10;
+
+fn synthetic_snapshot() -> EmbeddingSnapshot {
+    let mut rng = StdRng::seed_from_u64(42);
+    EmbeddingSnapshot::new(
+        0.6,
+        init::xavier_uniform(N_USERS, DIM, &mut rng),
+        init::xavier_uniform(N_ITEMS, DIM, &mut rng),
+        init::xavier_uniform(N_USERS, DIM, &mut rng),
+        init::xavier_uniform(N_ITEMS, DIM, &mut rng),
+    )
+}
+
+fn bench_topk(c: &mut Criterion) {
+    let snap = synthetic_snapshot();
+    let engine = QueryEngine::new(snap.clone());
+    let candidates: Vec<u32> = (0..N_ITEMS as u32).collect();
+
+    // Sanity before timing: both paths must agree item-for-item.
+    let served: Vec<(u32, f32)> = engine
+        .recommend(3, K)
+        .iter()
+        .map(|e| (e.item, e.score))
+        .collect();
+    assert_eq!(served, reference_topk(&snap, 3, &candidates, K));
+
+    let mut group = c.benchmark_group("topk_serving_20k_items");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+
+    // Baseline: score every candidate through the Scorer, materialize the
+    // full vector, sort, truncate — what the eval protocol does.
+    group.bench_function("materialize_and_sort", |b| {
+        let mut user = 0u32;
+        b.iter(|| {
+            user = (user + 1) % N_USERS as u32;
+            black_box(reference_topk(&snap, user, &candidates, K))
+        })
+    });
+
+    // The serving engine: blocked dual-dot kernel + bounded min-heap.
+    group.bench_function("blocked_heap_engine", |b| {
+        let mut user = 0u32;
+        b.iter(|| {
+            user = (user + 1) % N_USERS as u32;
+            black_box(engine.recommend(user, K))
+        })
+    });
+
+    // Engine with a realistic seen-filter in the loop (synthetic bitset:
+    // every 16th item seen).
+    group.bench_function("blocked_heap_engine_filtered", |b| {
+        let mut seen = gb_graph::BitMatrix::zeros(N_USERS, N_ITEMS);
+        for u in 0..N_USERS {
+            for i in (u % 16..N_ITEMS).step_by(16) {
+                seen.set(u, i);
+            }
+        }
+        let filtered = QueryEngine::new(snap.clone()).with_seen_filter(seen);
+        let mut user = 0u32;
+        b.iter(|| {
+            user = (user + 1) % N_USERS as u32;
+            black_box(filtered.recommend(user, K))
+        })
+    });
+
+    // Cached responses for a small hot user set: the LRU fast path.
+    group.bench_function("lru_cached_hot_users", |b| {
+        let cached = QueryEngine::with_config(
+            snap.clone(),
+            EngineConfig {
+                cache_capacity: 64,
+                ..Default::default()
+            },
+        );
+        let mut user = 0u32;
+        b.iter(|| {
+            user = (user + 1) % 32;
+            black_box(cached.recommend(user, K))
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_topk);
+criterion_main!(benches);

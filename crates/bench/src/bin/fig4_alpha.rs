@@ -20,8 +20,16 @@ fn main() {
         let cfg = tuned_gbgcn_config().with_alpha(alpha);
         let model = train_gbgcn(&w, cfg);
         let m = w.evaluate(&model);
-        println!("{alpha:>6.1} {:>10.4} {:>10.4}", m.recall_at(10), m.ndcg_at(10));
-        rows.push(format!("{alpha:.1},{:.4},{:.4}", m.recall_at(10), m.ndcg_at(10)));
+        println!(
+            "{alpha:>6.1} {:>10.4} {:>10.4}",
+            m.recall_at(10),
+            m.ndcg_at(10)
+        );
+        rows.push(format!(
+            "{alpha:.1},{:.4},{:.4}",
+            m.recall_at(10),
+            m.ndcg_at(10)
+        ));
         series.push((alpha, m.ndcg_at(10)));
     }
 
@@ -34,7 +42,11 @@ fn main() {
     println!(
         "\nbest alpha = {:.1} (paper: 0.6); curve is {}",
         best.0,
-        if best.0 > 0.1 && best.0 < 0.9 { "interior (matches paper)" } else { "boundary (deviation)" }
+        if best.0 > 0.1 && best.0 < 0.9 {
+            "interior (matches paper)"
+        } else {
+            "boundary (deviation)"
+        }
     );
 
     let path = write_csv("fig4_alpha.csv", "alpha,recall@10,ndcg@10", &rows);

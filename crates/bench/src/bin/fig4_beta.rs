@@ -22,11 +22,21 @@ fn main() {
         let cfg = tuned_gbgcn_config().with_beta(beta);
         let model = train_gbgcn(&w, cfg);
         let m = w.evaluate(&model);
-        println!("{beta:>6.2} {:>10.4} {:>10.4}", m.recall_at(10), m.ndcg_at(10));
-        rows.push(format!("{beta:.2},{:.4},{:.4}", m.recall_at(10), m.ndcg_at(10)));
+        println!(
+            "{beta:>6.2} {:>10.4} {:>10.4}",
+            m.recall_at(10),
+            m.ndcg_at(10)
+        );
+        rows.push(format!(
+            "{beta:.2},{:.4},{:.4}",
+            m.recall_at(10),
+            m.ndcg_at(10)
+        ));
     }
 
-    println!("\nshape check: large beta (0.2, 0.5) must clearly degrade performance (paper Fig. 4).");
+    println!(
+        "\nshape check: large beta (0.2, 0.5) must clearly degrade performance (paper Fig. 4)."
+    );
     let path = write_csv("fig4_beta.csv", "beta,recall@10,ndcg@10", &rows);
     println!("CSV written to {}", path.display());
 }

@@ -22,19 +22,36 @@ fn main() {
     let a = model.embedding_analysis();
 
     let panels = [
-        ("a_users_inview", rowwise_cosine(&a.u_inview_i, &a.u_inview_p)),
-        ("b_items_inview", rowwise_cosine(&a.v_inview_i, &a.v_inview_p)),
-        ("c_users_crossview", rowwise_cosine(&a.u_cross_i, &a.u_cross_p)),
-        ("d_items_crossview", rowwise_cosine(&a.v_cross_i, &a.v_cross_p)),
+        (
+            "a_users_inview",
+            rowwise_cosine(&a.u_inview_i, &a.u_inview_p),
+        ),
+        (
+            "b_items_inview",
+            rowwise_cosine(&a.v_inview_i, &a.v_inview_p),
+        ),
+        (
+            "c_users_crossview",
+            rowwise_cosine(&a.u_cross_i, &a.u_cross_p),
+        ),
+        (
+            "d_items_crossview",
+            rowwise_cosine(&a.v_cross_i, &a.v_cross_p),
+        ),
     ];
 
     for (name, sims) in &panels {
         let lo = sims.iter().cloned().fold(f32::INFINITY, f32::min);
         let hi = sims.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
-        println!("{name:<20} mean {:.4}  min {lo:.4}  max {hi:.4}", mean(sims));
+        println!(
+            "{name:<20} mean {:.4}  min {lo:.4}  max {hi:.4}",
+            mean(sims)
+        );
         let bins = histogram_density(sims, 40, lo.min(hi - 1e-3), hi.max(lo + 1e-3));
-        let rows: Vec<String> =
-            bins.iter().map(|b| format!("{:.5},{:.5}", b.center, b.density)).collect();
+        let rows: Vec<String> = bins
+            .iter()
+            .map(|b| format!("{:.5},{:.5}", b.center, b.density))
+            .collect();
         write_csv(&format!("fig5_{name}.csv"), "cosine,density", &rows);
     }
 

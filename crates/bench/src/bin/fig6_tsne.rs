@@ -59,10 +59,23 @@ fn main() {
     }
 
     println!("running exact t-SNE on {n} points...");
-    let coords = tsne(&stacked, &TsneConfig { n_iter: 300, ..TsneConfig::default() });
+    let coords = tsne(
+        &stacked,
+        &TsneConfig {
+            n_iter: 300,
+            ..TsneConfig::default()
+        },
+    );
 
     let rows: Vec<String> = (0..n)
-        .map(|r| format!("{},{:.4},{:.4}", labels[r], coords.get(r, 0), coords.get(r, 1)))
+        .map(|r| {
+            format!(
+                "{},{:.4},{:.4}",
+                labels[r],
+                coords.get(r, 0),
+                coords.get(r, 1)
+            )
+        })
         .collect();
     let path = write_csv("fig6_tsne.csv", "label,x,y", &rows);
 

@@ -5,7 +5,9 @@
 use std::process::Command;
 
 fn main() {
-    let scale = std::env::args().nth(1).unwrap_or_else(|| "paper".to_string());
+    let scale = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "paper".to_string());
     let bins = [
         "table2_stats",
         "table3_overall",

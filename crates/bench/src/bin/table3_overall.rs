@@ -25,7 +25,11 @@ fn main() {
     for (name, mut model) in baseline_zoo() {
         let report = model.fit(&w.split.train);
         let m = w.evaluate(model.as_ref());
-        println!("{}   ({:.2}s/epoch)", metric_row(name, &m), report.mean_epoch_secs);
+        println!(
+            "{}   ({:.2}s/epoch)",
+            metric_row(name, &m),
+            report.mean_epoch_secs
+        );
         rows.push(format!(
             "{name},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4}",
             m.recall_at(3),
@@ -76,7 +80,11 @@ fn main() {
         "\npaired t-test on per-user NDCG@10 vs {best_name}: t = {:.3}, p = {:.4} ({})",
         t.t,
         t.p_two_sided,
-        if t.significant_at(0.05) { "significant at 0.05" } else { "not significant" }
+        if t.significant_at(0.05) {
+            "significant at 0.05"
+        } else {
+            "not significant"
+        }
     );
 
     let path = write_csv(

@@ -14,14 +14,23 @@ fn main() {
     let scale = Workload::scale_from_args();
     let w = Workload::standard(&scale);
     println!("=== Table IV: time efficiency (scale = {scale}) ===\n");
-    println!("{:<10} {:>22} {:>22}", "Method", "Training (sec/epoch)", "Testing (sec/pass)");
+    println!(
+        "{:<10} {:>22} {:>22}",
+        "Method", "Training (sec/epoch)", "Testing (sec/pass)"
+    );
 
     let mut rows = Vec::new();
     for (name, mut model) in baseline_zoo() {
         let report = model.fit(&w.split.train);
         let (_, test_secs) = timed(|| w.evaluate(model.as_ref()));
-        println!("{name:<10} {:>22.3} {:>22.3}", report.mean_epoch_secs, test_secs);
-        rows.push(format!("{name},{:.4},{:.4}", report.mean_epoch_secs, test_secs));
+        println!(
+            "{name:<10} {:>22.3} {:>22.3}",
+            report.mean_epoch_secs, test_secs
+        );
+        rows.push(format!(
+            "{name},{:.4},{:.4}",
+            report.mean_epoch_secs, test_secs
+        ));
     }
 
     let mut gbgcn = train_gbgcn(&w, tuned_gbgcn_config());
@@ -31,6 +40,10 @@ fn main() {
     println!("{:<10} {:>22.3} {:>22.3}", "GBGCN", train_secs, test_secs);
     rows.push(format!("GBGCN,{train_secs:.4},{test_secs:.4}"));
 
-    let path = write_csv("table4_time.csv", "method,train_sec_per_epoch,test_sec", &rows);
+    let path = write_csv(
+        "table4_time.csv",
+        "method,train_sec_per_epoch,test_sec",
+        &rows,
+    );
     println!("\nCSV written to {}", path.display());
 }

@@ -32,7 +32,12 @@ fn main() {
         let cfg = tuned_gbgcn_config().with_ablation(mode);
         let model = train_gbgcn(&w, cfg);
         let m = w.evaluate(&model);
-        let vals = (m.recall_at(10), m.recall_at(20), m.ndcg_at(10), m.ndcg_at(20));
+        let vals = (
+            m.recall_at(10),
+            m.recall_at(20),
+            m.ndcg_at(10),
+            m.ndcg_at(20),
+        );
         let imp = |v: f64, r: f64| {
             if mode == AblationMode::Full {
                 "-".to_string()
@@ -68,7 +73,10 @@ fn main() {
 
     if separate_raw {
         println!("\n--- extension ablation (DESIGN.md §6): separate raw embeddings ---");
-        let cfg = gb_core::GbgcnConfig { separate_raw: true, ..tuned_gbgcn_config() };
+        let cfg = gb_core::GbgcnConfig {
+            separate_raw: true,
+            ..tuned_gbgcn_config()
+        };
         let model = train_gbgcn(&w, cfg);
         let m = w.evaluate(&model);
         let r = reference.unwrap();
@@ -89,6 +97,10 @@ fn main() {
         ));
     }
 
-    let path = write_csv("table5_ablation.csv", "variant,recall@10,recall@20,ndcg@10,ndcg@20", &rows);
+    let path = write_csv(
+        "table5_ablation.csv",
+        "variant,recall@10,recall@20,ndcg@10,ndcg@20",
+        &rows,
+    );
     println!("\nCSV written to {}", path.display());
 }

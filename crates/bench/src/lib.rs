@@ -51,8 +51,16 @@ impl Workload {
     /// timing).
     pub fn standard(scale: &str) -> Self {
         let cfg = match scale {
-            "small" => SynthConfig { n_users: 600, n_items: 150, ..SynthConfig::beibei_like() },
-            "paper" => SynthConfig { n_users: 1200, n_items: 300, ..SynthConfig::beibei_like() },
+            "small" => SynthConfig {
+                n_users: 600,
+                n_items: 150,
+                ..SynthConfig::beibei_like()
+            },
+            "paper" => SynthConfig {
+                n_users: 1200,
+                n_items: 300,
+                ..SynthConfig::beibei_like()
+            },
             "large" => SynthConfig::beibei_large(),
             other => panic!("unknown scale `{other}` (use small|paper|large)"),
         };
@@ -64,12 +72,19 @@ impl Workload {
         let data = generate(&cfg);
         let split = leave_one_out(&data, 1);
         let sampler = NegativeSampler::from_dataset(&split.train);
-        Self { data, split, sampler, protocol: EvalProtocol::exhaustive() }
+        Self {
+            data,
+            split,
+            sampler,
+            protocol: EvalProtocol::exhaustive(),
+        }
     }
 
     /// Reads the experiment scale from argv (default "paper").
     pub fn scale_from_args() -> String {
-        std::env::args().nth(1).unwrap_or_else(|| "paper".to_string())
+        std::env::args()
+            .nth(1)
+            .unwrap_or_else(|| "paper".to_string())
     }
 
     /// Evaluates a trained scorer on the held-out test instances.
@@ -83,7 +98,14 @@ impl Workload {
 /// split of the standard workload (the paper tunes each baseline the same
 /// way on its validation set).
 pub fn tuned_train_config() -> TrainConfig {
-    TrainConfig { dim: 32, epochs: 40, batch_size: 512, lr: 5e-3, l2: 1e-5, ..Default::default() }
+    TrainConfig {
+        dim: 32,
+        epochs: 40,
+        batch_size: 512,
+        lr: 5e-3,
+        l2: 1e-5,
+        ..Default::default()
+    }
 }
 
 /// The tuned GBGCN configuration for the standard workload.
@@ -113,7 +135,10 @@ pub fn baseline_zoo() -> Vec<(&'static str, Box<dyn Recommender>)> {
     use gb_models::{Agree, DiffNet, Gbmf, GbmfConfig, Mf, Ncf, Ngcf, Sigr, SocialMf};
     let tc = tuned_train_config;
     vec![
-        ("MF(oi)", Box::new(Mf::new(tc(), InteractionKind::InitiatorOnly)) as Box<dyn Recommender>),
+        (
+            "MF(oi)",
+            Box::new(Mf::new(tc(), InteractionKind::InitiatorOnly)) as Box<dyn Recommender>,
+        ),
         ("MF", Box::new(Mf::new(tc(), InteractionKind::BothRoles))),
         ("NCF", Box::new(Ncf::new(tc()))),
         ("NGCF", Box::new(Ngcf::new(tc()))),
@@ -121,7 +146,13 @@ pub fn baseline_zoo() -> Vec<(&'static str, Box<dyn Recommender>)> {
         ("DiffNet", Box::new(DiffNet::new(tc()))),
         ("AGREE", Box::new(Agree::new(tc()))),
         ("SIGR", Box::new(Sigr::new(tc()))),
-        ("GBMF", Box::new(Gbmf::new(GbmfConfig { base: tc(), alpha: 0.5 }))),
+        (
+            "GBMF",
+            Box::new(Gbmf::new(GbmfConfig {
+                base: tc(),
+                alpha: 0.5,
+            })),
+        ),
     ]
 }
 

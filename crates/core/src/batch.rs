@@ -43,7 +43,10 @@ impl LossBatch {
         sampler: &NegativeSampler,
         rng: &mut StdRng,
     ) -> Self {
-        let mut batch = LossBatch { n_behaviors: indices.len() * neg_ratio.max(1), ..Default::default() };
+        let mut batch = LossBatch {
+            n_behaviors: indices.len() * neg_ratio.max(1),
+            ..Default::default()
+        };
         for &idx in indices {
             let b = &dataset.behaviors()[idx];
             let successful = dataset.is_successful(b);
@@ -77,8 +80,12 @@ impl LossBatch {
 
     /// All distinct users appearing in the batch (for regularization).
     pub fn touched_users(&self) -> Vec<u32> {
-        let mut users: Vec<u32> =
-            self.fwd_users.iter().chain(&self.rev_users).copied().collect();
+        let mut users: Vec<u32> = self
+            .fwd_users
+            .iter()
+            .chain(&self.rev_users)
+            .copied()
+            .collect();
         users.sort_unstable();
         users.dedup();
         users
@@ -143,8 +150,8 @@ mod tests {
         let b = LossBatch::build(&d, &[1], 1, &sampler, &mut rng);
         assert_eq!(b.fwd_users, vec![3]); // initiator still a positive pair
         assert_eq!(b.rev_users, vec![4]); // friend 4 gets the reversed pair
-        assert_eq!(b.rev_neg, vec![1]);   // failed item ranked lower
-        assert_eq!(b.rev_pos.len(), 1);   // the sampled negative ranked higher
+        assert_eq!(b.rev_neg, vec![1]); // failed item ranked lower
+        assert_eq!(b.rev_pos.len(), 1); // the sampled negative ranked higher
         assert_ne!(b.rev_pos[0], 1);
     }
 

@@ -9,7 +9,7 @@ use gb_data::{Dataset, NegativeSampler};
 use gb_eval::Scorer;
 use gb_graph::{Csr, HeteroGraphs};
 use gb_models::common::shuffled_batches;
-use gb_models::{Recommender, TrainReport};
+use gb_models::{EmbeddingSnapshot, Recommender, SnapshotSource, TrainReport};
 use gb_tensor::{kernels, Matrix};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -70,11 +70,18 @@ impl GbgcnModel {
     pub fn new(cfg: GbgcnConfig, train: &Dataset) -> Self {
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let mut store = ParamStore::new();
-        let params =
-            PropParams::init(&mut store, &cfg, train.n_users(), train.n_items(), &mut rng);
+        let params = PropParams::init(&mut store, &cfg, train.n_users(), train.n_items(), &mut rng);
         let graphs = train.build_hetero();
         let social = train.social().csr().clone();
-        Self { cfg, store, params, graphs, social, dataset: train.clone(), finals: None }
+        Self {
+            cfg,
+            store,
+            params,
+            graphs,
+            social,
+            dataset: train.clone(),
+            finals: None,
+        }
     }
 
     /// The active configuration.
@@ -179,7 +186,13 @@ impl GbgcnModel {
     /// One full-model training step; returns the batch loss.
     fn finetune_step(&mut self, batch: &LossBatch, sgd: &Sgd) -> f32 {
         let mut tape = Tape::new();
-        let ve = propagate(&self.store, &self.params, &mut tape, &self.graphs, &self.cfg);
+        let ve = propagate(
+            &self.store,
+            &self.params,
+            &mut tape,
+            &self.graphs,
+            &self.cfg,
+        );
         let friend_mean =
             tape.segment_mean(ve.u_hat_p, self.social.offsets(), self.social.members());
         let fwd_users = Rc::new(batch.fwd_users.clone());
@@ -228,8 +241,7 @@ impl GbgcnModel {
     fn pretrain_step(&mut self, batch: &LossBatch, adam: &mut Adam) -> f32 {
         let mut tape = Tape::new();
         let u_raw = tape.param(&self.store, self.params.user_raw);
-        let friend_mean =
-            tape.segment_mean(u_raw, self.social.offsets(), self.social.members());
+        let friend_mean = tape.segment_mean(u_raw, self.social.offsets(), self.social.members());
         let fwd_users = Rc::new(batch.fwd_users.clone());
         let fwd_pos = self.pretrain_scores(
             &mut tape,
@@ -276,7 +288,13 @@ impl GbgcnModel {
     /// for scoring and analysis.
     fn finalize(&mut self) {
         let mut tape = Tape::new();
-        let ve = propagate(&self.store, &self.params, &mut tape, &self.graphs, &self.cfg);
+        let ve = propagate(
+            &self.store,
+            &self.params,
+            &mut tape,
+            &self.graphs,
+            &self.cfg,
+        );
         let u_hat_p = tape.value(ve.u_hat_p).clone();
         let friend_mean_p =
             kernels::segment_mean(&u_hat_p, &self.social.offsets(), &self.social.members());
@@ -291,7 +309,13 @@ impl GbgcnModel {
     /// Extracts the embedding matrices for the Fig. 5 / Fig. 6 analyses.
     pub fn embedding_analysis(&self) -> EmbeddingAnalysis {
         let mut tape = Tape::new();
-        let ve = propagate(&self.store, &self.params, &mut tape, &self.graphs, &self.cfg);
+        let ve = propagate(
+            &self.store,
+            &self.params,
+            &mut tape,
+            &self.graphs,
+            &self.cfg,
+        );
         EmbeddingAnalysis {
             u_inview_i: tape.value(ve.u_inview_i).clone(),
             u_inview_p: tape.value(ve.u_inview_p).clone(),
@@ -334,8 +358,7 @@ impl GbgcnModel {
         let mut adam = Adam::new(AdamConfig::with_lr(cfg.pretrain_lr), &self.store);
         for _ in 0..cfg.pretrain_epochs {
             for batch_idx in shuffled_batches(n, cfg.batch_size, &mut rng) {
-                let batch =
-                    LossBatch::build(train, &batch_idx, cfg.neg_ratio, &sampler, &mut rng);
+                let batch = LossBatch::build(train, &batch_idx, cfg.neg_ratio, &sampler, &mut rng);
                 self.pretrain_step(&batch, &mut adam);
             }
         }
@@ -356,8 +379,7 @@ impl GbgcnModel {
             let mut loss_sum = 0.0f32;
             let mut n_batches = 0;
             for batch_idx in shuffled_batches(n, cfg.batch_size, &mut rng) {
-                let batch =
-                    LossBatch::build(train, &batch_idx, cfg.neg_ratio, &sampler, &mut rng);
+                let batch = LossBatch::build(train, &batch_idx, cfg.neg_ratio, &sampler, &mut rng);
                 loss_sum += self.finetune_step(&batch, &sgd);
                 n_batches += 1;
             }
@@ -438,8 +460,16 @@ impl Recommender for GbgcnModel {
     /// Pre-trains with Adam, normalizes the raw embeddings, fine-tunes the
     /// full model with vanilla SGD (Sec. III-C.3), then caches finals.
     fn fit(&mut self, train: &Dataset) -> TrainReport {
-        assert_eq!(train.n_users(), self.graphs.n_users(), "dataset/user mismatch");
-        assert_eq!(train.n_items(), self.graphs.n_items(), "dataset/item mismatch");
+        assert_eq!(
+            train.n_users(),
+            self.graphs.n_users(),
+            "dataset/user mismatch"
+        );
+        assert_eq!(
+            train.n_items(),
+            self.graphs.n_items(),
+            "dataset/item mismatch"
+        );
         let cfg = self.cfg.clone();
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let sampler = NegativeSampler::from_dataset(train);
@@ -451,8 +481,7 @@ impl Recommender for GbgcnModel {
             let mut loss_sum = 0.0f32;
             let mut n_batches = 0;
             for batch_idx in shuffled_batches(n, cfg.batch_size, &mut rng) {
-                let batch =
-                    LossBatch::build(train, &batch_idx, cfg.neg_ratio, &sampler, &mut rng);
+                let batch = LossBatch::build(train, &batch_idx, cfg.neg_ratio, &sampler, &mut rng);
                 loss_sum += self.pretrain_step(&batch, &mut adam);
                 n_batches += 1;
             }
@@ -482,8 +511,7 @@ impl Recommender for GbgcnModel {
             let mut loss_sum = 0.0f32;
             let mut n_batches = 0;
             for batch_idx in shuffled_batches(n, cfg.batch_size, &mut rng) {
-                let batch =
-                    LossBatch::build(train, &batch_idx, cfg.neg_ratio, &sampler, &mut rng);
+                let batch = LossBatch::build(train, &batch_idx, cfg.neg_ratio, &sampler, &mut rng);
                 loss_sum += self.finetune_step(&batch, &sgd);
                 n_batches += 1;
             }
@@ -500,6 +528,23 @@ impl Recommender for GbgcnModel {
             mean_epoch_secs: elapsed / cfg.finetune_epochs.max(1) as f64,
             final_loss,
         }
+    }
+}
+
+impl SnapshotSource for GbgcnModel {
+    /// Freezes the cached Eq. 8/9 terms — `u_hat_i`, `v_hat_i`,
+    /// `friend_mean_p`, `v_hat_p` — exactly as [`Scorer::score_items`]
+    /// reads them, so a served snapshot reproduces offline scores
+    /// bit-for-bit.
+    fn export_snapshot(&self) -> EmbeddingSnapshot {
+        let f = self.finals.as_ref().expect("model not fitted");
+        EmbeddingSnapshot::new(
+            self.cfg.alpha,
+            f.u_hat_i.clone(),
+            f.v_hat_i.clone(),
+            f.friend_mean_p.clone(),
+            f.v_hat_p.clone(),
+        )
     }
 }
 
@@ -550,7 +595,11 @@ mod tests {
     #[test]
     fn training_is_deterministic() {
         let d = tiny_train();
-        let cfg = GbgcnConfig { pretrain_epochs: 2, finetune_epochs: 2, ..GbgcnConfig::test_config() };
+        let cfg = GbgcnConfig {
+            pretrain_epochs: 2,
+            finetune_epochs: 2,
+            ..GbgcnConfig::test_config()
+        };
         let mut a = GbgcnModel::new(cfg.clone(), &d);
         let mut b = GbgcnModel::new(cfg, &d);
         a.fit(&d);
@@ -591,7 +640,12 @@ mod tests {
     #[test]
     fn alpha_zero_ignores_friends() {
         let d = tiny_train();
-        let cfg = GbgcnConfig { alpha: 0.0, pretrain_epochs: 1, finetune_epochs: 1, ..GbgcnConfig::test_config() };
+        let cfg = GbgcnConfig {
+            alpha: 0.0,
+            pretrain_epochs: 1,
+            finetune_epochs: 1,
+            ..GbgcnConfig::test_config()
+        };
         let mut m = GbgcnModel::new(cfg, &d);
         m.fit(&d);
         // With alpha = 0 the score must equal the initiator-view dot alone.
@@ -610,7 +664,11 @@ mod tests {
     #[test]
     fn embedding_analysis_shapes() {
         let d = tiny_train();
-        let cfg = GbgcnConfig { pretrain_epochs: 1, finetune_epochs: 1, ..GbgcnConfig::test_config() };
+        let cfg = GbgcnConfig {
+            pretrain_epochs: 1,
+            finetune_epochs: 1,
+            ..GbgcnConfig::test_config()
+        };
         let mut m = GbgcnModel::new(cfg.clone(), &d);
         m.fit(&d);
         let a = m.embedding_analysis();
@@ -623,13 +681,20 @@ mod tests {
     #[test]
     fn pretraining_normalizes_raw_embeddings() {
         let d = tiny_train();
-        let cfg = GbgcnConfig { pretrain_epochs: 2, finetune_epochs: 0, ..GbgcnConfig::test_config() };
+        let cfg = GbgcnConfig {
+            pretrain_epochs: 2,
+            finetune_epochs: 0,
+            ..GbgcnConfig::test_config()
+        };
         let mut m = GbgcnModel::new(cfg, &d);
         m.fit(&d);
         let u = m.store.value(m.params.user_raw);
         for r in 0..u.rows() {
             let norm: f32 = u.row(r).iter().map(|v| v * v).sum::<f32>().sqrt();
-            assert!((norm - 1.0).abs() < 1e-4 || norm == 0.0, "row {r} norm {norm}");
+            assert!(
+                (norm - 1.0).abs() < 1e-4 || norm == 0.0,
+                "row {r} norm {norm}"
+            );
         }
     }
 
@@ -642,9 +707,44 @@ mod tests {
     }
 
     #[test]
+    fn snapshot_export_matches_cached_scoring() {
+        let d = tiny_train();
+        let cfg = GbgcnConfig {
+            pretrain_epochs: 2,
+            finetune_epochs: 2,
+            ..GbgcnConfig::test_config()
+        };
+        let mut m = GbgcnModel::new(cfg, &d);
+        m.fit(&d);
+        let snap = m.export_snapshot();
+        assert_eq!(snap.n_users(), d.n_users());
+        assert_eq!(snap.n_items(), d.n_items());
+        let items: Vec<u32> = (0..d.n_items() as u32).collect();
+        for user in [0u32, 3, 5] {
+            assert_eq!(
+                m.score_items(user, &items),
+                snap.score_items(user, &items),
+                "user {user}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not fitted")]
+    fn snapshot_export_before_fit_panics() {
+        let d = tiny_train();
+        let m = GbgcnModel::new(GbgcnConfig::test_config(), &d);
+        let _ = m.export_snapshot();
+    }
+
+    #[test]
     fn checkpoint_roundtrip_preserves_scores() {
         let d = tiny_train();
-        let cfg = GbgcnConfig { pretrain_epochs: 2, finetune_epochs: 2, ..GbgcnConfig::test_config() };
+        let cfg = GbgcnConfig {
+            pretrain_epochs: 2,
+            finetune_epochs: 2,
+            ..GbgcnConfig::test_config()
+        };
         let mut m = GbgcnModel::new(cfg.clone(), &d);
         m.fit(&d);
         let items: Vec<u32> = (0..d.n_items() as u32).collect();

@@ -219,11 +219,7 @@ pub fn propagate(
         gi.user_to_item().members(),
     );
     let term_items_i = fc(tape, items_i, params.w_vi_ui, params.b_vi_ui);
-    let shared_to = tape.segment_mean(
-        u_inview_p,
-        gs.out_csr().offsets(),
-        gs.out_csr().members(),
-    );
+    let shared_to = tape.segment_mean(u_inview_p, gs.out_csr().offsets(), gs.out_csr().members());
     let term_shared_to = fc(tape, shared_to, params.w_up_ui, params.b_up_ui);
     let mut u_cross_i = tape.add(term_items_i, term_shared_to);
 
@@ -234,11 +230,7 @@ pub fn propagate(
         gp.user_to_item().members(),
     );
     let term_items_p = fc(tape, items_p, params.w_vp_up, params.b_vp_up);
-    let shared_by = tape.segment_mean(
-        u_inview_i,
-        gs.in_csr().offsets(),
-        gs.in_csr().members(),
-    );
+    let shared_by = tape.segment_mean(u_inview_i, gs.in_csr().offsets(), gs.in_csr().members());
     let term_shared_by = fc(tape, shared_by, params.w_ui_up, params.b_ui_up);
     let mut u_cross_p = tape.add(term_items_p, term_shared_by);
 
@@ -330,7 +322,10 @@ mod tests {
 
     #[test]
     fn user_ablation_collapses_user_views_only() {
-        let cfg = GbgcnConfig { ablation: AblationMode::NoUserRoles, ..GbgcnConfig::test_config() };
+        let cfg = GbgcnConfig {
+            ablation: AblationMode::NoUserRoles,
+            ..GbgcnConfig::test_config()
+        };
         let (store, params, graphs) = setup(&cfg);
         let mut tape = Tape::new();
         let ve = propagate(&store, &params, &mut tape, &graphs, &cfg);
@@ -344,7 +339,10 @@ mod tests {
 
     #[test]
     fn full_ablation_collapses_both() {
-        let cfg = GbgcnConfig { ablation: AblationMode::NoRoles, ..GbgcnConfig::test_config() };
+        let cfg = GbgcnConfig {
+            ablation: AblationMode::NoRoles,
+            ..GbgcnConfig::test_config()
+        };
         let (store, params, graphs) = setup(&cfg);
         let mut tape = Tape::new();
         let ve = propagate(&store, &params, &mut tape, &graphs, &cfg);
@@ -354,7 +352,10 @@ mod tests {
 
     #[test]
     fn separate_raw_registers_extra_tables() {
-        let cfg = GbgcnConfig { separate_raw: true, ..GbgcnConfig::test_config() };
+        let cfg = GbgcnConfig {
+            separate_raw: true,
+            ..GbgcnConfig::test_config()
+        };
         let (store, params, _) = setup(&cfg);
         assert!(params.user_raw_p.is_some());
         assert!(params.item_raw_p.is_some());

@@ -22,7 +22,11 @@ pub struct GroupBehavior {
 impl GroupBehavior {
     /// Creates a behavior record.
     pub fn new(initiator: u32, item: u32, participants: Vec<u32>) -> Self {
-        Self { initiator, item, participants }
+        Self {
+            initiator,
+            item,
+            participants,
+        }
     }
 
     /// Group size including the initiator.

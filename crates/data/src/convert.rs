@@ -66,12 +66,17 @@ pub fn to_groups(dataset: &Dataset) -> GroupData {
         m.dedup();
     }
 
-    let mut group_items: Vec<(u32, u32)> =
-        dataset.successful().map(|b| (b.initiator, b.item)).collect();
+    let mut group_items: Vec<(u32, u32)> = dataset
+        .successful()
+        .map(|b| (b.initiator, b.item))
+        .collect();
     group_items.sort_unstable();
     group_items.dedup();
 
-    GroupData { members, group_items }
+    GroupData {
+        members,
+        group_items,
+    }
 }
 
 #[cfg(test)]

@@ -31,7 +31,11 @@ impl Dataset {
         social_pairs: Vec<(u32, u32)>,
         item_thresholds: Vec<u32>,
     ) -> Self {
-        assert_eq!(item_thresholds.len(), n_items, "one threshold per item required");
+        assert_eq!(
+            item_thresholds.len(),
+            n_items,
+            "one threshold per item required"
+        );
         for b in &behaviors {
             assert!((b.initiator as usize) < n_users, "initiator out of bounds");
             assert!((b.item as usize) < n_items, "item out of bounds");
@@ -41,7 +45,14 @@ impl Dataset {
             }
         }
         let social = SocialGraph::from_pairs(n_users, &social_pairs);
-        Self { n_users, n_items, behaviors, social_pairs, social, item_thresholds }
+        Self {
+            n_users,
+            n_items,
+            behaviors,
+            social_pairs,
+            social,
+            item_thresholds,
+        }
     }
 
     /// Number of users `P`.
@@ -91,7 +102,9 @@ impl Dataset {
 
     /// Iterates the failed part `B-` of the behaviors.
     pub fn failed(&self) -> impl Iterator<Item = &GroupBehavior> {
-        self.behaviors.iter().filter(move |b| !self.is_successful(b))
+        self.behaviors
+            .iter()
+            .filter(move |b| !self.is_successful(b))
     }
 
     /// Builds the directed heterogeneous graphs `G = {Gi, Gp, Gs}` from the
@@ -191,7 +204,7 @@ mod tests {
         let d = tiny();
         let sets = d.interacted_items();
         assert_eq!(sets[0], vec![0, 1, 2]); // initiator of 0,1; participant of 2
-        assert_eq!(sets[4], vec![1]);       // participant only
+        assert_eq!(sets[4], vec![1]); // participant only
         assert_eq!(sets[5], vec![2]);
     }
 

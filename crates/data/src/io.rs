@@ -35,7 +35,13 @@ impl From<&Dataset> for DatasetFile {
 
 impl From<DatasetFile> for Dataset {
     fn from(f: DatasetFile) -> Self {
-        Dataset::new(f.n_users, f.n_items, f.behaviors, f.social_pairs, f.item_thresholds)
+        Dataset::new(
+            f.n_users,
+            f.n_items,
+            f.behaviors,
+            f.social_pairs,
+            f.item_thresholds,
+        )
     }
 }
 

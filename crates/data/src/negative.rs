@@ -22,14 +22,20 @@ pub struct NegativeSampler {
 impl NegativeSampler {
     /// Builds the sampler from a dataset's interaction sets.
     pub fn from_dataset(dataset: &Dataset) -> Self {
-        Self { n_items: dataset.n_items(), interacted: dataset.interacted_items() }
+        Self {
+            n_items: dataset.n_items(),
+            interacted: dataset.interacted_items(),
+        }
     }
 
     /// Builds a sampler from explicit per-user positive lists (each list
     /// must be sorted).
     pub fn from_positives(n_items: usize, interacted: Vec<Vec<u32>>) -> Self {
         debug_assert!(interacted.iter().all(|l| l.windows(2).all(|w| w[0] < w[1])));
-        Self { n_items, interacted }
+        Self {
+            n_items,
+            interacted,
+        }
     }
 
     /// Whether `user` has interacted with `item` in any role.

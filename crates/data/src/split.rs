@@ -59,13 +59,19 @@ pub fn leave_one_out(dataset: &Dataset, seed: u64) -> Split {
         let test_idx = indices[0];
         held_out[test_idx] = true;
         let b = &dataset.behaviors()[test_idx];
-        test.push(TestInstance { user: user as u32, item: b.item });
+        test.push(TestInstance {
+            user: user as u32,
+            item: b.item,
+        });
 
         if indices.len() >= 3 {
             let val_idx = indices[1];
             held_out[val_idx] = true;
             let vb = &dataset.behaviors()[val_idx];
-            validation.push(TestInstance { user: user as u32, item: vb.item });
+            validation.push(TestInstance {
+                user: user as u32,
+                item: vb.item,
+            });
         }
     }
 
@@ -77,7 +83,11 @@ pub fn leave_one_out(dataset: &Dataset, seed: u64) -> Split {
         .map(|(_, b)| b.clone())
         .collect();
 
-    Split { train: dataset.with_behaviors(train_behaviors), test, validation }
+    Split {
+        train: dataset.with_behaviors(train_behaviors),
+        test,
+        validation,
+    }
 }
 
 #[cfg(test)]
@@ -89,8 +99,7 @@ mod tests {
     fn split_is_disjoint_and_complete() {
         let d = generate(&SynthConfig::tiny());
         let split = leave_one_out(&d, 1);
-        let total =
-            split.train.behaviors().len() + split.test.len() + split.validation.len();
+        let total = split.train.behaviors().len() + split.test.len() + split.validation.len();
         assert_eq!(total, d.behaviors().len());
     }
 
@@ -113,7 +122,11 @@ mod tests {
             launches[b.initiator as usize] += 1;
         }
         for t in &split.test {
-            assert!(launches[t.user as usize] >= 1, "user {} lost all train data", t.user);
+            assert!(
+                launches[t.user as usize] >= 1,
+                "user {} lost all train data",
+                t.user
+            );
         }
     }
 

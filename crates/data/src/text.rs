@@ -128,7 +128,13 @@ pub fn assemble(
     for (i, t) in thresholds {
         item_thresholds[i as usize] = t;
     }
-    Ok(Dataset::new(n_users, n_items, behaviors, social, item_thresholds))
+    Ok(Dataset::new(
+        n_users,
+        n_items,
+        behaviors,
+        social,
+        item_thresholds,
+    ))
 }
 
 fn parse_id(field: Option<&str>, what: &str, lineno: usize) -> std::io::Result<u32> {
@@ -199,7 +205,12 @@ mod tests {
 
     #[test]
     fn missing_thresholds_default_to_one() {
-        let d = assemble(parse_behaviors(BEHAVIORS.as_bytes()).unwrap(), vec![], vec![]).unwrap();
+        let d = assemble(
+            parse_behaviors(BEHAVIORS.as_bytes()).unwrap(),
+            vec![],
+            vec![],
+        )
+        .unwrap();
         assert!(d.item_thresholds().iter().all(|&t| t == 1));
     }
 

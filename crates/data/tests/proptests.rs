@@ -9,7 +9,11 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn small_config(seed: u64) -> SynthConfig {
-    SynthConfig { n_users: 80, n_items: 30, ..SynthConfig::tiny().with_seed(seed) }
+    SynthConfig {
+        n_users: 80,
+        n_items: 30,
+        ..SynthConfig::tiny().with_seed(seed)
+    }
 }
 
 proptest! {

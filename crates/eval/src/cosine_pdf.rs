@@ -13,7 +13,9 @@ use gb_tensor::{kernels, Matrix};
 /// Row-wise cosine similarities between two matrices of equal shape.
 pub fn rowwise_cosine(a: &Matrix, b: &Matrix) -> Vec<f32> {
     assert_eq!(a.shape(), b.shape(), "cosine inputs must align");
-    (0..a.rows()).map(|r| kernels::cosine_similarity(a.row(r), b.row(r))).collect()
+    (0..a.rows())
+        .map(|r| kernels::cosine_similarity(a.row(r), b.row(r)))
+        .collect()
 }
 
 /// One bin of an empirical probability-density estimate.
@@ -123,10 +125,7 @@ mod tests {
         let a = Matrix::full(4, 3, 1.0);
         let pdf = cosine_pdf(&a, &a, 8);
         assert_eq!(pdf.len(), 8);
-        let total: f32 = pdf
-            .iter()
-            .map(|b| b.density)
-            .sum::<f32>();
+        let total: f32 = pdf.iter().map(|b| b.density).sum::<f32>();
         assert!(total > 0.0);
     }
 }

@@ -11,6 +11,8 @@
 //! * [`stats`] — paired significance testing (the paper reports
 //!   p < 0.05);
 //! * [`timing`] — wall-clock helpers for the Table IV efficiency study;
+//! * [`topk`] — reference materialize-and-sort top-K ranking, the
+//!   baseline the `gb-serve` engine is validated and benchmarked against;
 //! * [`cosine_pdf`] — the cosine-similarity probability-density curves of
 //!   Fig. 5;
 //! * [`tsne`] — exact t-SNE [41] for the embedding visualization of
@@ -21,10 +23,12 @@ pub mod metrics;
 pub mod protocol;
 pub mod stats;
 pub mod timing;
+pub mod topk;
 pub mod tsne;
 
 pub use metrics::RankingMetrics;
 pub use protocol::{CandidateSet, EvalProtocol, Scorer};
 pub use stats::{paired_t_test, TTest};
 pub use timing::Stopwatch;
+pub use topk::reference_topk;
 pub use tsne::TsneConfig;

@@ -65,13 +65,19 @@ pub struct RankingMetrics {
 impl RankingMetrics {
     /// Creates an empty accumulator for the given cutoffs.
     pub fn new(ks: Vec<usize>) -> Self {
-        Self { ks, per_user_recall: Vec::new(), per_user_ndcg: Vec::new() }
+        Self {
+            ks,
+            per_user_recall: Vec::new(),
+            per_user_ndcg: Vec::new(),
+        }
     }
 
     /// Records one test instance by the test item's 0-based rank.
     pub fn push_rank(&mut self, rank: usize) {
-        self.per_user_recall.push(self.ks.iter().map(|&k| recall_at_k(rank, k)).collect());
-        self.per_user_ndcg.push(self.ks.iter().map(|&k| ndcg_at_k(rank, k)).collect());
+        self.per_user_recall
+            .push(self.ks.iter().map(|&k| recall_at_k(rank, k)).collect());
+        self.per_user_ndcg
+            .push(self.ks.iter().map(|&k| ndcg_at_k(rank, k)).collect());
     }
 
     /// Number of evaluated instances.

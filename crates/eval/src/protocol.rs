@@ -47,7 +47,11 @@ pub struct EvalProtocol {
 
 impl Default for EvalProtocol {
     fn default() -> Self {
-        Self { candidates: CandidateSet::Sampled(999), ks: vec![3, 5, 10, 20], seed: 0x5eed }
+        Self {
+            candidates: CandidateSet::Sampled(999),
+            ks: vec![3, 5, 10, 20],
+            seed: 0x5eed,
+        }
     }
 }
 
@@ -59,7 +63,10 @@ impl EvalProtocol {
 
     /// Protocol ranking against all unobserved items.
     pub fn exhaustive() -> Self {
-        Self { candidates: CandidateSet::AllUnobserved, ..Self::default() }
+        Self {
+            candidates: CandidateSet::AllUnobserved,
+            ..Self::default()
+        }
     }
 
     /// Evaluates `scorer` on `instances`.
@@ -106,8 +113,11 @@ impl EvalProtocol {
                 // The held-out item is not a training positive, so exclude
                 // it explicitly; fall back to exhaustive when the catalogue
                 // is too small for n distinct draws.
-                let exclude_test =
-                    if sampler.is_positive(inst.user, inst.item) { 0 } else { 1 };
+                let exclude_test = if sampler.is_positive(inst.user, inst.item) {
+                    0
+                } else {
+                    1
+                };
                 let available = n_items - sampler.n_positives(inst.user) - exclude_test;
                 if available <= n {
                     all_unobserved()

@@ -44,13 +44,23 @@ pub fn paired_t_test(a: &[f32], b: &[f32]) -> TTest {
         // All differences identical: either exactly zero (p = 1) or a
         // deterministic shift (p -> 0).
         let p = if mean == 0.0 { 1.0 } else { 0.0 };
-        return TTest { t: if mean == 0.0 { 0.0 } else { f64::INFINITY }, df, p_two_sided: p, mean_diff: mean };
+        return TTest {
+            t: if mean == 0.0 { 0.0 } else { f64::INFINITY },
+            df,
+            p_two_sided: p,
+            mean_diff: mean,
+        };
     }
 
     let se = (var / n as f64).sqrt();
     let t = mean / se;
     let p = 2.0 * student_t_sf(t.abs(), df);
-    TTest { t, df, p_two_sided: p.clamp(0.0, 1.0), mean_diff: mean }
+    TTest {
+        t,
+        df,
+        p_two_sided: p.clamp(0.0, 1.0),
+        mean_diff: mean,
+    }
 }
 
 /// Survival function `P(T > t)` of Student's t with `df` degrees of
@@ -182,7 +192,9 @@ mod tests {
 
     #[test]
     fn clear_improvement_is_significant() {
-        let a: Vec<f32> = (0..40).map(|i| 0.5 + 0.01 * ((i % 5) as f32) + 0.1).collect();
+        let a: Vec<f32> = (0..40)
+            .map(|i| 0.5 + 0.01 * ((i % 5) as f32) + 0.1)
+            .collect();
         let b: Vec<f32> = (0..40).map(|i| 0.5 + 0.01 * ((i % 5) as f32)).collect();
         let r = paired_t_test(&a, &b);
         assert!(r.mean_diff > 0.0);
@@ -192,8 +204,12 @@ mod tests {
     #[test]
     fn noisy_equal_means_not_significant() {
         // Alternating +-e differences cancel out.
-        let a: Vec<f32> = (0..50).map(|i| if i % 2 == 0 { 0.6 } else { 0.4 }).collect();
-        let b: Vec<f32> = (0..50).map(|i| if i % 2 == 0 { 0.4 } else { 0.6 }).collect();
+        let a: Vec<f32> = (0..50)
+            .map(|i| if i % 2 == 0 { 0.6 } else { 0.4 })
+            .collect();
+        let b: Vec<f32> = (0..50)
+            .map(|i| if i % 2 == 0 { 0.4 } else { 0.6 })
+            .collect();
         let r = paired_t_test(&a, &b);
         assert!((r.mean_diff).abs() < 1e-9);
         assert!(!r.significant_at(0.05));

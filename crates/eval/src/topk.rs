@@ -1,0 +1,120 @@
+//! Reference top-K ranking over a [`Scorer`].
+//!
+//! This is the *offline* way to answer "top-K items for user u": score
+//! every candidate, materialize the full vector, sort it, truncate. It is
+//! deliberately simple — `gb-serve`'s heap-based engine must provably
+//! return the same ranking, and the serving benchmark measures how much
+//! the engine beats this baseline by.
+
+use crate::protocol::Scorer;
+
+/// Total order used for rankings everywhere in this workspace:
+/// descending score, ties broken by ascending item id. A shared,
+/// deterministic tie-break is what makes served and offline rankings
+/// comparable element-for-element. Scores compare via
+/// [`f32::total_cmp`], so the order stays total (and sorting stays
+/// panic-free) even if non-finite scores slip through.
+#[inline]
+pub fn ranks_before(a: (u32, f32), b: (u32, f32)) -> bool {
+    match a.1.total_cmp(&b.1) {
+        std::cmp::Ordering::Greater => true,
+        std::cmp::Ordering::Equal => a.0 < b.0,
+        std::cmp::Ordering::Less => false,
+    }
+}
+
+/// Scores `candidates` with `scorer` and returns the `k` best
+/// `(item, score)` pairs under [`ranks_before`], best first.
+///
+/// Materializes and fully sorts all candidate scores — the baseline the
+/// serving engine is validated against. `k` larger than the candidate
+/// count returns the full ranking.
+pub fn reference_topk(
+    scorer: &dyn Scorer,
+    user: u32,
+    candidates: &[u32],
+    k: usize,
+) -> Vec<(u32, f32)> {
+    let scores = scorer.score_items(user, candidates);
+    let mut ranked: Vec<(u32, f32)> = candidates.iter().copied().zip(scores).collect();
+    ranked.sort_by(|&a, &b| {
+        if ranks_before(a, b) {
+            std::cmp::Ordering::Less
+        } else if ranks_before(b, a) {
+            std::cmp::Ordering::Greater
+        } else {
+            std::cmp::Ordering::Equal
+        }
+    });
+    ranked.truncate(k);
+    ranked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Mod7;
+    impl Scorer for Mod7 {
+        fn score_items(&self, _user: u32, items: &[u32]) -> Vec<f32> {
+            items.iter().map(|&i| (i % 7) as f32).collect()
+        }
+    }
+
+    #[test]
+    fn returns_best_first_with_id_tiebreak() {
+        let candidates: Vec<u32> = (0..20).collect();
+        let top = reference_topk(&Mod7, 0, &candidates, 5);
+        // Scores 6 appear at items 6 and 13; 5 at 5, 12, 19.
+        assert_eq!(
+            top,
+            vec![(6, 6.0), (13, 6.0), (5, 5.0), (12, 5.0), (19, 5.0)]
+        );
+    }
+
+    #[test]
+    fn k_beyond_candidates_returns_all() {
+        let top = reference_topk(&Mod7, 0, &[3, 1], 10);
+        assert_eq!(top.len(), 2);
+        assert_eq!(top[0].0, 3);
+    }
+
+    #[test]
+    fn ordering_predicate_is_total_on_distinct_pairs() {
+        let a = (1u32, 2.0f32);
+        let b = (2u32, 2.0f32);
+        assert!(ranks_before(a, b) && !ranks_before(b, a));
+        let c = (0u32, 3.0f32);
+        assert!(ranks_before(c, a) && !ranks_before(a, c));
+    }
+
+    #[test]
+    fn ordering_stays_total_with_non_finite_scores() {
+        // total_cmp puts +NaN above +inf; what matters is that exactly
+        // one direction holds for every distinct pair (no sort panic).
+        let pairs = [
+            (0u32, f32::NAN),
+            (1u32, f32::INFINITY),
+            (2u32, 1.0),
+            (3u32, f32::NEG_INFINITY),
+            (4u32, f32::NAN),
+        ];
+        for &x in &pairs {
+            assert!(!ranks_before(x, x));
+            for &y in &pairs {
+                if x.0 != y.0 {
+                    assert!(ranks_before(x, y) != ranks_before(y, x), "{x:?} vs {y:?}");
+                }
+            }
+        }
+        let mut v = pairs.to_vec();
+        v.sort_by(|&a, &b| {
+            if ranks_before(a, b) {
+                std::cmp::Ordering::Less
+            } else {
+                std::cmp::Ordering::Greater
+            }
+        });
+        assert!(v[0].1.is_nan());
+    }
+}

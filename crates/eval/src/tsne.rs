@@ -53,8 +53,16 @@ pub fn tsne(x: &Matrix, cfg: &TsneConfig) -> Matrix {
     let mut gains = vec![[1.0f64; 2]; n];
 
     for iter in 0..cfg.n_iter {
-        let exaggeration = if iter < cfg.exaggeration_iters { 12.0 } else { 1.0 };
-        let momentum = if iter < cfg.exaggeration_iters { 0.5 } else { 0.8 };
+        let exaggeration = if iter < cfg.exaggeration_iters {
+            12.0
+        } else {
+            1.0
+        };
+        let momentum = if iter < cfg.exaggeration_iters {
+            0.5
+        } else {
+            0.8
+        };
 
         // Student-t affinities in the embedding.
         let mut q_num = vec![0.0f64; n * n];
@@ -92,8 +100,7 @@ pub fn tsne(x: &Matrix, cfg: &TsneConfig) -> Matrix {
                 } else {
                     gains[i][d] += 0.2;
                 }
-                velocity[i][d] =
-                    momentum * velocity[i][d] - cfg.learning_rate * gains[i][d] * g;
+                velocity[i][d] = momentum * velocity[i][d] - cfg.learning_rate * gains[i][d] * g;
             }
         }
         for i in 0..n {
@@ -146,15 +153,19 @@ fn joint_probabilities(x: &Matrix, perplexity: f64) -> Vec<f64> {
         for _ in 0..64 {
             let mut sum = 0.0f64;
             for j in 0..n {
-                row[j] = if j == i { 0.0 } else { (-beta * d2[i * n + j]).exp() };
+                row[j] = if j == i {
+                    0.0
+                } else {
+                    (-beta * d2[i * n + j]).exp()
+                };
                 sum += row[j];
             }
             let sum = sum.max(1e-300);
             // Shannon entropy of the conditional distribution.
             let mut entropy = 0.0f64;
-            for j in 0..n {
-                if row[j] > 0.0 {
-                    let pj = row[j] / sum;
+            for &rj in row.iter().take(n) {
+                if rj > 0.0 {
+                    let pj = rj / sum;
                     entropy -= pj * pj.ln();
                 }
             }
@@ -164,7 +175,11 @@ fn joint_probabilities(x: &Matrix, perplexity: f64) -> Vec<f64> {
             }
             if diff > 0.0 {
                 beta_min = beta;
-                beta = if beta_max.is_finite() { 0.5 * (beta + beta_max) } else { beta * 2.0 };
+                beta = if beta_max.is_finite() {
+                    0.5 * (beta + beta_max)
+                } else {
+                    beta * 2.0
+                };
             } else {
                 beta_max = beta;
                 beta = 0.5 * (beta + beta_min);
@@ -172,7 +187,11 @@ fn joint_probabilities(x: &Matrix, perplexity: f64) -> Vec<f64> {
         }
         let mut sum = 0.0f64;
         for j in 0..n {
-            row[j] = if j == i { 0.0 } else { (-beta * d2[i * n + j]).exp() };
+            row[j] = if j == i {
+                0.0
+            } else {
+                (-beta * d2[i * n + j]).exp()
+            };
             sum += row[j];
         }
         let sum = sum.max(1e-300);
@@ -202,9 +221,27 @@ mod tests {
         let m = Matrix::from_fn(n, 8, |r, c| {
             let cluster = r / per_cluster;
             let base = match cluster {
-                0 => if c == 0 { 10.0 } else { 0.0 },
-                1 => if c == 1 { 10.0 } else { 0.0 },
-                _ => if c == 2 { 10.0 } else { 0.0 },
+                0 => {
+                    if c == 0 {
+                        10.0
+                    } else {
+                        0.0
+                    }
+                }
+                1 => {
+                    if c == 1 {
+                        10.0
+                    } else {
+                        0.0
+                    }
+                }
+                _ => {
+                    if c == 2 {
+                        10.0
+                    } else {
+                        0.0
+                    }
+                }
             };
             // Deterministic small jitter.
             base + 0.1 * ((r * 31 + c * 17) % 7) as f32 / 7.0
@@ -270,7 +307,11 @@ mod tests {
     #[test]
     fn deterministic_per_seed() {
         let (x, _) = clustered_input(4);
-        let cfg = TsneConfig { n_iter: 50, perplexity: 4.0, ..TsneConfig::default() };
+        let cfg = TsneConfig {
+            n_iter: 50,
+            perplexity: 4.0,
+            ..TsneConfig::default()
+        };
         let a = tsne(&x, &cfg);
         let b = tsne(&x, &cfg);
         assert_eq!(a, b);
@@ -279,7 +320,11 @@ mod tests {
     #[test]
     fn output_is_centered() {
         let (x, _) = clustered_input(4);
-        let cfg = TsneConfig { n_iter: 30, perplexity: 4.0, ..TsneConfig::default() };
+        let cfg = TsneConfig {
+            n_iter: 30,
+            perplexity: 4.0,
+            ..TsneConfig::default()
+        };
         let y = tsne(&x, &cfg);
         let mean_x: f32 = (0..y.rows()).map(|r| y.get(r, 0)).sum::<f32>() / y.rows() as f32;
         let mean_y: f32 = (0..y.rows()).map(|r| y.get(r, 1)).sum::<f32>() / y.rows() as f32;

@@ -26,7 +26,12 @@ impl Bipartite {
         }
         let user_to_item = Csr::from_edges(n_users, pairs);
         let item_to_user = user_to_item.reversed(n_items);
-        Self { user_to_item, item_to_user, n_users, n_items }
+        Self {
+            user_to_item,
+            item_to_user,
+            n_users,
+            n_items,
+        }
     }
 
     /// View with no interactions.

@@ -39,12 +39,18 @@ impl Csr {
             members.extend_from_slice(list);
             offsets.push(members.len());
         }
-        Self { offsets: Rc::new(offsets), members: Rc::new(members) }
+        Self {
+            offsets: Rc::new(offsets),
+            members: Rc::new(members),
+        }
     }
 
     /// An empty CSR with `n_src` sources and no edges.
     pub fn empty(n_src: usize) -> Self {
-        Self { offsets: Rc::new(vec![0; n_src + 1]), members: Rc::new(Vec::new()) }
+        Self {
+            offsets: Rc::new(vec![0; n_src + 1]),
+            members: Rc::new(Vec::new()),
+        }
     }
 
     /// Number of source nodes.
@@ -99,12 +105,17 @@ impl Csr {
 
     /// Maximum out-degree.
     pub fn max_degree(&self) -> usize {
-        (0..self.n_nodes() as u32).map(|u| self.degree(u)).max().unwrap_or(0)
+        (0..self.n_nodes() as u32)
+            .map(|u| self.degree(u))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Number of nodes with at least one neighbour.
     pub fn active_nodes(&self) -> usize {
-        (0..self.n_nodes() as u32).filter(|&u| self.degree(u) > 0).count()
+        (0..self.n_nodes() as u32)
+            .filter(|&u| self.degree(u) > 0)
+            .count()
     }
 
     /// Reverses the graph: produces the CSR of incoming edges over
@@ -113,7 +124,10 @@ impl Csr {
         let mut edges = Vec::with_capacity(self.n_edges());
         for u in 0..self.n_nodes() as u32 {
             for &v in self.neighbors(u) {
-                assert!((v as usize) < n_dst, "dst {v} out of bounds (n_dst = {n_dst})");
+                assert!(
+                    (v as usize) < n_dst,
+                    "dst {v} out of bounds (n_dst = {n_dst})"
+                );
                 edges.push((v, u));
             }
         }
@@ -122,8 +136,7 @@ impl Csr {
 
     /// Iterates all `(src, dst)` edges.
     pub fn edges(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
-        (0..self.n_nodes() as u32)
-            .flat_map(move |u| self.neighbors(u).iter().map(move |&v| (u, v)))
+        (0..self.n_nodes() as u32).flat_map(move |u| self.neighbors(u).iter().map(move |&v| (u, v)))
     }
 }
 

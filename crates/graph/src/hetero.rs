@@ -73,7 +73,10 @@ impl HeteroBuilder {
     /// contribute their initiator–item edge: the initiator *did* purchase
     /// and launch (Sec. III-C.1).
     pub fn add_behavior(&mut self, initiator: u32, item: u32, participants: &[u32]) {
-        assert!((initiator as usize) < self.n_users, "initiator out of bounds");
+        assert!(
+            (initiator as usize) < self.n_users,
+            "initiator out of bounds"
+        );
         assert!((item as usize) < self.n_items, "item out of bounds");
         self.init_edges.push((initiator, item));
         for &p in participants {
@@ -87,11 +90,7 @@ impl HeteroBuilder {
     pub fn build(self) -> HeteroGraphs {
         HeteroGraphs {
             initiator: Bipartite::from_interactions(self.n_users, self.n_items, &self.init_edges),
-            participant: Bipartite::from_interactions(
-                self.n_users,
-                self.n_items,
-                &self.part_edges,
-            ),
+            participant: Bipartite::from_interactions(self.n_users, self.n_items, &self.part_edges),
             share: ShareGraph::from_edges(self.n_users, &self.share_edges),
         }
     }

@@ -19,12 +19,14 @@
 //! matching the convention of DGL graphs built from unique edges.
 
 pub mod bipartite;
+pub mod bitset;
 pub mod csr;
 pub mod hetero;
 pub mod share;
 pub mod social;
 
 pub use bipartite::Bipartite;
+pub use bitset::BitMatrix;
 pub use csr::Csr;
 pub use hetero::{HeteroBuilder, HeteroGraphs};
 pub use share::ShareGraph;

@@ -29,7 +29,10 @@ impl ShareGraph {
 
     /// Graph with no share edges.
     pub fn empty(n_users: usize) -> Self {
-        Self { out: Csr::empty(n_users), inc: Csr::empty(n_users) }
+        Self {
+            out: Csr::empty(n_users),
+            inc: Csr::empty(n_users),
+        }
     }
 
     /// Number of users.

@@ -18,18 +18,25 @@ impl SocialGraph {
     pub fn from_pairs(n_users: usize, pairs: &[(u32, u32)]) -> Self {
         let mut edges = Vec::with_capacity(pairs.len() * 2);
         for &(a, b) in pairs {
-            assert!((a as usize) < n_users && (b as usize) < n_users, "user out of bounds");
+            assert!(
+                (a as usize) < n_users && (b as usize) < n_users,
+                "user out of bounds"
+            );
             if a != b {
                 edges.push((a, b));
                 edges.push((b, a));
             }
         }
-        Self { adj: Csr::from_edges(n_users, &edges) }
+        Self {
+            adj: Csr::from_edges(n_users, &edges),
+        }
     }
 
     /// Graph with no friendships.
     pub fn empty(n_users: usize) -> Self {
-        Self { adj: Csr::empty(n_users) }
+        Self {
+            adj: Csr::empty(n_users),
+        }
     }
 
     /// Number of users.

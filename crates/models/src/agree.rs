@@ -84,14 +84,18 @@ impl Agree {
     }
 
     /// Flattens member lists of the given groups into CSR form.
-    fn flatten(groups: &GroupData, group_ids: &[u32], items: &[u32]) -> (Vec<u32>, Vec<u32>, Vec<usize>) {
+    fn flatten(
+        groups: &GroupData,
+        group_ids: &[u32],
+        items: &[u32],
+    ) -> (Vec<u32>, Vec<u32>, Vec<usize>) {
         let mut flat = Vec::new();
         let mut per_member_items = Vec::new();
         let mut offsets = vec![0usize];
         for (&g, &it) in group_ids.iter().zip(items) {
             let members = &groups.members[g as usize];
             flat.extend_from_slice(members);
-            per_member_items.extend(std::iter::repeat(it).take(members.len()));
+            per_member_items.extend(std::iter::repeat_n(it, members.len()));
             offsets.push(flat.len());
         }
         (flat, per_member_items, offsets)
@@ -110,15 +114,31 @@ impl Recommender for Agree {
 
         let mut store = ParamStore::new();
         let d = cfg.dim;
-        let user_emb = store.add("agree.user", init::xavier_uniform(train.n_users(), d, &mut rng));
-        let item_emb = store.add("agree.item", init::xavier_uniform(train.n_items(), d, &mut rng));
-        let group_pref =
-            store.add("agree.group", init::xavier_uniform(train.n_users(), d, &mut rng));
+        let user_emb = store.add(
+            "agree.user",
+            init::xavier_uniform(train.n_users(), d, &mut rng),
+        );
+        let item_emb = store.add(
+            "agree.item",
+            init::xavier_uniform(train.n_items(), d, &mut rng),
+        );
+        let group_pref = store.add(
+            "agree.group",
+            init::xavier_uniform(train.n_users(), d, &mut rng),
+        );
         let att_w = store.add("agree.att.w", init::xavier_uniform(2 * d, 1, &mut rng));
         let att_b = store.add("agree.att.b", Matrix::zeros(1, 1));
         let mut adam = Adam::new(AdamConfig::with_lr(cfg.lr), &store);
 
-        let mut state = AgreeState { store, user_emb, item_emb, group_pref, att_w, att_b, groups };
+        let mut state = AgreeState {
+            store,
+            user_emb,
+            item_emb,
+            group_pref,
+            att_w,
+            att_b,
+            groups,
+        };
         let sampler = NegativeSampler::from_dataset(train);
         let activities = state.groups.group_items.clone();
 
@@ -253,7 +273,13 @@ mod tests {
 
     #[test]
     fn learns_group_preferences() {
-        let cfg = TrainConfig { dim: 8, epochs: 200, batch_size: 8, lr: 0.03, ..Default::default() };
+        let cfg = TrainConfig {
+            dim: 8,
+            epochs: 200,
+            batch_size: 8,
+            lr: 0.03,
+            ..Default::default()
+        };
         let mut m = Agree::new(cfg);
         m.fit(&toy());
         let s = m.score_items(0, &[0, 1, 2, 3]);
@@ -262,7 +288,12 @@ mod tests {
 
     #[test]
     fn tape_and_plain_scoring_agree() {
-        let cfg = TrainConfig { dim: 8, epochs: 2, batch_size: 4, ..Default::default() };
+        let cfg = TrainConfig {
+            dim: 8,
+            epochs: 2,
+            batch_size: 4,
+            ..Default::default()
+        };
         let mut m = Agree::new(cfg);
         m.fit(&toy());
         let s = m.state.as_ref().unwrap();
@@ -298,7 +329,11 @@ mod tests {
             vec![(0, 1)],
             vec![1; 2],
         );
-        let cfg = TrainConfig { dim: 4, epochs: 2, ..Default::default() };
+        let cfg = TrainConfig {
+            dim: 4,
+            epochs: 2,
+            ..Default::default()
+        };
         let mut m = Agree::new(cfg);
         let report = m.fit(&d);
         assert_eq!(report.epochs, 2);

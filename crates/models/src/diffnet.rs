@@ -1,6 +1,8 @@
 //! DiffNet [11]: layered social influence diffusion.
 
-use crate::common::{add_l2, bpr_loss, dot_scores, shuffled_batches, Recommender, TrainConfig, TrainReport};
+use crate::common::{
+    add_l2, bpr_loss, dot_scores, shuffled_batches, Recommender, TrainConfig, TrainReport,
+};
 use gb_autograd::{Adam, AdamConfig, ParamId, ParamStore, Tape, Var};
 use gb_data::convert::{to_pairs, InteractionKind};
 use gb_data::{Dataset, NegativeSampler};
@@ -56,7 +58,12 @@ fn diffuse(
 impl DiffNet {
     /// Creates an untrained DiffNet with diffusion depth 2.
     pub fn new(cfg: TrainConfig) -> Self {
-        Self { cfg, depth: 2, user_final: Matrix::zeros(0, 0), item_emb: Matrix::zeros(0, 0) }
+        Self {
+            cfg,
+            depth: 2,
+            user_final: Matrix::zeros(0, 0),
+            item_emb: Matrix::zeros(0, 0),
+        }
     }
 }
 
@@ -69,8 +76,14 @@ impl Recommender for DiffNet {
         let cfg = self.cfg.clone();
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let mut store = ParamStore::new();
-        let u = store.add("diffnet.user", init::xavier_uniform(train.n_users(), cfg.dim, &mut rng));
-        let v = store.add("diffnet.item", init::xavier_uniform(train.n_items(), cfg.dim, &mut rng));
+        let u = store.add(
+            "diffnet.user",
+            init::xavier_uniform(train.n_users(), cfg.dim, &mut rng),
+        );
+        let v = store.add(
+            "diffnet.item",
+            init::xavier_uniform(train.n_items(), cfg.dim, &mut rng),
+        );
         let mut adam = Adam::new(AdamConfig::with_lr(cfg.lr), &store);
 
         let pairs = to_pairs(train, InteractionKind::BothRoles);
@@ -152,7 +165,13 @@ mod tests {
             GroupBehavior::new(1, 3, vec![]),
         ];
         let d = Dataset::new(2, 4, behaviors, vec![], vec![1; 4]);
-        let cfg = TrainConfig { dim: 8, epochs: 200, batch_size: 8, lr: 0.05, ..Default::default() };
+        let cfg = TrainConfig {
+            dim: 8,
+            epochs: 200,
+            batch_size: 8,
+            lr: 0.05,
+            ..Default::default()
+        };
         let mut m = DiffNet::new(cfg);
         m.fit(&d);
         let s = m.score_items(0, &[0, 1, 2, 3]);
@@ -161,9 +180,16 @@ mod tests {
 
     #[test]
     fn friendless_users_still_get_finite_scores() {
-        let behaviors = vec![GroupBehavior::new(0, 0, vec![]), GroupBehavior::new(1, 1, vec![])];
+        let behaviors = vec![
+            GroupBehavior::new(0, 0, vec![]),
+            GroupBehavior::new(1, 1, vec![]),
+        ];
         let d = Dataset::new(2, 2, behaviors, vec![], vec![1; 2]);
-        let cfg = TrainConfig { dim: 4, epochs: 3, ..Default::default() };
+        let cfg = TrainConfig {
+            dim: 4,
+            epochs: 3,
+            ..Default::default()
+        };
         let mut m = DiffNet::new(cfg);
         m.fit(&d);
         assert!(m.score_items(0, &[0, 1]).iter().all(|s| s.is_finite()));
@@ -180,10 +206,19 @@ mod tests {
             GroupBehavior::new(1, 1, vec![]),
         ];
         let d = Dataset::new(2, 3, behaviors, vec![(0, 1)], vec![1; 3]);
-        let cfg = TrainConfig { dim: 8, epochs: 150, batch_size: 8, lr: 0.05, ..Default::default() };
+        let cfg = TrainConfig {
+            dim: 8,
+            epochs: 150,
+            batch_size: 8,
+            lr: 0.05,
+            ..Default::default()
+        };
         let mut m = DiffNet::new(cfg);
         m.fit(&d);
         let s = m.score_items(1, &[0, 2]);
-        assert!(s[0] > s[1], "friend-endorsed item should outrank cold item: {s:?}");
+        assert!(
+            s[0] > s[1],
+            "friend-endorsed item should outrank cold item: {s:?}"
+        );
     }
 }

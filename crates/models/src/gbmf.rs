@@ -24,7 +24,10 @@ pub struct GbmfConfig {
 
 impl Default for GbmfConfig {
     fn default() -> Self {
-        Self { base: TrainConfig::default(), alpha: 0.5 }
+        Self {
+            base: TrainConfig::default(),
+            alpha: 0.5,
+        }
     }
 }
 
@@ -75,6 +78,11 @@ impl Gbmf {
     pub fn alpha(&self) -> f32 {
         self.cfg.alpha
     }
+
+    /// The trained `(user, item, friend_mean)` tables (empty pre-fit).
+    pub fn tables(&self) -> (&Matrix, &Matrix, &Matrix) {
+        (&self.user_emb, &self.item_emb, &self.friend_mean)
+    }
 }
 
 impl Recommender for Gbmf {
@@ -87,13 +95,22 @@ impl Recommender for Gbmf {
         let base = &cfg.base;
         let mut rng = StdRng::seed_from_u64(base.seed);
         let mut store = ParamStore::new();
-        let u = store.add("gbmf.user", init::xavier_uniform(train.n_users(), base.dim, &mut rng));
-        let v = store.add("gbmf.item", init::xavier_uniform(train.n_items(), base.dim, &mut rng));
+        let u = store.add(
+            "gbmf.user",
+            init::xavier_uniform(train.n_users(), base.dim, &mut rng),
+        );
+        let v = store.add(
+            "gbmf.item",
+            init::xavier_uniform(train.n_items(), base.dim, &mut rng),
+        );
         let mut adam = Adam::new(AdamConfig::with_lr(base.lr), &store);
 
         // GBMF trains on launches (initiator-item), the task's positives.
-        let launches: Vec<(u32, u32)> =
-            train.behaviors().iter().map(|b| (b.initiator, b.item)).collect();
+        let launches: Vec<(u32, u32)> = train
+            .behaviors()
+            .iter()
+            .map(|b| (b.initiator, b.item))
+            .collect();
         let sampler = NegativeSampler::from_dataset(train);
         let social: Csr = train.social().csr().clone();
 
@@ -119,12 +136,10 @@ impl Recommender for Gbmf {
 
                 let mut tape = Tape::new();
                 let u_full = tape.param(&store, u);
-                let friend_mean =
-                    tape.segment_mean(u_full, social.offsets(), social.members());
+                let friend_mean = tape.segment_mean(u_full, social.offsets(), social.members());
                 let pe = tape.gather_param(&store, v, Rc::new(pos));
                 let ne = tape.gather_param(&store, v, Rc::new(neg));
-                let pos_s =
-                    eq9_score(&mut tape, u_full, friend_mean, pe, users.clone(), cfg.alpha);
+                let pos_s = eq9_score(&mut tape, u_full, friend_mean, pe, users.clone(), cfg.alpha);
                 let neg_s = eq9_score(&mut tape, u_full, friend_mean, ne, users.clone(), cfg.alpha);
                 let loss = bpr_loss(&mut tape, pos_s, neg_s);
                 let ue = tape.gather(u_full, users);
@@ -144,11 +159,8 @@ impl Recommender for Gbmf {
 
         self.user_emb = store.value(u).clone();
         self.item_emb = store.value(v).clone();
-        self.friend_mean = kernels::segment_mean(
-            &self.user_emb,
-            &social.offsets(),
-            &social.members(),
-        );
+        self.friend_mean =
+            kernels::segment_mean(&self.user_emb, &social.offsets(), &social.members());
         TrainReport {
             epochs: base.epochs,
             mean_epoch_secs: elapsed / base.epochs.max(1) as f64,
@@ -196,7 +208,13 @@ mod tests {
     #[test]
     fn learns_launch_preferences() {
         let cfg = GbmfConfig {
-            base: TrainConfig { dim: 8, epochs: 200, batch_size: 8, lr: 0.03, ..Default::default() },
+            base: TrainConfig {
+                dim: 8,
+                epochs: 200,
+                batch_size: 8,
+                lr: 0.03,
+                ..Default::default()
+            },
             alpha: 0.4,
         };
         let mut m = Gbmf::new(cfg);
@@ -208,7 +226,12 @@ mod tests {
     #[test]
     fn alpha_zero_equals_pure_dot_product() {
         let cfg = GbmfConfig {
-            base: TrainConfig { dim: 8, epochs: 10, batch_size: 8, ..Default::default() },
+            base: TrainConfig {
+                dim: 8,
+                epochs: 10,
+                batch_size: 8,
+                ..Default::default()
+            },
             alpha: 0.0,
         };
         let mut m = Gbmf::new(cfg);
@@ -233,7 +256,12 @@ mod tests {
     #[test]
     fn alpha_one_scores_only_through_friends() {
         let cfg = GbmfConfig {
-            base: TrainConfig { dim: 8, epochs: 10, batch_size: 8, ..Default::default() },
+            base: TrainConfig {
+                dim: 8,
+                epochs: 10,
+                batch_size: 8,
+                ..Default::default()
+            },
             alpha: 1.0,
         };
         let mut m = Gbmf::new(cfg);
@@ -255,12 +283,19 @@ mod tests {
         let d = Dataset::new(
             2,
             2,
-            vec![GroupBehavior::new(0, 0, vec![]), GroupBehavior::new(1, 1, vec![])],
+            vec![
+                GroupBehavior::new(0, 0, vec![]),
+                GroupBehavior::new(1, 1, vec![]),
+            ],
             vec![], // no friendships at all
             vec![1; 2],
         );
         let cfg = GbmfConfig {
-            base: TrainConfig { dim: 4, epochs: 3, ..Default::default() },
+            base: TrainConfig {
+                dim: 4,
+                epochs: 3,
+                ..Default::default()
+            },
             alpha: 1.0,
         };
         let mut m = Gbmf::new(cfg);

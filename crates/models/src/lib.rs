@@ -27,6 +27,7 @@ pub mod mf;
 pub mod ncf;
 pub mod ngcf;
 pub mod sigr;
+pub mod snapshot;
 pub mod socialmf;
 
 pub use agree::Agree;
@@ -37,4 +38,5 @@ pub use mf::Mf;
 pub use ncf::Ncf;
 pub use ngcf::Ngcf;
 pub use sigr::Sigr;
+pub use snapshot::{EmbeddingSnapshot, SnapshotSource};
 pub use socialmf::SocialMf;

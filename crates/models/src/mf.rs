@@ -1,6 +1,8 @@
 //! Matrix factorization with BPR (the paper's `MF` and `MF(oi)` rows).
 
-use crate::common::{add_l2, bpr_loss, dot_scores, shuffled_batches, Recommender, TrainConfig, TrainReport};
+use crate::common::{
+    add_l2, bpr_loss, dot_scores, shuffled_batches, Recommender, TrainConfig, TrainReport,
+};
 use gb_autograd::{Adam, AdamConfig, ParamStore, Tape};
 use gb_data::convert::{to_pairs, InteractionKind};
 use gb_data::{Dataset, NegativeSampler};
@@ -32,7 +34,13 @@ impl Mf {
             InteractionKind::InitiatorOnly => "MF(oi)".to_string(),
             InteractionKind::BothRoles => "MF".to_string(),
         };
-        Self { cfg, kind, name, user_emb: Matrix::zeros(0, 0), item_emb: Matrix::zeros(0, 0) }
+        Self {
+            cfg,
+            kind,
+            name,
+            user_emb: Matrix::zeros(0, 0),
+            item_emb: Matrix::zeros(0, 0),
+        }
     }
 
     /// The trained user embedding table (`P x d`).
@@ -55,8 +63,14 @@ impl Recommender for Mf {
         let cfg = self.cfg.clone();
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let mut store = ParamStore::new();
-        let u = store.add("mf.user", init::xavier_uniform(train.n_users(), cfg.dim, &mut rng));
-        let v = store.add("mf.item", init::xavier_uniform(train.n_items(), cfg.dim, &mut rng));
+        let u = store.add(
+            "mf.user",
+            init::xavier_uniform(train.n_users(), cfg.dim, &mut rng),
+        );
+        let v = store.add(
+            "mf.item",
+            init::xavier_uniform(train.n_items(), cfg.dim, &mut rng),
+        );
         let mut adam = Adam::new(AdamConfig::with_lr(cfg.lr), &store);
 
         let pairs = to_pairs(train, self.kind);
@@ -134,7 +148,13 @@ mod tests {
             GroupBehavior::new(1, 3, vec![]),
         ];
         let d = Dataset::new(2, 4, behaviors, vec![(0, 1)], vec![1; 4]);
-        let cfg = TrainConfig { dim: 8, epochs: 200, batch_size: 8, lr: 0.05, ..Default::default() };
+        let cfg = TrainConfig {
+            dim: 8,
+            epochs: 200,
+            batch_size: 8,
+            lr: 0.05,
+            ..Default::default()
+        };
         let mut mf = Mf::new(cfg, InteractionKind::BothRoles);
         mf.fit(&d);
         let s = mf.score_items(0, &[0, 1, 2, 3]);
@@ -148,7 +168,12 @@ mod tests {
         // signal, so training must not crash and scores stay finite.
         let behaviors = vec![GroupBehavior::new(0, 0, vec![1]); 3];
         let d = Dataset::new(2, 3, behaviors, vec![(0, 1)], vec![1; 3]);
-        let cfg = TrainConfig { dim: 4, epochs: 5, batch_size: 4, ..Default::default() };
+        let cfg = TrainConfig {
+            dim: 4,
+            epochs: 5,
+            batch_size: 4,
+            ..Default::default()
+        };
         let mut mf = Mf::new(cfg, InteractionKind::InitiatorOnly);
         let report = mf.fit(&d);
         assert!(report.final_loss.is_finite());
@@ -158,7 +183,11 @@ mod tests {
     #[test]
     fn training_is_deterministic_per_seed() {
         let d = generate(&SynthConfig::tiny());
-        let cfg = TrainConfig { dim: 8, epochs: 2, ..Default::default() };
+        let cfg = TrainConfig {
+            dim: 8,
+            epochs: 2,
+            ..Default::default()
+        };
         let mut a = Mf::new(cfg.clone(), InteractionKind::BothRoles);
         let mut b = Mf::new(cfg, InteractionKind::BothRoles);
         a.fit(&d);

@@ -42,16 +42,39 @@ impl Ncf {
     fn init_params(&self, train: &Dataset, rng: &mut StdRng) -> NcfParams {
         let d = self.cfg.dim;
         let mut store = ParamStore::new();
-        let ug = store.add("ncf.gmf.user", init::xavier_uniform(train.n_users(), d, rng));
-        let vg = store.add("ncf.gmf.item", init::xavier_uniform(train.n_items(), d, rng));
-        let um = store.add("ncf.mlp.user", init::xavier_uniform(train.n_users(), d, rng));
-        let vm = store.add("ncf.mlp.item", init::xavier_uniform(train.n_items(), d, rng));
+        let ug = store.add(
+            "ncf.gmf.user",
+            init::xavier_uniform(train.n_users(), d, rng),
+        );
+        let vg = store.add(
+            "ncf.gmf.item",
+            init::xavier_uniform(train.n_items(), d, rng),
+        );
+        let um = store.add(
+            "ncf.mlp.user",
+            init::xavier_uniform(train.n_users(), d, rng),
+        );
+        let vm = store.add(
+            "ncf.mlp.item",
+            init::xavier_uniform(train.n_items(), d, rng),
+        );
         let w1 = store.add("ncf.mlp.w1", init::xavier_uniform(2 * d, d, rng));
         let b1 = store.add("ncf.mlp.b1", Matrix::zeros(1, d));
         let w2 = store.add("ncf.mlp.w2", init::xavier_uniform(d, d / 2, rng));
         let b2 = store.add("ncf.mlp.b2", Matrix::zeros(1, d / 2));
         let head = store.add("ncf.head", init::xavier_uniform(d + d / 2, 1, rng));
-        NcfParams { store, ug, vg, um, vm, w1, b1, w2, b2, head }
+        NcfParams {
+            store,
+            ug,
+            vg,
+            um,
+            vm,
+            w1,
+            b1,
+            w2,
+            b2,
+            head,
+        }
     }
 
     /// Scores a batch of (user, item) index lists on a tape.
@@ -102,11 +125,17 @@ impl Ncf {
         let gmf = kernels::mul(&ug, &vg);
         let mlp_in = kernels::concat_cols(&[&um, &vm]);
         let z1 = kernels::leaky_relu(
-            &kernels::add_bias(&kernels::matmul(&mlp_in, p.store.value(p.w1)), p.store.value(p.b1)),
+            &kernels::add_bias(
+                &kernels::matmul(&mlp_in, p.store.value(p.w1)),
+                p.store.value(p.b1),
+            ),
             0.0,
         );
         let z2 = kernels::leaky_relu(
-            &kernels::add_bias(&kernels::matmul(&z1, p.store.value(p.w2)), p.store.value(p.b2)),
+            &kernels::add_bias(
+                &kernels::matmul(&z1, p.store.value(p.w2)),
+                p.store.value(p.b2),
+            ),
             0.0,
         );
         let feat = kernels::concat_cols(&[&gmf, &z2]);
@@ -150,8 +179,7 @@ impl Recommender for Ncf {
                 let users = Rc::new(users);
 
                 let mut tape = Tape::new();
-                let (pos_s, mut reg) =
-                    Self::forward(&p, &mut tape, users.clone(), Rc::new(pos));
+                let (pos_s, mut reg) = Self::forward(&p, &mut tape, users.clone(), Rc::new(pos));
                 let (neg_s, reg_n) = Self::forward(&p, &mut tape, users, Rc::new(neg));
                 reg.extend(reg_n);
                 let loss = bpr_loss(&mut tape, pos_s, neg_s);
@@ -200,7 +228,13 @@ mod tests {
 
     #[test]
     fn learns_disjoint_tastes() {
-        let cfg = TrainConfig { dim: 8, epochs: 250, batch_size: 8, lr: 0.02, ..Default::default() };
+        let cfg = TrainConfig {
+            dim: 8,
+            epochs: 250,
+            batch_size: 8,
+            lr: 0.02,
+            ..Default::default()
+        };
         let mut m = Ncf::new(cfg);
         m.fit(&toy_dataset());
         let s = m.score_items(0, &[0, 1, 2, 3]);
@@ -209,17 +243,17 @@ mod tests {
 
     #[test]
     fn tape_and_plain_forward_agree() {
-        let cfg = TrainConfig { dim: 8, epochs: 3, batch_size: 8, ..Default::default() };
+        let cfg = TrainConfig {
+            dim: 8,
+            epochs: 3,
+            batch_size: 8,
+            ..Default::default()
+        };
         let mut m = Ncf::new(cfg);
         m.fit(&toy_dataset());
         let p = m.params.as_ref().unwrap();
         let mut tape = Tape::new();
-        let (scores, _) = Ncf::forward(
-            p,
-            &mut tape,
-            Rc::new(vec![0, 1]),
-            Rc::new(vec![2, 3]),
-        );
+        let (scores, _) = Ncf::forward(p, &mut tape, Rc::new(vec![0, 1]), Rc::new(vec![2, 3]));
         let tape_scores = tape.value(scores).as_slice().to_vec();
         let plain0 = m.score_items(0, &[2]);
         let plain1 = m.score_items(1, &[3]);

@@ -1,6 +1,8 @@
 //! Neural Graph Collaborative Filtering [25].
 
-use crate::common::{add_l2, bpr_loss, dot_scores, shuffled_batches, Recommender, TrainConfig, TrainReport};
+use crate::common::{
+    add_l2, bpr_loss, dot_scores, shuffled_batches, Recommender, TrainConfig, TrainReport,
+};
 use gb_autograd::{Adam, AdamConfig, ParamId, ParamStore, Tape, Var};
 use gb_data::convert::{to_pairs, InteractionKind};
 use gb_data::{Dataset, NegativeSampler};
@@ -38,7 +40,12 @@ struct NgcfParams {
 impl Ngcf {
     /// Creates an untrained NGCF model with the paper's L = 2.
     pub fn new(cfg: TrainConfig) -> Self {
-        Self { cfg, n_layers: 2, user_final: Matrix::zeros(0, 0), item_final: Matrix::zeros(0, 0) }
+        Self {
+            cfg,
+            n_layers: 2,
+            user_final: Matrix::zeros(0, 0),
+            item_final: Matrix::zeros(0, 0),
+        }
     }
 
     fn init_params(&self, train: &Dataset, rng: &mut StdRng) -> NgcfParams {
@@ -52,11 +59,23 @@ impl Ngcf {
             w2.push(store.add(format!("ngcf.w2.{l}"), init::xavier_uniform(d, d, rng)));
             b.push(store.add(format!("ngcf.b.{l}"), Matrix::zeros(1, d)));
         }
-        NgcfParams { store, u, v, w1, w2, b }
+        NgcfParams {
+            store,
+            u,
+            v,
+            w1,
+            w2,
+            b,
+        }
     }
 
     /// Full-graph propagation; returns concatenated (user, item) finals.
-    fn propagate(p: &NgcfParams, tape: &mut Tape, graph: &Bipartite, n_layers: usize) -> (Var, Var) {
+    fn propagate(
+        p: &NgcfParams,
+        tape: &mut Tape,
+        graph: &Bipartite,
+        n_layers: usize,
+    ) -> (Var, Var) {
         let mut u_cur = tape.param(&p.store, p.u);
         let mut v_cur = tape.param(&p.store, p.v);
         let mut u_all = vec![u_cur];
@@ -191,7 +210,13 @@ mod tests {
             GroupBehavior::new(1, 3, vec![]),
         ];
         let d = Dataset::new(2, 4, behaviors, vec![(0, 1)], vec![1; 4]);
-        let cfg = TrainConfig { dim: 8, epochs: 150, batch_size: 8, lr: 0.02, ..Default::default() };
+        let cfg = TrainConfig {
+            dim: 8,
+            epochs: 150,
+            batch_size: 8,
+            lr: 0.02,
+            ..Default::default()
+        };
         let mut m = Ngcf::new(cfg);
         m.fit(&d);
         let s = m.score_items(0, &[0, 1, 2, 3]);
@@ -202,7 +227,11 @@ mod tests {
     fn final_embedding_width_is_l_plus_one_times_d() {
         let behaviors = vec![GroupBehavior::new(0, 0, vec![])];
         let d = Dataset::new(2, 2, behaviors, vec![], vec![1; 2]);
-        let cfg = TrainConfig { dim: 4, epochs: 1, ..Default::default() };
+        let cfg = TrainConfig {
+            dim: 4,
+            epochs: 1,
+            ..Default::default()
+        };
         let mut m = Ngcf::new(cfg);
         m.fit(&d);
         assert_eq!(m.user_final.cols(), 4 * 3); // d * (L + 1)

@@ -51,8 +51,16 @@ fn propagate(
 ) -> (Var, Var) {
     let u0 = tape.param(store, user_emb);
     let v0 = tape.param(store, item_emb);
-    let agg_u = tape.segment_mean(v0, graph.user_to_item().offsets(), graph.user_to_item().members());
-    let agg_v = tape.segment_mean(u0, graph.item_to_user().offsets(), graph.item_to_user().members());
+    let agg_u = tape.segment_mean(
+        v0,
+        graph.user_to_item().offsets(),
+        graph.user_to_item().members(),
+    );
+    let agg_v = tape.segment_mean(
+        u0,
+        graph.item_to_user().offsets(),
+        graph.item_to_user().members(),
+    );
     let u_sum = tape.add(u0, agg_u);
     let v_sum = tape.add(v0, agg_v);
     (tape.scale(u_sum, 0.5), tape.scale(v_sum, 0.5))
@@ -65,12 +73,7 @@ impl Sigr {
     }
 
     /// Group representation for aligned group batches on the tape.
-    fn group_repr(
-        s: &SigrState,
-        tape: &mut Tape,
-        u_final: Var,
-        gids: &[u32],
-    ) -> Var {
+    fn group_repr(s: &SigrState, tape: &mut Tape, u_final: Var, gids: &[u32]) -> Var {
         let mut flat = Vec::new();
         let mut offsets = vec![0usize];
         for &g in gids {
@@ -100,8 +103,14 @@ impl Recommender for Sigr {
 
         let mut store = ParamStore::new();
         let d = cfg.dim;
-        let user_emb = store.add("sigr.user", init::xavier_uniform(train.n_users(), d, &mut rng));
-        let item_emb = store.add("sigr.item", init::xavier_uniform(train.n_items(), d, &mut rng));
+        let user_emb = store.add(
+            "sigr.user",
+            init::xavier_uniform(train.n_users(), d, &mut rng),
+        );
+        let item_emb = store.add(
+            "sigr.item",
+            init::xavier_uniform(train.n_items(), d, &mut rng),
+        );
         let influence = store.add("sigr.influence", Matrix::zeros(train.n_users(), 1));
         let mut adam = Adam::new(AdamConfig::with_lr(cfg.lr), &store);
 
@@ -140,8 +149,13 @@ impl Recommender for Sigr {
                 let n = gids.len();
 
                 let mut tape = Tape::new();
-                let (u_final, v_final) =
-                    propagate(&state.store, state.user_emb, state.item_emb, &mut tape, &graph);
+                let (u_final, v_final) = propagate(
+                    &state.store,
+                    state.user_emb,
+                    state.item_emb,
+                    &mut tape,
+                    &graph,
+                );
                 let grp = Sigr::group_repr(&state, &mut tape, u_final, &gids);
                 let pe = tape.gather(v_final, Rc::new(pos));
                 let ne = tape.gather(v_final, Rc::new(neg));
@@ -172,8 +186,13 @@ impl Recommender for Sigr {
 
         // Cache propagated embeddings for scoring.
         let mut tape = Tape::new();
-        let (u_final, v_final) =
-            propagate(&state.store, state.user_emb, state.item_emb, &mut tape, &graph);
+        let (u_final, v_final) = propagate(
+            &state.store,
+            state.user_emb,
+            state.item_emb,
+            &mut tape,
+            &graph,
+        );
         state.user_final = tape.value(u_final).clone();
         state.item_final = tape.value(v_final).clone();
         self.state = Some(state);
@@ -232,7 +251,13 @@ mod tests {
 
     #[test]
     fn learns_group_preferences() {
-        let cfg = TrainConfig { dim: 8, epochs: 200, batch_size: 8, lr: 0.03, ..Default::default() };
+        let cfg = TrainConfig {
+            dim: 8,
+            epochs: 200,
+            batch_size: 8,
+            lr: 0.03,
+            ..Default::default()
+        };
         let mut m = Sigr::new(cfg);
         m.fit(&toy());
         let s = m.score_items(0, &[0, 1, 2, 3]);
@@ -241,7 +266,12 @@ mod tests {
 
     #[test]
     fn influence_weights_stay_finite() {
-        let cfg = TrainConfig { dim: 8, epochs: 20, batch_size: 8, ..Default::default() };
+        let cfg = TrainConfig {
+            dim: 8,
+            epochs: 20,
+            batch_size: 8,
+            ..Default::default()
+        };
         let mut m = Sigr::new(cfg);
         m.fit(&toy());
         let s = m.state.as_ref().unwrap();
@@ -250,11 +280,18 @@ mod tests {
 
     #[test]
     fn scores_finite_for_all_users() {
-        let cfg = TrainConfig { dim: 4, epochs: 3, ..Default::default() };
+        let cfg = TrainConfig {
+            dim: 4,
+            epochs: 3,
+            ..Default::default()
+        };
         let mut m = Sigr::new(cfg);
         m.fit(&toy());
         for u in 0..4 {
-            assert!(m.score_items(u, &[0, 1, 2, 3]).iter().all(|v| v.is_finite()));
+            assert!(m
+                .score_items(u, &[0, 1, 2, 3])
+                .iter()
+                .all(|v| v.is_finite()));
         }
     }
 }

@@ -1,0 +1,317 @@
+//! Immutable embedding snapshots — the hand-off artifact between
+//! offline training and online serving.
+//!
+//! Every cached-embedding scorer in this workspace evaluates the same
+//! Eq. 9-shaped prediction: a `(1-α)`-weighted *own* dot product plus an
+//! `α`-weighted *social* dot product over a per-user friend aggregate.
+//! [`EmbeddingSnapshot`] freezes exactly the four tables that prediction
+//! needs (own/social user tables, own/social item tables) plus `α`, so a
+//! serving process can answer queries without the training graph, the
+//! parameter store, or the autodiff tape.
+//!
+//! Models opt in through [`SnapshotSource`]; `gb-serve` adds the
+//! versioned binary persistence and the top-K query engine on top.
+
+use crate::gbmf::Gbmf;
+use crate::mf::Mf;
+use gb_eval::Scorer;
+use gb_tensor::{kernels, Matrix};
+
+/// Frozen post-training embeddings, sufficient to score any
+/// `(user, item)` pair.
+///
+/// Scoring is `(1-α) · u_own[u]·v_own[n] + α · u_social[u]·v_social[n]`,
+/// computed in the same accumulation order as the offline scorers so
+/// served scores are bit-identical to evaluation scores. Models without
+/// a social term use `α = 0` and zero-width social tables.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EmbeddingSnapshot {
+    alpha: f32,
+    user_own: Matrix,
+    item_own: Matrix,
+    user_social: Matrix,
+    item_social: Matrix,
+}
+
+impl EmbeddingSnapshot {
+    /// Assembles a snapshot from its four tables.
+    ///
+    /// # Panics
+    /// Panics if row counts disagree between the own/social tables, the
+    /// own widths of users and items disagree, the social widths
+    /// disagree, `alpha` is not a finite value in `[0, 1]`, or any table
+    /// holds a non-finite value (a diverged training run must fail
+    /// loudly at export, not serve NaN rankings).
+    pub fn new(
+        alpha: f32,
+        user_own: Matrix,
+        item_own: Matrix,
+        user_social: Matrix,
+        item_social: Matrix,
+    ) -> Self {
+        assert!(
+            alpha.is_finite() && (0.0..=1.0).contains(&alpha),
+            "alpha {alpha} outside [0, 1]"
+        );
+        for (name, m) in [
+            ("user_own", &user_own),
+            ("item_own", &item_own),
+            ("user_social", &user_social),
+            ("item_social", &item_social),
+        ] {
+            assert!(
+                !m.has_non_finite(),
+                "snapshot table `{name}` holds non-finite values"
+            );
+        }
+        assert_eq!(
+            user_own.rows(),
+            user_social.rows(),
+            "user table row mismatch"
+        );
+        assert_eq!(
+            item_own.rows(),
+            item_social.rows(),
+            "item table row mismatch"
+        );
+        assert_eq!(
+            user_own.cols(),
+            item_own.cols(),
+            "own embedding width mismatch"
+        );
+        assert_eq!(
+            user_social.cols(),
+            item_social.cols(),
+            "social embedding width mismatch"
+        );
+        Self {
+            alpha,
+            user_own,
+            item_own,
+            user_social,
+            item_social,
+        }
+    }
+
+    /// Snapshot of a pure dot-product model (no social term, `α = 0`).
+    pub fn without_social(user_own: Matrix, item_own: Matrix) -> Self {
+        let nu = user_own.rows();
+        let ni = item_own.rows();
+        Self::new(
+            0.0,
+            user_own,
+            item_own,
+            Matrix::zeros(nu, 0),
+            Matrix::zeros(ni, 0),
+        )
+    }
+
+    /// The role coefficient `α`.
+    pub fn alpha(&self) -> f32 {
+        self.alpha
+    }
+
+    /// Number of users.
+    pub fn n_users(&self) -> usize {
+        self.user_own.rows()
+    }
+
+    /// Number of items in the catalogue.
+    pub fn n_items(&self) -> usize {
+        self.item_own.rows()
+    }
+
+    /// Width of the own-interest embeddings.
+    pub fn own_dim(&self) -> usize {
+        self.user_own.cols()
+    }
+
+    /// Width of the social-interest embeddings (0 for social-free models).
+    pub fn social_dim(&self) -> usize {
+        self.user_social.cols()
+    }
+
+    /// The own-interest user table.
+    pub fn user_own(&self) -> &Matrix {
+        &self.user_own
+    }
+
+    /// The own-interest item table.
+    pub fn item_own(&self) -> &Matrix {
+        &self.item_own
+    }
+
+    /// The social-interest user table (friend aggregates).
+    pub fn user_social(&self) -> &Matrix {
+        &self.user_social
+    }
+
+    /// The social-interest item table.
+    pub fn item_social(&self) -> &Matrix {
+        &self.item_social
+    }
+
+    /// Scores one `(user, item)` pair.
+    pub fn score(&self, user: u32, item: u32) -> f32 {
+        let mut out = [0.0f32];
+        self.score_block(user, item as usize, &mut out);
+        out[0]
+    }
+
+    /// Scores the contiguous item range `[start, start + out.len())` for
+    /// `user` into `out` — the blocked serving fast path.
+    pub fn score_block(&self, user: u32, start: usize, out: &mut [f32]) {
+        kernels::blend_dot_block(
+            self.user_own.row(user as usize),
+            &self.item_own,
+            self.user_social.row(user as usize),
+            &self.item_social,
+            self.alpha,
+            start,
+            out,
+        );
+    }
+
+    /// Heap footprint of the four tables in bytes.
+    pub fn size_bytes(&self) -> usize {
+        4 * (self.user_own.len()
+            + self.item_own.len()
+            + self.user_social.len()
+            + self.item_social.len())
+    }
+}
+
+impl Scorer for EmbeddingSnapshot {
+    fn score_items(&self, user: u32, items: &[u32]) -> Vec<f32> {
+        let mut out = [0.0f32];
+        items
+            .iter()
+            .map(|&i| {
+                self.score_block(user, i as usize, &mut out);
+                out[0]
+            })
+            .collect()
+    }
+}
+
+/// A trained model that can export its cached final embeddings.
+pub trait SnapshotSource {
+    /// Freezes the model's post-training embeddings for serving.
+    ///
+    /// # Panics
+    /// Implementations panic if the model has not been fitted.
+    fn export_snapshot(&self) -> EmbeddingSnapshot;
+}
+
+impl SnapshotSource for Mf {
+    fn export_snapshot(&self) -> EmbeddingSnapshot {
+        assert!(self.user_embeddings().rows() > 0, "model not fitted");
+        EmbeddingSnapshot::without_social(
+            self.user_embeddings().clone(),
+            self.item_embeddings().clone(),
+        )
+    }
+}
+
+impl SnapshotSource for Gbmf {
+    fn export_snapshot(&self) -> EmbeddingSnapshot {
+        let (user, item, friend_mean) = self.tables();
+        assert!(user.rows() > 0, "model not fitted");
+        // GBMF shares one item table between the own and social terms.
+        EmbeddingSnapshot::new(
+            self.alpha(),
+            user.clone(),
+            item.clone(),
+            friend_mean.clone(),
+            item.clone(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap() -> EmbeddingSnapshot {
+        EmbeddingSnapshot::new(
+            0.25,
+            Matrix::from_fn(3, 2, |r, c| (r + c) as f32),
+            Matrix::from_fn(5, 2, |r, c| (r as f32 - c as f32) * 0.5),
+            Matrix::from_fn(3, 4, |r, c| (r * 4 + c) as f32 * 0.1),
+            Matrix::from_fn(5, 4, |r, c| ((r + c) % 3) as f32),
+        )
+    }
+
+    #[test]
+    fn score_blends_own_and_social() {
+        let s = snap();
+        let (u, i) = (1u32, 2u32);
+        let own: f32 = s
+            .user_own()
+            .row(u as usize)
+            .iter()
+            .zip(s.item_own().row(i as usize))
+            .map(|(a, b)| a * b)
+            .sum();
+        let social: f32 = s
+            .user_social()
+            .row(u as usize)
+            .iter()
+            .zip(s.item_social().row(i as usize))
+            .map(|(a, b)| a * b)
+            .sum();
+        let expect = 0.75 * own + 0.25 * social;
+        assert!((s.score(u, i) - expect).abs() < 1e-6);
+    }
+
+    #[test]
+    fn score_block_matches_pointwise_scores() {
+        let s = snap();
+        let mut block = vec![0.0f32; 5];
+        s.score_block(2, 0, &mut block);
+        for (i, &b) in block.iter().enumerate() {
+            assert_eq!(b, s.score(2, i as u32));
+        }
+    }
+
+    #[test]
+    fn scorer_impl_matches_score() {
+        let s = snap();
+        let items = [4u32, 0, 2];
+        let scores = s.score_items(1, &items);
+        for (&i, &v) in items.iter().zip(&scores) {
+            assert_eq!(v, s.score(1, i));
+        }
+    }
+
+    #[test]
+    fn without_social_is_pure_dot() {
+        let s = EmbeddingSnapshot::without_social(
+            Matrix::from_vec(1, 2, vec![2.0, 3.0]),
+            Matrix::from_vec(2, 2, vec![1.0, 0.0, 0.5, 0.5]),
+        );
+        assert_eq!(s.score(0, 0), 2.0);
+        assert_eq!(s.score(0, 1), 2.5);
+        assert_eq!(s.social_dim(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn diverged_embeddings_rejected() {
+        let mut bad = Matrix::zeros(3, 2);
+        bad.set(1, 1, f32::NAN);
+        EmbeddingSnapshot::without_social(bad, Matrix::zeros(5, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "row mismatch")]
+    fn mismatched_tables_rejected() {
+        EmbeddingSnapshot::new(
+            0.5,
+            Matrix::zeros(3, 2),
+            Matrix::zeros(5, 2),
+            Matrix::zeros(4, 2),
+            Matrix::zeros(5, 2),
+        );
+    }
+}

@@ -1,6 +1,8 @@
 //! SocialMF [1]: matrix factorization with trust propagation.
 
-use crate::common::{add_l2, bpr_loss, dot_scores, shuffled_batches, Recommender, TrainConfig, TrainReport};
+use crate::common::{
+    add_l2, bpr_loss, dot_scores, shuffled_batches, Recommender, TrainConfig, TrainReport,
+};
 use gb_autograd::{Adam, AdamConfig, ParamStore, Tape};
 use gb_data::convert::{to_pairs, InteractionKind};
 use gb_data::{Dataset, NegativeSampler};
@@ -28,7 +30,12 @@ impl SocialMf {
     /// propagation coefficient (tuned like the paper tunes its
     /// regularizers).
     pub fn new(cfg: TrainConfig, social_reg: f32) -> Self {
-        Self { cfg, social_reg, user_emb: Matrix::zeros(0, 0), item_emb: Matrix::zeros(0, 0) }
+        Self {
+            cfg,
+            social_reg,
+            user_emb: Matrix::zeros(0, 0),
+            item_emb: Matrix::zeros(0, 0),
+        }
     }
 }
 
@@ -41,8 +48,14 @@ impl Recommender for SocialMf {
         let cfg = self.cfg.clone();
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let mut store = ParamStore::new();
-        let u = store.add("socialmf.user", init::xavier_uniform(train.n_users(), cfg.dim, &mut rng));
-        let v = store.add("socialmf.item", init::xavier_uniform(train.n_items(), cfg.dim, &mut rng));
+        let u = store.add(
+            "socialmf.user",
+            init::xavier_uniform(train.n_users(), cfg.dim, &mut rng),
+        );
+        let v = store.add(
+            "socialmf.item",
+            init::xavier_uniform(train.n_items(), cfg.dim, &mut rng),
+        );
         let mut adam = Adam::new(AdamConfig::with_lr(cfg.lr), &store);
 
         let pairs = to_pairs(train, InteractionKind::BothRoles);
@@ -136,7 +149,13 @@ mod tests {
             GroupBehavior::new(2, 3, vec![]),
         ];
         let d = Dataset::new(3, 4, behaviors, vec![(0, 1)], vec![1; 4]);
-        let cfg = TrainConfig { dim: 8, epochs: 120, batch_size: 16, lr: 0.02, ..Default::default() };
+        let cfg = TrainConfig {
+            dim: 8,
+            epochs: 120,
+            batch_size: 16,
+            lr: 0.02,
+            ..Default::default()
+        };
         let mut m = SocialMf::new(cfg, 0.5);
         m.fit(&d);
         let sim01 = kernels::cosine_similarity(m.user_emb.row(0), m.user_emb.row(1));
@@ -153,7 +172,13 @@ mod tests {
             GroupBehavior::new(1, 3, vec![]),
         ];
         let d = Dataset::new(2, 4, behaviors, vec![], vec![1; 4]);
-        let cfg = TrainConfig { dim: 8, epochs: 200, batch_size: 8, lr: 0.05, ..Default::default() };
+        let cfg = TrainConfig {
+            dim: 8,
+            epochs: 200,
+            batch_size: 8,
+            lr: 0.05,
+            ..Default::default()
+        };
         let mut m = SocialMf::new(cfg, 0.01);
         m.fit(&d);
         let s = m.score_items(0, &[0, 1, 2, 3]);

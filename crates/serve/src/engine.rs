@@ -1,0 +1,330 @@
+//! The single-threaded top-K query engine.
+//!
+//! One query walks the catalogue in cache-sized blocks: the blocked
+//! kernel scores `block_size` items at a time (both item tables are
+//! streamed once, row-major), the per-user seen-bitset drops already
+//! interacted items with one word-probe each, and survivors feed a
+//! bounded min-heap. Memory per query is `O(block_size + k)` regardless
+//! of catalogue size — no full score vector is ever materialized.
+
+use crate::cache::LruCache;
+use crate::topk::{ScoredItem, TopK};
+use gb_graph::BitMatrix;
+use gb_models::EmbeddingSnapshot;
+use std::sync::Arc;
+use std::sync::Mutex;
+
+/// Tuning knobs for [`QueryEngine`].
+#[derive(Clone, Debug)]
+pub struct EngineConfig {
+    /// Items scored per kernel call. 512 rows of a 64-wide f32 table is
+    /// 128 KiB — L2-resident on anything modern.
+    pub block_size: usize,
+    /// Response cache capacity in `(user, k)` entries; 0 disables caching.
+    pub cache_capacity: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            block_size: 512,
+            cache_capacity: 0,
+        }
+    }
+}
+
+/// Cached responses, keyed by `(user, k)`.
+type ResponseCache = LruCache<(u32, usize), Arc<Vec<ScoredItem>>>;
+
+/// Scores one user against the full catalogue and keeps the top K.
+pub struct QueryEngine {
+    snapshot: EmbeddingSnapshot,
+    /// Seen-item bitset: bit `(u, n)` set ⇒ never recommend `n` to `u`.
+    filter: Option<BitMatrix>,
+    cache: Option<Mutex<ResponseCache>>,
+    block_size: usize,
+}
+
+impl QueryEngine {
+    /// Engine over `snapshot` with default tuning, no filter, no cache.
+    pub fn new(snapshot: EmbeddingSnapshot) -> Self {
+        Self::with_config(snapshot, EngineConfig::default())
+    }
+
+    /// Engine with explicit tuning.
+    pub fn with_config(snapshot: EmbeddingSnapshot, cfg: EngineConfig) -> Self {
+        let cache = if cfg.cache_capacity > 0 {
+            Some(Mutex::new(LruCache::new(cfg.cache_capacity)))
+        } else {
+            None
+        };
+        Self {
+            snapshot,
+            filter: None,
+            cache,
+            block_size: cfg.block_size.max(1),
+        }
+    }
+
+    /// Installs a seen-item filter; filtered items never appear in
+    /// results. Any responses already cached are discarded — they were
+    /// computed without the filter and could leak seen items.
+    ///
+    /// # Panics
+    /// Panics if the bitset shape disagrees with the snapshot.
+    pub fn with_seen_filter(mut self, filter: BitMatrix) -> Self {
+        assert_eq!(
+            filter.rows(),
+            self.snapshot.n_users(),
+            "filter user count mismatch"
+        );
+        assert_eq!(
+            filter.cols(),
+            self.snapshot.n_items(),
+            "filter item count mismatch"
+        );
+        self.filter = Some(filter);
+        if let Some(cache) = &self.cache {
+            let mut cache = cache.lock().expect("cache lock");
+            let capacity = cache.capacity();
+            *cache = LruCache::new(capacity);
+        }
+        self
+    }
+
+    /// Whether this engine caches responses.
+    pub fn has_cache(&self) -> bool {
+        self.cache.is_some()
+    }
+
+    /// The snapshot being served.
+    pub fn snapshot(&self) -> &EmbeddingSnapshot {
+        &self.snapshot
+    }
+
+    /// `(hits, misses)` of the response cache (zeros when disabled).
+    pub fn cache_stats(&self) -> (u64, u64) {
+        match &self.cache {
+            Some(c) => c.lock().expect("cache lock").stats(),
+            None => (0, 0),
+        }
+    }
+
+    /// Top-`k` unseen items for `user`, best first.
+    ///
+    /// Results are shared `Arc`s so cache hits are allocation-free.
+    ///
+    /// # Panics
+    /// Panics if `user` is out of range for the snapshot.
+    pub fn recommend(&self, user: u32, k: usize) -> Arc<Vec<ScoredItem>> {
+        assert!(
+            (user as usize) < self.snapshot.n_users(),
+            "user {user} out of range ({} users)",
+            self.snapshot.n_users()
+        );
+        if let Some(cache) = &self.cache {
+            if let Some(hit) = cache.lock().expect("cache lock").get(&(user, k)) {
+                return Arc::clone(hit);
+            }
+        }
+        let result = Arc::new(self.rank(user, k));
+        if let Some(cache) = &self.cache {
+            cache
+                .lock()
+                .expect("cache lock")
+                .insert((user, k), Arc::clone(&result));
+        }
+        result
+    }
+
+    /// The uncached scoring path.
+    fn rank(&self, user: u32, k: usize) -> Vec<ScoredItem> {
+        let n_items = self.snapshot.n_items();
+        let mut topk = TopK::new(k);
+        let mut block = vec![0.0f32; self.block_size.min(n_items.max(1))];
+        let seen = self.filter.as_ref().map(|f| f.row_words(user as usize));
+        let mut start = 0usize;
+        while start < n_items {
+            let len = self.block_size.min(n_items - start);
+            let out = &mut block[..len];
+            self.snapshot.score_block(user, start, out);
+            match seen {
+                Some(words) => {
+                    for (j, &score) in out.iter().enumerate() {
+                        let item = start + j;
+                        if words[item / 64] >> (item % 64) & 1 == 0 {
+                            topk.push(item as u32, score);
+                        }
+                    }
+                }
+                None => {
+                    for (j, &score) in out.iter().enumerate() {
+                        topk.push((start + j) as u32, score);
+                    }
+                }
+            }
+            start += len;
+        }
+        topk.into_sorted()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gb_eval::topk::reference_topk;
+    use gb_eval::Scorer;
+    use gb_tensor::Matrix;
+
+    fn snapshot(n_users: usize, n_items: usize, d: usize) -> EmbeddingSnapshot {
+        EmbeddingSnapshot::new(
+            0.4,
+            Matrix::from_fn(n_users, d, |r, c| ((r * 7 + c * 3) as f32 * 0.17).sin()),
+            Matrix::from_fn(n_items, d, |r, c| ((r * 5 + c) as f32 * 0.31).cos()),
+            Matrix::from_fn(n_users, d, |r, c| ((r + c * 11) as f32 * 0.13).sin()),
+            Matrix::from_fn(n_items, d, |r, c| ((r * 3 + c * 2) as f32 * 0.23).cos()),
+        )
+    }
+
+    #[test]
+    fn unfiltered_topk_matches_reference_ranking() {
+        let snap = snapshot(6, 333, 8);
+        // Deliberately non-dividing block size to cover the tail block.
+        let engine = QueryEngine::with_config(
+            snap.clone(),
+            EngineConfig {
+                block_size: 64,
+                ..Default::default()
+            },
+        );
+        let candidates: Vec<u32> = (0..333).collect();
+        for user in 0..6u32 {
+            let got: Vec<(u32, f32)> = engine
+                .recommend(user, 10)
+                .iter()
+                .map(|e| (e.item, e.score))
+                .collect();
+            assert_eq!(
+                got,
+                reference_topk(&snap, user, &candidates, 10),
+                "user {user}"
+            );
+        }
+    }
+
+    #[test]
+    fn filtered_items_never_returned() {
+        let snap = snapshot(4, 200, 8);
+        let mut seen = gb_graph::BitMatrix::zeros(4, 200);
+        for item in (0..200).step_by(3) {
+            seen.set(1, item);
+        }
+        let engine = QueryEngine::new(snap).with_seen_filter(seen);
+        let rec = engine.recommend(1, 200);
+        assert_eq!(rec.len(), 200 - 67, "67 items filtered");
+        assert!(rec.iter().all(|e| e.item % 3 != 0), "a seen item leaked");
+        // Other users are unaffected.
+        assert_eq!(engine.recommend(0, 200).len(), 200);
+    }
+
+    #[test]
+    fn filtered_ranking_matches_reference_over_unseen() {
+        let snap = snapshot(3, 150, 4);
+        let mut seen = gb_graph::BitMatrix::zeros(3, 150);
+        for item in [0usize, 5, 64, 65, 128, 149] {
+            seen.set(2, item);
+        }
+        let engine = QueryEngine::with_config(
+            snap.clone(),
+            EngineConfig {
+                block_size: 32,
+                ..Default::default()
+            },
+        )
+        .with_seen_filter(seen);
+        let unseen: Vec<u32> = (0..150u32)
+            .filter(|i| ![0u32, 5, 64, 65, 128, 149].contains(i))
+            .collect();
+        let got: Vec<(u32, f32)> = engine
+            .recommend(2, 7)
+            .iter()
+            .map(|e| (e.item, e.score))
+            .collect();
+        assert_eq!(got, reference_topk(&snap, 2, &unseen, 7));
+    }
+
+    #[test]
+    fn cache_returns_identical_results_and_counts_hits() {
+        let snap = snapshot(5, 100, 8);
+        let engine = QueryEngine::with_config(
+            snap,
+            EngineConfig {
+                cache_capacity: 8,
+                ..Default::default()
+            },
+        );
+        let first = engine.recommend(3, 5);
+        let second = engine.recommend(3, 5);
+        assert!(
+            Arc::ptr_eq(&first, &second),
+            "second query should be a cache hit"
+        );
+        assert_eq!(engine.cache_stats(), (1, 1));
+        // Different k is a different cache entry with consistent content.
+        let shorter = engine.recommend(3, 3);
+        assert_eq!(&first[..3], &shorter[..]);
+    }
+
+    #[test]
+    fn k_larger_than_catalogue_returns_everything_ranked() {
+        let snap = snapshot(2, 40, 4);
+        let engine = QueryEngine::new(snap.clone());
+        let rec = engine.recommend(0, 1000);
+        assert_eq!(rec.len(), 40);
+        let scores = snap.score_items(0, &(0..40u32).collect::<Vec<_>>());
+        for pair in rec.windows(2) {
+            assert!(
+                pair[0].score > pair[1].score
+                    || (pair[0].score == pair[1].score && pair[0].item < pair[1].item)
+            );
+        }
+        for e in rec.iter() {
+            assert_eq!(e.score, scores[e.item as usize]);
+        }
+    }
+
+    #[test]
+    fn installing_filter_discards_stale_cached_responses() {
+        let snap = snapshot(3, 100, 4);
+        let engine = QueryEngine::with_config(
+            snap,
+            EngineConfig {
+                cache_capacity: 8,
+                ..Default::default()
+            },
+        );
+        // Populate the cache pre-filter, then install a filter that
+        // bans everything the cached answer contained.
+        let before = engine.recommend(0, 10);
+        let mut seen = gb_graph::BitMatrix::zeros(3, 100);
+        for e in before.iter() {
+            seen.set(0, e.item as usize);
+        }
+        let engine = engine.with_seen_filter(seen);
+        let after = engine.recommend(0, 10);
+        for e in after.iter() {
+            assert!(
+                !before.iter().any(|b| b.item == e.item),
+                "stale cached item {} served past the filter",
+                e.item
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_user_panics() {
+        let engine = QueryEngine::new(snapshot(2, 10, 4));
+        engine.recommend(2, 1);
+    }
+}

@@ -1,0 +1,98 @@
+//! # gb-serve
+//!
+//! The online inference subsystem: turns any trained recommender into a
+//! query-per-millisecond top-K service.
+//!
+//! The offline side of this workspace ends with a trained model whose
+//! scoring reads cached final embeddings. Serving needs none of the
+//! training machinery — no graphs, tapes, or parameter stores — so the
+//! hand-off artifact is an [`EmbeddingSnapshot`] (re-exported from
+//! `gb_models`): the four Eq. 9 tables plus `α`, exported via
+//! [`SnapshotSource`] and persisted in a versioned binary format
+//! ([`snapshot_io`]).
+//!
+//! ## Architecture
+//!
+//! ```text
+//!  trained model ──export_snapshot()──▶ EmbeddingSnapshot ──save/load──▶ disk
+//!                                            │
+//!                                            ▼
+//!                        QueryEngine  (blocked scoring kernel
+//!                          │           + seen-item BitMatrix filter
+//!                          │           + LRU response cache)
+//!                          ▼
+//!                   RecommendService  (bounded queue, N std-thread
+//!                          │           workers, per-request latency
+//!                          ▼           into gb_eval::timing)
+//!                 recommend / recommend_batch / warm
+//! ```
+//!
+//! * [`topk::TopK`] — bounded min-heap partial sort: `O(n log k)` per
+//!   query instead of the eval path's materialize-and-sort
+//!   `O(n log n)`, with `O(k)` extra memory.
+//! * [`engine::QueryEngine`] — walks the catalogue in cache-sized blocks
+//!   through `gb_tensor::kernels::blend_dot_block`, filters seen items
+//!   with one bit-probe each ([`gb_graph::BitMatrix`]), and optionally
+//!   caches `(user, k)` responses in an LRU ([`cache::LruCache`]).
+//! * [`service::RecommendService`] — a std-thread worker pool consuming
+//!   a bounded request queue; per-request latency feeds
+//!   [`gb_eval::timing::Stopwatch`].
+//!
+//! Served rankings are *provably consistent* with offline evaluation:
+//! the blocked kernel accumulates in the same order as the
+//! `gb_eval::Scorer` implementations, and both sides share the
+//! tie-break of [`gb_eval::topk::ranks_before`], so a served top-K
+//! equals [`gb_eval::topk::reference_topk`] element-for-element (the
+//! integration tests assert exactly that).
+
+pub mod cache;
+pub mod engine;
+pub mod service;
+pub mod snapshot_io;
+pub mod topk;
+
+pub use cache::LruCache;
+pub use engine::{EngineConfig, QueryEngine};
+pub use gb_models::{EmbeddingSnapshot, SnapshotSource};
+pub use service::{RecommendService, ServiceConfig};
+pub use snapshot_io::{load_from_path, load_snapshot, save_snapshot, save_to_path};
+pub use topk::{ScoredItem, TopK};
+
+use gb_graph::{BitMatrix, HeteroGraphs};
+
+/// Builds the seen-item filter for a training corpus: bit `(u, n)` is set
+/// iff user `u` interacted with item `n` in *either* role (initiated a
+/// group for it or participated in one) — the same any-role exclusion the
+/// evaluation protocol applies to its candidate sets.
+pub fn seen_filter(graphs: &HeteroGraphs) -> BitMatrix {
+    let n_items = graphs.n_items();
+    let mut bits = BitMatrix::from_csr(graphs.initiator.user_to_item(), n_items);
+    let participant = graphs.participant.user_to_item();
+    for u in 0..participant.n_nodes() {
+        for &item in participant.neighbors(u as u32) {
+            bits.set(u, item as usize);
+        }
+    }
+    bits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gb_graph::HeteroBuilder;
+
+    #[test]
+    fn seen_filter_covers_both_roles() {
+        let mut b = HeteroBuilder::new(4, 5);
+        b.add_behavior(0, 2, &[1, 3]); // 0 initiated item 2; 1 and 3 joined
+        b.add_behavior(1, 4, &[]);
+        let g = b.build();
+        let f = seen_filter(&g);
+        assert!(f.contains(0, 2), "initiator role");
+        assert!(f.contains(1, 2) && f.contains(3, 2), "participant role");
+        assert!(f.contains(1, 4));
+        assert!(!f.contains(2, 2) && !f.contains(0, 4));
+        assert_eq!(f.rows(), 4);
+        assert_eq!(f.cols(), 5);
+    }
+}

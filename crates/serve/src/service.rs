@@ -1,0 +1,248 @@
+//! The concurrent query front: a std-thread worker pool over a bounded
+//! request queue.
+//!
+//! [`RecommendService`] owns an [`Arc<QueryEngine>`] (snapshot, filter,
+//! and cache are all shared, read-mostly state) and `n` worker threads
+//! draining a bounded channel. Callers block on a per-request reply
+//! channel — classic request/response over `std::sync::mpsc`, no async
+//! runtime required. Every request's wall-clock latency is recorded and
+//! can be drained into a [`gb_eval::timing::Stopwatch`] for the
+//! efficiency tables.
+
+use crate::engine::QueryEngine;
+use crate::topk::ScoredItem;
+use gb_eval::timing::Stopwatch;
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tuning knobs for [`RecommendService`].
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Worker threads draining the request queue.
+    pub workers: usize,
+    /// Bounded queue depth (backpressure: senders block when full).
+    pub queue_depth: usize,
+    /// `k` used by [`RecommendService::warm`] to pre-populate the cache.
+    pub warm_k: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            workers: 4,
+            queue_depth: 256,
+            warm_k: 10,
+        }
+    }
+}
+
+enum Job {
+    Query {
+        user: u32,
+        k: usize,
+        reply: SyncSender<(usize, Arc<Vec<ScoredItem>>)>,
+        tag: usize,
+    },
+    /// Fire-and-forget cache warm-up.
+    Warm { user: u32, k: usize },
+}
+
+/// A running recommendation service.
+///
+/// Dropping the service closes the queue and joins all workers.
+pub struct RecommendService {
+    engine: Arc<QueryEngine>,
+    queue: Option<SyncSender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+    latencies: Arc<Mutex<Vec<Duration>>>,
+    warm_k: usize,
+}
+
+impl RecommendService {
+    /// Starts workers over `engine` with default tuning.
+    pub fn start(engine: QueryEngine) -> Self {
+        Self::with_config(engine, ServiceConfig::default())
+    }
+
+    /// Starts workers with explicit tuning.
+    ///
+    /// # Panics
+    /// Panics if `workers` is zero.
+    pub fn with_config(engine: QueryEngine, cfg: ServiceConfig) -> Self {
+        assert!(cfg.workers > 0, "need at least one worker");
+        let engine = Arc::new(engine);
+        let latencies = Arc::new(Mutex::new(Vec::new()));
+        let (tx, rx) = sync_channel::<Job>(cfg.queue_depth.max(1));
+        let shared_rx = Arc::new(Mutex::new(rx));
+        let workers = (0..cfg.workers)
+            .map(|i| {
+                let engine = Arc::clone(&engine);
+                let rx = Arc::clone(&shared_rx);
+                let latencies = Arc::clone(&latencies);
+                std::thread::Builder::new()
+                    .name(format!("gb-serve-{i}"))
+                    .spawn(move || worker_loop(&engine, &rx, &latencies))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        Self {
+            engine,
+            queue: Some(tx),
+            workers,
+            latencies,
+            warm_k: cfg.warm_k.max(1),
+        }
+    }
+
+    /// The engine being served (for snapshot/cache introspection).
+    pub fn engine(&self) -> &QueryEngine {
+        &self.engine
+    }
+
+    /// Top-`k` items for one user, computed on a worker thread.
+    ///
+    /// # Panics
+    /// Panics if `user` is out of range for the served snapshot.
+    pub fn recommend(&self, user: u32, k: usize) -> Arc<Vec<ScoredItem>> {
+        self.check_user(user);
+        let (reply_tx, reply_rx) = sync_channel(1);
+        self.send(Job::Query {
+            user,
+            k,
+            reply: reply_tx,
+            tag: 0,
+        });
+        let (_, result) = reply_rx.recv().expect("worker dropped reply channel");
+        result
+    }
+
+    /// Top-`k` items for a batch of users.
+    ///
+    /// Requests fan out across the worker pool and results return in
+    /// input order; answers are identical to issuing [`Self::recommend`]
+    /// per user sequentially.
+    ///
+    /// # Panics
+    /// Panics if any user is out of range for the served snapshot.
+    pub fn recommend_batch(&self, users: &[u32], k: usize) -> Vec<Arc<Vec<ScoredItem>>> {
+        users.iter().for_each(|&u| self.check_user(u));
+        let (reply_tx, reply_rx): (SyncSender<(usize, _)>, Receiver<(usize, _)>) =
+            sync_channel(users.len().max(1));
+        for (tag, &user) in users.iter().enumerate() {
+            self.send(Job::Query {
+                user,
+                k,
+                reply: reply_tx.clone(),
+                tag,
+            });
+        }
+        drop(reply_tx);
+        let mut out: Vec<Option<Arc<Vec<ScoredItem>>>> = vec![None; users.len()];
+        for _ in 0..users.len() {
+            let (tag, result) = reply_rx.recv().expect("worker dropped reply channel");
+            out[tag] = Some(result);
+        }
+        out.into_iter()
+            .map(|r| r.expect("every tag answered"))
+            .collect()
+    }
+
+    /// Enqueues fire-and-forget queries that populate the response cache
+    /// for `users` (at the configured `warm_k`), without blocking on the
+    /// results. A no-op when the engine has no response cache — there
+    /// would be nothing to warm, only discarded work.
+    ///
+    /// # Panics
+    /// Panics if any user is out of range for the served snapshot.
+    pub fn warm(&self, users: &[u32]) {
+        if !self.engine.has_cache() {
+            return;
+        }
+        for &user in users {
+            self.check_user(user);
+            self.send(Job::Warm {
+                user,
+                k: self.warm_k,
+            });
+        }
+    }
+
+    /// Rejects out-of-range users on the caller's thread, before the job
+    /// is enqueued — an invalid id must not kill a worker.
+    fn check_user(&self, user: u32) {
+        let n_users = self.engine.snapshot().n_users();
+        assert!(
+            (user as usize) < n_users,
+            "user {user} out of range ({n_users} users)"
+        );
+    }
+
+    /// Drains all recorded per-request latencies into a [`Stopwatch`].
+    pub fn latency_stopwatch(&self) -> Stopwatch {
+        let mut sw = Stopwatch::new();
+        let mut samples = self.latencies.lock().expect("latency lock");
+        for d in samples.drain(..) {
+            sw.record(d);
+        }
+        sw
+    }
+
+    /// Number of requests served so far (including warm-ups).
+    pub fn requests_served(&self) -> usize {
+        self.latencies.lock().expect("latency lock").len()
+    }
+
+    fn send(&self, job: Job) {
+        self.queue
+            .as_ref()
+            .expect("service is running")
+            .send(job)
+            .expect("worker pool is alive");
+    }
+}
+
+impl Drop for RecommendService {
+    fn drop(&mut self) {
+        // Close the queue; workers exit when it drains.
+        self.queue.take();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(engine: &QueryEngine, rx: &Mutex<Receiver<Job>>, latencies: &Mutex<Vec<Duration>>) {
+    loop {
+        // Hold the queue lock only while popping, never while scoring.
+        let job = match rx.lock().expect("queue lock").recv() {
+            Ok(job) => job,
+            Err(_) => return, // queue closed
+        };
+        let start = Instant::now();
+        match job {
+            Job::Query {
+                user,
+                k,
+                reply,
+                tag,
+            } => {
+                let result = engine.recommend(user, k);
+                latencies
+                    .lock()
+                    .expect("latency lock")
+                    .push(start.elapsed());
+                // The caller may have given up (e.g. panicked); ignore.
+                let _ = reply.send((tag, result));
+            }
+            Job::Warm { user, k } => {
+                let _ = engine.recommend(user, k);
+                latencies
+                    .lock()
+                    .expect("latency lock")
+                    .push(start.elapsed());
+            }
+        }
+    }
+}

@@ -1,0 +1,260 @@
+//! Versioned binary persistence for [`EmbeddingSnapshot`].
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! magic   [u8; 4]  = b"GBSN"
+//! version u32      = 1
+//! alpha   f32      (raw bits)
+//! 4 x matrix:      user_own, item_own, user_social, item_social
+//!   rows  u64
+//!   cols  u64
+//!   data  rows*cols x f32 (raw bits, row-major)
+//! ```
+//!
+//! Floats are stored as raw bits, so save → load round-trips
+//! bit-identically — a served snapshot scores exactly like the model that
+//! exported it. The version field gates forward compatibility: readers
+//! reject snapshots written by a newer layout instead of misparsing them.
+
+use gb_models::EmbeddingSnapshot;
+use gb_tensor::Matrix;
+use std::io::{Error, ErrorKind, Read, Result, Write};
+use std::path::Path;
+
+/// File magic identifying a gb-serve snapshot.
+pub const MAGIC: [u8; 4] = *b"GBSN";
+
+/// Current layout version.
+pub const VERSION: u32 = 1;
+
+/// Writes `snapshot` in the versioned binary format.
+pub fn save_snapshot<W: Write>(snapshot: &EmbeddingSnapshot, mut w: W) -> Result<()> {
+    w.write_all(&MAGIC)?;
+    w.write_all(&VERSION.to_le_bytes())?;
+    w.write_all(&snapshot.alpha().to_le_bytes())?;
+    for m in [
+        snapshot.user_own(),
+        snapshot.item_own(),
+        snapshot.user_social(),
+        snapshot.item_social(),
+    ] {
+        write_matrix(&mut w, m)?;
+    }
+    Ok(())
+}
+
+/// Reads a snapshot written by [`save_snapshot`].
+///
+/// Rejects wrong magic, unknown versions, and structurally inconsistent
+/// tables (the [`EmbeddingSnapshot`] constructor re-validates shapes).
+pub fn load_snapshot<R: Read>(mut r: R) -> Result<EmbeddingSnapshot> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if magic != MAGIC {
+        return Err(invalid(format!("bad magic {magic:?}, expected {MAGIC:?}")));
+    }
+    let version = read_u32(&mut r)?;
+    if version != VERSION {
+        return Err(invalid(format!(
+            "unsupported snapshot version {version} (reader supports {VERSION})"
+        )));
+    }
+    let alpha = f32::from_le_bytes(read_array(&mut r)?);
+    if !alpha.is_finite() || !(0.0..=1.0).contains(&alpha) {
+        return Err(invalid(format!("alpha {alpha} outside [0, 1]")));
+    }
+    let user_own = read_matrix(&mut r)?;
+    let item_own = read_matrix(&mut r)?;
+    let user_social = read_matrix(&mut r)?;
+    let item_social = read_matrix(&mut r)?;
+    if user_own.rows() != user_social.rows()
+        || item_own.rows() != item_social.rows()
+        || user_own.cols() != item_own.cols()
+        || user_social.cols() != item_social.cols()
+    {
+        return Err(invalid("inconsistent table shapes in snapshot"));
+    }
+    if [&user_own, &item_own, &user_social, &item_social]
+        .iter()
+        .any(|m| m.has_non_finite())
+    {
+        return Err(invalid("snapshot holds non-finite values"));
+    }
+    Ok(EmbeddingSnapshot::new(
+        alpha,
+        user_own,
+        item_own,
+        user_social,
+        item_social,
+    ))
+}
+
+/// Saves a snapshot to a file at `path`.
+pub fn save_to_path(snapshot: &EmbeddingSnapshot, path: impl AsRef<Path>) -> Result<()> {
+    let file = std::fs::File::create(path)?;
+    save_snapshot(snapshot, std::io::BufWriter::new(file))
+}
+
+/// Loads a snapshot from a file at `path`.
+pub fn load_from_path(path: impl AsRef<Path>) -> Result<EmbeddingSnapshot> {
+    let file = std::fs::File::open(path)?;
+    load_snapshot(std::io::BufReader::new(file))
+}
+
+fn invalid(msg: impl Into<String>) -> Error {
+    Error::new(ErrorKind::InvalidData, msg.into())
+}
+
+fn write_matrix<W: Write>(w: &mut W, m: &Matrix) -> Result<()> {
+    w.write_all(&(m.rows() as u64).to_le_bytes())?;
+    w.write_all(&(m.cols() as u64).to_le_bytes())?;
+    // Write row-major data in 64 KiB chunks to amortize syscalls without
+    // materializing the whole byte image.
+    let mut buf = Vec::with_capacity(64 * 1024);
+    for v in m.as_slice() {
+        buf.extend_from_slice(&v.to_le_bytes());
+        if buf.len() >= 64 * 1024 {
+            w.write_all(&buf)?;
+            buf.clear();
+        }
+    }
+    w.write_all(&buf)
+}
+
+fn read_matrix<R: Read>(r: &mut R) -> Result<Matrix> {
+    let rows = read_u64(r)? as usize;
+    let cols = read_u64(r)? as usize;
+    let len = rows
+        .checked_mul(cols)
+        .and_then(|n| n.checked_mul(4))
+        .ok_or_else(|| invalid("matrix dimensions overflow"))?
+        / 4;
+    // Stream in bounded chunks so a corrupt header can't drive one giant
+    // up-front allocation: memory grows only as real data arrives, and a
+    // truncated file errors out at the first short chunk.
+    const CHUNK_BYTES: usize = 4 << 20;
+    let mut data = Vec::with_capacity(len.min(CHUNK_BYTES / 4));
+    let mut buf = vec![0u8; CHUNK_BYTES.min(len.max(1) * 4)];
+    let mut remaining = len * 4;
+    while remaining > 0 {
+        let take = remaining.min(buf.len());
+        r.read_exact(&mut buf[..take])?;
+        data.extend(
+            buf[..take]
+                .chunks_exact(4)
+                .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]])),
+        );
+        remaining -= take;
+    }
+    Ok(Matrix::from_vec(rows, cols, data))
+}
+
+fn read_u32<R: Read>(r: &mut R) -> Result<u32> {
+    Ok(u32::from_le_bytes(read_array(r)?))
+}
+
+fn read_u64<R: Read>(r: &mut R) -> Result<u64> {
+    Ok(u64::from_le_bytes(read_array(r)?))
+}
+
+fn read_array<R: Read, const N: usize>(r: &mut R) -> Result<[u8; N]> {
+    let mut buf = [0u8; N];
+    r.read_exact(&mut buf)?;
+    Ok(buf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snapshot() -> EmbeddingSnapshot {
+        EmbeddingSnapshot::new(
+            0.375,
+            Matrix::from_fn(5, 3, |r, c| (r as f32 + 1.0) / (c as f32 + 2.0)),
+            Matrix::from_fn(9, 3, |r, c| ((r * 3 + c) as f32 * 0.77).sin()),
+            Matrix::from_fn(5, 4, |r, c| (r as f32 - c as f32) * 1e-3),
+            Matrix::from_fn(9, 4, |r, c| (r as f32 * c as f32).sqrt()),
+        )
+    }
+
+    #[test]
+    fn roundtrip_is_bit_identical() {
+        let snap = snapshot();
+        let mut buf = Vec::new();
+        save_snapshot(&snap, &mut buf).unwrap();
+        let back = load_snapshot(buf.as_slice()).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn social_free_snapshot_roundtrips() {
+        let snap = EmbeddingSnapshot::without_social(
+            Matrix::from_fn(4, 2, |r, c| (r + c) as f32),
+            Matrix::from_fn(6, 2, |r, c| (r * c) as f32),
+        );
+        let mut buf = Vec::new();
+        save_snapshot(&snap, &mut buf).unwrap();
+        assert_eq!(load_snapshot(buf.as_slice()).unwrap(), snap);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut buf = Vec::new();
+        save_snapshot(&snapshot(), &mut buf).unwrap();
+        buf[0] = b'X';
+        assert!(load_snapshot(buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn future_version_rejected() {
+        let mut buf = Vec::new();
+        save_snapshot(&snapshot(), &mut buf).unwrap();
+        buf[4..8].copy_from_slice(&99u32.to_le_bytes());
+        let err = load_snapshot(buf.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("version"), "{err}");
+    }
+
+    #[test]
+    fn non_finite_values_rejected_at_load() {
+        let mut buf = Vec::new();
+        save_snapshot(&snapshot(), &mut buf).unwrap();
+        // Overwrite the first f32 of user_own (header: 4 magic + 4
+        // version + 4 alpha + 16 shape) with NaN.
+        buf[28..32].copy_from_slice(&f32::NAN.to_le_bytes());
+        let err = load_snapshot(buf.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("non-finite"), "{err}");
+    }
+
+    #[test]
+    fn large_tables_roundtrip_through_chunked_io() {
+        // Spans several 4 MiB read chunks (2M rows x 2 cols = 16 MiB).
+        let snap = EmbeddingSnapshot::without_social(
+            Matrix::from_fn(4, 2, |r, c| (r + c) as f32),
+            Matrix::from_fn(2_000_000, 2, |r, c| ((r * 2 + c) % 971) as f32 * 0.125),
+        );
+        let mut buf = Vec::new();
+        save_snapshot(&snap, &mut buf).unwrap();
+        assert_eq!(load_snapshot(buf.as_slice()).unwrap(), snap);
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let mut buf = Vec::new();
+        save_snapshot(&snapshot(), &mut buf).unwrap();
+        buf.truncate(buf.len() - 5);
+        assert!(load_snapshot(buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let snap = snapshot();
+        let dir = std::env::temp_dir().join("gb_serve_snapshot_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.gbsn");
+        save_to_path(&snap, &path).unwrap();
+        let back = load_from_path(&path).unwrap();
+        assert_eq!(back, snap);
+        std::fs::remove_file(&path).ok();
+    }
+}

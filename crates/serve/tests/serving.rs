@@ -1,0 +1,276 @@
+//! End-to-end serving guarantees, exercised with genuinely trained
+//! models: snapshot round-trips, offline/online ranking consistency,
+//! seen-item filtering, and concurrent-vs-sequential equivalence.
+
+use gb_core::{GbgcnConfig, GbgcnModel};
+use gb_data::synth::{generate, SynthConfig};
+use gb_data::{Dataset, NegativeSampler};
+use gb_eval::topk::reference_topk;
+use gb_eval::{EvalProtocol, Scorer};
+use gb_models::{Gbmf, GbmfConfig, Recommender, SnapshotSource, TrainConfig};
+use gb_serve::{
+    load_snapshot, save_snapshot, seen_filter, EngineConfig, QueryEngine, RecommendService,
+    ServiceConfig,
+};
+
+fn workload() -> Dataset {
+    generate(&SynthConfig {
+        n_users: 120,
+        n_items: 80,
+        ..SynthConfig::tiny()
+    })
+}
+
+fn trained_gbgcn(data: &Dataset) -> GbgcnModel {
+    let cfg = GbgcnConfig {
+        pretrain_epochs: 3,
+        finetune_epochs: 3,
+        ..GbgcnConfig::test_config()
+    };
+    let mut m = GbgcnModel::new(cfg, data);
+    m.fit(data);
+    m
+}
+
+fn trained_gbmf(data: &Dataset) -> Gbmf {
+    let cfg = GbmfConfig {
+        base: TrainConfig {
+            dim: 8,
+            epochs: 5,
+            batch_size: 128,
+            ..Default::default()
+        },
+        alpha: 0.4,
+    };
+    let mut m = Gbmf::new(cfg);
+    m.fit(data);
+    m
+}
+
+#[test]
+fn trained_snapshot_roundtrips_bit_identically() {
+    let data = workload();
+    for snap in [
+        trained_gbgcn(&data).export_snapshot(),
+        trained_gbmf(&data).export_snapshot(),
+    ] {
+        let mut buf = Vec::new();
+        save_snapshot(&snap, &mut buf).unwrap();
+        let back = load_snapshot(buf.as_slice()).unwrap();
+        assert_eq!(back, snap, "round-trip must be exact");
+        // And the reloaded snapshot scores identically.
+        let items: Vec<u32> = (0..data.n_items() as u32).collect();
+        for user in [0u32, 7, 119] {
+            assert_eq!(
+                snap.score_items(user, &items),
+                back.score_items(user, &items)
+            );
+        }
+    }
+}
+
+#[test]
+fn served_topk_matches_offline_scorer_ranking() {
+    let data = workload();
+    let model = trained_gbgcn(&data);
+    let snap = model.export_snapshot();
+    let engine = QueryEngine::with_config(
+        snap,
+        EngineConfig {
+            block_size: 17,
+            ..Default::default()
+        },
+    );
+    let candidates: Vec<u32> = (0..data.n_items() as u32).collect();
+    for user in 0..data.n_users() as u32 {
+        let served: Vec<(u32, f32)> = engine
+            .recommend(user, 10)
+            .iter()
+            .map(|e| (e.item, e.score))
+            .collect();
+        // The reference ranking is computed with the *model's own* Scorer
+        // impl — this is the offline/online consistency guarantee.
+        let offline = reference_topk(&model, user, &candidates, 10);
+        assert_eq!(served, offline, "user {user}");
+    }
+}
+
+#[test]
+fn snapshot_scorer_reproduces_eval_protocol_metrics() {
+    let data = workload();
+    let split = gb_data::split::leave_one_out(&data, 11);
+    let mut model = GbgcnModel::new(
+        GbgcnConfig {
+            pretrain_epochs: 3,
+            finetune_epochs: 3,
+            ..GbgcnConfig::test_config()
+        },
+        &split.train,
+    );
+    model.fit(&split.train);
+    let snap = model.export_snapshot();
+
+    let sampler = NegativeSampler::from_dataset(&split.train);
+    let protocol = EvalProtocol::exhaustive();
+    let from_model = protocol.evaluate(&model, &split.test, &sampler, data.n_items());
+    let from_snapshot = protocol.evaluate(&snap, &split.test, &sampler, data.n_items());
+    assert_eq!(from_model.per_user_recall, from_snapshot.per_user_recall);
+    assert_eq!(from_model.per_user_ndcg, from_snapshot.per_user_ndcg);
+}
+
+#[test]
+fn seen_items_never_served() {
+    let data = workload();
+    let model = trained_gbmf(&data);
+    let engine = QueryEngine::new(model.export_snapshot())
+        .with_seen_filter(seen_filter(&data.build_hetero()));
+    let interacted = data.interacted_items();
+    for user in 0..data.n_users() as u32 {
+        let served = engine.recommend(user, data.n_items());
+        for e in served.iter() {
+            assert!(
+                interacted[user as usize].binary_search(&e.item).is_err(),
+                "user {user} was served seen item {}",
+                e.item
+            );
+        }
+        assert_eq!(
+            served.len(),
+            data.n_items() - interacted[user as usize].len(),
+            "user {user} should be offered exactly the unseen catalogue"
+        );
+    }
+}
+
+#[test]
+fn filtered_serving_matches_reference_over_unseen_candidates() {
+    let data = workload();
+    let model = trained_gbgcn(&data);
+    let engine = QueryEngine::new(model.export_snapshot())
+        .with_seen_filter(seen_filter(&data.build_hetero()));
+    let interacted = data.interacted_items();
+    for user in [0u32, 13, 60, 119] {
+        let unseen: Vec<u32> = (0..data.n_items() as u32)
+            .filter(|i| interacted[user as usize].binary_search(i).is_err())
+            .collect();
+        let served: Vec<(u32, f32)> = engine
+            .recommend(user, 5)
+            .iter()
+            .map(|e| (e.item, e.score))
+            .collect();
+        assert_eq!(
+            served,
+            reference_topk(&model, user, &unseen, 5),
+            "user {user}"
+        );
+    }
+}
+
+#[test]
+fn concurrent_batches_equal_sequential_answers() {
+    let data = workload();
+    let model = trained_gbgcn(&data);
+    let snap = model.export_snapshot();
+
+    // Sequential ground truth from a private engine.
+    let solo = QueryEngine::new(snap.clone());
+    let users: Vec<u32> = (0..data.n_users() as u32).cycle().take(300).collect();
+    let expected: Vec<Vec<(u32, f32)>> = users
+        .iter()
+        .map(|&u| {
+            solo.recommend(u, 10)
+                .iter()
+                .map(|e| (e.item, e.score))
+                .collect()
+        })
+        .collect();
+
+    // Concurrent service with a shared cache: same answers, in order.
+    let service = RecommendService::with_config(
+        QueryEngine::with_config(
+            snap,
+            EngineConfig {
+                cache_capacity: 32,
+                ..Default::default()
+            },
+        ),
+        ServiceConfig {
+            workers: 4,
+            queue_depth: 8,
+            warm_k: 10,
+        },
+    );
+    service.warm(&users[..20]);
+    let got = service.recommend_batch(&users, 10);
+    for (i, (g, e)) in got.iter().zip(&expected).enumerate() {
+        let g: Vec<(u32, f32)> = g.iter().map(|x| (x.item, x.score)).collect();
+        assert_eq!(&g, e, "request {i} (user {})", users[i]);
+    }
+    let served = service.requests_served();
+    assert!(
+        served >= 320,
+        "warm + batch requests recorded, got {served}"
+    );
+    let sw = service.latency_stopwatch(); // drains the samples
+    assert_eq!(sw.n_samples(), served);
+    assert!(sw.mean_secs() >= 0.0);
+    assert_eq!(service.requests_served(), 0, "latencies were drained");
+
+    let (hits, misses) = service.engine().cache_stats();
+    assert!(hits > 0, "cycled users must hit the cache");
+    assert!(misses >= data.n_users() as u64 / 2);
+}
+
+#[test]
+fn single_recommend_through_service_matches_engine() {
+    let data = workload();
+    let snap = trained_gbmf(&data).export_snapshot();
+    let solo = QueryEngine::new(snap.clone());
+    let service = RecommendService::start(QueryEngine::new(snap));
+    for user in [0u32, 5, 42] {
+        assert_eq!(*service.recommend(user, 7), *solo.recommend(user, 7));
+    }
+}
+
+#[test]
+fn warm_is_a_noop_without_a_response_cache() {
+    let data = workload();
+    let snap = trained_gbmf(&data).export_snapshot();
+    // Default EngineConfig has no cache: warming would be discarded work.
+    let service = RecommendService::start(QueryEngine::new(snap));
+    service.warm(&[0, 1, 2, 3]);
+    let answer = service.recommend(0, 5); // forces the queue to drain past warm
+    assert_eq!(answer.len(), 5);
+    assert_eq!(
+        service.requests_served(),
+        1,
+        "only the real query should have hit the workers"
+    );
+}
+
+#[test]
+fn out_of_range_user_rejected_without_killing_workers() {
+    let data = workload();
+    let snap = trained_gbmf(&data).export_snapshot();
+    let service = RecommendService::with_config(
+        QueryEngine::new(snap),
+        ServiceConfig {
+            workers: 1,
+            ..Default::default()
+        },
+    );
+    let bad = data.n_users() as u32 + 3;
+    let panicked =
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| service.recommend(bad, 5)))
+            .is_err();
+    assert!(panicked, "out-of-range user must be rejected");
+    // The rejection happened on the caller's thread: the single worker
+    // is still alive and serving.
+    assert_eq!(service.recommend(0, 5).len(), 5);
+    let also_panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        service.recommend_batch(&[0, bad], 5)
+    }))
+    .is_err();
+    assert!(also_panicked, "batch must validate every user up front");
+    assert_eq!(service.recommend(1, 5).len(), 5);
+}

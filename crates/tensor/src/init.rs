@@ -65,8 +65,12 @@ mod tests {
         let m = xavier_normal(128, 128, &mut rng);
         let target_std = (2.0 / 256.0_f32).sqrt();
         let mean = m.mean();
-        let var: f32 =
-            m.as_slice().iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / m.len() as f32;
+        let var: f32 = m
+            .as_slice()
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f32>()
+            / m.len() as f32;
         assert!(mean.abs() < 0.01, "mean {mean}");
         assert!(
             (var.sqrt() - target_std).abs() < 0.2 * target_std,

@@ -87,13 +87,13 @@ pub fn matmul_nt(a: &Matrix, b: &Matrix) -> Matrix {
     for i in 0..m {
         let a_row = a.row(i);
         let out_row = out.row_mut(i);
-        for j in 0..n {
+        for (j, out_v) in out_row.iter_mut().enumerate().take(n) {
             let b_row = b.row(j);
             let mut acc = 0.0;
             for k in 0..a_row.len() {
                 acc += a_row[k] * b_row[k];
             }
-            out_row[j] = acc;
+            *out_v = acc;
         }
     }
     out
@@ -224,7 +224,11 @@ pub fn gather_rows(src: &Matrix, indices: &[u32]) -> Matrix {
 ///
 /// The backward pass of [`gather_rows`]; duplicate indices accumulate.
 pub fn scatter_add_rows(dst: &mut Matrix, indices: &[u32], src: &Matrix) {
-    assert_eq!(indices.len(), src.rows(), "scatter_add_rows index count mismatch");
+    assert_eq!(
+        indices.len(),
+        src.rows(),
+        "scatter_add_rows index count mismatch"
+    );
     assert_eq!(dst.cols(), src.cols(), "scatter_add_rows width mismatch");
     for (i, &idx) in indices.iter().enumerate() {
         let s = src.row(i);
@@ -315,7 +319,8 @@ pub fn slice_cols(a: &Matrix, start: usize, width: usize) -> Matrix {
     assert!(start + width <= a.cols(), "slice_cols out of bounds");
     let mut out = Matrix::zeros(a.rows(), width);
     for r in 0..a.rows() {
-        out.row_mut(r).copy_from_slice(&a.row(r)[start..start + width]);
+        out.row_mut(r)
+            .copy_from_slice(&a.row(r)[start..start + width]);
     }
     out
 }
@@ -383,6 +388,75 @@ pub fn normalize_rows(a: &Matrix) -> Matrix {
         }
     }
     out
+}
+
+/// Blocked Eq. 9-style scoring of a contiguous item range for one user:
+/// for each `j < out.len()`,
+/// `out[j] = (1-alpha) * own · item_own[start+j] + alpha * social · item_social[start+j]`.
+///
+/// This is the serving fast path: the caller walks the catalogue in
+/// cache-sized blocks and both item tables are streamed once, row-major.
+/// The per-item accumulation order matches the scalar scorers in
+/// `gb-models`/`gb-core` exactly, so served scores are bit-identical to
+/// offline evaluation scores.
+///
+/// `item_social` may have zero columns (models without a social term);
+/// the social product is then 0. With `alpha == 0.0` the own product is
+/// returned unblended, matching plain dot-product scorers bit-for-bit.
+///
+/// # Panics
+/// Panics if the range `[start, start + out.len())` exceeds either item
+/// table, or if a non-empty table's width disagrees with its user vector.
+pub fn blend_dot_block(
+    own: &[f32],
+    item_own: &Matrix,
+    social: &[f32],
+    item_social: &Matrix,
+    alpha: f32,
+    start: usize,
+    out: &mut [f32],
+) {
+    let n = out.len();
+    assert!(
+        start + n <= item_own.rows(),
+        "blend_dot_block: own range out of bounds"
+    );
+    assert_eq!(
+        item_own.cols(),
+        own.len(),
+        "blend_dot_block: own width mismatch"
+    );
+    let has_social = item_social.cols() > 0 && alpha != 0.0;
+    if has_social {
+        assert!(
+            start + n <= item_social.rows(),
+            "blend_dot_block: social range out of bounds"
+        );
+        assert_eq!(
+            item_social.cols(),
+            social.len(),
+            "blend_dot_block: social width mismatch"
+        );
+    }
+    for (j, slot) in out.iter_mut().enumerate() {
+        let vi = item_own.row(start + j);
+        let mut o = 0.0f32;
+        for k in 0..own.len() {
+            o += own[k] * vi[k];
+        }
+        if has_social {
+            let vp = item_social.row(start + j);
+            let mut s = 0.0f32;
+            for k in 0..social.len() {
+                s += social[k] * vp[k];
+            }
+            *slot = (1.0 - alpha) * o + alpha * s;
+        } else if alpha == 0.0 {
+            *slot = o;
+        } else {
+            *slot = (1.0 - alpha) * o;
+        }
+    }
 }
 
 /// Cosine similarity between two equal-length vectors; 0.0 if either is a
@@ -545,6 +619,48 @@ mod tests {
         let s = m(2, 1, &[2.0, -1.0]);
         let out = scale_rows(&a, &s);
         assert_eq!(out.as_slice(), &[2.0, 4.0, -3.0, -4.0]);
+    }
+
+    #[test]
+    fn blend_dot_block_matches_scalar_scoring() {
+        let item_own = Matrix::from_fn(7, 3, |r, c| (r as f32 * 0.3 - c as f32 * 0.1).sin());
+        let item_social = Matrix::from_fn(7, 5, |r, c| (r as f32 * 0.2 + c as f32 * 0.4).cos());
+        let own = [0.5f32, -1.0, 0.25];
+        let social = [1.0f32, 0.0, -0.5, 0.75, 0.1];
+        let alpha = 0.6f32;
+        let mut out = vec![0.0f32; 4];
+        blend_dot_block(&own, &item_own, &social, &item_social, alpha, 2, &mut out);
+        for (j, &got) in out.iter().enumerate() {
+            let mut o = 0.0f32;
+            let mut s = 0.0f32;
+            for (k, &ow) in own.iter().enumerate() {
+                o += ow * item_own.get(2 + j, k);
+            }
+            for (k, &so) in social.iter().enumerate() {
+                s += so * item_social.get(2 + j, k);
+            }
+            let expect = (1.0 - alpha) * o + alpha * s;
+            assert_eq!(got, expect, "item {j}");
+        }
+    }
+
+    #[test]
+    fn blend_dot_block_alpha_zero_is_pure_dot() {
+        let item_own = Matrix::from_fn(4, 2, |r, c| (r * 2 + c) as f32);
+        let empty_social = Matrix::zeros(4, 0);
+        let own = [2.0f32, -1.0];
+        let mut out = vec![0.0f32; 4];
+        blend_dot_block(&own, &item_own, &[], &empty_social, 0.0, 0, &mut out);
+        assert_eq!(out, vec![-1.0, 1.0, 3.0, 5.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn blend_dot_block_checks_range() {
+        let item_own = Matrix::zeros(3, 2);
+        let item_social = Matrix::zeros(3, 0);
+        let mut out = vec![0.0f32; 2];
+        blend_dot_block(&[0.0, 0.0], &item_own, &[], &item_social, 0.0, 2, &mut out);
     }
 
     #[test]

@@ -18,12 +18,20 @@ pub struct Matrix {
 impl Matrix {
     /// Creates a `rows x cols` matrix filled with zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates a `rows x cols` matrix filled with `value`.
     pub fn full(rows: usize, cols: usize, value: f32) -> Self {
-        Self { rows, cols, data: vec![value; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
     }
 
     /// Creates a matrix from row-major data.
@@ -108,14 +116,24 @@ impl Matrix {
     /// Immutable view of row `r`.
     #[inline]
     pub fn row(&self, r: usize) -> &[f32] {
-        debug_assert!(r < self.rows, "row {} out of bounds ({} rows)", r, self.rows);
+        debug_assert!(
+            r < self.rows,
+            "row {} out of bounds ({} rows)",
+            r,
+            self.rows
+        );
         &self.data[r * self.cols..(r + 1) * self.cols]
     }
 
     /// Mutable view of row `r`.
     #[inline]
     pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
-        debug_assert!(r < self.rows, "row {} out of bounds ({} rows)", r, self.rows);
+        debug_assert!(
+            r < self.rows,
+            "row {} out of bounds ({} rows)",
+            r,
+            self.rows
+        );
         &mut self.data[r * self.cols..(r + 1) * self.cols]
     }
 
@@ -256,8 +274,7 @@ impl fmt::Debug for Matrix {
         let max_rows = 8.min(self.rows);
         for r in 0..max_rows {
             let row = self.row(r);
-            let shown: Vec<String> =
-                row.iter().take(8).map(|v| format!("{v:>9.4}")).collect();
+            let shown: Vec<String> = row.iter().take(8).map(|v| format!("{v:>9.4}")).collect();
             let ellipsis = if self.cols > 8 { ", ..." } else { "" };
             writeln!(f, "  [{}{}]", shown.join(", "), ellipsis)?;
         }

@@ -42,7 +42,12 @@ fn main() {
         let m = protocol.evaluate(&model, &split.test, &sampler, data.n_items());
         match reference {
             None => {
-                println!("{:<30} {:>10.4} {:>10.4}", mode.label(), m.recall_at(10), m.ndcg_at(10));
+                println!(
+                    "{:<30} {:>10.4} {:>10.4}",
+                    mode.label(),
+                    m.recall_at(10),
+                    m.ndcg_at(10)
+                );
                 reference = Some(m.ndcg_at(10));
             }
             Some(r) => println!(

@@ -24,16 +24,27 @@ fn main() {
     let sampler = NegativeSampler::from_dataset(&split.train);
     let protocol = EvalProtocol::exhaustive();
 
-    let tc = TrainConfig { dim: 16, epochs: 30, batch_size: 256, ..Default::default() };
+    let tc = TrainConfig {
+        dim: 16,
+        epochs: 30,
+        batch_size: 256,
+        ..Default::default()
+    };
 
-    println!("{:<10} {:>10} {:>10} {:>10} {:>10}", "Method", "R@5", "R@10", "N@5", "N@10");
+    println!(
+        "{:<10} {:>10} {:>10} {:>10} {:>10}",
+        "Method", "R@5", "R@10", "N@5", "N@10"
+    );
     let mut results: Vec<(String, RankingMetrics)> = Vec::new();
 
     let mut models: Vec<Box<dyn Recommender>> = vec![
         Box::new(Mf::new(tc.clone(), InteractionKind::InitiatorOnly)),
         Box::new(Mf::new(tc.clone(), InteractionKind::BothRoles)),
         Box::new(SocialMf::new(tc.clone(), 0.05)),
-        Box::new(Gbmf::new(GbmfConfig { base: tc.clone(), alpha: 0.5 })),
+        Box::new(Gbmf::new(GbmfConfig {
+            base: tc.clone(),
+            alpha: 0.5,
+        })),
     ];
     for model in &mut models {
         model.fit(&split.train);

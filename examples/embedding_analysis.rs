@@ -31,10 +31,22 @@ fn main() {
     let a = model.embedding_analysis();
 
     println!("mean cosine similarity between initiator and participant views:");
-    println!("  users, in-view outputs:    {:.4}", mean(&rowwise_cosine(&a.u_inview_i, &a.u_inview_p)));
-    println!("  items, in-view outputs:    {:.4}", mean(&rowwise_cosine(&a.v_inview_i, &a.v_inview_p)));
-    println!("  users, cross-view outputs: {:.4}", mean(&rowwise_cosine(&a.u_cross_i, &a.u_cross_p)));
-    println!("  items, cross-view outputs: {:.4}", mean(&rowwise_cosine(&a.v_cross_i, &a.v_cross_p)));
+    println!(
+        "  users, in-view outputs:    {:.4}",
+        mean(&rowwise_cosine(&a.u_inview_i, &a.u_inview_p))
+    );
+    println!(
+        "  items, in-view outputs:    {:.4}",
+        mean(&rowwise_cosine(&a.v_inview_i, &a.v_inview_p))
+    );
+    println!(
+        "  users, cross-view outputs: {:.4}",
+        mean(&rowwise_cosine(&a.u_cross_i, &a.u_cross_p))
+    );
+    println!(
+        "  items, cross-view outputs: {:.4}",
+        mean(&rowwise_cosine(&a.v_cross_i, &a.v_cross_p))
+    );
     println!(
         "\n(paper Fig. 5: in-view items ≈ 1, in-view users slightly lower,\n\
          cross-view outputs clearly diverged — view-specific information captured)\n"
@@ -49,7 +61,14 @@ fn main() {
         stacked.set_row(n + u, a.u_hat_p.row(u));
     }
     println!("running t-SNE on {} points...", 2 * n);
-    let coords = tsne(&stacked, &TsneConfig { n_iter: 250, perplexity: 15.0, ..Default::default() });
+    let coords = tsne(
+        &stacked,
+        &TsneConfig {
+            n_iter: 250,
+            perplexity: 15.0,
+            ..Default::default()
+        },
+    );
 
     let centroid = |range: std::ops::Range<usize>| {
         let mut cx = 0.0f32;

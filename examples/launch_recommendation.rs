@@ -19,8 +19,11 @@ use gbgcn_repro::models::{Mf, Recommender, TrainConfig};
 use gbgcn_repro::prelude::*;
 
 fn top_k(scores: &[f32], k: usize) -> Vec<(u32, f32)> {
-    let mut ranked: Vec<(u32, f32)> =
-        scores.iter().enumerate().map(|(i, &s)| (i as u32, s)).collect();
+    let mut ranked: Vec<(u32, f32)> = scores
+        .iter()
+        .enumerate()
+        .map(|(i, &s)| (i as u32, s))
+        .collect();
     ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
     ranked.truncate(k);
     ranked
@@ -37,7 +40,12 @@ fn main() {
 
     // A selfish recommender: plain MF on the initiator's own history.
     let mut mf = Mf::new(
-        TrainConfig { dim: 16, epochs: 30, batch_size: 256, ..Default::default() },
+        TrainConfig {
+            dim: 16,
+            epochs: 30,
+            batch_size: 256,
+            ..Default::default()
+        },
         InteractionKind::BothRoles,
     );
     mf.fit(&split.train);
@@ -77,7 +85,10 @@ fn main() {
         println!("  {}. item {item:>4}  score {score:.4}", rank + 1);
     }
 
-    let overlap = gb_top.iter().filter(|(i, _)| mf_top.iter().any(|(j, _)| i == j)).count();
+    let overlap = gb_top
+        .iter()
+        .filter(|(i, _)| mf_top.iter().any(|(j, _)| i == j))
+        .count();
     println!(
         "\noverlap between the two lists: {overlap}/5 — the {} item(s) GBGCN swaps in are those\n\
          its participant view predicts the initiator's friends will actually join for.",
@@ -85,8 +96,11 @@ fn main() {
     );
 
     // Ground-truth sanity: how often did this user's past groups clinch?
-    let launches: Vec<_> =
-        data.behaviors().iter().filter(|b| b.initiator == user).collect();
+    let launches: Vec<_> = data
+        .behaviors()
+        .iter()
+        .filter(|b| b.initiator == user)
+        .collect();
     let clinched = launches.iter().filter(|b| data.is_successful(b)).count();
     println!(
         "\nhistorical context: user {user} launched {} groups, {} clinched.",

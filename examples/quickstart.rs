@@ -53,12 +53,8 @@ fn main() {
 
     // 5. Evaluate on the held-out launches (Recall/NDCG, Sec. IV-A.2).
     let sampler = NegativeSampler::from_dataset(&split.train);
-    let metrics = EvalProtocol::exhaustive().evaluate(
-        &model,
-        &split.test,
-        &sampler,
-        data.n_items(),
-    );
+    let metrics =
+        EvalProtocol::exhaustive().evaluate(&model, &split.test, &sampler, data.n_items());
     println!(
         "\nleave-one-out: Recall@10 = {:.4}, NDCG@10 = {:.4} over {} users",
         metrics.recall_at(10),

@@ -20,6 +20,7 @@ pub use gb_data as data;
 pub use gb_eval as eval;
 pub use gb_graph as graph;
 pub use gb_models as models;
+pub use gb_serve as serve;
 pub use gb_tensor as tensor;
 
 /// Most-used items across the workspace, for glob import.
@@ -28,7 +29,8 @@ pub mod prelude {
     pub use gb_core::{GbgcnConfig, GbgcnModel};
     pub use gb_data::{Dataset, GroupBehavior, NegativeSampler, Split, SynthConfig, TestInstance};
     pub use gb_eval::{EvalProtocol, RankingMetrics, Scorer};
-    pub use gb_graph::HeteroGraphs;
-    pub use gb_models::Recommender;
+    pub use gb_graph::{BitMatrix, HeteroGraphs};
+    pub use gb_models::{EmbeddingSnapshot, Recommender, SnapshotSource};
+    pub use gb_serve::{QueryEngine, RecommendService, ScoredItem};
     pub use gb_tensor::Matrix;
 }

@@ -22,7 +22,6 @@ impl Scorer for Arbitrary {
     }
 }
 
-
 #[test]
 fn trained_gbgcn_beats_arbitrary_ranking() {
     let (data, split) = workload();
@@ -57,7 +56,12 @@ fn mf_both_roles_beats_initiator_only() {
     let (data, split) = workload();
     let sampler = NegativeSampler::from_dataset(&split.train);
     let protocol = EvalProtocol::exhaustive();
-    let tc = TrainConfig { dim: 16, epochs: 25, batch_size: 256, ..Default::default() };
+    let tc = TrainConfig {
+        dim: 16,
+        epochs: 25,
+        batch_size: 256,
+        ..Default::default()
+    };
 
     let mut oi = Mf::new(tc.clone(), InteractionKind::InitiatorOnly);
     oi.fit(&split.train);
@@ -82,13 +86,21 @@ fn gbgcn_and_gbmf_are_the_strongest_pair() {
     let (data, split) = workload();
     let sampler = NegativeSampler::from_dataset(&split.train);
     let protocol = EvalProtocol::exhaustive();
-    let tc = TrainConfig { dim: 16, epochs: 25, batch_size: 256, ..Default::default() };
+    let tc = TrainConfig {
+        dim: 16,
+        epochs: 25,
+        batch_size: 256,
+        ..Default::default()
+    };
 
     let mut mf_oi = Mf::new(tc.clone(), InteractionKind::InitiatorOnly);
     mf_oi.fit(&split.train);
     let weak = protocol.evaluate(&mf_oi, &split.test, &sampler, data.n_items());
 
-    let mut gbmf = Gbmf::new(GbmfConfig { base: tc, alpha: 0.5 });
+    let mut gbmf = Gbmf::new(GbmfConfig {
+        base: tc,
+        alpha: 0.5,
+    });
     gbmf.fit(&split.train);
     let g1 = protocol.evaluate(&gbmf, &split.test, &sampler, data.n_items());
 
@@ -119,11 +131,9 @@ fn evaluation_never_sees_training_positives_as_candidates() {
                 // The same (user, item) pair may also occur in another
                 // retained behavior; that is legitimate — verify it really
                 // is present in training in that case.
-                split
-                    .train
-                    .behaviors()
-                    .iter()
-                    .any(|b| (b.initiator == t.user || b.participants.contains(&t.user)) && b.item == t.item)
+                split.train.behaviors().iter().any(|b| {
+                    (b.initiator == t.user || b.participants.contains(&t.user)) && b.item == t.item
+                })
             },
             "held-out item leaked for user {}",
             t.user

@@ -1,0 +1,135 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Hand-rolled token parsing (no `syn`/`quote` available offline) covering
+//! what the workspace derives on: plain structs with named fields. The
+//! generated impls target the value-tree traits of the vendored `serde`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Extracts `(struct_name, field_names)` from a derive input.
+fn parse_struct(input: TokenStream) -> (String, Vec<String>) {
+    let mut iter = input.into_iter();
+    let mut name = None;
+    for tt in iter.by_ref() {
+        if let TokenTree::Ident(id) = &tt {
+            if id.to_string() == "struct" {
+                break;
+            }
+        }
+    }
+    for tt in iter.by_ref() {
+        match tt {
+            TokenTree::Ident(id) if name.is_none() => name = Some(id.to_string()),
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                let name = name.expect("struct name before body");
+                return (name, parse_fields(g.stream()));
+            }
+            _ => {}
+        }
+    }
+    panic!("serde_derive stub supports only structs with named fields");
+}
+
+/// Splits a named-field body into field names, skipping attributes,
+/// visibility, and type tokens (tracking `<...>` depth so commas inside
+/// generic arguments don't split fields).
+fn parse_fields(body: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    'fields: loop {
+        // Skip leading attributes (doc comments included) on the field.
+        loop {
+            match iter.peek() {
+                None => break 'fields,
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    iter.next();
+                    iter.next(); // the [...] group
+                }
+                _ => break,
+            }
+        }
+        // Skip visibility, take the field name.
+        let field = loop {
+            match iter.next() {
+                None => break 'fields,
+                Some(TokenTree::Ident(id)) => {
+                    let s = id.to_string();
+                    if s == "pub" {
+                        // `pub(crate)` carries a paren group; skip it too.
+                        if let Some(TokenTree::Group(g)) = iter.peek() {
+                            if g.delimiter() == Delimiter::Parenthesis {
+                                iter.next();
+                            }
+                        }
+                        continue;
+                    }
+                    break s;
+                }
+                Some(other) => panic!("unexpected token in field position: {other}"),
+            }
+        };
+        fields.push(field);
+        // Skip `: Type` up to the next top-level comma.
+        let mut angle_depth = 0i32;
+        for tt in iter.by_ref() {
+            if let TokenTree::Punct(p) = &tt {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => break,
+                    _ => {}
+                }
+            }
+        }
+    }
+    fields
+}
+
+/// Derives `serde::Serialize` for a named-field struct.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, fields) = parse_struct(input);
+    let pushes: String = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "fields.push((\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f})));\n"
+            )
+        })
+        .collect();
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 let mut fields = Vec::new();\n\
+                 {pushes}\
+                 ::serde::Value::Obj(fields)\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize` for a named-field struct.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, fields) = parse_struct(input);
+    let inits: String = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{f}: ::serde::Deserialize::from_value(v.get(\"{f}\").ok_or_else(|| \
+                 ::serde::Error::msg(\"missing field `{f}` in {name}\"))?)?,\n"
+            )
+        })
+        .collect();
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 Ok(Self {{ {inits} }})\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated Deserialize impl parses")
+}

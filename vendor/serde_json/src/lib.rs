@@ -1,0 +1,332 @@
+//! Offline stand-in for `serde_json`: renders and parses JSON text over
+//! the vendored `serde` [`Value`] tree.
+
+use serde::{Deserialize, Serialize, Value};
+use std::io::{Read, Write};
+
+pub use serde::Error;
+
+/// Result alias matching `serde_json::Result`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Serializes `value` to a JSON string.
+pub fn to_string<T: Serialize>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value())?;
+    Ok(out)
+}
+
+/// Serializes `value` as JSON into `writer`.
+pub fn to_writer<W: Write, T: Serialize>(mut writer: W, value: &T) -> Result<()> {
+    let text = to_string(value)?;
+    writer.write_all(text.as_bytes()).map_err(Error::msg)
+}
+
+/// Deserializes a value from a JSON string.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        at: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.at != p.bytes.len() {
+        return Err(Error::msg("trailing characters after JSON value"));
+    }
+    T::from_value(&v)
+}
+
+/// Deserializes a value from a JSON reader.
+pub fn from_reader<R: Read, T: Deserialize>(mut reader: R) -> Result<T> {
+    let mut text = String::new();
+    reader.read_to_string(&mut text).map_err(Error::msg)?;
+    from_str(&text)
+}
+
+fn write_value(out: &mut String, v: &Value) -> Result<()> {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Num(n) => {
+            if !n.is_finite() {
+                return Err(Error::msg("non-finite number is not valid JSON"));
+            }
+            if n.fract() == 0.0 && n.abs() < 9.007_199_254_740_992e15 {
+                // Integral values print without an exponent or trailing `.0`.
+                out.push_str(&format!("{}", *n as i64));
+            } else {
+                // `{:?}` on f64 is the shortest round-trip representation.
+                out.push_str(&format!("{n:?}"));
+            }
+        }
+        Value::Str(s) => write_string(out, s),
+        Value::Arr(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_value(out, item)?;
+            }
+            out.push(']');
+        }
+        Value::Obj(fields) => {
+            out.push('{');
+            for (i, (k, item)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_string(out, k);
+                out.push(':');
+                write_value(out, item)?;
+            }
+            out.push('}');
+        }
+    }
+    Ok(())
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.bytes.get(self.at) {
+            if b.is_ascii_whitespace() {
+                self.at += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.at).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> Result<()> {
+        if self.peek() == Some(b) {
+            self.at += 1;
+            Ok(())
+        } else {
+            Err(Error::msg(format!(
+                "expected `{}` at byte {}",
+                b as char, self.at
+            )))
+        }
+    }
+
+    fn eat_literal(&mut self, lit: &str) -> Result<()> {
+        if self.bytes[self.at..].starts_with(lit.as_bytes()) {
+            self.at += lit.len();
+            Ok(())
+        } else {
+            Err(Error::msg(format!("invalid literal at byte {}", self.at)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b't') => self.eat_literal("true").map(|_| Value::Bool(true)),
+            Some(b'f') => self.eat_literal("false").map(|_| Value::Bool(false)),
+            Some(b'n') => self.eat_literal("null").map(|_| Value::Null),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            _ => Err(Error::msg(format!("unexpected input at byte {}", self.at))),
+        }
+    }
+
+    fn object(&mut self) -> Result<Value> {
+        self.eat(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.at += 1;
+            return Ok(Value::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            self.skip_ws();
+            let val = self.value()?;
+            fields.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.at += 1,
+                Some(b'}') => {
+                    self.at += 1;
+                    return Ok(Value::Obj(fields));
+                }
+                _ => {
+                    return Err(Error::msg(format!(
+                        "expected `,` or `}}` at byte {}",
+                        self.at
+                    )))
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.at += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.at += 1,
+                Some(b']') => {
+                    self.at += 1;
+                    return Ok(Value::Arr(items));
+                }
+                _ => {
+                    return Err(Error::msg(format!(
+                        "expected `,` or `]` at byte {}",
+                        self.at
+                    )))
+                }
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(Error::msg("unterminated string")),
+                Some(b'"') => {
+                    self.at += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.at += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.at + 1..self.at + 5)
+                                .ok_or_else(|| Error::msg("truncated \\u escape"))?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(Error::msg)?,
+                                16,
+                            )
+                            .map_err(Error::msg)?;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| Error::msg("invalid \\u escape"))?,
+                            );
+                            self.at += 4;
+                        }
+                        _ => return Err(Error::msg("invalid escape")),
+                    }
+                    self.at += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is a &str, so this is safe).
+                    let rest = std::str::from_utf8(&self.bytes[self.at..]).map_err(Error::msg)?;
+                    let c = rest.chars().next().unwrap();
+                    out.push(c);
+                    self.at += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value> {
+        let start = self.at;
+        if self.peek() == Some(b'-') {
+            self.at += 1;
+        }
+        while let Some(b) = self.peek() {
+            if b.is_ascii_digit() || matches!(b, b'.' | b'e' | b'E' | b'+' | b'-') {
+                self.at += 1;
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.at]).map_err(Error::msg)?;
+        text.parse::<f64>().map(Value::Num).map_err(Error::msg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_roundtrip() {
+        let v: Vec<(u32, u32)> = vec![(1, 2), (7, 40000)];
+        let json = to_string(&v).unwrap();
+        assert_eq!(json, "[[1,2],[7,40000]]");
+        let back: Vec<(u32, u32)> = from_str(&json).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn floats_roundtrip_exactly() {
+        let v: Vec<f32> = vec![0.1, -1.5e-7, 3.4e38, 0.0, 1.0 / 3.0];
+        let json = to_string(&v).unwrap();
+        let back: Vec<f32> = from_str(&json).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn strings_escape_and_parse() {
+        let s = "he said \"hi\"\n\tback\\slash".to_string();
+        let json = to_string(&s).unwrap();
+        let back: String = from_str(&json).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn malformed_inputs_error() {
+        assert!(from_str::<u32>("not json").is_err());
+        assert!(from_str::<u32>("[1,2").is_err());
+        assert!(from_str::<u32>("1 2").is_err());
+        assert!(from_str::<Vec<u32>>("{\"a\":1}").is_err());
+    }
+
+    #[test]
+    fn whitespace_tolerated() {
+        let back: Vec<u32> = from_str(" [ 1 , 2 ,\n3 ] ").unwrap();
+        assert_eq!(back, vec![1, 2, 3]);
+    }
+}
