@@ -110,7 +110,7 @@ pub fn assert_grads_match(
 mod tests {
     use super::*;
     use gb_tensor::Matrix;
-    use std::rc::Rc;
+    use std::sync::Arc;
 
     fn seeded(rows: usize, cols: usize, seed: f32) -> Matrix {
         // Deterministic non-degenerate values in roughly [-0.6, 0.6].
@@ -156,12 +156,12 @@ mod tests {
     fn gradcheck_gather_and_segment_mean() {
         let mut store = ParamStore::new();
         let emb = store.add("emb", seeded(5, 3, 0.4));
-        let offsets = Rc::new(vec![0usize, 2, 2, 5]);
-        let members = Rc::new(vec![0u32, 3, 1, 2, 4]);
+        let offsets = Arc::new(vec![0usize, 2, 2, 5]);
+        let members = Arc::new(vec![0u32, 3, 1, 2, 4]);
         assert_grads_match(&mut store, emb, 2e-2, move |s, t| {
             let e = t.param(s, emb);
             let agg = t.segment_mean(e, offsets.clone(), members.clone());
-            let g = t.gather(agg, Rc::new(vec![0, 2, 2]));
+            let g = t.gather(agg, Arc::new(vec![0, 2, 2]));
             let sg = t.sigmoid(g);
             t.mean_all(sg)
         });
@@ -172,7 +172,7 @@ mod tests {
         let mut store = ParamStore::new();
         let emb = store.add("emb", seeded(6, 2, 0.8));
         assert_grads_match(&mut store, emb, 2e-2, |s, t| {
-            let g = t.gather_param(s, emb, Rc::new(vec![5, 0, 0, 2]));
+            let g = t.gather_param(s, emb, Arc::new(vec![5, 0, 0, 2]));
             let sq = t.sum_sq(g);
             t.scale(sq, 0.5)
         });
@@ -260,10 +260,10 @@ mod tests {
         let emb = store.add("emb", seeded(6, 2, 0.12));
         let w = store.add("w", seeded(4, 4, 0.44));
         let bias = store.add("bias", seeded(1, 4, 0.77));
-        let offsets = Rc::new(vec![0usize, 2, 4, 6]);
-        let members = Rc::new(vec![0u32, 1, 2, 3, 4, 5]);
-        let offsets2 = Rc::new(vec![0usize, 1, 3]);
-        let members2 = Rc::new(vec![0u32, 1, 2]);
+        let offsets = Arc::new(vec![0usize, 2, 4, 6]);
+        let members = Arc::new(vec![0u32, 1, 2, 3, 4, 5]);
+        let offsets2 = Arc::new(vec![0usize, 1, 3]);
+        let members2 = Arc::new(vec![0u32, 1, 2]);
         for p in [emb, w, bias] {
             let offsets = offsets.clone();
             let members = members.clone();
@@ -279,7 +279,7 @@ mod tests {
                 let fc = t.matmul(cat, wv);
                 let fcb = t.add_bias(fc, bv);
                 let act = t.sigmoid(fcb);
-                let other = t.gather(act, Rc::new(vec![1, 0]));
+                let other = t.gather(act, Arc::new(vec![1, 0]));
                 let dot = t.rowwise_dot(act, other);
                 let ls = t.log_sigmoid(dot);
                 let m = t.mean_all(ls);

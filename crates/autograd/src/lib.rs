@@ -17,6 +17,9 @@
 //!   [`optim::Adam`] (the pre-training stage).
 //! * [`gradcheck`] — finite-difference verification used by the test suite
 //!   for every differentiable op.
+//! * [`parallel`] — [`ShardExecutor`], deterministic multi-threaded
+//!   accumulation of per-shard gradients with a fixed reduction order
+//!   (thread count never changes the numbers, only the wall clock).
 //!
 //! Graph-specific ops (`gather_param`, `segment_mean`) make sparse
 //! embedding training efficient: a mini-batch touches only the rows that
@@ -26,9 +29,11 @@
 pub mod checkpoint;
 pub mod gradcheck;
 pub mod optim;
+pub mod parallel;
 pub mod params;
 pub mod tape;
 
 pub use optim::{Adam, AdamConfig, Sgd};
+pub use parallel::{shard_spans, ShardExecutor};
 pub use params::{Gradients, ParamId, ParamStore};
 pub use tape::{Tape, Var};

@@ -1,0 +1,191 @@
+//! Deterministic parallel gradient accumulation.
+//!
+//! The sharded training loops split each mini-batch into a fixed sequence
+//! of shards, compute one [`Gradients`] per shard, and reduce them into a
+//! single merged gradient for one optimizer step. [`ShardExecutor`] owns
+//! the scheduling side of that contract:
+//!
+//! * the **shard decomposition** is chosen by the caller and is part of
+//!   the numerical recipe — changing the shard count changes float
+//!   summation order, exactly like changing the batch size does;
+//! * the **thread count** is pure scheduling and must never change the
+//!   result. Per-shard gradients are computed independently (each shard
+//!   runs its own forward/backward tape against the same frozen parameter
+//!   values), parked in a slot indexed by shard id, and merged in shard
+//!   order `0, 1, …, n-1` after all workers join.
+//!
+//! Because float addition is deterministic for a fixed operand order, the
+//! merged gradient from `t` threads is bit-identical to the one produced
+//! by the serial fallback (`t = 1`) for the same shard count — the
+//! property test suites assert this for every model family.
+
+use crate::params::Gradients;
+
+/// Scheduler for sharded backward passes.
+#[derive(Clone, Copy, Debug)]
+pub struct ShardExecutor {
+    threads: usize,
+}
+
+impl ShardExecutor {
+    /// An executor running shard work on `threads` OS threads (clamped to
+    /// at least one). `ShardExecutor::serial()` and `threads = 1` compute
+    /// everything on the caller's thread.
+    pub fn new(threads: usize) -> Self {
+        Self {
+            threads: threads.max(1),
+        }
+    }
+
+    /// The single-threaded executor.
+    pub fn serial() -> Self {
+        Self::new(1)
+    }
+
+    /// Configured worker-thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `shard_fn(0..n_shards)`, merging the per-shard `(loss,
+    /// gradients)` results in ascending shard order.
+    ///
+    /// Returns the loss sum (reduced in shard order) and the merged
+    /// gradient set. `shard_fn` must be a pure function of the shard
+    /// index and the (frozen) state it captures — it may run on any
+    /// thread, in any order, possibly concurrently with other shards.
+    pub fn accumulate<F>(&self, n_params: usize, n_shards: usize, shard_fn: F) -> (f32, Gradients)
+    where
+        F: Fn(usize) -> (f32, Gradients) + Sync,
+    {
+        let threads = self.threads.min(n_shards.max(1));
+        let mut slots: Vec<Option<(f32, Gradients)>> = (0..n_shards).map(|_| None).collect();
+        if threads <= 1 {
+            for (shard, slot) in slots.iter_mut().enumerate() {
+                *slot = Some(shard_fn(shard));
+            }
+        } else {
+            // Contiguous static partition: thread `t` owns shards
+            // `[t*chunk, (t+1)*chunk)`. No work stealing — assignment must
+            // not depend on timing (results are slotted by shard id anyway,
+            // but static partitions also keep per-thread cost predictable).
+            let chunk = n_shards.div_ceil(threads);
+            std::thread::scope(|scope| {
+                for (t, slot_chunk) in slots.chunks_mut(chunk).enumerate() {
+                    let shard_fn = &shard_fn;
+                    scope.spawn(move || {
+                        for (i, slot) in slot_chunk.iter_mut().enumerate() {
+                            *slot = Some(shard_fn(t * chunk + i));
+                        }
+                    });
+                }
+            });
+        }
+        let mut merged = Gradients::empty(n_params);
+        let mut loss = 0.0f32;
+        for slot in slots {
+            let (shard_loss, grads) = slot.expect("every shard computed");
+            loss += shard_loss;
+            merged.merge(grads);
+        }
+        (loss, merged)
+    }
+}
+
+/// Contiguous `[start, end)` spans covering `0..len` in up to `n_shards`
+/// near-equal chunks, empty spans dropped — the shared shard
+/// decomposition for flat index-list batches. A pure function of its
+/// arguments, like every shard decomposition must be.
+pub fn shard_spans(len: usize, n_shards: usize) -> Vec<(usize, usize)> {
+    let n = n_shards.max(1);
+    let chunk = len.div_ceil(n).max(1);
+    (0..n)
+        .map(|s| ((s * chunk).min(len), ((s + 1) * chunk).min(len)))
+        .filter(|(a, b)| a < b)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gb_tensor::Matrix;
+
+    /// A synthetic shard gradient whose value depends on the shard index
+    /// in a way that makes reduction-order mistakes visible: repeated
+    /// noncommutative-ish float sums of distinct magnitudes.
+    fn shard_grad(shard: usize) -> (f32, Gradients) {
+        let mut g = Gradients::empty(3);
+        let v = 0.1f32 * (shard as f32 + 1.0) + 1e-7 * shard as f32;
+        g.accumulate(0, Matrix::full(2, 2, v));
+        if shard.is_multiple_of(2) {
+            g.accumulate(2, Matrix::full(1, 3, v * v));
+        }
+        (v, g)
+    }
+
+    #[test]
+    fn parallel_reduction_is_bit_identical_to_serial() {
+        for n_shards in [1usize, 2, 3, 7, 8, 16] {
+            let (serial_loss, serial) = ShardExecutor::serial().accumulate(3, n_shards, shard_grad);
+            for threads in [2usize, 3, 4, 9] {
+                let (loss, merged) =
+                    ShardExecutor::new(threads).accumulate(3, n_shards, shard_grad);
+                assert_eq!(
+                    loss.to_bits(),
+                    serial_loss.to_bits(),
+                    "loss {n_shards} shards"
+                );
+                for id in 0..3 {
+                    match (serial.get(id), merged.get(id)) {
+                        (None, None) => {}
+                        (Some(a), Some(b)) => assert_eq!(
+                            a.as_slice(),
+                            b.as_slice(),
+                            "param {id}, {n_shards} shards, {threads} threads"
+                        ),
+                        _ => panic!("touched-set mismatch for param {id}"),
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn untouched_params_stay_untouched() {
+        let (_, merged) = ShardExecutor::new(4).accumulate(3, 5, shard_grad);
+        assert!(merged.get(0).is_some());
+        assert!(merged.get(1).is_none(), "param 1 never touched");
+        assert!(merged.get(2).is_some());
+    }
+
+    #[test]
+    fn zero_shards_yield_empty_gradients() {
+        let (loss, merged) = ShardExecutor::new(4).accumulate(2, 0, shard_grad);
+        assert_eq!(loss, 0.0);
+        assert_eq!(merged.touched(), 0);
+    }
+
+    #[test]
+    fn shard_spans_partition_the_range_in_order() {
+        for len in [0usize, 1, 5, 8, 17] {
+            for n in 1..=8 {
+                let spans = shard_spans(len, n);
+                let mut at = 0;
+                for &(a, b) in &spans {
+                    assert_eq!(a, at, "len {len} shards {n}");
+                    assert!(b > a);
+                    at = b;
+                }
+                assert_eq!(at, len, "len {len} shards {n} must cover the range");
+                assert!(spans.len() <= n);
+            }
+        }
+    }
+
+    #[test]
+    fn more_threads_than_shards_is_fine() {
+        let (_, a) = ShardExecutor::new(64).accumulate(3, 2, shard_grad);
+        let (_, b) = ShardExecutor::serial().accumulate(3, 2, shard_grad);
+        assert_eq!(a.get(0).unwrap().as_slice(), b.get(0).unwrap().as_slice());
+    }
+}

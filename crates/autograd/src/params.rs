@@ -127,6 +127,27 @@ impl Gradients {
         }
     }
 
+    /// Merges `other` into `self` by accumulating every touched slot.
+    ///
+    /// Both sides must have been created for the same parameter count.
+    /// Slots are visited in ascending `ParamId` order and element-wise
+    /// addition is deterministic, so merging a fixed sequence of gradient
+    /// sets always produces bit-identical results regardless of which
+    /// thread computed each set — the invariant the sharded trainer's
+    /// reduction relies on.
+    pub fn merge(&mut self, other: Gradients) {
+        assert_eq!(
+            self.grads.len(),
+            other.grads.len(),
+            "gradient sets cover different parameter counts"
+        );
+        for (id, g) in other.grads.into_iter().enumerate() {
+            if let Some(g) = g {
+                self.accumulate(id, g);
+            }
+        }
+    }
+
     /// Iterates `(id, grad)` pairs for parameters with gradients.
     pub fn iter(&self) -> impl Iterator<Item = (ParamId, &Matrix)> {
         self.grads

@@ -2,7 +2,7 @@
 
 use crate::params::{Gradients, ParamId, ParamStore};
 use gb_tensor::{kernels, Matrix};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Handle to a node on the [`Tape`].
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -18,18 +18,18 @@ enum Op {
     /// Rows of a parameter table selected by index (embedding lookup).
     GatherParam {
         param: ParamId,
-        indices: Rc<Vec<u32>>,
+        indices: Arc<Vec<u32>>,
     },
     /// Rows of an upstream node selected by index.
     Gather {
         src: Var,
-        indices: Rc<Vec<u32>>,
+        indices: Arc<Vec<u32>>,
     },
     /// CSR-driven neighbourhood mean (GCN aggregation, Eqs. 1–2, 4–7).
     SegmentMean {
         src: Var,
-        offsets: Rc<Vec<usize>>,
-        members: Rc<Vec<u32>>,
+        offsets: Arc<Vec<usize>>,
+        members: Arc<Vec<u32>>,
     },
     MatMul {
         a: Var,
@@ -164,7 +164,7 @@ impl Tape {
     }
 
     /// Embedding lookup: rows of parameter `id` at `indices`.
-    pub fn gather_param(&mut self, store: &ParamStore, id: ParamId, indices: Rc<Vec<u32>>) -> Var {
+    pub fn gather_param(&mut self, store: &ParamStore, id: ParamId, indices: Arc<Vec<u32>>) -> Var {
         let value = kernels::gather_rows(store.value(id), &indices);
         self.push(value, Op::GatherParam { param: id, indices })
     }
@@ -172,7 +172,7 @@ impl Tape {
     // ----- structural ops ------------------------------------------------
 
     /// Rows of node `src` at `indices`.
-    pub fn gather(&mut self, src: Var, indices: Rc<Vec<u32>>) -> Var {
+    pub fn gather(&mut self, src: Var, indices: Arc<Vec<u32>>) -> Var {
         let value = kernels::gather_rows(&self.nodes[src.0].value, &indices);
         self.push(value, Op::Gather { src, indices })
     }
@@ -182,8 +182,8 @@ impl Tape {
     pub fn segment_mean(
         &mut self,
         src: Var,
-        offsets: Rc<Vec<usize>>,
-        members: Rc<Vec<u32>>,
+        offsets: Arc<Vec<usize>>,
+        members: Arc<Vec<u32>>,
     ) -> Var {
         let value = kernels::segment_mean(&self.nodes[src.0].value, &offsets, &members);
         self.push(
@@ -553,7 +553,7 @@ mod tests {
     fn gather_param_routes_sparse_grads() {
         let (store, w) = store_with("emb", Matrix::from_fn(4, 2, |r, c| (r * 2 + c) as f32));
         let mut t = Tape::new();
-        let g = t.gather_param(&store, w, Rc::new(vec![1, 1, 3]));
+        let g = t.gather_param(&store, w, Arc::new(vec![1, 1, 3]));
         let loss = t.sum_all(g);
         let grads = t.backward(loss, &store);
         let gw = grads.get(w).unwrap();
@@ -569,7 +569,7 @@ mod tests {
         let mut t = Tape::new();
         let wv = t.param(&store, w);
         // one segment holding all three rows
-        let sm = t.segment_mean(wv, Rc::new(vec![0, 3]), Rc::new(vec![0, 1, 2]));
+        let sm = t.segment_mean(wv, Arc::new(vec![0, 3]), Arc::new(vec![0, 1, 2]));
         let loss = t.sum_all(sm);
         let grads = t.backward(loss, &store);
         for r in 0..3 {

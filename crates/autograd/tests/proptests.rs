@@ -5,7 +5,7 @@
 use gb_autograd::{gradcheck, Gradients, ParamStore, Sgd, Tape};
 use gb_tensor::Matrix;
 use proptest::prelude::*;
-use std::rc::Rc;
+use std::sync::Arc;
 
 fn values(n: usize) -> impl Strategy<Value = Vec<f32>> {
     // Keep magnitudes moderate so finite differences stay well-conditioned.
@@ -40,9 +40,9 @@ proptest! {
         let mut store = ParamStore::new();
         let e = store.add("emb", Matrix::from_vec(6, 2, emb));
         gradcheck::assert_grads_match(&mut store, e, 5e-2, |s, t| {
-            let users = t.gather_param(s, e, Rc::new(vec![0, 1]));
-            let pos = t.gather_param(s, e, Rc::new(vec![2, 3]));
-            let neg = t.gather_param(s, e, Rc::new(vec![4, 5]));
+            let users = t.gather_param(s, e, Arc::new(vec![0, 1]));
+            let pos = t.gather_param(s, e, Arc::new(vec![2, 3]));
+            let neg = t.gather_param(s, e, Arc::new(vec![4, 5]));
             let ps = t.rowwise_dot(users, pos);
             let ns = t.rowwise_dot(users, neg);
             let diff = t.sub(ps, ns);
@@ -56,8 +56,8 @@ proptest! {
     fn gradcheck_segment_mean_chain(emb in values(10), cut in 1usize..5) {
         let mut store = ParamStore::new();
         let e = store.add("emb", Matrix::from_vec(5, 2, emb));
-        let offsets = Rc::new(vec![0usize, cut, 5]);
-        let members: Rc<Vec<u32>> = Rc::new((0..5).collect());
+        let offsets = Arc::new(vec![0usize, cut, 5]);
+        let members: Arc<Vec<u32>> = Arc::new((0..5).collect());
         gradcheck::assert_grads_match(&mut store, e, 5e-2, move |s, t| {
             let ev = t.param(s, e);
             let agg = t.segment_mean(ev, offsets.clone(), members.clone());

@@ -1,9 +1,15 @@
 //! Criterion bench backing Table IV: one training epoch of each model
-//! family on a small standard workload.
+//! family on a small standard workload, serial and sharded-parallel.
+//!
+//! The `*_x{1,2,4}` rows share one shard decomposition per thread count
+//! (shards = threads), so they measure pure scheduling speedup — the
+//! produced parameters are bit-identical across the row, only the wall
+//! clock moves.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use gb_autograd::ShardExecutor;
 use gb_bench::Workload;
-use gb_core::{GbgcnConfig, GbgcnModel};
+use gb_core::{GbgcnConfig, GbgcnModel, ParallelTrainConfig};
 use gb_data::convert::InteractionKind;
 use gb_models::{Gbmf, GbmfConfig, Mf, Recommender, TrainConfig};
 
@@ -51,6 +57,40 @@ fn bench_epochs(c: &mut Criterion) {
         let mut m = GbgcnModel::new(cfg, &w.split.train);
         b.iter(|| m.measure_epoch_secs(1));
     });
+
+    // Sharded-parallel MF epochs: one fixed 4-shard decomposition across
+    // the x1/x2/x4 rows, so every row runs the identical float program
+    // (bit-identical embeddings) and only the scheduling differs. On an
+    // N-core machine the x4 row shows the real speedup; on a single
+    // hardware thread it degenerates to the thread-handoff overhead.
+    for threads in [1usize, 2, 4] {
+        group.bench_function(format!("mf_sharded4_x{threads}").as_str(), |b| {
+            let executor = ShardExecutor::new(threads);
+            b.iter(|| {
+                let mut m = Mf::new(one_epoch_cfg(), InteractionKind::BothRoles);
+                m.fit_sharded(&w.split.train, 4, &executor)
+            })
+        });
+    }
+
+    // Sharded-parallel GBGCN fine-tuning epochs, same fixed 4-shard
+    // decomposition. Each shard replays the propagation forward pass on
+    // its own tape, so perfect scaling is bounded by the batch-work
+    // fraction of an epoch (Amdahl over the replicated propagation).
+    for threads in [1usize, 2, 4] {
+        group.bench_function(format!("gbgcn_finetune4_x{threads}").as_str(), |b| {
+            let cfg = GbgcnConfig {
+                dim: 32,
+                pretrain_epochs: 0,
+                finetune_epochs: 1,
+                batch_size: 512,
+                ..GbgcnConfig::default()
+            };
+            let par = ParallelTrainConfig::with_threads(4).scheduled_on(threads);
+            let mut m = GbgcnModel::new(cfg, &w.split.train);
+            b.iter(|| m.measure_epoch_secs_parallel(1, &par));
+        });
+    }
 
     group.finish();
 }

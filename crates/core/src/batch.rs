@@ -78,6 +78,46 @@ impl LossBatch {
         batch
     }
 
+    /// Splits the batch into up to `n_shards` contiguous sub-batches for
+    /// the sharded trainer.
+    ///
+    /// Forward and reversed pair lists are chunked independently (their
+    /// lengths are unrelated), and every shard keeps the parent's
+    /// `n_behaviors` so per-shard losses stay on the parent's
+    /// normalization — the shard-summed loss equals the unsharded loss up
+    /// to the regularization terms, which de-duplicate touched users and
+    /// items per shard rather than per batch. Shards empty on both sides
+    /// are dropped.
+    ///
+    /// The decomposition is a pure function of `(self, n_shards)`: it is
+    /// the determinism anchor that makes parallel execution bit-identical
+    /// to serial execution at the same shard count.
+    pub fn split(&self, n_shards: usize) -> Vec<LossBatch> {
+        let n = n_shards.max(1);
+        let fwd_chunk = self.fwd_users.len().div_ceil(n).max(1);
+        let rev_chunk = self.rev_users.len().div_ceil(n).max(1);
+        let mut shards = Vec::with_capacity(n);
+        for s in 0..n {
+            let f0 = (s * fwd_chunk).min(self.fwd_users.len());
+            let f1 = ((s + 1) * fwd_chunk).min(self.fwd_users.len());
+            let r0 = (s * rev_chunk).min(self.rev_users.len());
+            let r1 = ((s + 1) * rev_chunk).min(self.rev_users.len());
+            if f0 == f1 && r0 == r1 {
+                continue;
+            }
+            shards.push(LossBatch {
+                fwd_users: self.fwd_users[f0..f1].to_vec(),
+                fwd_pos: self.fwd_pos[f0..f1].to_vec(),
+                fwd_neg: self.fwd_neg[f0..f1].to_vec(),
+                rev_users: self.rev_users[r0..r1].to_vec(),
+                rev_pos: self.rev_pos[r0..r1].to_vec(),
+                rev_neg: self.rev_neg[r0..r1].to_vec(),
+                n_behaviors: self.n_behaviors,
+            });
+        }
+        shards
+    }
+
     /// All distinct users appearing in the batch (for regularization).
     pub fn touched_users(&self) -> Vec<u32> {
         let mut users: Vec<u32> = self
@@ -178,6 +218,58 @@ mod tests {
             let b = LossBatch::build(&d, &[1], 1, &sampler, &mut rng);
             assert!(b.fwd_neg.iter().all(|&n| !sampler.is_positive(3, n)));
         }
+    }
+
+    #[test]
+    fn split_partitions_pairs_without_loss_or_reorder() {
+        let d = dataset();
+        let sampler = NegativeSampler::from_dataset(&d);
+        let mut rng = StdRng::seed_from_u64(7);
+        let b = LossBatch::build(&d, &[0, 1, 0, 1], 3, &sampler, &mut rng);
+        for n_shards in 1..=8 {
+            let shards = b.split(n_shards);
+            assert!(shards.len() <= n_shards);
+            let fwd: Vec<u32> = shards.iter().flat_map(|s| s.fwd_users.clone()).collect();
+            let rev: Vec<u32> = shards.iter().flat_map(|s| s.rev_users.clone()).collect();
+            assert_eq!(fwd, b.fwd_users, "{n_shards} shards");
+            assert_eq!(rev, b.rev_users, "{n_shards} shards");
+            assert!(shards.iter().all(|s| s.n_behaviors == b.n_behaviors));
+            // Aligned lists stay aligned within every shard.
+            for s in &shards {
+                assert_eq!(s.fwd_users.len(), s.fwd_pos.len());
+                assert_eq!(s.fwd_users.len(), s.fwd_neg.len());
+                assert_eq!(s.rev_users.len(), s.rev_pos.len());
+                assert_eq!(s.rev_users.len(), s.rev_neg.len());
+            }
+        }
+    }
+
+    #[test]
+    fn split_one_is_the_identity_decomposition() {
+        let d = dataset();
+        let sampler = NegativeSampler::from_dataset(&d);
+        let mut rng = StdRng::seed_from_u64(0);
+        let b = LossBatch::build(&d, &[0, 1], 2, &sampler, &mut rng);
+        let shards = b.split(1);
+        assert_eq!(shards.len(), 1);
+        assert_eq!(shards[0].fwd_users, b.fwd_users);
+        assert_eq!(shards[0].rev_neg, b.rev_neg);
+        assert_eq!(shards[0].n_behaviors, b.n_behaviors);
+    }
+
+    #[test]
+    fn split_drops_fully_empty_shards() {
+        let b = LossBatch {
+            fwd_users: vec![1, 2],
+            fwd_pos: vec![0, 0],
+            fwd_neg: vec![3, 4],
+            n_behaviors: 2,
+            ..Default::default()
+        };
+        let shards = b.split(8);
+        assert_eq!(shards.len(), 2, "only two one-pair shards survive");
+        let empty = LossBatch::default();
+        assert!(empty.split(4).is_empty());
     }
 
     #[test]

@@ -53,6 +53,75 @@ pub enum Activation {
     LeakyRelu,
 }
 
+/// Knobs of the sharded-parallel trainer
+/// ([`crate::GbgcnModel::fit_parallel`]).
+///
+/// `n_shards` is part of the numerical recipe: each mini-batch is split
+/// into that many deterministic sub-batches whose gradients are reduced
+/// in shard order before a single optimizer step. `n_threads` is pure
+/// scheduling — any thread count produces bit-identical parameters for a
+/// fixed shard count.
+#[derive(Clone, Debug)]
+pub struct ParallelTrainConfig {
+    /// Gradient shards per mini-batch (≥ 1).
+    pub n_shards: usize,
+    /// Worker threads computing shard gradients (≥ 1; clamped to the
+    /// shard count).
+    pub n_threads: usize,
+    /// Publish a snapshot to the serving handle every this many
+    /// fine-tuning epochs (0 = only once, after training finishes).
+    pub refresh_every: usize,
+}
+
+impl Default for ParallelTrainConfig {
+    /// Four shards (a fixed constant — shard count is part of the
+    /// numerical recipe, so it must not follow the host's core count or
+    /// results would differ across machines) scheduled on every
+    /// available core.
+    fn default() -> Self {
+        Self {
+            n_shards: 4,
+            n_threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            refresh_every: 0,
+        }
+    }
+}
+
+impl ParallelTrainConfig {
+    /// One shard on one thread: the exact serial recipe.
+    pub fn serial() -> Self {
+        Self {
+            n_shards: 1,
+            n_threads: 1,
+            refresh_every: 0,
+        }
+    }
+
+    /// `n` shards on `n` threads.
+    pub fn with_threads(n: usize) -> Self {
+        Self {
+            n_shards: n.max(1),
+            n_threads: n.max(1),
+            refresh_every: 0,
+        }
+    }
+
+    /// Same decomposition, different thread count — the configuration
+    /// pair the determinism tests compare.
+    pub fn scheduled_on(mut self, threads: usize) -> Self {
+        self.n_threads = threads.max(1);
+        self
+    }
+
+    /// Sets the snapshot refresh cadence (in fine-tuning epochs).
+    pub fn refresh_every(mut self, epochs: usize) -> Self {
+        self.refresh_every = epochs;
+        self
+    }
+}
+
 /// Full hyper-parameter set of GBGCN, mirroring Sec. IV-A.2.
 #[derive(Clone, Debug)]
 pub struct GbgcnConfig {

@@ -2,18 +2,18 @@
 //! fine-tune pipeline, and post-training scoring.
 
 use crate::batch::LossBatch;
-use crate::config::GbgcnConfig;
+use crate::config::{GbgcnConfig, ParallelTrainConfig};
 use crate::propagation::{propagate, PropParams, ViewEmbeddings};
-use gb_autograd::{Adam, AdamConfig, ParamStore, Sgd, Tape, Var};
+use gb_autograd::{Adam, AdamConfig, Gradients, ParamStore, Sgd, ShardExecutor, Tape, Var};
 use gb_data::{Dataset, NegativeSampler};
 use gb_eval::Scorer;
 use gb_graph::{Csr, HeteroGraphs};
 use gb_models::common::shuffled_batches;
-use gb_models::{EmbeddingSnapshot, Recommender, SnapshotSource, TrainReport};
+use gb_models::{EmbeddingSnapshot, Recommender, SnapshotHandle, SnapshotSource, TrainReport};
 use gb_tensor::{kernels, Matrix};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::rc::Rc;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Cached post-training representations used for scoring (Eq. 9).
@@ -100,8 +100,8 @@ impl GbgcnModel {
         tape: &mut Tape,
         ve: &ViewEmbeddings,
         friend_mean: Var,
-        users: Rc<Vec<u32>>,
-        items: Rc<Vec<u32>>,
+        users: Arc<Vec<u32>>,
+        items: Arc<Vec<u32>>,
     ) -> Var {
         let ue = tape.gather(ve.u_hat_i, users.clone());
         let vi = tape.gather(ve.v_hat_i, items.clone());
@@ -122,8 +122,8 @@ impl GbgcnModel {
         tape: &mut Tape,
         u_raw: Var,
         friend_mean: Var,
-        users: Rc<Vec<u32>>,
-        items: Rc<Vec<u32>>,
+        users: Arc<Vec<u32>>,
+        items: Arc<Vec<u32>>,
     ) -> Var {
         let ue = tape.gather(u_raw, users.clone());
         let ie = tape.gather_param(&self.store, self.params.item_raw, items.clone());
@@ -159,8 +159,8 @@ impl GbgcnModel {
         let norm = tape.scale(total, 1.0 / batch.n_behaviors.max(1) as f32);
 
         // L2 on touched raw embeddings.
-        let touched_u = Rc::new(batch.touched_users());
-        let touched_v = Rc::new(batch.touched_items());
+        let touched_u = Arc::new(batch.touched_users());
+        let touched_v = Arc::new(batch.touched_items());
         let ue = tape.gather_param(&self.store, self.params.user_raw, touched_u.clone());
         let vee = tape.gather_param(&self.store, self.params.item_raw, touched_v);
         let l2u = tape.sum_sq(ue);
@@ -183,8 +183,11 @@ impl GbgcnModel {
         loss
     }
 
-    /// One full-model training step; returns the batch loss.
-    fn finetune_step(&mut self, batch: &LossBatch, sgd: &Sgd) -> f32 {
+    /// Forward/backward of the full model on one (shard) batch against
+    /// the current frozen parameters; returns `(loss, gradients)` without
+    /// stepping. Pure in `(self, batch)`, so shard gradients may be
+    /// computed on any thread in any order.
+    fn finetune_grad(&self, batch: &LossBatch) -> (f32, Gradients) {
         let mut tape = Tape::new();
         let ve = propagate(
             &self.store,
@@ -195,93 +198,126 @@ impl GbgcnModel {
         );
         let friend_mean =
             tape.segment_mean(ve.u_hat_p, self.social.offsets(), self.social.members());
-        let fwd_users = Rc::new(batch.fwd_users.clone());
+        let fwd_users = Arc::new(batch.fwd_users.clone());
         let fwd_pos = self.tape_scores(
             &mut tape,
             &ve,
             friend_mean,
             fwd_users.clone(),
-            Rc::new(batch.fwd_pos.clone()),
+            Arc::new(batch.fwd_pos.clone()),
         );
         let fwd_neg = self.tape_scores(
             &mut tape,
             &ve,
             friend_mean,
             fwd_users,
-            Rc::new(batch.fwd_neg.clone()),
+            Arc::new(batch.fwd_neg.clone()),
         );
         let rev = if batch.rev_users.is_empty() {
             None
         } else {
-            let rev_users = Rc::new(batch.rev_users.clone());
+            let rev_users = Arc::new(batch.rev_users.clone());
             let rp = self.tape_scores(
                 &mut tape,
                 &ve,
                 friend_mean,
                 rev_users.clone(),
-                Rc::new(batch.rev_pos.clone()),
+                Arc::new(batch.rev_pos.clone()),
             );
             let rn = self.tape_scores(
                 &mut tape,
                 &ve,
                 friend_mean,
                 rev_users,
-                Rc::new(batch.rev_neg.clone()),
+                Arc::new(batch.rev_neg.clone()),
             );
             Some((rp, rn))
         };
         let loss = self.assemble_loss(&mut tape, batch, fwd_pos, fwd_neg, rev);
         let value = tape.value(loss).get(0, 0);
         let grads = tape.backward(loss, &self.store);
+        (value, grads)
+    }
+
+    /// One full-model training step; returns the batch loss.
+    fn finetune_step(&mut self, batch: &LossBatch, sgd: &Sgd) -> f32 {
+        let (value, grads) = self.finetune_grad(batch);
         sgd.step(&mut self.store, &grads);
         value
     }
 
-    /// One pre-training step on the propagation-free model.
-    fn pretrain_step(&mut self, batch: &LossBatch, adam: &mut Adam) -> f32 {
+    /// Forward/backward of the propagation-free pre-training model on one
+    /// (shard) batch; returns `(loss, gradients)` without stepping.
+    fn pretrain_grad(&self, batch: &LossBatch) -> (f32, Gradients) {
         let mut tape = Tape::new();
         let u_raw = tape.param(&self.store, self.params.user_raw);
         let friend_mean = tape.segment_mean(u_raw, self.social.offsets(), self.social.members());
-        let fwd_users = Rc::new(batch.fwd_users.clone());
+        let fwd_users = Arc::new(batch.fwd_users.clone());
         let fwd_pos = self.pretrain_scores(
             &mut tape,
             u_raw,
             friend_mean,
             fwd_users.clone(),
-            Rc::new(batch.fwd_pos.clone()),
+            Arc::new(batch.fwd_pos.clone()),
         );
         let fwd_neg = self.pretrain_scores(
             &mut tape,
             u_raw,
             friend_mean,
             fwd_users,
-            Rc::new(batch.fwd_neg.clone()),
+            Arc::new(batch.fwd_neg.clone()),
         );
         let rev = if batch.rev_users.is_empty() {
             None
         } else {
-            let rev_users = Rc::new(batch.rev_users.clone());
+            let rev_users = Arc::new(batch.rev_users.clone());
             let rp = self.pretrain_scores(
                 &mut tape,
                 u_raw,
                 friend_mean,
                 rev_users.clone(),
-                Rc::new(batch.rev_pos.clone()),
+                Arc::new(batch.rev_pos.clone()),
             );
             let rn = self.pretrain_scores(
                 &mut tape,
                 u_raw,
                 friend_mean,
                 rev_users,
-                Rc::new(batch.rev_neg.clone()),
+                Arc::new(batch.rev_neg.clone()),
             );
             Some((rp, rn))
         };
         let loss = self.assemble_loss(&mut tape, batch, fwd_pos, fwd_neg, rev);
         let value = tape.value(loss).get(0, 0);
         let grads = tape.backward(loss, &self.store);
+        (value, grads)
+    }
+
+    /// One pre-training step on the propagation-free model.
+    fn pretrain_step(&mut self, batch: &LossBatch, adam: &mut Adam) -> f32 {
+        let (value, grads) = self.pretrain_grad(batch);
         adam.step(&mut self.store, &grads);
         value
+    }
+
+    /// Shard-summed loss and merged gradient of one mini-batch under the
+    /// `cfg.n_shards` decomposition, computed on `executor`'s threads and
+    /// reduced in fixed shard order.
+    fn sharded_grad(
+        &self,
+        batch: &LossBatch,
+        n_shards: usize,
+        executor: &ShardExecutor,
+        finetune: bool,
+    ) -> (f32, Gradients) {
+        let shards = batch.split(n_shards);
+        executor.accumulate(self.store.len(), shards.len(), |s| {
+            if finetune {
+                self.finetune_grad(&shards[s])
+            } else {
+                self.pretrain_grad(&shards[s])
+            }
+        })
     }
 
     /// Runs the full forward pass once and caches the final embeddings
@@ -426,8 +462,138 @@ impl GbgcnModel {
 
     /// Mean wall-clock seconds of one fine-tuning epoch (for Table IV);
     /// runs `n` measured epochs without disturbing determinism guarantees
-    /// beyond advancing the training state.
+    /// beyond advancing the training state. The one-shard instance of
+    /// [`GbgcnModel::measure_epoch_secs_parallel`].
     pub fn measure_epoch_secs(&mut self, n: usize) -> f64 {
+        self.measure_epoch_secs_parallel(n, &ParallelTrainConfig::serial())
+    }
+
+    /// Sharded-parallel counterpart of [`Recommender::fit`].
+    ///
+    /// Every mini-batch (negative sampling included) is assembled on the
+    /// calling thread from the same RNG stream as the serial path, split
+    /// into `par.n_shards` deterministic sub-batches
+    /// ([`LossBatch::split`]), and the per-shard gradients — computed on
+    /// `par.n_threads` worker threads — are reduced in fixed shard order
+    /// before a single optimizer step. Consequences:
+    ///
+    /// * with `n_shards = 1` the run is bit-identical to
+    ///   [`Recommender::fit`];
+    /// * for a fixed `n_shards`, every `n_threads` produces bit-identical
+    ///   parameters (the property tests assert this);
+    /// * `n_shards > 1` changes float summation order (and counts a
+    ///   user/item touched by several shards once per shard in the
+    ///   regularizers), so it is a different — equally valid — recipe,
+    ///   itself reproducible for that shard count.
+    ///
+    /// When `handle` is given, the trainer re-exports its embeddings
+    /// every `par.refresh_every` fine-tuning epochs and publishes them,
+    /// so a live `gb-serve` engine hot-swaps to fresh embeddings mid-run
+    /// without restart. The finished model is always published: by the
+    /// last cadence publish when the cadence lands on the final epoch,
+    /// or by one closing export otherwise (including `refresh_every = 0`).
+    pub fn fit_parallel(
+        &mut self,
+        train: &Dataset,
+        par: &ParallelTrainConfig,
+        handle: Option<&SnapshotHandle>,
+    ) -> TrainReport {
+        assert_eq!(
+            train.n_users(),
+            self.graphs.n_users(),
+            "dataset/user mismatch"
+        );
+        assert_eq!(
+            train.n_items(),
+            self.graphs.n_items(),
+            "dataset/item mismatch"
+        );
+        let cfg = self.cfg.clone();
+        let executor = ShardExecutor::new(par.n_threads);
+        let n_shards = par.n_shards.max(1);
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let sampler = NegativeSampler::from_dataset(train);
+        let n = train.behaviors().len();
+
+        // --- stage 1: Adam pre-training of the simplified model ---------
+        let mut adam = Adam::new(AdamConfig::with_lr(cfg.pretrain_lr), &self.store);
+        for epoch in 0..cfg.pretrain_epochs {
+            let mut loss_sum = 0.0f32;
+            let mut n_batches = 0;
+            for batch_idx in shuffled_batches(n, cfg.batch_size, &mut rng) {
+                let batch = LossBatch::build(train, &batch_idx, cfg.neg_ratio, &sampler, &mut rng);
+                let (loss, grads) = self.sharded_grad(&batch, n_shards, &executor, false);
+                adam.step(&mut self.store, &grads);
+                loss_sum += loss;
+                n_batches += 1;
+            }
+            if cfg.verbose {
+                eprintln!(
+                    "[GBGCN pre-train x{n_shards}] epoch {epoch}: loss {:.4}",
+                    loss_sum / n_batches.max(1) as f32
+                );
+            }
+        }
+
+        // --- normalization of pre-trained embeddings ---------------------
+        if cfg.pretrain_epochs > 0 {
+            for id in [self.params.user_raw, self.params.item_raw] {
+                let normalized = kernels::normalize_rows(self.store.value(id));
+                *self.store.value_mut(id) = normalized;
+            }
+        }
+
+        // --- stage 2: SGD fine-tuning with incremental refresh -----------
+        let sgd = Sgd::new(cfg.finetune_lr).with_clip_norm(10.0);
+        let mut final_loss = 0.0f32;
+        let start = Instant::now();
+        for epoch in 0..cfg.finetune_epochs {
+            let mut loss_sum = 0.0f32;
+            let mut n_batches = 0;
+            for batch_idx in shuffled_batches(n, cfg.batch_size, &mut rng) {
+                let batch = LossBatch::build(train, &batch_idx, cfg.neg_ratio, &sampler, &mut rng);
+                let (loss, grads) = self.sharded_grad(&batch, n_shards, &executor, true);
+                sgd.step(&mut self.store, &grads);
+                loss_sum += loss;
+                n_batches += 1;
+            }
+            final_loss = loss_sum / n_batches.max(1) as f32;
+            if cfg.verbose {
+                eprintln!("[GBGCN fine-tune x{n_shards}] epoch {epoch}: loss {final_loss:.4}");
+            }
+            if let Some(handle) = handle {
+                if par.refresh_every > 0 && (epoch + 1) % par.refresh_every == 0 {
+                    self.finalize();
+                    handle.publish(self.export_snapshot());
+                }
+            }
+        }
+        let elapsed = start.elapsed().as_secs_f64();
+
+        self.finalize();
+        if let Some(handle) = handle {
+            // Skip the final export when the cadence already published
+            // after the last epoch — the tables are identical, and a
+            // redundant version would only invalidate the serving cache.
+            let cadence_covered_last_epoch = par.refresh_every > 0
+                && cfg.finetune_epochs > 0
+                && cfg.finetune_epochs.is_multiple_of(par.refresh_every);
+            if !cadence_covered_last_epoch {
+                handle.publish(self.export_snapshot());
+            }
+        }
+        TrainReport {
+            epochs: cfg.pretrain_epochs + cfg.finetune_epochs,
+            mean_epoch_secs: elapsed / cfg.finetune_epochs.max(1) as f64,
+            final_loss,
+        }
+    }
+
+    /// Parallel counterpart of [`GbgcnModel::measure_epoch_secs`]: mean
+    /// wall-clock seconds of one sharded fine-tuning epoch under `par`.
+    pub fn measure_epoch_secs_parallel(&mut self, n: usize, par: &ParallelTrainConfig) -> f64 {
+        let executor = ShardExecutor::new(par.n_threads);
+        let n_shards = par.n_shards.max(1);
         let mut rng = StdRng::seed_from_u64(self.cfg.seed ^ 0xBEEF);
         let sampler = NegativeSampler::from_dataset(&self.dataset);
         let sgd = Sgd::new(self.cfg.finetune_lr).with_clip_norm(10.0);
@@ -445,7 +611,8 @@ impl GbgcnModel {
                     &sampler,
                     &mut rng,
                 );
-                self.finetune_step(&batch, &sgd);
+                let (_, grads) = self.sharded_grad(&batch, n_shards, &executor, true);
+                sgd.step(&mut self.store, &grads);
             }
         }
         start.elapsed().as_secs_f64() / n.max(1) as f64
@@ -459,75 +626,11 @@ impl Recommender for GbgcnModel {
 
     /// Pre-trains with Adam, normalizes the raw embeddings, fine-tunes the
     /// full model with vanilla SGD (Sec. III-C.3), then caches finals.
+    ///
+    /// Definitionally the one-shard, one-thread instance of
+    /// [`GbgcnModel::fit_parallel`] — one pipeline, no duplicated loops.
     fn fit(&mut self, train: &Dataset) -> TrainReport {
-        assert_eq!(
-            train.n_users(),
-            self.graphs.n_users(),
-            "dataset/user mismatch"
-        );
-        assert_eq!(
-            train.n_items(),
-            self.graphs.n_items(),
-            "dataset/item mismatch"
-        );
-        let cfg = self.cfg.clone();
-        let mut rng = StdRng::seed_from_u64(cfg.seed);
-        let sampler = NegativeSampler::from_dataset(train);
-        let n = train.behaviors().len();
-
-        // --- stage 1: Adam pre-training of the simplified model ---------
-        let mut adam = Adam::new(AdamConfig::with_lr(cfg.pretrain_lr), &self.store);
-        for epoch in 0..cfg.pretrain_epochs {
-            let mut loss_sum = 0.0f32;
-            let mut n_batches = 0;
-            for batch_idx in shuffled_batches(n, cfg.batch_size, &mut rng) {
-                let batch = LossBatch::build(train, &batch_idx, cfg.neg_ratio, &sampler, &mut rng);
-                loss_sum += self.pretrain_step(&batch, &mut adam);
-                n_batches += 1;
-            }
-            if cfg.verbose {
-                eprintln!(
-                    "[GBGCN pre-train] epoch {epoch}: loss {:.4}",
-                    loss_sum / n_batches.max(1) as f32
-                );
-            }
-        }
-
-        // --- normalization of pre-trained embeddings ---------------------
-        if cfg.pretrain_epochs > 0 {
-            let u = self.params.user_raw;
-            let v = self.params.item_raw;
-            let nu = kernels::normalize_rows(self.store.value(u));
-            *self.store.value_mut(u) = nu;
-            let nv = kernels::normalize_rows(self.store.value(v));
-            *self.store.value_mut(v) = nv;
-        }
-
-        // --- stage 2: SGD fine-tuning of the full model ------------------
-        let sgd = Sgd::new(cfg.finetune_lr).with_clip_norm(10.0);
-        let mut final_loss = 0.0f32;
-        let start = Instant::now();
-        for epoch in 0..cfg.finetune_epochs {
-            let mut loss_sum = 0.0f32;
-            let mut n_batches = 0;
-            for batch_idx in shuffled_batches(n, cfg.batch_size, &mut rng) {
-                let batch = LossBatch::build(train, &batch_idx, cfg.neg_ratio, &sampler, &mut rng);
-                loss_sum += self.finetune_step(&batch, &sgd);
-                n_batches += 1;
-            }
-            final_loss = loss_sum / n_batches.max(1) as f32;
-            if cfg.verbose {
-                eprintln!("[GBGCN fine-tune] epoch {epoch}: loss {final_loss:.4}");
-            }
-        }
-        let elapsed = start.elapsed().as_secs_f64();
-
-        self.finalize();
-        TrainReport {
-            epochs: cfg.pretrain_epochs + cfg.finetune_epochs,
-            mean_epoch_secs: elapsed / cfg.finetune_epochs.max(1) as f64,
-            final_loss,
-        }
+        self.fit_parallel(train, &ParallelTrainConfig::serial(), None)
     }
 }
 
@@ -759,6 +862,91 @@ mod tests {
         for (a, b) in before.iter().zip(&after) {
             assert!((a - b).abs() < 1e-5, "{a} vs {b}");
         }
+    }
+
+    #[test]
+    fn parallel_with_one_shard_is_bit_identical_to_serial_fit() {
+        let d = tiny_train();
+        let cfg = GbgcnConfig {
+            pretrain_epochs: 2,
+            finetune_epochs: 2,
+            ..GbgcnConfig::test_config()
+        };
+        let mut serial = GbgcnModel::new(cfg.clone(), &d);
+        serial.fit(&d);
+        let mut parallel = GbgcnModel::new(cfg, &d);
+        parallel.fit_parallel(&d, &ParallelTrainConfig::serial(), None);
+        let items: Vec<u32> = (0..d.n_items() as u32).collect();
+        for user in [0u32, 3, 7] {
+            assert_eq!(
+                serial.score_items(user, &items),
+                parallel.score_items(user, &items),
+                "user {user}"
+            );
+        }
+    }
+
+    #[test]
+    fn thread_count_never_changes_sharded_results() {
+        let d = tiny_train();
+        let cfg = GbgcnConfig {
+            pretrain_epochs: 1,
+            finetune_epochs: 2,
+            ..GbgcnConfig::test_config()
+        };
+        let par = ParallelTrainConfig::with_threads(3);
+        let mut one_thread = GbgcnModel::new(cfg.clone(), &d);
+        one_thread.fit_parallel(&d, &par.clone().scheduled_on(1), None);
+        let mut four_threads = GbgcnModel::new(cfg, &d);
+        four_threads.fit_parallel(&d, &par.scheduled_on(4), None);
+        let items: Vec<u32> = (0..d.n_items() as u32).collect();
+        for user in 0..d.n_users() as u32 {
+            assert_eq!(
+                one_thread.score_items(user, &items),
+                four_threads.score_items(user, &items),
+                "user {user}"
+            );
+        }
+    }
+
+    #[test]
+    fn refresh_publishes_per_cadence_epoch_without_redundant_final() {
+        use gb_models::SnapshotHandle;
+        let d = tiny_train();
+        let cfg = GbgcnConfig {
+            pretrain_epochs: 1,
+            finetune_epochs: 4,
+            ..GbgcnConfig::test_config()
+        };
+        // Seed the handle with an early snapshot of the right shape.
+        let mut warmup = GbgcnModel::new(cfg.clone(), &d);
+        warmup.fit_parallel(
+            &d,
+            &ParallelTrainConfig {
+                refresh_every: 0,
+                ..ParallelTrainConfig::serial()
+            },
+            None,
+        );
+        let handle = SnapshotHandle::new(warmup.export_snapshot());
+        assert_eq!(handle.version(), 1);
+
+        let mut m = GbgcnModel::new(cfg, &d);
+        m.fit_parallel(
+            &d,
+            &ParallelTrainConfig::with_threads(2).refresh_every(2),
+            Some(&handle),
+        );
+        // Publishes after epochs 2 and 4; the final export is skipped
+        // because the epoch-4 cadence publish already froze the finished
+        // parameters: 1 + 2.
+        assert_eq!(handle.version(), 3);
+        // The served tables are exactly the finished model's export.
+        let items: Vec<u32> = (0..d.n_items() as u32).collect();
+        assert_eq!(
+            handle.load().snapshot().score_items(2, &items),
+            m.export_snapshot().score_items(2, &items)
+        );
     }
 
     #[test]

@@ -1,0 +1,86 @@
+//! Property tests for the sharded-parallel GBGCN trainer: for any shard
+//! count and batch size, running the shard gradients on worker threads
+//! produces bit-identical parameters to running them serially — the
+//! thread count is scheduling, never numerics.
+
+use gb_core::{GbgcnConfig, GbgcnModel, ParallelTrainConfig};
+use gb_data::synth::{generate, SynthConfig};
+use gb_data::Dataset;
+use gb_eval::Scorer;
+use proptest::prelude::*;
+
+fn workload() -> Dataset {
+    generate(&SynthConfig::tiny())
+}
+
+fn bits(scores: &[f32]) -> Vec<u32> {
+    scores.iter().map(|s| s.to_bits()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn gbgcn_parallel_accumulation_equals_serial_bitwise(
+        n_shards in 1usize..=8,
+        threads in 2usize..=6,
+        batch_size in 8usize..=64,
+    ) {
+        let d = workload();
+        let cfg = GbgcnConfig {
+            pretrain_epochs: 1,
+            finetune_epochs: 1,
+            batch_size,
+            ..GbgcnConfig::test_config()
+        };
+        let par = ParallelTrainConfig {
+            n_shards,
+            n_threads: 1,
+            refresh_every: 0,
+        };
+        let mut serial = GbgcnModel::new(cfg.clone(), &d);
+        serial.fit_parallel(&d, &par, None);
+        let mut parallel = GbgcnModel::new(cfg, &d);
+        parallel.fit_parallel(&d, &par.clone().scheduled_on(threads), None);
+
+        let items: Vec<u32> = (0..d.n_items() as u32).collect();
+        for user in 0..d.n_users() as u32 {
+            prop_assert_eq!(
+                bits(&serial.score_items(user, &items)),
+                bits(&parallel.score_items(user, &items)),
+                "user {} with {} shards on {} threads",
+                user,
+                n_shards,
+                threads
+            );
+        }
+    }
+}
+
+/// The shards = 1 recipe is not merely *a* deterministic recipe — it is
+/// the serial `fit` recipe, bit for bit, whatever the batch size.
+#[test]
+fn one_shard_parallel_reproduces_legacy_fit_across_batch_sizes() {
+    use gb_models::Recommender;
+    let d = workload();
+    for batch_size in [8usize, 33, 128] {
+        let cfg = GbgcnConfig {
+            pretrain_epochs: 1,
+            finetune_epochs: 2,
+            batch_size,
+            ..GbgcnConfig::test_config()
+        };
+        let mut legacy = GbgcnModel::new(cfg.clone(), &d);
+        legacy.fit(&d);
+        let mut sharded = GbgcnModel::new(cfg, &d);
+        sharded.fit_parallel(&d, &ParallelTrainConfig::serial(), None);
+        let items: Vec<u32> = (0..d.n_items() as u32).collect();
+        for user in 0..d.n_users() as u32 {
+            assert_eq!(
+                bits(&legacy.score_items(user, &items)),
+                bits(&sharded.score_items(user, &items)),
+                "batch_size {batch_size}, user {user}"
+            );
+        }
+    }
+}

@@ -1,6 +1,6 @@
 //! Compressed sparse row adjacency.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// CSR adjacency over `n` source nodes.
 ///
@@ -9,8 +9,8 @@ use std::rc::Rc;
 /// tape's `segment_mean` op without copying.
 #[derive(Clone, Debug)]
 pub struct Csr {
-    offsets: Rc<Vec<usize>>,
-    members: Rc<Vec<u32>>,
+    offsets: Arc<Vec<usize>>,
+    members: Arc<Vec<u32>>,
 }
 
 impl Csr {
@@ -40,16 +40,16 @@ impl Csr {
             offsets.push(members.len());
         }
         Self {
-            offsets: Rc::new(offsets),
-            members: Rc::new(members),
+            offsets: Arc::new(offsets),
+            members: Arc::new(members),
         }
     }
 
     /// An empty CSR with `n_src` sources and no edges.
     pub fn empty(n_src: usize) -> Self {
         Self {
-            offsets: Rc::new(vec![0; n_src + 1]),
-            members: Rc::new(Vec::new()),
+            offsets: Arc::new(vec![0; n_src + 1]),
+            members: Arc::new(Vec::new()),
         }
     }
 
@@ -85,13 +85,13 @@ impl Csr {
     }
 
     /// Shared handle to the offsets array (for `Tape::segment_mean`).
-    pub fn offsets(&self) -> Rc<Vec<usize>> {
-        Rc::clone(&self.offsets)
+    pub fn offsets(&self) -> Arc<Vec<usize>> {
+        Arc::clone(&self.offsets)
     }
 
     /// Shared handle to the members array (for `Tape::segment_mean`).
-    pub fn members(&self) -> Rc<Vec<u32>> {
-        Rc::clone(&self.members)
+    pub fn members(&self) -> Arc<Vec<u32>> {
+        Arc::clone(&self.members)
     }
 
     /// Mean out-degree.

@@ -9,7 +9,7 @@ use gb_eval::Scorer;
 use gb_tensor::{init, kernels, Matrix};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::rc::Rc;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// AGREE aggregates member embeddings into a group embedding with an
@@ -57,9 +57,9 @@ impl Agree {
         tape: &mut Tape,
         groups: &[u32],
         items: &[u32],
-        flat_members: Rc<Vec<u32>>,
-        items_per_member: Rc<Vec<u32>>,
-        offsets: Rc<Vec<usize>>,
+        flat_members: Arc<Vec<u32>>,
+        items_per_member: Arc<Vec<u32>>,
+        offsets: Arc<Vec<usize>>,
     ) -> (Var, Vec<Var>) {
         let n_edges = flat_members.len();
         let mem = tape.gather_param(&s.store, s.user_emb, flat_members);
@@ -73,12 +73,12 @@ impl Agree {
         let gated = tape.scale_rows(mem, gate);
         // Segment i of the flattened edge rows is exactly rows
         // offsets[i]..offsets[i+1], so the member list is the identity.
-        let ident: Rc<Vec<u32>> = Rc::new((0..n_edges as u32).collect());
+        let ident: Arc<Vec<u32>> = Arc::new((0..n_edges as u32).collect());
         let agg = tape.segment_mean(gated, offsets, ident);
 
-        let pref = tape.gather_param(&s.store, s.group_pref, Rc::new(groups.to_vec()));
+        let pref = tape.gather_param(&s.store, s.group_pref, Arc::new(groups.to_vec()));
         let group_repr = tape.add(agg, pref);
-        let item_repr = tape.gather_param(&s.store, s.item_emb, Rc::new(items.to_vec()));
+        let item_repr = tape.gather_param(&s.store, s.item_emb, Arc::new(items.to_vec()));
         let score = tape.rowwise_dot(group_repr, item_repr);
         (score, vec![mem, item_repr, pref])
     }
@@ -168,9 +168,9 @@ impl Recommender for Agree {
                     &mut tape,
                     &gids,
                     &pos,
-                    Rc::new(flat_p),
-                    Rc::new(ipm_p),
-                    Rc::new(off_p),
+                    Arc::new(flat_p),
+                    Arc::new(ipm_p),
+                    Arc::new(off_p),
                 );
                 let (flat_n, ipm_n, off_n) = Self::flatten(&state.groups, &gids, &neg);
                 let (neg_s, reg_n) = Self::forward(
@@ -178,9 +178,9 @@ impl Recommender for Agree {
                     &mut tape,
                     &gids,
                     &neg,
-                    Rc::new(flat_n),
-                    Rc::new(ipm_n),
-                    Rc::new(off_n),
+                    Arc::new(flat_n),
+                    Arc::new(ipm_n),
+                    Arc::new(off_n),
                 );
                 reg.extend(reg_n);
 
@@ -306,9 +306,9 @@ mod tests {
             &mut tape,
             &gids,
             &items,
-            Rc::new(flat),
-            Rc::new(ipm),
-            Rc::new(off),
+            Arc::new(flat),
+            Arc::new(ipm),
+            Arc::new(off),
         );
         let tape_score = tape.value(score).get(0, 0);
         let plain_score = m.score_items(0, &[2])[0];

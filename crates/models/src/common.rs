@@ -102,6 +102,22 @@ pub fn bpr_loss(tape: &mut Tape, pos: Var, neg: Var) -> Var {
     tape.scale(mean, -1.0)
 }
 
+/// BPR loss of one shard of a batch: `-(Σ ln σ(pos - neg)) / denom`,
+/// where `denom` is the *full* batch's pair count.
+///
+/// Keeping the parent batch's normalizer makes shard losses sum to the
+/// full-batch [`bpr_loss`] (up to float association), and for a shard
+/// spanning the whole batch the gradient is bit-identical to
+/// `bpr_loss`'s — `x * (1/n)` negated and `x * (-(1/n))` are the same
+/// IEEE value, so the serial paths of the sharded trainers reproduce the
+/// legacy recipe exactly.
+pub fn sharded_bpr_loss(tape: &mut Tape, pos: Var, neg: Var, denom: usize) -> Var {
+    let diff = tape.sub(pos, neg);
+    let ls = tape.log_sigmoid(diff);
+    let sum = tape.sum_all(ls);
+    tape.scale(sum, -1.0 / denom.max(1) as f32)
+}
+
 /// Adds `coef * Σ sum_sq(vars) / denom` to `loss` — the standard
 /// batch-embedding L2 penalty.
 pub fn add_l2(tape: &mut Tape, loss: Var, vars: &[Var], coef: f32, denom: usize) -> Var {
@@ -170,6 +186,30 @@ mod tests {
         let loss_small = bpr_loss(&mut t, s, z);
         let loss_large = bpr_loss(&mut t, l, z);
         assert!(t.value(loss_large).get(0, 0) < t.value(loss_small).get(0, 0));
+    }
+
+    #[test]
+    fn sharded_bpr_full_span_matches_bpr_gradient_bitwise() {
+        let mut store = ParamStore::new();
+        let p = store.add("pos", Matrix::from_vec(3, 1, vec![0.4, -0.2, 1.3]));
+        let n = store.add("neg", Matrix::from_vec(3, 1, vec![0.1, 0.5, -0.7]));
+
+        let mut t1 = Tape::new();
+        let (pv, nv) = (t1.param(&store, p), t1.param(&store, n));
+        let legacy = bpr_loss(&mut t1, pv, nv);
+        let g1 = t1.backward(legacy, &store);
+
+        let mut t2 = Tape::new();
+        let (pv, nv) = (t2.param(&store, p), t2.param(&store, n));
+        let sharded = sharded_bpr_loss(&mut t2, pv, nv, 3);
+        let g2 = t2.backward(sharded, &store);
+
+        for id in [p, n] {
+            assert_eq!(
+                g1.get(id).unwrap().as_slice(),
+                g2.get(id).unwrap().as_slice()
+            );
+        }
     }
 
     #[test]

@@ -11,7 +11,7 @@ use gb_graph::{Bipartite, Csr};
 use gb_tensor::{init, Matrix};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::rc::Rc;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// DiffNet simulates the recursive social-influence diffusion process:
@@ -112,9 +112,9 @@ impl Recommender for DiffNet {
 
                 let mut tape = Tape::new();
                 let u_final = diffuse(&store, u, v, &mut tape, &social, &graph, self.depth);
-                let ue = tape.gather(u_final, Rc::new(users));
-                let pe = tape.gather_param(&store, v, Rc::new(pos));
-                let ne = tape.gather_param(&store, v, Rc::new(neg));
+                let ue = tape.gather(u_final, Arc::new(users));
+                let pe = tape.gather_param(&store, v, Arc::new(pos));
+                let ne = tape.gather_param(&store, v, Arc::new(neg));
                 let pos_s = tape.rowwise_dot(ue, pe);
                 let neg_s = tape.rowwise_dot(ue, ne);
                 let loss = bpr_loss(&mut tape, pos_s, neg_s);

@@ -1,15 +1,17 @@
 //! GBMF: the paper's purpose-built group-buying matrix factorization
 //! baseline (the strongest baseline in Table III).
 
-use crate::common::{add_l2, bpr_loss, shuffled_batches, Recommender, TrainConfig, TrainReport};
-use gb_autograd::{Adam, AdamConfig, ParamStore, Tape, Var};
+use crate::common::{
+    add_l2, sharded_bpr_loss, shuffled_batches, Recommender, TrainConfig, TrainReport,
+};
+use gb_autograd::{shard_spans, Adam, AdamConfig, ParamStore, ShardExecutor, Tape, Var};
 use gb_data::{Dataset, NegativeSampler};
 use gb_eval::Scorer;
 use gb_graph::Csr;
 use gb_tensor::{init, kernels, Matrix};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::rc::Rc;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// GBMF configuration: the shared hyper-parameters plus the role
@@ -51,7 +53,7 @@ fn eq9_score(
     u_full: Var,
     friend_mean: Var,
     item_rows: Var,
-    users: Rc<Vec<u32>>,
+    users: Arc<Vec<u32>>,
     alpha: f32,
 ) -> Var {
     let ue = tape.gather(u_full, users.clone());
@@ -83,14 +85,22 @@ impl Gbmf {
     pub fn tables(&self) -> (&Matrix, &Matrix, &Matrix) {
         (&self.user_emb, &self.item_emb, &self.friend_mean)
     }
-}
 
-impl Recommender for Gbmf {
-    fn name(&self) -> &str {
-        "GBMF"
-    }
-
-    fn fit(&mut self, train: &Dataset) -> TrainReport {
+    /// Sharded-parallel training: every mini-batch (negatives sampled on
+    /// the calling thread) is split into `n_shards` contiguous spans
+    /// whose gradients — each running the social `segment_mean` on its
+    /// own tape — are computed on `executor`'s threads and reduced in
+    /// fixed shard order before one Adam step.
+    ///
+    /// [`Recommender::fit`] is exactly `fit_sharded(train, 1,
+    /// &ShardExecutor::serial())`; for a fixed shard count, every thread
+    /// count produces bit-identical embeddings.
+    pub fn fit_sharded(
+        &mut self,
+        train: &Dataset,
+        n_shards: usize,
+        executor: &ShardExecutor,
+    ) -> TrainReport {
         let cfg = self.cfg.clone();
         let base = &cfg.base;
         let mut rng = StdRng::seed_from_u64(base.seed);
@@ -132,22 +142,39 @@ impl Recommender for Gbmf {
                     }
                 }
                 let n = users.len();
-                let users = Rc::new(users);
 
-                let mut tape = Tape::new();
-                let u_full = tape.param(&store, u);
-                let friend_mean = tape.segment_mean(u_full, social.offsets(), social.members());
-                let pe = tape.gather_param(&store, v, Rc::new(pos));
-                let ne = tape.gather_param(&store, v, Rc::new(neg));
-                let pos_s = eq9_score(&mut tape, u_full, friend_mean, pe, users.clone(), cfg.alpha);
-                let neg_s = eq9_score(&mut tape, u_full, friend_mean, ne, users.clone(), cfg.alpha);
-                let loss = bpr_loss(&mut tape, pos_s, neg_s);
-                let ue = tape.gather(u_full, users);
-                let loss = add_l2(&mut tape, loss, &[ue, pe, ne], base.l2, n);
-
-                epoch_loss += tape.value(loss).get(0, 0);
+                let spans = shard_spans(n, n_shards);
+                let (loss, grads) = executor.accumulate(store.len(), spans.len(), |s| {
+                    let (a, b) = spans[s];
+                    let shard_users = Arc::new(users[a..b].to_vec());
+                    let mut tape = Tape::new();
+                    let u_full = tape.param(&store, u);
+                    let friend_mean = tape.segment_mean(u_full, social.offsets(), social.members());
+                    let pe = tape.gather_param(&store, v, Arc::new(pos[a..b].to_vec()));
+                    let ne = tape.gather_param(&store, v, Arc::new(neg[a..b].to_vec()));
+                    let pos_s = eq9_score(
+                        &mut tape,
+                        u_full,
+                        friend_mean,
+                        pe,
+                        shard_users.clone(),
+                        cfg.alpha,
+                    );
+                    let neg_s = eq9_score(
+                        &mut tape,
+                        u_full,
+                        friend_mean,
+                        ne,
+                        shard_users.clone(),
+                        cfg.alpha,
+                    );
+                    let loss = sharded_bpr_loss(&mut tape, pos_s, neg_s, n);
+                    let ue = tape.gather(u_full, shard_users);
+                    let loss = add_l2(&mut tape, loss, &[ue, pe, ne], base.l2, n);
+                    (tape.value(loss).get(0, 0), tape.backward(loss, &store))
+                });
+                epoch_loss += loss;
                 n_batches += 1;
-                let grads = tape.backward(loss, &store);
                 adam.step(&mut store, &grads);
             }
             final_loss = epoch_loss / n_batches.max(1) as f32;
@@ -166,6 +193,16 @@ impl Recommender for Gbmf {
             mean_epoch_secs: elapsed / base.epochs.max(1) as f64,
             final_loss,
         }
+    }
+}
+
+impl Recommender for Gbmf {
+    fn name(&self) -> &str {
+        "GBMF"
+    }
+
+    fn fit(&mut self, train: &Dataset) -> TrainReport {
+        self.fit_sharded(train, 1, &ShardExecutor::serial())
     }
 }
 

@@ -1,0 +1,168 @@
+//! Hot-swappable published snapshots.
+//!
+//! Training and serving meet at a [`SnapshotHandle`]: the trainer
+//! publishes a fresh [`EmbeddingSnapshot`] every few epochs and every
+//! serving query loads the current one — no restart, no torn reads.
+//!
+//! The swap is an ArcSwap-style pointer replacement behind an `RwLock`:
+//! readers clone one `Arc<VersionedSnapshot>` (a few nanoseconds under an
+//! uncontended read lock) and then score against an immutable object that
+//! can never change underneath them. The version counter rides inside the
+//! same `Arc`, so a `(version, tables)` pair is always mutually
+//! consistent — the serving cache keys its invalidation on exactly that
+//! version (see `gb-serve`).
+//!
+//! ## Refresh protocol
+//!
+//! 1. Versions are assigned by [`SnapshotHandle::publish`] and increase
+//!    by one per publish, starting at 1 for the snapshot the handle was
+//!    created with. They order snapshots; nothing else about a version is
+//!    meaningful.
+//! 2. A query that loaded version `v` keeps scoring against `v` even if
+//!    `v+1` is published mid-query — responses are consistent with
+//!    exactly one published snapshot, never a blend.
+//! 3. Cached responses record the version they were computed from and
+//!    are treated as misses once the current version differs (the cache
+//!    invalidation rule; asserted by the serve integration tests).
+
+use crate::snapshot::EmbeddingSnapshot;
+use std::sync::{Arc, RwLock};
+
+/// An immutable snapshot plus the version it was published as.
+#[derive(Clone, Debug)]
+pub struct VersionedSnapshot {
+    version: u64,
+    snapshot: EmbeddingSnapshot,
+}
+
+impl VersionedSnapshot {
+    /// The publish ordinal (1 = the snapshot the handle started with).
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// The published tables.
+    pub fn snapshot(&self) -> &EmbeddingSnapshot {
+        &self.snapshot
+    }
+}
+
+/// A shared, versioned pointer to the currently-served snapshot.
+///
+/// Cloning the handle is cheap and every clone observes the same
+/// publishes — the trainer holds one clone, the query engine another.
+#[derive(Clone)]
+pub struct SnapshotHandle {
+    current: Arc<RwLock<Arc<VersionedSnapshot>>>,
+}
+
+impl SnapshotHandle {
+    /// A handle serving `initial` as version 1.
+    pub fn new(initial: EmbeddingSnapshot) -> Self {
+        Self {
+            current: Arc::new(RwLock::new(Arc::new(VersionedSnapshot {
+                version: 1,
+                snapshot: initial,
+            }))),
+        }
+    }
+
+    /// Atomically replaces the served snapshot, returning the version
+    /// assigned to it.
+    ///
+    /// In-flight queries keep the snapshot they already loaded; new loads
+    /// observe `snapshot` immediately.
+    ///
+    /// # Panics
+    /// Panics if `snapshot` disagrees with the current one on user or
+    /// item counts — mid-run refreshes never resize the universe, and a
+    /// mismatched table would break seen-filters sized at startup.
+    pub fn publish(&self, snapshot: EmbeddingSnapshot) -> u64 {
+        let mut slot = self.current.write().expect("snapshot lock poisoned");
+        assert_eq!(
+            snapshot.n_users(),
+            slot.snapshot.n_users(),
+            "published snapshot changes the user count"
+        );
+        assert_eq!(
+            snapshot.n_items(),
+            slot.snapshot.n_items(),
+            "published snapshot changes the item count"
+        );
+        let version = slot.version + 1;
+        *slot = Arc::new(VersionedSnapshot { version, snapshot });
+        version
+    }
+
+    /// Loads the current `(version, snapshot)` pair.
+    ///
+    /// The returned `Arc` stays valid (and unchanged) for as long as the
+    /// caller holds it, regardless of later publishes.
+    pub fn load(&self) -> Arc<VersionedSnapshot> {
+        Arc::clone(&self.current.read().expect("snapshot lock poisoned"))
+    }
+
+    /// The currently-served version without cloning the snapshot pointer.
+    pub fn version(&self) -> u64 {
+        self.current.read().expect("snapshot lock poisoned").version
+    }
+}
+
+impl std::fmt::Debug for SnapshotHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let cur = self.load();
+        f.debug_struct("SnapshotHandle")
+            .field("version", &cur.version)
+            .field("n_users", &cur.snapshot.n_users())
+            .field("n_items", &cur.snapshot.n_items())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gb_tensor::Matrix;
+
+    fn snap(fill: f32) -> EmbeddingSnapshot {
+        EmbeddingSnapshot::without_social(Matrix::full(3, 2, fill), Matrix::full(4, 2, fill))
+    }
+
+    #[test]
+    fn publish_bumps_version_monotonically() {
+        let h = SnapshotHandle::new(snap(0.0));
+        assert_eq!(h.version(), 1);
+        assert_eq!(h.publish(snap(1.0)), 2);
+        assert_eq!(h.publish(snap(2.0)), 3);
+        assert_eq!(h.version(), 3);
+        assert_eq!(h.load().snapshot().score(0, 0), 2.0 * 2.0 * 2.0);
+    }
+
+    #[test]
+    fn loaded_snapshot_survives_later_publishes() {
+        let h = SnapshotHandle::new(snap(1.0));
+        let old = h.load();
+        h.publish(snap(5.0));
+        assert_eq!(old.version(), 1);
+        assert_eq!(old.snapshot().score(1, 1), 2.0, "old Arc still v1 tables");
+        assert_eq!(h.load().version(), 2);
+    }
+
+    #[test]
+    fn clones_share_publishes() {
+        let h = SnapshotHandle::new(snap(0.5));
+        let trainer_side = h.clone();
+        trainer_side.publish(snap(3.0));
+        assert_eq!(h.version(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "user count")]
+    fn resizing_publish_rejected() {
+        let h = SnapshotHandle::new(snap(1.0));
+        h.publish(EmbeddingSnapshot::without_social(
+            Matrix::full(9, 2, 1.0),
+            Matrix::full(4, 2, 1.0),
+        ));
+    }
+}

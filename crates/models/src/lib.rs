@@ -23,6 +23,7 @@ pub mod agree;
 pub mod common;
 pub mod diffnet;
 pub mod gbmf;
+pub mod handle;
 pub mod mf;
 pub mod ncf;
 pub mod ngcf;
@@ -34,6 +35,7 @@ pub use agree::Agree;
 pub use common::{Recommender, TrainConfig, TrainReport};
 pub use diffnet::DiffNet;
 pub use gbmf::{Gbmf, GbmfConfig};
+pub use handle::{SnapshotHandle, VersionedSnapshot};
 pub use mf::Mf;
 pub use ncf::Ncf;
 pub use ngcf::Ngcf;

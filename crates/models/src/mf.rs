@@ -1,16 +1,16 @@
 //! Matrix factorization with BPR (the paper's `MF` and `MF(oi)` rows).
 
 use crate::common::{
-    add_l2, bpr_loss, dot_scores, shuffled_batches, Recommender, TrainConfig, TrainReport,
+    add_l2, dot_scores, sharded_bpr_loss, shuffled_batches, Recommender, TrainConfig, TrainReport,
 };
-use gb_autograd::{Adam, AdamConfig, ParamStore, Tape};
+use gb_autograd::{shard_spans, Adam, AdamConfig, ParamStore, ShardExecutor, Tape};
 use gb_data::convert::{to_pairs, InteractionKind};
 use gb_data::{Dataset, NegativeSampler};
 use gb_eval::Scorer;
 use gb_tensor::{init, Matrix};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::rc::Rc;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// BPR matrix factorization [38], [27].
@@ -52,14 +52,21 @@ impl Mf {
     pub fn item_embeddings(&self) -> &Matrix {
         &self.item_emb
     }
-}
 
-impl Recommender for Mf {
-    fn name(&self) -> &str {
-        &self.name
-    }
-
-    fn fit(&mut self, train: &Dataset) -> TrainReport {
+    /// Sharded-parallel training: every mini-batch (negatives sampled on
+    /// the calling thread) is split into `n_shards` contiguous spans
+    /// whose gradients are computed on `executor`'s threads and reduced
+    /// in fixed shard order before one Adam step.
+    ///
+    /// [`Recommender::fit`] is exactly `fit_sharded(train, 1,
+    /// &ShardExecutor::serial())`; for a fixed shard count, every thread
+    /// count produces bit-identical embeddings.
+    pub fn fit_sharded(
+        &mut self,
+        train: &Dataset,
+        n_shards: usize,
+        executor: &ShardExecutor,
+    ) -> TrainReport {
         let cfg = self.cfg.clone();
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let mut store = ParamStore::new();
@@ -95,18 +102,21 @@ impl Recommender for Mf {
                 }
                 let n = users.len();
 
-                let mut tape = Tape::new();
-                let ue = tape.gather_param(&store, u, Rc::new(users));
-                let pe = tape.gather_param(&store, v, Rc::new(pos));
-                let ne = tape.gather_param(&store, v, Rc::new(neg));
-                let pos_s = tape.rowwise_dot(ue, pe);
-                let neg_s = tape.rowwise_dot(ue, ne);
-                let loss = bpr_loss(&mut tape, pos_s, neg_s);
-                let loss = add_l2(&mut tape, loss, &[ue, pe, ne], cfg.l2, n);
-
-                epoch_loss += tape.value(loss).get(0, 0);
+                let spans = shard_spans(n, n_shards);
+                let (loss, grads) = executor.accumulate(store.len(), spans.len(), |s| {
+                    let (a, b) = spans[s];
+                    let mut tape = Tape::new();
+                    let ue = tape.gather_param(&store, u, Arc::new(users[a..b].to_vec()));
+                    let pe = tape.gather_param(&store, v, Arc::new(pos[a..b].to_vec()));
+                    let ne = tape.gather_param(&store, v, Arc::new(neg[a..b].to_vec()));
+                    let pos_s = tape.rowwise_dot(ue, pe);
+                    let neg_s = tape.rowwise_dot(ue, ne);
+                    let loss = sharded_bpr_loss(&mut tape, pos_s, neg_s, n);
+                    let loss = add_l2(&mut tape, loss, &[ue, pe, ne], cfg.l2, n);
+                    (tape.value(loss).get(0, 0), tape.backward(loss, &store))
+                });
+                epoch_loss += loss;
                 n_batches += 1;
-                let grads = tape.backward(loss, &store);
                 adam.step(&mut store, &grads);
             }
             final_loss = epoch_loss / n_batches.max(1) as f32;
@@ -123,6 +133,16 @@ impl Recommender for Mf {
             mean_epoch_secs: elapsed / cfg.epochs.max(1) as f64,
             final_loss,
         }
+    }
+}
+
+impl Recommender for Mf {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn fit(&mut self, train: &Dataset) -> TrainReport {
+        self.fit_sharded(train, 1, &ShardExecutor::serial())
     }
 }
 

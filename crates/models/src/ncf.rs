@@ -8,7 +8,7 @@ use gb_eval::Scorer;
 use gb_tensor::{init, kernels, Matrix};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::rc::Rc;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// NeuMF architecture: a GMF branch (elementwise product of embeddings)
@@ -81,8 +81,8 @@ impl Ncf {
     fn forward(
         p: &NcfParams,
         tape: &mut Tape,
-        users: Rc<Vec<u32>>,
-        items: Rc<Vec<u32>>,
+        users: Arc<Vec<u32>>,
+        items: Arc<Vec<u32>>,
     ) -> (Var, Vec<Var>) {
         let ug = tape.gather_param(&p.store, p.ug, users.clone());
         let vg = tape.gather_param(&p.store, p.vg, items.clone());
@@ -176,11 +176,11 @@ impl Recommender for Ncf {
                     }
                 }
                 let n = users.len();
-                let users = Rc::new(users);
+                let users = Arc::new(users);
 
                 let mut tape = Tape::new();
-                let (pos_s, mut reg) = Self::forward(&p, &mut tape, users.clone(), Rc::new(pos));
-                let (neg_s, reg_n) = Self::forward(&p, &mut tape, users, Rc::new(neg));
+                let (pos_s, mut reg) = Self::forward(&p, &mut tape, users.clone(), Arc::new(pos));
+                let (neg_s, reg_n) = Self::forward(&p, &mut tape, users, Arc::new(neg));
                 reg.extend(reg_n);
                 let loss = bpr_loss(&mut tape, pos_s, neg_s);
                 let loss = add_l2(&mut tape, loss, &reg, cfg.l2, n);
@@ -253,7 +253,7 @@ mod tests {
         m.fit(&toy_dataset());
         let p = m.params.as_ref().unwrap();
         let mut tape = Tape::new();
-        let (scores, _) = Ncf::forward(p, &mut tape, Rc::new(vec![0, 1]), Rc::new(vec![2, 3]));
+        let (scores, _) = Ncf::forward(p, &mut tape, Arc::new(vec![0, 1]), Arc::new(vec![2, 3]));
         let tape_scores = tape.value(scores).as_slice().to_vec();
         let plain0 = m.score_items(0, &[2]);
         let plain1 = m.score_items(1, &[3]);

@@ -11,7 +11,7 @@ use gb_graph::Bipartite;
 use gb_tensor::{init, Matrix};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::rc::Rc;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// NGCF with two propagation layers on the user–item bipartite graph.
@@ -156,9 +156,9 @@ impl Recommender for Ngcf {
 
                 let mut tape = Tape::new();
                 let (u_final, v_final) = Self::propagate(&p, &mut tape, &graph, self.n_layers);
-                let ue = tape.gather(u_final, Rc::new(users));
-                let pe = tape.gather(v_final, Rc::new(pos));
-                let ne = tape.gather(v_final, Rc::new(neg));
+                let ue = tape.gather(u_final, Arc::new(users));
+                let pe = tape.gather(v_final, Arc::new(pos));
+                let ne = tape.gather(v_final, Arc::new(neg));
                 let pos_s = tape.rowwise_dot(ue, pe);
                 let neg_s = tape.rowwise_dot(ue, ne);
                 let loss = bpr_loss(&mut tape, pos_s, neg_s);

@@ -9,7 +9,7 @@ use gb_graph::Bipartite;
 use gb_tensor::{init, kernels, Matrix};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::rc::Rc;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// SIGR combines bipartite-graph embeddings (user–item propagation) with a
@@ -81,13 +81,13 @@ impl Sigr {
             offsets.push(flat.len());
         }
         let n_edges = flat.len();
-        let flat = Rc::new(flat);
+        let flat = Arc::new(flat);
         let mem = tape.gather(u_final, flat.clone());
         let infl = tape.gather_param(&s.store, s.influence, flat);
         let gate = tape.sigmoid(infl);
         let gated = tape.scale_rows(mem, gate);
-        let ident: Rc<Vec<u32>> = Rc::new((0..n_edges as u32).collect());
-        tape.segment_mean(gated, Rc::new(offsets), ident)
+        let ident: Arc<Vec<u32>> = Arc::new((0..n_edges as u32).collect());
+        tape.segment_mean(gated, Arc::new(offsets), ident)
     }
 }
 
@@ -157,8 +157,8 @@ impl Recommender for Sigr {
                     &graph,
                 );
                 let grp = Sigr::group_repr(&state, &mut tape, u_final, &gids);
-                let pe = tape.gather(v_final, Rc::new(pos));
-                let ne = tape.gather(v_final, Rc::new(neg));
+                let pe = tape.gather(v_final, Arc::new(pos));
+                let ne = tape.gather(v_final, Arc::new(neg));
                 let pos_s = tape.rowwise_dot(grp, pe);
                 let neg_s = tape.rowwise_dot(grp, ne);
 

@@ -10,7 +10,7 @@ use gb_eval::Scorer;
 use gb_tensor::{init, Matrix};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::rc::Rc;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// SocialMF: BPR matrix factorization plus the social regularization term
@@ -80,13 +80,13 @@ impl Recommender for SocialMf {
                     }
                 }
                 let n = users.len();
-                let users = Rc::new(users);
+                let users = Arc::new(users);
 
                 let mut tape = Tape::new();
                 let u_full = tape.param(&store, u);
                 let ue = tape.gather(u_full, users.clone());
-                let pe = tape.gather_param(&store, v, Rc::new(pos));
-                let ne = tape.gather_param(&store, v, Rc::new(neg));
+                let pe = tape.gather_param(&store, v, Arc::new(pos));
+                let ne = tape.gather_param(&store, v, Arc::new(neg));
                 let pos_s = tape.rowwise_dot(ue, pe);
                 let neg_s = tape.rowwise_dot(ue, ne);
                 let loss = bpr_loss(&mut tape, pos_s, neg_s);

@@ -1,0 +1,102 @@
+//! Property tests for the sharded-parallel MF and GBMF trainers:
+//! parallel gradient accumulation must equal serial accumulation bit for
+//! bit across random shard counts and batch sizes.
+
+use gb_autograd::ShardExecutor;
+use gb_data::convert::InteractionKind;
+use gb_data::synth::{generate, SynthConfig};
+use gb_data::Dataset;
+use gb_models::{Gbmf, GbmfConfig, Mf, Recommender, TrainConfig};
+use gb_tensor::Matrix;
+use proptest::prelude::*;
+
+fn workload() -> Dataset {
+    generate(&SynthConfig::tiny())
+}
+
+fn assert_bit_identical(a: &Matrix, b: &Matrix, what: &str) {
+    assert_eq!(a.shape(), b.shape(), "{what} shape");
+    for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+        assert_eq!(x.to_bits(), y.to_bits(), "{what}: {x} vs {y}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn mf_parallel_accumulation_equals_serial_bitwise(
+        n_shards in 1usize..=8,
+        threads in 2usize..=6,
+        batch_size in 4usize..=96,
+    ) {
+        let d = workload();
+        let cfg = TrainConfig {
+            dim: 8,
+            epochs: 2,
+            batch_size,
+            ..Default::default()
+        };
+        let mut serial = Mf::new(cfg.clone(), InteractionKind::BothRoles);
+        serial.fit_sharded(&d, n_shards, &ShardExecutor::serial());
+        let mut parallel = Mf::new(cfg, InteractionKind::BothRoles);
+        parallel.fit_sharded(&d, n_shards, &ShardExecutor::new(threads));
+        assert_bit_identical(serial.user_embeddings(), parallel.user_embeddings(), "MF users");
+        assert_bit_identical(serial.item_embeddings(), parallel.item_embeddings(), "MF items");
+    }
+
+    #[test]
+    fn gbmf_parallel_accumulation_equals_serial_bitwise(
+        n_shards in 1usize..=8,
+        threads in 2usize..=6,
+        batch_size in 4usize..=96,
+    ) {
+        let d = workload();
+        let cfg = GbmfConfig {
+            base: TrainConfig {
+                dim: 8,
+                epochs: 2,
+                batch_size,
+                ..Default::default()
+            },
+            alpha: 0.4,
+        };
+        let mut serial = Gbmf::new(cfg.clone());
+        serial.fit_sharded(&d, n_shards, &ShardExecutor::serial());
+        let mut parallel = Gbmf::new(cfg);
+        parallel.fit_sharded(&d, n_shards, &ShardExecutor::new(threads));
+        let (su, si, sf) = serial.tables();
+        let (pu, pi, pf) = parallel.tables();
+        assert_bit_identical(su, pu, "GBMF users");
+        assert_bit_identical(si, pi, "GBMF items");
+        assert_bit_identical(sf, pf, "GBMF friend means");
+    }
+}
+
+/// `fit` is definitionally the one-shard serial recipe: delegating must
+/// leave the public training behavior unchanged.
+#[test]
+fn fit_equals_one_shard_serial_for_both_models() {
+    let d = workload();
+    let cfg = TrainConfig {
+        dim: 8,
+        epochs: 2,
+        ..Default::default()
+    };
+    let mut a = Mf::new(cfg.clone(), InteractionKind::BothRoles);
+    a.fit(&d);
+    let mut b = Mf::new(cfg.clone(), InteractionKind::BothRoles);
+    b.fit_sharded(&d, 1, &ShardExecutor::serial());
+    assert_bit_identical(a.user_embeddings(), b.user_embeddings(), "MF users");
+
+    let gcfg = GbmfConfig {
+        base: cfg,
+        alpha: 0.5,
+    };
+    let mut c = Gbmf::new(gcfg.clone());
+    c.fit(&d);
+    let mut e = Gbmf::new(gcfg);
+    e.fit_sharded(&d, 1, &ShardExecutor::serial());
+    assert_bit_identical(c.tables().0, e.tables().0, "GBMF users");
+    assert_bit_identical(c.tables().1, e.tables().1, "GBMF items");
+}

@@ -1,16 +1,27 @@
-//! The single-threaded top-K query engine.
+//! The top-K query engine over a hot-swappable snapshot.
 //!
-//! One query walks the catalogue in cache-sized blocks: the blocked
-//! kernel scores `block_size` items at a time (both item tables are
-//! streamed once, row-major), the per-user seen-bitset drops already
-//! interacted items with one word-probe each, and survivors feed a
-//! bounded min-heap. Memory per query is `O(block_size + k)` regardless
-//! of catalogue size — no full score vector is ever materialized.
+//! One query loads the currently-published snapshot from a
+//! [`SnapshotHandle`] (an `Arc` clone — the tables can never change
+//! underneath a running query), then walks the catalogue in cache-sized
+//! blocks: the blocked kernel scores `block_size` items at a time (both
+//! item tables are streamed once, row-major), the per-user seen-bitset
+//! drops already interacted items with one word-probe each, and
+//! survivors feed a bounded min-heap. Memory per query is
+//! `O(block_size + k)` regardless of catalogue size — no full score
+//! vector is ever materialized.
+//!
+//! ## Cache invalidation rule
+//!
+//! Responses are cached under the key `(snapshot version, user, k)`.
+//! A publish therefore invalidates every older response *by key*: a
+//! query against version `v+1` can never observe a response computed
+//! from version `v`, with no flush or epoch bookkeeping. Entries for
+//! retired versions age out of the fixed-capacity LRU on their own.
 
 use crate::cache::LruCache;
 use crate::topk::{ScoredItem, TopK};
 use gb_graph::BitMatrix;
-use gb_models::EmbeddingSnapshot;
+use gb_models::{EmbeddingSnapshot, SnapshotHandle, VersionedSnapshot};
 use std::sync::Arc;
 use std::sync::Mutex;
 
@@ -20,7 +31,8 @@ pub struct EngineConfig {
     /// Items scored per kernel call. 512 rows of a 64-wide f32 table is
     /// 128 KiB — L2-resident on anything modern.
     pub block_size: usize,
-    /// Response cache capacity in `(user, k)` entries; 0 disables caching.
+    /// Response cache capacity in `(version, user, k)` entries; 0
+    /// disables caching.
     pub cache_capacity: usize,
 }
 
@@ -33,12 +45,12 @@ impl Default for EngineConfig {
     }
 }
 
-/// Cached responses, keyed by `(user, k)`.
-type ResponseCache = LruCache<(u32, usize), Arc<Vec<ScoredItem>>>;
+/// Cached responses, keyed by `(snapshot version, user, k)`.
+type ResponseCache = LruCache<(u64, u32, usize), Arc<Vec<ScoredItem>>>;
 
 /// Scores one user against the full catalogue and keeps the top K.
 pub struct QueryEngine {
-    snapshot: EmbeddingSnapshot,
+    handle: SnapshotHandle,
     /// Seen-item bitset: bit `(u, n)` set ⇒ never recommend `n` to `u`.
     filter: Option<BitMatrix>,
     cache: Option<Mutex<ResponseCache>>,
@@ -46,20 +58,28 @@ pub struct QueryEngine {
 }
 
 impl QueryEngine {
-    /// Engine over `snapshot` with default tuning, no filter, no cache.
+    /// Engine over a fixed `snapshot` with default tuning, no filter, no
+    /// cache.
     pub fn new(snapshot: EmbeddingSnapshot) -> Self {
         Self::with_config(snapshot, EngineConfig::default())
     }
 
-    /// Engine with explicit tuning.
+    /// Engine over a fixed `snapshot` with explicit tuning.
     pub fn with_config(snapshot: EmbeddingSnapshot, cfg: EngineConfig) -> Self {
+        Self::with_handle(SnapshotHandle::new(snapshot), cfg)
+    }
+
+    /// Engine over a shared [`SnapshotHandle`]: snapshots published to
+    /// the handle (e.g. by a trainer mid-run) are served by the very next
+    /// query, no restart needed.
+    pub fn with_handle(handle: SnapshotHandle, cfg: EngineConfig) -> Self {
         let cache = if cfg.cache_capacity > 0 {
             Some(Mutex::new(LruCache::new(cfg.cache_capacity)))
         } else {
             None
         };
         Self {
-            snapshot,
+            handle,
             filter: None,
             cache,
             block_size: cfg.block_size.max(1),
@@ -71,16 +91,19 @@ impl QueryEngine {
     /// computed without the filter and could leak seen items.
     ///
     /// # Panics
-    /// Panics if the bitset shape disagrees with the snapshot.
+    /// Panics if the bitset shape disagrees with the served snapshot
+    /// (publishes never resize the universe, so the check holds for
+    /// every later snapshot too).
     pub fn with_seen_filter(mut self, filter: BitMatrix) -> Self {
+        let cur = self.handle.load();
         assert_eq!(
             filter.rows(),
-            self.snapshot.n_users(),
+            cur.snapshot().n_users(),
             "filter user count mismatch"
         );
         assert_eq!(
             filter.cols(),
-            self.snapshot.n_items(),
+            cur.snapshot().n_items(),
             "filter item count mismatch"
         );
         self.filter = Some(filter);
@@ -97,9 +120,20 @@ impl QueryEngine {
         self.cache.is_some()
     }
 
-    /// The snapshot being served.
-    pub fn snapshot(&self) -> &EmbeddingSnapshot {
-        &self.snapshot
+    /// The handle the engine reads; publish to it to hot-swap the served
+    /// snapshot.
+    pub fn handle(&self) -> &SnapshotHandle {
+        &self.handle
+    }
+
+    /// The currently-served `(version, snapshot)` pair.
+    pub fn snapshot(&self) -> Arc<VersionedSnapshot> {
+        self.handle.load()
+    }
+
+    /// Users in the served universe (fixed across publishes).
+    pub fn n_users(&self) -> usize {
+        self.handle.load().snapshot().n_users()
     }
 
     /// `(hits, misses)` of the response cache (zeros when disabled).
@@ -115,31 +149,41 @@ impl QueryEngine {
     /// Results are shared `Arc`s so cache hits are allocation-free.
     ///
     /// # Panics
-    /// Panics if `user` is out of range for the snapshot.
+    /// Panics if `user` is out of range for the served snapshot.
     pub fn recommend(&self, user: u32, k: usize) -> Arc<Vec<ScoredItem>> {
+        self.recommend_versioned(user, k).1
+    }
+
+    /// Like [`QueryEngine::recommend`], also reporting which published
+    /// snapshot version produced the response. The whole response is
+    /// computed from (or was cached under) exactly that version — never a
+    /// blend across a concurrent publish.
+    pub fn recommend_versioned(&self, user: u32, k: usize) -> (u64, Arc<Vec<ScoredItem>>) {
+        let cur = self.handle.load();
         assert!(
-            (user as usize) < self.snapshot.n_users(),
+            (user as usize) < cur.snapshot().n_users(),
             "user {user} out of range ({} users)",
-            self.snapshot.n_users()
+            cur.snapshot().n_users()
         );
+        let key = (cur.version(), user, k);
         if let Some(cache) = &self.cache {
-            if let Some(hit) = cache.lock().expect("cache lock").get(&(user, k)) {
-                return Arc::clone(hit);
+            if let Some(hit) = cache.lock().expect("cache lock").get(&key) {
+                return (cur.version(), Arc::clone(hit));
             }
         }
-        let result = Arc::new(self.rank(user, k));
+        let result = Arc::new(self.rank(cur.snapshot(), user, k));
         if let Some(cache) = &self.cache {
             cache
                 .lock()
                 .expect("cache lock")
-                .insert((user, k), Arc::clone(&result));
+                .insert(key, Arc::clone(&result));
         }
-        result
+        (cur.version(), result)
     }
 
-    /// The uncached scoring path.
-    fn rank(&self, user: u32, k: usize) -> Vec<ScoredItem> {
-        let n_items = self.snapshot.n_items();
+    /// The uncached scoring path over one pinned snapshot.
+    fn rank(&self, snapshot: &EmbeddingSnapshot, user: u32, k: usize) -> Vec<ScoredItem> {
+        let n_items = snapshot.n_items();
         let mut topk = TopK::new(k);
         let mut block = vec![0.0f32; self.block_size.min(n_items.max(1))];
         let seen = self.filter.as_ref().map(|f| f.row_words(user as usize));
@@ -147,7 +191,7 @@ impl QueryEngine {
         while start < n_items {
             let len = self.block_size.min(n_items - start);
             let out = &mut block[..len];
-            self.snapshot.score_block(user, start, out);
+            snapshot.score_block(user, start, out);
             match seen {
                 Some(words) => {
                     for (j, &score) in out.iter().enumerate() {
@@ -319,6 +363,62 @@ mod tests {
                 e.item
             );
         }
+    }
+
+    #[test]
+    fn publish_hot_swaps_the_served_snapshot() {
+        let old = snapshot(4, 60, 8);
+        let new = snapshot(4, 60, 4); // different tables, same universe
+        let engine = QueryEngine::new(old.clone());
+        let before: Vec<(u32, f32)> = engine
+            .recommend(1, 60)
+            .iter()
+            .map(|e| (e.item, e.score))
+            .collect();
+        let candidates: Vec<u32> = (0..60).collect();
+        assert_eq!(before, reference_topk(&old, 1, &candidates, 60));
+
+        let v = engine.handle().publish(new.clone());
+        assert_eq!(v, 2);
+        let (ver, after) = engine.recommend_versioned(1, 60);
+        assert_eq!(ver, 2);
+        let after: Vec<(u32, f32)> = after.iter().map(|e| (e.item, e.score)).collect();
+        assert_eq!(
+            after,
+            reference_topk(&new, 1, &candidates, 60),
+            "post-publish ranking must come from the new tables"
+        );
+    }
+
+    #[test]
+    fn cached_responses_never_cross_a_version_boundary() {
+        let v1 = snapshot(3, 80, 4);
+        let v2 = snapshot(3, 80, 8);
+        let engine = QueryEngine::with_config(
+            v1.clone(),
+            EngineConfig {
+                cache_capacity: 16,
+                ..Default::default()
+            },
+        );
+        let (ver1, first) = engine.recommend_versioned(2, 10);
+        assert_eq!(ver1, 1);
+        engine.handle().publish(v2.clone());
+        let (ver2, fresh) = engine.recommend_versioned(2, 10);
+        assert_eq!(ver2, 2);
+        assert!(
+            !Arc::ptr_eq(&first, &fresh),
+            "the v1 response must not be served for v2"
+        );
+        let candidates: Vec<u32> = (0..80).collect();
+        let fresh: Vec<(u32, f32)> = fresh.iter().map(|e| (e.item, e.score)).collect();
+        assert_eq!(fresh, reference_topk(&v2, 2, &candidates, 10));
+        // The recompute was a miss, not a stale hit: 0 hits, 2 misses.
+        assert_eq!(engine.cache_stats(), (0, 2));
+        // Re-querying v2 is a genuine hit.
+        let again = engine.recommend_versioned(2, 10);
+        assert_eq!(again.0, 2);
+        assert_eq!(engine.cache_stats(), (1, 2));
     }
 
     #[test]

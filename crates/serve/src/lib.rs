@@ -15,17 +15,26 @@
 //!
 //! ```text
 //!  trained model ──export_snapshot()──▶ EmbeddingSnapshot ──save/load──▶ disk
-//!                                            │
-//!                                            ▼
+//!       │ fit_parallel(.., refresh)            │
+//!       └──────publish every N epochs──▶ SnapshotHandle  (versioned
+//!                                            │            hot swap)
+//!                                            ▼ load() per query
 //!                        QueryEngine  (blocked scoring kernel
 //!                          │           + seen-item BitMatrix filter
-//!                          │           + LRU response cache)
+//!                          │           + LRU cache keyed by
+//!                          │             (version, user, k))
 //!                          ▼
 //!                   RecommendService  (bounded queue, N std-thread
 //!                          │           workers, per-request latency
 //!                          ▼           into gb_eval::timing)
-//!                 recommend / recommend_batch / warm
+//!        recommend / recommend_versioned / recommend_batch / warm
 //! ```
+//!
+//! A trainer publishing to the engine's [`SnapshotHandle`] hot-swaps the
+//! served embeddings without restart: each query pins one
+//! `(version, tables)` pair for its whole lifetime, and cached responses
+//! are keyed by that version, so a response can never mix snapshots or
+//! outlive the version it was computed from.
 //!
 //! * [`topk::TopK`] — bounded min-heap partial sort: `O(n log k)` per
 //!   query instead of the eval path's materialize-and-sort
@@ -53,7 +62,7 @@ pub mod topk;
 
 pub use cache::LruCache;
 pub use engine::{EngineConfig, QueryEngine};
-pub use gb_models::{EmbeddingSnapshot, SnapshotSource};
+pub use gb_models::{EmbeddingSnapshot, SnapshotHandle, SnapshotSource, VersionedSnapshot};
 pub use service::{RecommendService, ServiceConfig};
 pub use snapshot_io::{load_from_path, load_snapshot, save_snapshot, save_to_path};
 pub use topk::{ScoredItem, TopK};

@@ -38,11 +38,14 @@ impl Default for ServiceConfig {
     }
 }
 
+/// One reply: `(request tag, snapshot version, ranked items)`.
+type Reply = (usize, u64, Arc<Vec<ScoredItem>>);
+
 enum Job {
     Query {
         user: u32,
         k: usize,
-        reply: SyncSender<(usize, Arc<Vec<ScoredItem>>)>,
+        reply: SyncSender<Reply>,
         tag: usize,
     },
     /// Fire-and-forget cache warm-up.
@@ -106,6 +109,17 @@ impl RecommendService {
     /// # Panics
     /// Panics if `user` is out of range for the served snapshot.
     pub fn recommend(&self, user: u32, k: usize) -> Arc<Vec<ScoredItem>> {
+        self.recommend_versioned(user, k).1
+    }
+
+    /// Like [`RecommendService::recommend`], also reporting which
+    /// published snapshot version produced the response — the whole
+    /// answer is consistent with exactly that version even if the trainer
+    /// publishes concurrently.
+    ///
+    /// # Panics
+    /// Panics if `user` is out of range for the served snapshot.
+    pub fn recommend_versioned(&self, user: u32, k: usize) -> (u64, Arc<Vec<ScoredItem>>) {
         self.check_user(user);
         let (reply_tx, reply_rx) = sync_channel(1);
         self.send(Job::Query {
@@ -114,8 +128,8 @@ impl RecommendService {
             reply: reply_tx,
             tag: 0,
         });
-        let (_, result) = reply_rx.recv().expect("worker dropped reply channel");
-        result
+        let (_, version, result) = reply_rx.recv().expect("worker dropped reply channel");
+        (version, result)
     }
 
     /// Top-`k` items for a batch of users.
@@ -128,7 +142,7 @@ impl RecommendService {
     /// Panics if any user is out of range for the served snapshot.
     pub fn recommend_batch(&self, users: &[u32], k: usize) -> Vec<Arc<Vec<ScoredItem>>> {
         users.iter().for_each(|&u| self.check_user(u));
-        let (reply_tx, reply_rx): (SyncSender<(usize, _)>, Receiver<(usize, _)>) =
+        let (reply_tx, reply_rx): (SyncSender<Reply>, Receiver<Reply>) =
             sync_channel(users.len().max(1));
         for (tag, &user) in users.iter().enumerate() {
             self.send(Job::Query {
@@ -141,7 +155,7 @@ impl RecommendService {
         drop(reply_tx);
         let mut out: Vec<Option<Arc<Vec<ScoredItem>>>> = vec![None; users.len()];
         for _ in 0..users.len() {
-            let (tag, result) = reply_rx.recv().expect("worker dropped reply channel");
+            let (tag, _, result) = reply_rx.recv().expect("worker dropped reply channel");
             out[tag] = Some(result);
         }
         out.into_iter()
@@ -172,7 +186,7 @@ impl RecommendService {
     /// Rejects out-of-range users on the caller's thread, before the job
     /// is enqueued — an invalid id must not kill a worker.
     fn check_user(&self, user: u32) {
-        let n_users = self.engine.snapshot().n_users();
+        let n_users = self.engine.n_users();
         assert!(
             (user as usize) < n_users,
             "user {user} out of range ({n_users} users)"
@@ -228,13 +242,13 @@ fn worker_loop(engine: &QueryEngine, rx: &Mutex<Receiver<Job>>, latencies: &Mute
                 reply,
                 tag,
             } => {
-                let result = engine.recommend(user, k);
+                let (version, result) = engine.recommend_versioned(user, k);
                 latencies
                     .lock()
                     .expect("latency lock")
                     .push(start.elapsed());
                 // The caller may have given up (e.g. panicked); ignore.
-                let _ = reply.send((tag, result));
+                let _ = reply.send((tag, version, result));
             }
             Job::Warm { user, k } => {
                 let _ = engine.recommend(user, k);

@@ -1,0 +1,162 @@
+//! Fuzz/roundtrip property tests for `snapshot_io`: generated snapshots
+//! (including 0-user/0-item edges and awkward finite bit patterns)
+//! survive write → read bit-identically, and truncated or corrupted byte
+//! streams return errors — never panics, never unbounded allocations.
+
+use gb_models::EmbeddingSnapshot;
+use gb_serve::{load_snapshot, save_snapshot};
+use gb_tensor::Matrix;
+use proptest::prelude::*;
+
+/// Deterministic "awkward finite f32" generator: an LCG stream spiked
+/// with exactly-representable extremes (signed zeros, max/min magnitude,
+/// subnormal neighborhood). NaN/Inf are excluded — `EmbeddingSnapshot`
+/// rejects non-finite tables by contract.
+fn awkward(seed: u64, k: usize) -> f32 {
+    const SPIKES: [f32; 10] = [
+        0.0,
+        -0.0,
+        1.0,
+        -1.0,
+        f32::MAX,
+        f32::MIN,
+        f32::MIN_POSITIVE,
+        -f32::MIN_POSITIVE,
+        1.1754942e-38, // largest subnormal
+        -3.4e38,
+    ];
+    let x = seed
+        .wrapping_add(k as u64)
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    if x.is_multiple_of(17) {
+        SPIKES[(x >> 32) as usize % SPIKES.len()]
+    } else {
+        ((x >> 33) as i32 % 2_000_001) as f32 * 1e-3
+    }
+}
+
+fn build(
+    seed: u64,
+    n_users: usize,
+    n_items: usize,
+    d_own: usize,
+    d_soc: usize,
+    alpha: f32,
+) -> EmbeddingSnapshot {
+    let mut k = 0usize;
+    let mut next = |r: usize, c: usize| {
+        let _ = (r, c);
+        k += 1;
+        awkward(seed, k)
+    };
+    EmbeddingSnapshot::new(
+        alpha,
+        Matrix::from_fn(n_users, d_own, &mut next),
+        Matrix::from_fn(n_items, d_own, &mut next),
+        Matrix::from_fn(n_users, d_soc, &mut next),
+        Matrix::from_fn(n_items, d_soc, &mut next),
+    )
+}
+
+fn table_bits(m: &Matrix) -> Vec<u32> {
+    m.as_slice().iter().map(|v| v.to_bits()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn generated_snapshots_roundtrip_bit_identically(
+        seed in 0u64..1 << 48,
+        alpha in 0.0f32..=1.0,
+        dims in (0usize..=6, 0usize..=7, 0usize..=5, 0usize..=4),
+    ) {
+        let (n_users, n_items, d_own, d_soc) = dims;
+        let snap = build(seed, n_users, n_items, d_own, d_soc, alpha);
+        let mut buf = Vec::new();
+        save_snapshot(&snap, &mut buf).unwrap();
+        let back = load_snapshot(buf.as_slice()).unwrap();
+        prop_assert_eq!(back.alpha().to_bits(), snap.alpha().to_bits());
+        prop_assert_eq!(table_bits(back.user_own()), table_bits(snap.user_own()));
+        prop_assert_eq!(table_bits(back.item_own()), table_bits(snap.item_own()));
+        prop_assert_eq!(table_bits(back.user_social()), table_bits(snap.user_social()));
+        prop_assert_eq!(table_bits(back.item_social()), table_bits(snap.item_social()));
+        prop_assert_eq!(back.n_users(), n_users);
+        prop_assert_eq!(back.n_items(), n_items);
+    }
+
+    #[test]
+    fn truncated_streams_error_instead_of_panicking(
+        seed in 0u64..1 << 48,
+        cut_frac in 0.0f32..1.0,
+    ) {
+        let snap = build(seed, 3, 4, 3, 2, 0.5);
+        let mut buf = Vec::new();
+        save_snapshot(&snap, &mut buf).unwrap();
+        let cut = ((buf.len() as f32 * cut_frac) as usize).min(buf.len() - 1);
+        buf.truncate(cut);
+        prop_assert!(
+            load_snapshot(buf.as_slice()).is_err(),
+            "truncation at {} of {} must be an error",
+            cut,
+            cut_frac
+        );
+    }
+
+    #[test]
+    fn corrupted_streams_never_panic(
+        seed in 0u64..1 << 48,
+        pos_frac in 0.0f32..1.0,
+        flip in 1u8..=255,
+    ) {
+        let snap = build(seed, 3, 4, 3, 2, 0.25);
+        let mut buf = Vec::new();
+        save_snapshot(&snap, &mut buf).unwrap();
+        let pos = ((buf.len() as f32 * pos_frac) as usize).min(buf.len() - 1);
+        buf[pos] ^= flip;
+        // A flipped byte may still decode to a valid snapshot (data-region
+        // bits are arbitrary finite floats) — the contract is error-or-ok,
+        // never a panic, and an Ok must be structurally sound.
+        if let Ok(back) = load_snapshot(buf.as_slice()) {
+            prop_assert_eq!(back.user_own().rows(), back.user_social().rows());
+            prop_assert_eq!(back.item_own().rows(), back.item_social().rows());
+        }
+    }
+}
+
+/// Headers advertising near-overflow table shapes must be rejected (or
+/// fail on EOF) without attempting the giant allocation they describe.
+#[test]
+fn near_overflow_dims_rejected_without_oom() {
+    let snap = EmbeddingSnapshot::without_social(Matrix::zeros(2, 2), Matrix::zeros(3, 2));
+    let mut buf = Vec::new();
+    save_snapshot(&snap, &mut buf).unwrap();
+    // user_own shape lives right after magic+version+alpha (12 bytes).
+    for (rows, cols) in [
+        (u64::MAX, u64::MAX),
+        (u64::MAX, 3),
+        (1 << 62, 1), // rows*cols*4 overflows u64/usize
+        (1 << 40, 1), // representable but astronomically larger than the stream
+        (u64::MAX / 4, 1_000_000),
+    ] {
+        let mut bad = buf.clone();
+        bad[12..20].copy_from_slice(&rows.to_le_bytes());
+        bad[20..28].copy_from_slice(&cols.to_le_bytes());
+        let err = gb_serve::load_snapshot(bad.as_slice());
+        assert!(err.is_err(), "rows {rows} cols {cols} must be rejected");
+    }
+}
+
+/// The zero-user/zero-item universe is a legal snapshot and must survive
+/// the full file-format path, not just the in-memory constructor.
+#[test]
+fn empty_universe_roundtrips() {
+    let snap = EmbeddingSnapshot::without_social(Matrix::zeros(0, 3), Matrix::zeros(0, 3));
+    let mut buf = Vec::new();
+    save_snapshot(&snap, &mut buf).unwrap();
+    let back = load_snapshot(buf.as_slice()).unwrap();
+    assert_eq!(back.n_users(), 0);
+    assert_eq!(back.n_items(), 0);
+    assert_eq!(back, snap);
+}

@@ -1,0 +1,132 @@
+//! Concurrency stress: reader threads hammer a cached
+//! [`RecommendService`] while a writer hot-swaps snapshots in a tight
+//! loop. Every response must be internally consistent with exactly one
+//! published snapshot version — no torn reads, no stale blends, no
+//! panics.
+//!
+//! Ignored by default (it exists to soak the swap path, not to gate
+//! every local `cargo test`); CI runs it explicitly with a timeout:
+//!
+//! ```text
+//! cargo test -p gb-serve --test stress --release -- --ignored
+//! ```
+
+use gb_models::{EmbeddingSnapshot, SnapshotHandle};
+use gb_serve::{EngineConfig, QueryEngine, RecommendService, ServiceConfig};
+use gb_tensor::Matrix;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+const N_USERS: usize = 32;
+const N_ITEMS: usize = 200;
+const N_READERS: usize = 4;
+const QUERIES_PER_READER: usize = 1500;
+const N_PUBLISHES: u64 = 400;
+
+/// A version-stamped snapshot: `score(u, i) = v * (1 + i)`.
+///
+/// Every served score identifies the exact snapshot it was computed
+/// from, so a response mixing tables from two publishes — or a cache
+/// entry surviving a version boundary — shows up as a score that fails
+/// the stamp equation. All factors are small integers, so the f32
+/// products are exact.
+fn stamped(v: u64) -> EmbeddingSnapshot {
+    EmbeddingSnapshot::without_social(
+        Matrix::full(N_USERS, 1, v as f32),
+        Matrix::from_fn(N_ITEMS, 1, |r, _| 1.0 + r as f32),
+    )
+}
+
+#[test]
+#[ignore = "soak test; CI runs it explicitly with a timeout"]
+fn swapping_under_reader_fire_never_tears_or_staleness() {
+    let handle = SnapshotHandle::new(stamped(1));
+    let service = RecommendService::with_config(
+        QueryEngine::with_handle(
+            handle.clone(),
+            EngineConfig {
+                cache_capacity: 128,
+                ..Default::default()
+            },
+        ),
+        ServiceConfig {
+            workers: 4,
+            queue_depth: 64,
+            warm_k: 10,
+        },
+    );
+    let done_publishing = AtomicBool::new(false);
+
+    std::thread::scope(|scope| {
+        let service = &service;
+        let handle = &handle;
+        let done = &done_publishing;
+
+        // The writer: publish stamped snapshots back to back, yielding
+        // between publishes so swaps interleave with live queries instead
+        // of finishing before the readers ramp up.
+        scope.spawn(move || {
+            for v in 2..=N_PUBLISHES {
+                assert_eq!(handle.publish(stamped(v)), v);
+                std::thread::yield_now();
+            }
+            done.store(true, Ordering::Release);
+        });
+
+        for reader in 0..N_READERS {
+            scope.spawn(move || {
+                // Deterministic per-reader query stream.
+                let mut x = 0x9E37_79B9u64.wrapping_mul(reader as u64 + 1);
+                let mut last_version = 0u64;
+                for q in 0..QUERIES_PER_READER {
+                    x = x
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    let user = (x >> 33) as u32 % N_USERS as u32;
+                    let k = 1 + (x >> 17) as usize % 20;
+                    let (version, items) = service.recommend_versioned(user, k);
+
+                    // Consistency with exactly one published version: the
+                    // stamp equation holds for every entry.
+                    assert!((1..=N_PUBLISHES).contains(&version));
+                    assert_eq!(items.len(), k.min(N_ITEMS));
+                    for e in items.iter() {
+                        let expect = version as f32 * (1.0 + e.item as f32);
+                        assert_eq!(
+                            e.score.to_bits(),
+                            expect.to_bits(),
+                            "reader {reader} query {q}: item {} scored {} under \
+                             version {version} — torn or stale response",
+                            e.item,
+                            e.score
+                        );
+                    }
+                    // Ranking within the response is version-coherent too:
+                    // higher item ids always win under the stamp tables.
+                    for w in items.windows(2) {
+                        assert!(w[0].item > w[1].item, "stamp ranking broken");
+                    }
+                    // Versions observed by one reader never go backwards.
+                    assert!(
+                        version >= last_version,
+                        "reader {reader}: version went backwards \
+                         ({last_version} -> {version})"
+                    );
+                    last_version = version;
+                }
+                // Soak the tail: after the writer finishes, responses must
+                // settle on the final version.
+                if done.load(Ordering::Acquire) {
+                    let (version, _) = service.recommend_versioned(0, 5);
+                    assert_eq!(version, N_PUBLISHES);
+                }
+            });
+        }
+    });
+
+    assert_eq!(handle.version(), N_PUBLISHES);
+    let (hits, misses) = service.engine().cache_stats();
+    assert!(
+        hits + misses >= (N_READERS * QUERIES_PER_READER) as u64,
+        "every query went through the cache path"
+    );
+}

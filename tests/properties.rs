@@ -7,7 +7,7 @@ use gbgcn_repro::eval::metrics::{ndcg_at_k, rank_of, recall_at_k};
 use gbgcn_repro::graph::Csr;
 use gbgcn_repro::tensor::{kernels, Matrix};
 use proptest::prelude::*;
-use std::rc::Rc;
+use std::sync::Arc;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
@@ -78,8 +78,8 @@ proptest! {
         let w = store.add("w", Matrix::from_vec(4, 3, vals));
         gradcheck::assert_grads_match(&mut store, w, 5e-2, |s, t| {
             let wv = t.param(s, w);
-            let g = t.gather(wv, Rc::new(vec![0, 2, 2, 1]));
-            let sm = t.segment_mean(g, Rc::new(vec![0, 2, 4]), Rc::new(vec![0, 1, 2, 3]));
+            let g = t.gather(wv, Arc::new(vec![0, 2, 2, 1]));
+            let sm = t.segment_mean(g, Arc::new(vec![0, 2, 4]), Arc::new(vec![0, 1, 2, 3]));
             let act = t.tanh(sm);
             let dot = t.rowwise_dot(act, act);
             let m = t.mean_all(dot);
