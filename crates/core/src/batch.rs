@@ -78,6 +78,13 @@ impl LossBatch {
         batch
     }
 
+    /// Whether the batch carries no loss pairs at all (neither forward
+    /// nor reversed). Empty batches must never reach the shard executor —
+    /// the trainers skip them up front.
+    pub fn is_empty(&self) -> bool {
+        self.fwd_users.is_empty() && self.rev_users.is_empty()
+    }
+
     /// Splits the batch into up to `n_shards` contiguous sub-batches for
     /// the sharded trainer.
     ///

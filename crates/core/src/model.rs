@@ -310,6 +310,11 @@ impl GbgcnModel {
         executor: &ShardExecutor,
         finetune: bool,
     ) -> (f32, Gradients) {
+        // Empty-batch fast path: a zero-example batch decomposes into
+        // zero shards — return immediately instead of waking the pool.
+        if batch.is_empty() {
+            return (0.0, Gradients::empty(self.store.len()));
+        }
         let shards = batch.split(n_shards);
         executor.accumulate(self.store.len(), shards.len(), |s| {
             if finetune {
@@ -332,8 +337,8 @@ impl GbgcnModel {
             &self.cfg,
         );
         let u_hat_p = tape.value(ve.u_hat_p).clone();
-        let friend_mean_p =
-            kernels::segment_mean(&u_hat_p, &self.social.offsets(), &self.social.members());
+        let (offsets, members) = self.social.segments();
+        let friend_mean_p = kernels::segment_mean(&u_hat_p, offsets, members);
         self.finals = Some(FinalEmbeddings {
             u_hat_i: tape.value(ve.u_hat_i).clone(),
             v_hat_i: tape.value(ve.v_hat_i).clone(),
@@ -652,6 +657,9 @@ impl SnapshotSource for GbgcnModel {
 }
 
 impl Scorer for GbgcnModel {
+    /// Eq. 9 via the lane-blocked [`kernels::dot`] — the identical
+    /// accumulation order the serving kernel uses, so exported snapshots
+    /// score bit-for-bit like this method.
     fn score_items(&self, user: u32, items: &[u32]) -> Vec<f32> {
         let f = self.finals.as_ref().expect("model not fitted");
         let own = f.u_hat_i.row(user as usize);
@@ -660,14 +668,8 @@ impl Scorer for GbgcnModel {
         items
             .iter()
             .map(|&i| {
-                let vi = f.v_hat_i.row(i as usize);
-                let vp = f.v_hat_p.row(i as usize);
-                let mut o = 0.0f32;
-                let mut s = 0.0f32;
-                for k in 0..own.len() {
-                    o += own[k] * vi[k];
-                    s += social[k] * vp[k];
-                }
+                let o = kernels::dot(own, f.v_hat_i.row(i as usize));
+                let s = kernels::dot(social, f.v_hat_p.row(i as usize));
                 (1.0 - a) * o + a * s
             })
             .collect()
@@ -907,6 +909,23 @@ mod tests {
                 "user {user}"
             );
         }
+    }
+
+    #[test]
+    fn zero_behavior_dataset_trains_and_scores_without_panics() {
+        // Zero-example epochs take the empty-batch fast path (no shard
+        // decomposition, no pool wake-ups) and still finalize cleanly.
+        let d = Dataset::new(4, 4, vec![], vec![(0, 1)], vec![1; 4]);
+        let cfg = GbgcnConfig {
+            pretrain_epochs: 1,
+            finetune_epochs: 2,
+            ..GbgcnConfig::test_config()
+        };
+        let mut m = GbgcnModel::new(cfg, &d);
+        let report = m.fit_parallel(&d, &ParallelTrainConfig::with_threads(3), None);
+        assert_eq!(report.final_loss, 0.0);
+        let scores = m.score_items(0, &[0, 1, 2, 3]);
+        assert!(scores.iter().all(|s| s.is_finite()));
     }
 
     #[test]

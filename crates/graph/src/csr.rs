@@ -94,6 +94,14 @@ impl Csr {
         Arc::clone(&self.members)
     }
 
+    /// Borrowed `(offsets, members)` views for direct (non-tape) CSR
+    /// aggregation — e.g. `gb_tensor::kernels::segment_mean`, whose inner
+    /// loops block to the shared `kernels::DOT_LANES` lane width. Avoids
+    /// the refcount round-trip of the `Arc` accessors on hot paths.
+    pub fn segments(&self) -> (&[usize], &[u32]) {
+        (&self.offsets, &self.members)
+    }
+
     /// Mean out-degree.
     pub fn mean_degree(&self) -> f64 {
         if self.n_nodes() == 0 {

@@ -138,13 +138,14 @@ pub fn add_l2(tape: &mut Tape, loss: Var, vars: &[Var], coef: f32, denom: usize)
 
 /// Plain dot-product scoring of `items` for one user row — the shared
 /// fast path for every cached-embedding scorer.
+///
+/// Goes through the lane-blocked [`gb_tensor::kernels::dot`], the same
+/// accumulation `gb-serve`'s `blend_dot_block` uses, so offline scores
+/// stay bit-identical to served scores.
 pub fn dot_scores(user_emb: &[f32], item_table: &Matrix, items: &[u32]) -> Vec<f32> {
     items
         .iter()
-        .map(|&i| {
-            let row = item_table.row(i as usize);
-            user_emb.iter().zip(row).map(|(a, b)| a * b).sum()
-        })
+        .map(|&i| gb_tensor::kernels::dot(user_emb, item_table.row(i as usize)))
         .collect()
 }
 

@@ -142,6 +142,10 @@ impl Gbmf {
                     }
                 }
                 let n = users.len();
+                // Empty-batch fast path: nothing to shard, skip the pool.
+                if n == 0 {
+                    continue;
+                }
 
                 let spans = shard_spans(n, n_shards);
                 let (loss, grads) = executor.accumulate(store.len(), spans.len(), |s| {
@@ -186,8 +190,8 @@ impl Gbmf {
 
         self.user_emb = store.value(u).clone();
         self.item_emb = store.value(v).clone();
-        self.friend_mean =
-            kernels::segment_mean(&self.user_emb, &social.offsets(), &social.members());
+        let (offsets, members) = social.segments();
+        self.friend_mean = kernels::segment_mean(&self.user_emb, offsets, members);
         TrainReport {
             epochs: base.epochs,
             mean_epoch_secs: elapsed / base.epochs.max(1) as f64,
@@ -207,6 +211,9 @@ impl Recommender for Gbmf {
 }
 
 impl Scorer for Gbmf {
+    /// Eq. 9 via the lane-blocked [`kernels::dot`] — the identical
+    /// accumulation order the serving kernel uses, so exported snapshots
+    /// score bit-for-bit like this method.
     fn score_items(&self, user: u32, items: &[u32]) -> Vec<f32> {
         let own = self.user_emb.row(user as usize);
         let social = self.friend_mean.row(user as usize);
@@ -215,12 +222,8 @@ impl Scorer for Gbmf {
             .iter()
             .map(|&i| {
                 let row = self.item_emb.row(i as usize);
-                let mut o = 0.0f32;
-                let mut s = 0.0f32;
-                for k in 0..row.len() {
-                    o += own[k] * row[k];
-                    s += social[k] * row[k];
-                }
+                let o = kernels::dot(own, row);
+                let s = kernels::dot(social, row);
                 (1.0 - a) * o + a * s
             })
             .collect()

@@ -101,6 +101,12 @@ impl Mf {
                     }
                 }
                 let n = users.len();
+                // Empty-batch fast path: a zero-example batch has nothing
+                // to shard — never build tapes or touch the worker pool
+                // (`shard_spans(0, n)` is an empty decomposition).
+                if n == 0 {
+                    continue;
+                }
 
                 let spans = shard_spans(n, n_shards);
                 let (loss, grads) = executor.accumulate(store.len(), spans.len(), |s| {
@@ -214,6 +220,25 @@ mod tests {
         b.fit(&d);
         assert_eq!(a.user_embeddings(), b.user_embeddings());
         assert_eq!(a.item_embeddings(), b.item_embeddings());
+    }
+
+    #[test]
+    fn zero_pair_dataset_never_reaches_the_pool() {
+        // No behaviors at all: every epoch is a zero-example epoch. The
+        // empty-batch fast path must keep the worker pool completely idle
+        // and still produce a usable (untrained) model.
+        let d = Dataset::new(2, 3, vec![], vec![(0, 1)], vec![1; 3]);
+        let cfg = TrainConfig {
+            dim: 4,
+            epochs: 3,
+            ..Default::default()
+        };
+        let mut mf = Mf::new(cfg, InteractionKind::BothRoles);
+        let executor = ShardExecutor::new(4);
+        let report = mf.fit_sharded(&d, 4, &executor);
+        assert_eq!(executor.jobs_dispatched(), 0, "empty epochs woke the pool");
+        assert_eq!(report.final_loss, 0.0);
+        assert!(mf.score_items(1, &[0, 1, 2]).iter().all(|s| s.is_finite()));
     }
 
     #[test]

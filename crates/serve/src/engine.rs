@@ -29,7 +29,14 @@ use std::sync::Mutex;
 #[derive(Clone, Debug)]
 pub struct EngineConfig {
     /// Items scored per kernel call. 512 rows of a 64-wide f32 table is
-    /// 128 KiB — L2-resident on anything modern.
+    /// 128 KiB — L2-resident on anything modern. Rounded up to a multiple
+    /// of `gb_tensor::kernels::DOT_LANES` at engine construction — the
+    /// block-size granularity the kernel layer publishes (a multiple of
+    /// its item-tile width), so non-tail blocks decompose into full
+    /// register tiles with no scalar per-block item tail. The SIMD lanes
+    /// themselves run over the embedding dimension, not the item axis;
+    /// block size never changes scores, only how the catalogue walk is
+    /// chunked.
     pub block_size: usize,
     /// Response cache capacity in `(version, user, k)` entries; 0
     /// disables caching.
@@ -82,7 +89,10 @@ impl QueryEngine {
             handle,
             filter: None,
             cache,
-            block_size: cfg.block_size.max(1),
+            block_size: cfg
+                .block_size
+                .max(1)
+                .next_multiple_of(gb_tensor::kernels::DOT_LANES),
         }
     }
 

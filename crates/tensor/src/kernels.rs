@@ -2,13 +2,113 @@
 //!
 //! Each kernel is a free function so the autodiff tape in `gb-autograd` can
 //! compose forward and backward passes from the same verified primitives.
-//! Kernels are written as simple row-major loops: at the paper's scale
-//! (d = 32, a few hundred thousand graph nodes) these are memory-bound and
-//! the compiler auto-vectorizes the inner loops.
+//!
+//! ## Blocking contract
+//!
+//! The dense hot paths (the propagation matmuls during training, the
+//! blended dot-product scoring during serving) are cache-blocked and
+//! register-tiled around one shared lane width, [`DOT_LANES`]: inner loops
+//! accumulate into explicit `[f32; DOT_LANES]` arrays that stable Rust
+//! lowers to SIMD registers, with fixed-order tail handling for dimensions
+//! that are not a multiple of the lane width. Every reduction has a *fixed*
+//! summation order — lane `l` always sums indices `l, l+8, l+16, …` and the
+//! lanes always combine in the same pairwise tree — so repeated calls are
+//! bit-identical and the train/serve call sites that share [`dot`] (the
+//! offline scorers in `gb-models`/`gb-core`, `blend_dot_block` in
+//! `gb-serve`) produce bit-identical scores.
+//!
+//! The pre-blocking scalar loops survive in [`reference`]; the property
+//! tests pin the blocked kernels to them within float-reassociation
+//! tolerance, and the bench runner measures the speedup against them.
 
 use crate::Matrix;
 
+/// Lane width (in `f32` elements) of every blocked reduction in this
+/// module. Callers that want to block to the same widths — the serving
+/// engine's item blocks, the scorer tables — should use multiples of this.
+pub const DOT_LANES: usize = 8;
+
+/// Rows of `A` per register tile in [`matmul`] / [`matmul_tn`], and items
+/// per tile in [`matmul_nt`] / [`blend_dot_block`].
+const ROW_TILE: usize = 4;
+
+/// Fixed pairwise reduction of the lane accumulators. One tree for every
+/// caller: changing this changes every blocked dot product in the
+/// workspace at once, which is exactly the point — there is a single
+/// summation order to reason about.
+#[inline(always)]
+fn reduce_lanes(l: &[f32; DOT_LANES]) -> f32 {
+    ((l[0] + l[4]) + (l[2] + l[6])) + ((l[1] + l[5]) + (l[3] + l[7]))
+}
+
+/// `T` simultaneous lane-blocked dot products of `a` against `rows`,
+/// sharing the loads of `a`. Each output is bit-identical to
+/// `dot(a, rows[t])` — the tile is a scheduling choice, not a numeric one.
+#[inline(always)]
+fn dot_tile<const T: usize>(a: &[f32], rows: [&[f32]; T]) -> [f32; T] {
+    let mut lanes = [[0.0f32; DOT_LANES]; T];
+    let chunks = a.len() / DOT_LANES;
+    for c in 0..chunks {
+        let ca = &a[c * DOT_LANES..(c + 1) * DOT_LANES];
+        for t in 0..T {
+            let cb = &rows[t][c * DOT_LANES..(c + 1) * DOT_LANES];
+            for l in 0..DOT_LANES {
+                lanes[t][l] += ca[l] * cb[l];
+            }
+        }
+    }
+    let tail = chunks * DOT_LANES;
+    let mut out = [0.0f32; T];
+    for t in 0..T {
+        let mut acc = reduce_lanes(&lanes[t]);
+        for q in tail..a.len() {
+            acc += a[q] * rows[t][q];
+        }
+        out[t] = acc;
+    }
+    out
+}
+
+/// Lane-blocked dot product: eight independent accumulators over chunks of
+/// [`DOT_LANES`], a fixed pairwise lane reduction, then the tail in index
+/// order. Deterministic (same inputs ⇒ bit-identical output) and shared by
+/// every scorer in the workspace, so served and offline scores agree
+/// bit-for-bit.
+///
+/// # Panics
+/// Panics if the lengths differ.
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "dot length mismatch");
+    dot_tile::<1>(a, [b])[0]
+}
+
+/// `dst[j] += alpha * src[j]`, lane-chunked. Elementwise, so the blocking
+/// cannot change results — it only removes the bounds checks and branches
+/// that defeat vectorization.
+#[inline(always)]
+fn axpy_into(dst: &mut [f32], alpha: f32, src: &[f32]) {
+    debug_assert_eq!(dst.len(), src.len());
+    let mut dc = dst.chunks_exact_mut(DOT_LANES);
+    let mut sc = src.chunks_exact(DOT_LANES);
+    for (d, s) in dc.by_ref().zip(sc.by_ref()) {
+        for l in 0..DOT_LANES {
+            d[l] += alpha * s[l];
+        }
+    }
+    for (d, s) in dc.into_remainder().iter_mut().zip(sc.remainder()) {
+        *d += alpha * *s;
+    }
+}
+
 /// `C = A * B` (matrix product).
+///
+/// Register-tiled micro-kernel: `ROW_TILE x DOT_LANES` output tiles are
+/// accumulated in `[f32; DOT_LANES]` arrays across the full `k` loop, so
+/// each element of `B`'s row segment is loaded once per tile instead of
+/// once per output row. Every output element is the ascending-`k` ordered
+/// sum `Σ_k a[i][k] * b[k][j]` regardless of which tile computed it, which
+/// keeps [`matmul`] and [`matmul_tn`] bit-consistent on transposed inputs.
 ///
 /// # Panics
 /// Panics if `a.cols() != b.rows()`.
@@ -23,19 +123,50 @@ pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
     let (m, k) = a.shape();
     let n = b.cols();
     let mut out = Matrix::zeros(m, n);
-    // ikj loop order: streams through contiguous rows of B and C.
-    for i in 0..m {
-        let a_row = a.row(i);
-        let out_row = out.row_mut(i);
-        for (kk, &a_ik) in a_row.iter().enumerate().take(k) {
-            if a_ik == 0.0 {
-                continue;
+    if m == 0 || n == 0 || k == 0 {
+        return out;
+    }
+    let ad = a.as_slice();
+    let bd = b.as_slice();
+    let od = out.as_mut_slice();
+    let mut i0 = 0;
+    while i0 < m {
+        let ir = ROW_TILE.min(m - i0);
+        let mut j0 = 0;
+        while j0 < n {
+            let jr = DOT_LANES.min(n - j0);
+            if ir == ROW_TILE && jr == DOT_LANES {
+                // Full micro-tile: 4 x 8 accumulators live in registers.
+                let mut acc = [[0.0f32; DOT_LANES]; ROW_TILE];
+                for kk in 0..k {
+                    let brow = &bd[kk * n + j0..kk * n + j0 + DOT_LANES];
+                    for r in 0..ROW_TILE {
+                        let av = ad[(i0 + r) * k + kk];
+                        for l in 0..DOT_LANES {
+                            acc[r][l] += av * brow[l];
+                        }
+                    }
+                }
+                for (r, acc_row) in acc.iter().enumerate() {
+                    od[(i0 + r) * n + j0..(i0 + r) * n + j0 + DOT_LANES].copy_from_slice(acc_row);
+                }
+            } else {
+                // Edge tile: same ascending-k per-element order, partial
+                // widths accumulated directly in the (zeroed) output.
+                for r in 0..ir {
+                    let orow = &mut od[(i0 + r) * n + j0..(i0 + r) * n + j0 + jr];
+                    for kk in 0..k {
+                        let av = ad[(i0 + r) * k + kk];
+                        let brow = &bd[kk * n + j0..kk * n + j0 + jr];
+                        for l in 0..jr {
+                            orow[l] += av * brow[l];
+                        }
+                    }
+                }
             }
-            let b_row = b.row(kk);
-            for j in 0..n {
-                out_row[j] += a_ik * b_row[j];
-            }
+            j0 += jr;
         }
+        i0 += ir;
     }
     out
 }
@@ -43,6 +174,11 @@ pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
 /// `C = A^T * B`.
 ///
 /// Used by matmul backward (`dW = X^T * dY`) without materializing `A^T`.
+/// Cache-blocked over output rows: a `ROW_TILE`-row band of `C` stays
+/// L1-resident while both inputs stream row-major exactly once per band,
+/// with the lane-chunked [`axpy_into`] as the inner loop. Per-element
+/// order is the ascending-`r` sum — bit-identical to
+/// `matmul(a.transposed(), b)`.
 pub fn matmul_tn(a: &Matrix, b: &Matrix) -> Matrix {
     assert_eq!(
         a.rows(),
@@ -54,18 +190,22 @@ pub fn matmul_tn(a: &Matrix, b: &Matrix) -> Matrix {
     let m = a.cols();
     let n = b.cols();
     let mut out = Matrix::zeros(m, n);
-    for r in 0..a.rows() {
-        let a_row = a.row(r);
-        let b_row = b.row(r);
-        for (i, &a_ri) in a_row.iter().enumerate() {
-            if a_ri == 0.0 {
-                continue;
-            }
-            let out_row = out.row_mut(i);
-            for j in 0..n {
-                out_row[j] += a_ri * b_row[j];
+    if m == 0 || n == 0 {
+        return out;
+    }
+    let od = out.as_mut_slice();
+    let mut i0 = 0;
+    while i0 < m {
+        let ir = ROW_TILE.min(m - i0);
+        let band = &mut od[i0 * n..(i0 + ir) * n];
+        for r in 0..a.rows() {
+            let a_seg = &a.row(r)[i0..i0 + ir];
+            let b_row = b.row(r);
+            for (t, &av) in a_seg.iter().enumerate() {
+                axpy_into(&mut band[t * n..(t + 1) * n], av, b_row);
             }
         }
+        i0 += ir;
     }
     out
 }
@@ -73,6 +213,9 @@ pub fn matmul_tn(a: &Matrix, b: &Matrix) -> Matrix {
 /// `C = A * B^T`.
 ///
 /// Used by matmul backward (`dX = dY * W^T`) without materializing `B^T`.
+/// Each output element is a lane-blocked [`dot`] of two rows; rows of `B`
+/// are tiled [`ROW_TILE`] at a time so the loads of `A`'s row are shared
+/// across the tile. Bit-identical to calling [`dot`] per element.
 pub fn matmul_nt(a: &Matrix, b: &Matrix) -> Matrix {
     assert_eq!(
         a.cols(),
@@ -87,13 +230,17 @@ pub fn matmul_nt(a: &Matrix, b: &Matrix) -> Matrix {
     for i in 0..m {
         let a_row = a.row(i);
         let out_row = out.row_mut(i);
-        for (j, out_v) in out_row.iter_mut().enumerate().take(n) {
-            let b_row = b.row(j);
-            let mut acc = 0.0;
-            for k in 0..a_row.len() {
-                acc += a_row[k] * b_row[k];
-            }
-            *out_v = acc;
+        let mut j0 = 0;
+        while j0 + ROW_TILE <= n {
+            let tile = dot_tile::<ROW_TILE>(
+                a_row,
+                [b.row(j0), b.row(j0 + 1), b.row(j0 + 2), b.row(j0 + 3)],
+            );
+            out_row[j0..j0 + ROW_TILE].copy_from_slice(&tile);
+            j0 += ROW_TILE;
+        }
+        for (j, slot) in out_row.iter_mut().enumerate().skip(j0) {
+            *slot = dot_tile::<1>(a_row, [b.row(j)])[0];
         }
     }
     out
@@ -110,9 +257,7 @@ pub fn add(a: &Matrix, b: &Matrix) -> Matrix {
 /// Elementwise `a += b`.
 pub fn add_assign(a: &mut Matrix, b: &Matrix) {
     assert_eq!(a.shape(), b.shape(), "add_assign shape mismatch");
-    for (x, y) in a.as_mut_slice().iter_mut().zip(b.as_slice()) {
-        *x += y;
-    }
+    axpy_into(a.as_mut_slice(), 1.0, b.as_slice());
 }
 
 /// Elementwise `a - b`.
@@ -138,9 +283,7 @@ pub fn mul(a: &Matrix, b: &Matrix) -> Matrix {
 /// `a += alpha * b` (AXPY).
 pub fn axpy(a: &mut Matrix, alpha: f32, b: &Matrix) {
     assert_eq!(a.shape(), b.shape(), "axpy shape mismatch");
-    for (x, y) in a.as_mut_slice().iter_mut().zip(b.as_slice()) {
-        *x += alpha * y;
-    }
+    axpy_into(a.as_mut_slice(), alpha, b.as_slice());
 }
 
 /// `alpha * a` as a new matrix.
@@ -186,11 +329,7 @@ pub fn rowwise_dot(a: &Matrix, b: &Matrix) -> Matrix {
     assert_eq!(a.shape(), b.shape(), "rowwise_dot shape mismatch");
     let mut out = Matrix::zeros(a.rows(), 1);
     for r in 0..a.rows() {
-        let mut acc = 0.0;
-        for (x, y) in a.row(r).iter().zip(b.row(r)) {
-            acc += x * y;
-        }
-        out.set(r, 0, acc);
+        out.set(r, 0, dot(a.row(r), b.row(r)));
     }
     out
 }
@@ -231,11 +370,7 @@ pub fn scatter_add_rows(dst: &mut Matrix, indices: &[u32], src: &Matrix) {
     );
     assert_eq!(dst.cols(), src.cols(), "scatter_add_rows width mismatch");
     for (i, &idx) in indices.iter().enumerate() {
-        let s = src.row(i);
-        let d = dst.row_mut(idx as usize);
-        for (x, y) in d.iter_mut().zip(s) {
-            *x += y;
-        }
+        axpy_into(dst.row_mut(idx as usize), 1.0, src.row(i));
     }
 }
 
@@ -256,10 +391,7 @@ pub fn segment_mean(src: &Matrix, offsets: &[usize], members: &[u32]) -> Matrix 
         let inv = 1.0 / seg.len() as f32;
         let o = out.row_mut(i);
         for &m in seg {
-            let s = src.row(m as usize);
-            for (x, y) in o.iter_mut().zip(s) {
-                *x += y;
-            }
+            axpy_into(o, 1.0, src.row(m as usize));
         }
         for x in o.iter_mut() {
             *x *= inv;
@@ -285,10 +417,7 @@ pub fn segment_mean_backward(
         let inv = 1.0 / seg.len() as f32;
         let g = grad.row(i);
         for &m in seg {
-            let o = out.row_mut(m as usize);
-            for (x, y) in o.iter_mut().zip(g) {
-                *x += inv * y;
-            }
+            axpy_into(out.row_mut(m as usize), inv, g);
         }
     }
     out
@@ -395,10 +524,12 @@ pub fn normalize_rows(a: &Matrix) -> Matrix {
 /// `out[j] = (1-alpha) * own · item_own[start+j] + alpha * social · item_social[start+j]`.
 ///
 /// This is the serving fast path: the caller walks the catalogue in
-/// cache-sized blocks and both item tables are streamed once, row-major.
-/// The per-item accumulation order matches the scalar scorers in
-/// `gb-models`/`gb-core` exactly, so served scores are bit-identical to
-/// offline evaluation scores.
+/// cache-sized blocks (multiples of [`DOT_LANES`]) and both item tables
+/// are streamed once, row-major, [`ROW_TILE`] items per register tile so
+/// the user vectors' loads are shared across the tile. Every per-item
+/// product is the lane-blocked [`dot`] — the exact accumulation the
+/// offline scorers in `gb-models`/`gb-core` use — so served scores are
+/// bit-identical to offline evaluation scores.
 ///
 /// `item_social` may have zero columns (models without a social term);
 /// the social product is then 0. With `alpha == 0.0` the own product is
@@ -438,24 +569,53 @@ pub fn blend_dot_block(
             "blend_dot_block: social width mismatch"
         );
     }
-    for (j, slot) in out.iter_mut().enumerate() {
-        let vi = item_own.row(start + j);
-        let mut o = 0.0f32;
-        for k in 0..own.len() {
-            o += own[k] * vi[k];
-        }
+    let blend = |o: f32, s: f32| {
         if has_social {
-            let vp = item_social.row(start + j);
-            let mut s = 0.0f32;
-            for k in 0..social.len() {
-                s += social[k] * vp[k];
-            }
-            *slot = (1.0 - alpha) * o + alpha * s;
+            (1.0 - alpha) * o + alpha * s
         } else if alpha == 0.0 {
-            *slot = o;
+            o
         } else {
-            *slot = (1.0 - alpha) * o;
+            (1.0 - alpha) * o
         }
+    };
+    let mut j0 = 0;
+    while j0 + ROW_TILE <= n {
+        let i0 = start + j0;
+        let o = dot_tile::<ROW_TILE>(
+            own,
+            [
+                item_own.row(i0),
+                item_own.row(i0 + 1),
+                item_own.row(i0 + 2),
+                item_own.row(i0 + 3),
+            ],
+        );
+        let s = if has_social {
+            dot_tile::<ROW_TILE>(
+                social,
+                [
+                    item_social.row(i0),
+                    item_social.row(i0 + 1),
+                    item_social.row(i0 + 2),
+                    item_social.row(i0 + 3),
+                ],
+            )
+        } else {
+            [0.0; ROW_TILE]
+        };
+        for t in 0..ROW_TILE {
+            out[j0 + t] = blend(o[t], s[t]);
+        }
+        j0 += ROW_TILE;
+    }
+    for (j, slot) in out.iter_mut().enumerate().skip(j0) {
+        let o = dot_tile::<1>(own, [item_own.row(start + j)])[0];
+        let s = if has_social {
+            dot_tile::<1>(social, [item_social.row(start + j)])[0]
+        } else {
+            0.0
+        };
+        *slot = blend(o, s);
     }
 }
 
@@ -475,6 +635,137 @@ pub fn cosine_similarity(a: &[f32], b: &[f32]) -> f32 {
         0.0
     } else {
         dot / (na.sqrt() * nb.sqrt())
+    }
+}
+
+/// Scalar reference implementations of the blocked hot-path kernels.
+///
+/// These are the straightforward row-major loops the blocked kernels
+/// replaced. They are kept (a) as the ground truth the property tests
+/// compare the blocked kernels against, and (b) as the "before" side of
+/// the in-repo perf trajectory (`gb-bench`'s `bench_report` binary).
+/// They are *not* used by any training or serving path.
+pub mod reference {
+    use crate::Matrix;
+
+    /// Plain ascending-index dot product.
+    pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+        assert_eq!(a.len(), b.len(), "dot length mismatch");
+        let mut acc = 0.0f32;
+        for (x, y) in a.iter().zip(b) {
+            acc += x * y;
+        }
+        acc
+    }
+
+    /// Scalar ikj `C = A * B` — the seed implementation verbatim,
+    /// including the data-dependent zero-skip branch that defeats
+    /// auto-vectorization of the inner loop (results differ from the
+    /// branch-free kernels only on signed-zero edge cases).
+    pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
+        assert_eq!(a.cols(), b.rows(), "matmul shape mismatch");
+        let (m, k) = a.shape();
+        let n = b.cols();
+        let mut out = Matrix::zeros(m, n);
+        for i in 0..m {
+            let a_row = a.row(i);
+            let out_row = out.row_mut(i);
+            for (kk, &a_ik) in a_row.iter().enumerate().take(k) {
+                if a_ik == 0.0 {
+                    continue;
+                }
+                let b_row = b.row(kk);
+                for j in 0..n {
+                    out_row[j] += a_ik * b_row[j];
+                }
+            }
+        }
+        out
+    }
+
+    /// Scalar `C = A^T * B` — the seed implementation verbatim (with the
+    /// same vectorization-defeating zero-skip branch).
+    pub fn matmul_tn(a: &Matrix, b: &Matrix) -> Matrix {
+        assert_eq!(a.rows(), b.rows(), "matmul_tn shape mismatch");
+        let m = a.cols();
+        let n = b.cols();
+        let mut out = Matrix::zeros(m, n);
+        for r in 0..a.rows() {
+            let a_row = a.row(r);
+            let b_row = b.row(r);
+            for (i, &a_ri) in a_row.iter().enumerate() {
+                if a_ri == 0.0 {
+                    continue;
+                }
+                let out_row = out.row_mut(i);
+                for j in 0..n {
+                    out_row[j] += a_ri * b_row[j];
+                }
+            }
+        }
+        out
+    }
+
+    /// Scalar `C = A * B^T`.
+    pub fn matmul_nt(a: &Matrix, b: &Matrix) -> Matrix {
+        assert_eq!(a.cols(), b.cols(), "matmul_nt shape mismatch");
+        let m = a.rows();
+        let n = b.rows();
+        let mut out = Matrix::zeros(m, n);
+        for i in 0..m {
+            let a_row = a.row(i);
+            let out_row = out.row_mut(i);
+            for (j, out_v) in out_row.iter_mut().enumerate().take(n) {
+                *out_v = dot(a_row, b.row(j));
+            }
+        }
+        out
+    }
+
+    /// Scalar blended dual-dot block scoring (same contract as
+    /// [`super::blend_dot_block`]).
+    pub fn blend_dot_block(
+        own: &[f32],
+        item_own: &Matrix,
+        social: &[f32],
+        item_social: &Matrix,
+        alpha: f32,
+        start: usize,
+        out: &mut [f32],
+    ) {
+        let n = out.len();
+        assert!(
+            start + n <= item_own.rows(),
+            "blend_dot_block: own range out of bounds"
+        );
+        assert_eq!(
+            item_own.cols(),
+            own.len(),
+            "blend_dot_block: own width mismatch"
+        );
+        let has_social = item_social.cols() > 0 && alpha != 0.0;
+        if has_social {
+            assert!(
+                start + n <= item_social.rows(),
+                "blend_dot_block: social range out of bounds"
+            );
+            assert_eq!(
+                item_social.cols(),
+                social.len(),
+                "blend_dot_block: social width mismatch"
+            );
+        }
+        for (j, slot) in out.iter_mut().enumerate() {
+            let o = dot(own, item_own.row(start + j));
+            if has_social {
+                let s = dot(social, item_social.row(start + j));
+                *slot = (1.0 - alpha) * o + alpha * s;
+            } else if alpha == 0.0 {
+                *slot = o;
+            } else {
+                *slot = (1.0 - alpha) * o;
+            }
+        }
     }
 }
 
@@ -668,5 +959,84 @@ mod tests {
         let a = m(1, 3, &[-2.0, 0.0, 3.0]);
         let out = leaky_relu(&a, 0.1);
         assert_eq!(out.as_slice(), &[-0.2, 0.0, 3.0]);
+    }
+
+    #[test]
+    fn dot_handles_every_tail_length() {
+        for d in [0usize, 1, 7, 8, 9, 15, 16, 17, 31, 32, 33] {
+            let a: Vec<f32> = (0..d).map(|i| (i as f32 * 0.37).sin()).collect();
+            let b: Vec<f32> = (0..d).map(|i| (i as f32 * 0.23).cos()).collect();
+            let got = dot(&a, &b);
+            let want = reference::dot(&a, &b);
+            let scale: f32 = a.iter().zip(&b).map(|(x, y)| (x * y).abs()).sum();
+            assert!(
+                (got - want).abs() <= 1e-5 * scale.max(1.0),
+                "d={d}: {got} vs {want}"
+            );
+            // Bit-determinism: a second call reproduces the bits.
+            assert_eq!(got.to_bits(), dot(&a, &b).to_bits(), "d={d}");
+        }
+    }
+
+    #[test]
+    fn dot_short_vectors_match_scalar_bitwise() {
+        // Below one lane chunk the blocked path degenerates to the plain
+        // ascending sum, so short dims are bit-identical to the reference.
+        for d in [0usize, 1, 3, 7] {
+            let a: Vec<f32> = (0..d).map(|i| (i as f32 * 1.7).sin()).collect();
+            let b: Vec<f32> = (0..d).map(|i| (i as f32 * 0.9).cos()).collect();
+            assert_eq!(dot(&a, &b).to_bits(), reference::dot(&a, &b).to_bits());
+        }
+    }
+
+    #[test]
+    fn blocked_matmul_is_bit_identical_to_reference_order() {
+        // The blocked matmul/matmul_tn tile over outputs, not over the
+        // reduction index, so they keep the reference's ascending-k
+        // per-element order exactly.
+        for (mm, kk, nn) in [(1, 1, 1), (4, 8, 8), (5, 9, 11), (7, 3, 17), (12, 16, 9)] {
+            let a = Matrix::from_fn(mm, kk, |r, c| ((r * 13 + c * 7) as f32 * 0.11).sin());
+            let b = Matrix::from_fn(kk, nn, |r, c| ((r * 5 + c * 3) as f32 * 0.17).cos());
+            assert_eq!(matmul(&a, &b), reference::matmul(&a, &b), "{mm}x{kk}x{nn}");
+            let at = Matrix::from_fn(kk, mm, |r, c| ((r + c * 2) as f32 * 0.13).sin());
+            assert_eq!(
+                matmul_tn(&at, &b),
+                reference::matmul_tn(&at, &b),
+                "tn {mm}x{kk}x{nn}"
+            );
+        }
+    }
+
+    #[test]
+    fn matmul_nt_tile_matches_per_element_dot() {
+        let a = Matrix::from_fn(3, 33, |r, c| ((r * 31 + c) as f32 * 0.07).sin());
+        let b = Matrix::from_fn(9, 33, |r, c| ((r * 17 + c * 5) as f32 * 0.19).cos());
+        let out = matmul_nt(&a, &b);
+        for i in 0..3 {
+            for j in 0..9 {
+                assert_eq!(
+                    out.get(i, j).to_bits(),
+                    dot(a.row(i), b.row(j)).to_bits(),
+                    "({i},{j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn blend_dot_block_is_the_blend_of_two_dots_bitwise() {
+        let item_own = Matrix::from_fn(13, 33, |r, c| (r as f32 * 0.3 - c as f32 * 0.1).sin());
+        let item_social = Matrix::from_fn(13, 9, |r, c| (r as f32 * 0.2 + c as f32 * 0.4).cos());
+        let own: Vec<f32> = (0..33).map(|i| (i as f32 * 0.21).sin()).collect();
+        let social: Vec<f32> = (0..9).map(|i| (i as f32 * 0.41).cos()).collect();
+        let alpha = 0.35f32;
+        let mut out = vec![0.0f32; 13];
+        blend_dot_block(&own, &item_own, &social, &item_social, alpha, 0, &mut out);
+        for (j, &got) in out.iter().enumerate() {
+            let o = dot(&own, item_own.row(j));
+            let s = dot(&social, item_social.row(j));
+            let want = (1.0 - alpha) * o + alpha * s;
+            assert_eq!(got.to_bits(), want.to_bits(), "item {j}");
+        }
     }
 }

@@ -1,0 +1,193 @@
+//! Property tests pinning the blocked hot-path kernels to their scalar
+//! references.
+//!
+//! Three guarantees per kernel, over random shapes that deliberately
+//! include non-multiple-of-lane dims (1, 7, 8, 9, 31, 32, 33):
+//!
+//! 1. **Accuracy** — the blocked result matches the scalar reference
+//!    within 1e-5 relative tolerance (the only difference is float
+//!    reassociation across the lane accumulators);
+//! 2. **Determinism** — repeated calls on the same inputs are
+//!    bit-identical (the summation order is fixed, never data- or
+//!    timing-dependent);
+//! 3. **Call-site consistency** — the serve-side kernel
+//!    (`blend_dot_block`) reproduces the train-side scorer composition
+//!    (`(1-α)·dot + α·dot`) bit-for-bit, which is what keeps served
+//!    scores identical to offline evaluation scores.
+
+use gb_tensor::kernels::{self, reference};
+use gb_tensor::{init, Matrix};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Dimension pool stressing every tail length around the 8-lane width.
+const DIMS: [usize; 7] = [1, 7, 8, 9, 31, 32, 33];
+
+fn dim(idx: usize) -> usize {
+    DIMS[idx % DIMS.len()]
+}
+
+fn random_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    init::xavier_uniform(rows, cols, &mut rng)
+}
+
+/// `|got - want| <= 1e-5 * scale`, where `scale` is the natural magnitude
+/// of the reduction (sum of |term|), so the bound stays meaningful when
+/// cancellation makes the result small.
+fn assert_close(got: f32, want: f32, scale: f32, what: &str) {
+    let tol = 1e-5 * scale.max(1.0);
+    assert!(
+        (got - want).abs() <= tol,
+        "{what}: {got} vs {want} (tol {tol})"
+    );
+}
+
+/// Natural scale of `out[i][j]` for an `A*B`-shaped product.
+fn product_scale(a_row: &[f32], b_col: impl Iterator<Item = f32>) -> f32 {
+    a_row.iter().zip(b_col).map(|(x, y)| (x * y).abs()).sum()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn dot_matches_reference_and_is_deterministic(di in 0usize..7, seed in 0u64..1 << 20) {
+        let d = dim(di);
+        let a = random_matrix(1, d, seed);
+        let b = random_matrix(1, d, seed ^ 0xABCD);
+        let got = kernels::dot(a.row(0), b.row(0));
+        let want = reference::dot(a.row(0), b.row(0));
+        let scale = product_scale(a.row(0), b.row(0).iter().copied());
+        assert_close(got, want, scale, &format!("dot d={d}"));
+        prop_assert_eq!(got.to_bits(), kernels::dot(a.row(0), b.row(0)).to_bits());
+    }
+
+    #[test]
+    fn matmul_matches_reference_bitwise(
+        mi in 0usize..7, ki in 0usize..7, ni in 0usize..7, seed in 0u64..1 << 20
+    ) {
+        // matmul tiles over *outputs*, not the reduction index, so it
+        // keeps the reference's exact ascending-k association: the match
+        // is bitwise, not just within tolerance.
+        let (m, k, n) = (dim(mi), dim(ki), dim(ni));
+        let a = random_matrix(m, k, seed);
+        let b = random_matrix(k, n, seed ^ 0xBEEF);
+        let got = kernels::matmul(&a, &b);
+        let want = reference::matmul(&a, &b);
+        prop_assert_eq!(got.as_slice(), want.as_slice());
+        prop_assert_eq!(kernels::matmul(&a, &b).as_slice(), got.as_slice());
+    }
+
+    #[test]
+    fn matmul_tn_matches_reference_bitwise(
+        ri in 0usize..7, mi in 0usize..7, ni in 0usize..7, seed in 0u64..1 << 20
+    ) {
+        let (r, m, n) = (dim(ri), dim(mi), dim(ni));
+        let a = random_matrix(r, m, seed);
+        let b = random_matrix(r, n, seed ^ 0xF00D);
+        let got = kernels::matmul_tn(&a, &b);
+        prop_assert_eq!(got.as_slice(), reference::matmul_tn(&a, &b).as_slice());
+        // Cross-kernel consistency: same association as matmul on the
+        // materialized transpose.
+        prop_assert_eq!(got.as_slice(), kernels::matmul(&a.transposed(), &b).as_slice());
+    }
+
+    #[test]
+    fn matmul_nt_matches_reference_within_tolerance(
+        mi in 0usize..7, ni in 0usize..7, ki in 0usize..7, seed in 0u64..1 << 20
+    ) {
+        // matmul_nt reduces through the lane accumulators, so it may
+        // differ from the scalar reference by reassociation only.
+        let (m, n, k) = (dim(mi), dim(ni), dim(ki));
+        let a = random_matrix(m, k, seed);
+        let b = random_matrix(n, k, seed ^ 0xCAFE);
+        let got = kernels::matmul_nt(&a, &b);
+        let want = reference::matmul_nt(&a, &b);
+        for i in 0..m {
+            for j in 0..n {
+                let scale = product_scale(a.row(i), b.row(j).iter().copied());
+                assert_close(got.get(i, j), want.get(i, j), scale, &format!("nt ({i},{j})"));
+                // Per element the tile is exactly the shared lane dot.
+                prop_assert_eq!(got.get(i, j).to_bits(), kernels::dot(a.row(i), b.row(j)).to_bits());
+            }
+        }
+        prop_assert_eq!(kernels::matmul_nt(&a, &b).as_slice(), got.as_slice());
+    }
+
+    #[test]
+    fn blend_dot_block_matches_reference_and_train_scorers(
+        items in 1usize..40,
+        di in 0usize..7,
+        si in 0usize..7,
+        social_flag in 0u32..2,
+        alpha_steps in 0u32..=10,
+        seed in 0u64..1 << 20,
+    ) {
+        let d = dim(di);
+        let sd = if social_flag == 1 { dim(si) } else { 0 };
+        let alpha = alpha_steps as f32 / 10.0;
+        let item_own = random_matrix(items, d, seed);
+        let item_social = random_matrix(items, sd, seed ^ 0x5150);
+        let own = random_matrix(1, d, seed ^ 0x1234);
+        let social = random_matrix(1, sd, seed ^ 0x4321);
+
+        let mut got = vec![0.0f32; items];
+        kernels::blend_dot_block(
+            own.row(0), &item_own, social.row(0), &item_social, alpha, 0, &mut got,
+        );
+
+        // (1) accuracy against the scalar reference;
+        let mut want = vec![0.0f32; items];
+        reference::blend_dot_block(
+            own.row(0), &item_own, social.row(0), &item_social, alpha, 0, &mut want,
+        );
+        for j in 0..items {
+            let scale = product_scale(own.row(0), item_own.row(j).iter().copied())
+                + product_scale(social.row(0), item_social.row(j).iter().copied());
+            assert_close(got[j], want[j], scale, &format!("blend item {j}"));
+        }
+
+        // (2) determinism across repeated calls;
+        let mut again = vec![0.0f32; items];
+        kernels::blend_dot_block(
+            own.row(0), &item_own, social.row(0), &item_social, alpha, 0, &mut again,
+        );
+        for j in 0..items {
+            prop_assert_eq!(got[j].to_bits(), again[j].to_bits());
+        }
+
+        // (3) bit-identity with the train-side scorer composition (the
+        // exact expression `gb-core`/`gb-models` score with offline).
+        for (j, &served) in got.iter().enumerate() {
+            let o = kernels::dot(own.row(0), item_own.row(j));
+            let s = kernels::dot(social.row(0), item_social.row(j));
+            let offline = if sd > 0 && alpha != 0.0 {
+                (1.0 - alpha) * o + alpha * s
+            } else if alpha == 0.0 {
+                o
+            } else {
+                (1.0 - alpha) * o
+            };
+            prop_assert_eq!(served.to_bits(), offline.to_bits(), "item {}", j);
+        }
+    }
+
+    #[test]
+    fn blend_dot_block_offsets_are_consistent(start in 0usize..30, seed in 0u64..1 << 20) {
+        // A mid-catalogue block must equal the same rows scored from 0 —
+        // blocking never changes per-item scores.
+        let item_own = random_matrix(64, 33, seed);
+        let empty = Matrix::zeros(64, 0);
+        let own = random_matrix(1, 33, seed ^ 0x77);
+        let len = 64 - start;
+        let mut blocked = vec![0.0f32; len];
+        kernels::blend_dot_block(own.row(0), &item_own, &[], &empty, 0.0, start, &mut blocked);
+        let mut full = vec![0.0f32; 64];
+        kernels::blend_dot_block(own.row(0), &item_own, &[], &empty, 0.0, 0, &mut full);
+        for j in 0..len {
+            prop_assert_eq!(blocked[j].to_bits(), full[start + j].to_bits());
+        }
+    }
+}

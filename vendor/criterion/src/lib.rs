@@ -5,8 +5,20 @@
 //! warmup + calibrated-batch loop reporting mean / min / max time per
 //! iteration — no statistics engine, no plots, but honest wall-clock
 //! numbers suitable for A/B comparisons within one run.
+//!
+//! Like real criterion, passing `--test` on the bench binary's command
+//! line (`cargo bench -- --test`) runs every benchmark exactly once with
+//! no timing — a smoke mode for CI, where the goal is "the bench code
+//! still compiles and runs", not numbers.
 
 use std::time::{Duration, Instant};
+
+/// Whether the binary was invoked in `--test` smoke mode (each benchmark
+/// runs one iteration, nothing is timed or reported).
+fn test_mode() -> bool {
+    static MODE: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *MODE.get_or_init(|| std::env::args().any(|a| a == "--test"))
+}
 
 /// Benchmark driver handed to every `criterion_group!` target.
 pub struct Criterion {
@@ -97,6 +109,15 @@ fn run_benchmark<F: FnMut(&mut Bencher)>(
     measurement_time: Duration,
     mut f: F,
 ) {
+    if test_mode() {
+        let mut smoke = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut smoke);
+        println!("  {name:<40} test ... ok (1 iteration, untimed)");
+        return;
+    }
     // Calibration: time one iteration, then choose a batch size so each
     // sample runs long enough to be measurable.
     let mut calib = Bencher {
