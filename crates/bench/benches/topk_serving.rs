@@ -79,6 +79,28 @@ fn bench_topk(c: &mut Criterion) {
         })
     });
 
+    // Batched multi-user path: 8 queries answered from one catalogue
+    // walk (vs 8 walks above). Answers are bit-identical per user.
+    group.bench_function("recommend_many_8_users", |b| {
+        let mut base = 0u32;
+        b.iter(|| {
+            base = (base + 8) % N_USERS as u32;
+            let users: Vec<u32> = (base..base + 8).collect();
+            black_box(engine.recommend_many(&users, K))
+        })
+    });
+
+    // The same 8 users sequentially, for the in-bench A/B.
+    group.bench_function("recommend_8_users_sequential", |b| {
+        let mut base = 0u32;
+        b.iter(|| {
+            base = (base + 8) % N_USERS as u32;
+            for u in base..base + 8 {
+                black_box(engine.recommend(u, K));
+            }
+        })
+    });
+
     // Cached responses for a small hot user set: the LRU fast path.
     group.bench_function("lru_cached_hot_users", |b| {
         let cached = QueryEngine::with_config(

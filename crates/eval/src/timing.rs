@@ -48,6 +48,29 @@ impl Stopwatch {
     pub fn total_secs(&self) -> f64 {
         self.samples.iter().map(Duration::as_secs_f64).sum()
     }
+
+    /// Nearest-rank percentile in seconds (0.0 when empty).
+    ///
+    /// `p` is in percent: `percentile_secs(50.0)` is the median,
+    /// `percentile_secs(99.0)` the p99 the serving latency tables report.
+    /// Nearest-rank (no interpolation) keeps every reported value an
+    /// actually-observed sample.
+    ///
+    /// # Panics
+    /// Panics if `p` is outside `[0, 100]`.
+    pub fn percentile_secs(&self, p: f64) -> f64 {
+        assert!(
+            (0.0..=100.0).contains(&p),
+            "percentile {p} outside [0, 100]"
+        );
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let mut sorted: Vec<f64> = self.samples.iter().map(Duration::as_secs_f64).collect();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+        let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+        sorted[rank.max(1) - 1]
+    }
 }
 
 /// Times a closure once, returning `(result, seconds)`.
@@ -77,6 +100,28 @@ mod tests {
         let v = sw.time(|| 41 + 1);
         assert_eq!(v, 42);
         assert_eq!(sw.n_samples(), 1);
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let mut sw = Stopwatch::new();
+        // Insert shuffled so the percentile path has to sort.
+        for ms in [40u64, 10, 50, 20, 30] {
+            sw.record(Duration::from_millis(ms));
+        }
+        assert!((sw.percentile_secs(50.0) - 0.030).abs() < 1e-9);
+        assert!((sw.percentile_secs(99.0) - 0.050).abs() < 1e-9);
+        assert!((sw.percentile_secs(100.0) - 0.050).abs() < 1e-9);
+        assert!((sw.percentile_secs(0.0) - 0.010).abs() < 1e-9);
+        assert!((sw.percentile_secs(20.0) - 0.010).abs() < 1e-9);
+        assert!((sw.percentile_secs(20.1) - 0.020).abs() < 1e-9);
+        assert_eq!(Stopwatch::new().percentile_secs(99.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn out_of_range_percentile_rejected() {
+        Stopwatch::new().percentile_secs(101.0);
     }
 
     #[test]

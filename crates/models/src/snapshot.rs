@@ -172,6 +172,39 @@ impl EmbeddingSnapshot {
         );
     }
 
+    /// Scores the contiguous item range `[start, start + len)` for a
+    /// *block* of users in one pass over the item tables — the batched
+    /// serving fast path. `out` holds one `len`-wide row per user,
+    /// row-major: `out[u * len + j]` is `users[u]`'s score for item
+    /// `start + j`, bit-identical to what [`EmbeddingSnapshot::score_block`]
+    /// writes for that user alone (the kernel shares loads of the item
+    /// tables across the block; it never changes any user's accumulation
+    /// order).
+    ///
+    /// # Panics
+    /// Panics if any user is out of range, the item range exceeds the
+    /// catalogue, or `out.len() != users.len() * len`.
+    pub fn score_block_multi(&self, users: &[u32], start: usize, len: usize, out: &mut [f32]) {
+        let owns: Vec<&[f32]> = users
+            .iter()
+            .map(|&u| self.user_own.row(u as usize))
+            .collect();
+        let socials: Vec<&[f32]> = users
+            .iter()
+            .map(|&u| self.user_social.row(u as usize))
+            .collect();
+        kernels::blend_dot_block_multi(
+            &owns,
+            &self.item_own,
+            &socials,
+            &self.item_social,
+            self.alpha,
+            start,
+            len,
+            out,
+        );
+    }
+
     /// Heap footprint of the four tables in bytes.
     pub fn size_bytes(&self) -> usize {
         4 * (self.user_own.len()
@@ -271,6 +304,27 @@ mod tests {
         s.score_block(2, 0, &mut block);
         for (i, &b) in block.iter().enumerate() {
             assert_eq!(b, s.score(2, i as u32));
+        }
+    }
+
+    #[test]
+    fn score_block_multi_matches_score_block_bitwise() {
+        let s = snap();
+        let users = [2u32, 0, 1, 2]; // duplicates allowed
+        for &(start, len) in &[(0usize, 5usize), (1, 3), (4, 1), (2, 0)] {
+            let mut multi = vec![0.0f32; users.len() * len];
+            s.score_block_multi(&users, start, len, &mut multi);
+            for (u, &user) in users.iter().enumerate() {
+                let mut single = vec![0.0f32; len];
+                s.score_block(user, start, &mut single);
+                for j in 0..len {
+                    assert_eq!(
+                        multi[u * len + j].to_bits(),
+                        single[j].to_bits(),
+                        "user {user} item {j} (start {start})"
+                    );
+                }
+            }
         }
     }
 

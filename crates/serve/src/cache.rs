@@ -69,6 +69,18 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
         (self.hits, self.misses)
     }
 
+    /// Drops every cached entry while keeping the hit/miss counters and
+    /// the slab allocation (the next warm-up refills the same capacity
+    /// without reallocating). Invalidation must not zero observability:
+    /// callers that flush — e.g. installing a seen-filter — still want
+    /// lifetime hit rates.
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.slab.clear();
+        self.head = NIL;
+        self.tail = NIL;
+    }
+
     /// Looks up `key`, marking it most recently used on a hit.
     pub fn get(&mut self, key: &K) -> Option<&V> {
         match self.map.get(key).copied() {
@@ -219,5 +231,26 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_capacity_rejected() {
         let _ = LruCache::<u32, ()>::new(0);
+    }
+
+    #[test]
+    fn clear_keeps_counters_and_capacity() {
+        let mut c = LruCache::new(2);
+        c.insert("a", 1);
+        c.insert("b", 2);
+        assert_eq!(c.get(&"a"), Some(&1));
+        assert_eq!(c.get(&"zzz"), None);
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.capacity(), 2);
+        assert_eq!(c.stats(), (1, 1), "clear must not reset the counters");
+        assert_eq!(c.get(&"a"), None, "entries are gone");
+        // The cache keeps working after a clear (fresh slab links).
+        c.insert("c", 3);
+        c.insert("d", 4);
+        c.insert("e", 5); // evicts c
+        assert_eq!(c.get(&"c"), None);
+        assert_eq!(c.get(&"d"), Some(&4));
+        assert_eq!(c.get(&"e"), Some(&5));
     }
 }

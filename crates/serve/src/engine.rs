@@ -41,6 +41,14 @@ pub struct EngineConfig {
     /// Response cache capacity in `(version, user, k)` entries; 0
     /// disables caching.
     pub cache_capacity: usize,
+    /// Users scored per catalogue pass on the batched path
+    /// ([`QueryEngine::recommend_many`], and the service-side query
+    /// coalescer). The catalogue pass is memory-bound on the item tables;
+    /// streaming them once per user *block* amortizes that traffic across
+    /// up to `user_block` requests. Like `block_size`, this is purely a
+    /// scheduling knob: per-user scores (and therefore rankings) are
+    /// bit-identical for every block size. Clamped to at least 1.
+    pub user_block: usize,
 }
 
 impl Default for EngineConfig {
@@ -48,6 +56,7 @@ impl Default for EngineConfig {
         Self {
             block_size: 512,
             cache_capacity: 0,
+            user_block: 8,
         }
     }
 }
@@ -62,6 +71,7 @@ pub struct QueryEngine {
     filter: Option<BitMatrix>,
     cache: Option<Mutex<ResponseCache>>,
     block_size: usize,
+    user_block: usize,
 }
 
 impl QueryEngine {
@@ -93,6 +103,7 @@ impl QueryEngine {
                 .block_size
                 .max(1)
                 .next_multiple_of(gb_tensor::kernels::DOT_LANES),
+            user_block: cfg.user_block.max(1),
         }
     }
 
@@ -118,9 +129,9 @@ impl QueryEngine {
         );
         self.filter = Some(filter);
         if let Some(cache) = &self.cache {
-            let mut cache = cache.lock().expect("cache lock");
-            let capacity = cache.capacity();
-            *cache = LruCache::new(capacity);
+            // Flush entries, keep hit/miss counters and the slab
+            // allocation — invalidation is not amnesia.
+            cache.lock().expect("cache lock").clear();
         }
         self
     }
@@ -128,6 +139,11 @@ impl QueryEngine {
     /// Whether this engine caches responses.
     pub fn has_cache(&self) -> bool {
         self.cache.is_some()
+    }
+
+    /// Users scored per catalogue pass on the batched path (≥ 1).
+    pub fn user_block(&self) -> usize {
+        self.user_block
     }
 
     /// The handle the engine reads; publish to it to hot-swap the served
@@ -189,6 +205,159 @@ impl QueryEngine {
                 .insert(key, Arc::clone(&result));
         }
         (cur.version(), result)
+    }
+
+    /// Top-`k` unseen items for each of `users`, all answered from *one*
+    /// pinned snapshot version, which is returned alongside the results.
+    ///
+    /// The batched serving path: uncached users are scored in blocks of
+    /// up to [`EngineConfig::user_block`], each block walking the
+    /// catalogue *once* (the item tables stream from memory once per
+    /// block instead of once per user). Per-user seen-filters and top-K
+    /// heaps run in parallel over the shared score block, and each
+    /// computed response fills the cache on the way out.
+    ///
+    /// Every per-user result is bit-identical to what a sequential
+    /// [`QueryEngine::recommend`] against the same snapshot version
+    /// returns — batching and block sizes are scheduling choices, never
+    /// numeric ones. Duplicate users are computed once and share one
+    /// `Arc`.
+    ///
+    /// # Panics
+    /// Panics if any user is out of range for the served snapshot.
+    pub fn recommend_many(&self, users: &[u32], k: usize) -> (u64, Vec<Arc<Vec<ScoredItem>>>) {
+        let cur = self.handle.load();
+        let snapshot = cur.snapshot();
+        let n_users = snapshot.n_users();
+        for &user in users {
+            assert!(
+                (user as usize) < n_users,
+                "user {user} out of range ({n_users} users)"
+            );
+        }
+        let version = cur.version();
+        let mut out: Vec<Option<Arc<Vec<ScoredItem>>>> = vec![None; users.len()];
+
+        // Probe the cache once per *distinct* user, exactly as a
+        // sequential caller would on its first query — duplicate slots
+        // are resolved afterwards so they count as the hits they would
+        // have been sequentially, not as extra misses.
+        let mut pending: Vec<u32> = Vec::new();
+        let mut duplicates: Vec<usize> = Vec::new();
+        let mut seen_first: Vec<u32> = Vec::new();
+        for (slot, &user) in users.iter().enumerate() {
+            if seen_first.contains(&user) {
+                duplicates.push(slot);
+                continue;
+            }
+            seen_first.push(user);
+            if let Some(cache) = &self.cache {
+                if let Some(hit) = cache.lock().expect("cache lock").get(&(version, user, k)) {
+                    out[slot] = Some(Arc::clone(hit));
+                    continue;
+                }
+            }
+            pending.push(user);
+        }
+
+        for block in pending.chunks(self.user_block) {
+            let ranked = self.rank_many(snapshot, block, k);
+            for (&user, result) in block.iter().zip(ranked) {
+                let result = Arc::new(result);
+                if let Some(cache) = &self.cache {
+                    cache
+                        .lock()
+                        .expect("cache lock")
+                        .insert((version, user, k), Arc::clone(&result));
+                }
+                for (slot, &u) in users.iter().enumerate() {
+                    if u == user && out[slot].is_none() && !duplicates.contains(&slot) {
+                        out[slot] = Some(Arc::clone(&result));
+                    }
+                }
+            }
+        }
+
+        // Duplicate slots: a sequential caller's repeat query is a cache
+        // hit, so route it through the cache (recording the hit and the
+        // LRU touch). If the entry was already evicted — tiny cache, wide
+        // batch — reuse the first occurrence's result (bit-identical by
+        // determinism; a sequential caller would recompute exactly it)
+        // and reinsert, mirroring the sequential recompute-and-insert.
+        for slot in duplicates {
+            let user = users[slot];
+            let first = users
+                .iter()
+                .position(|&u| u == user)
+                .expect("duplicate has a first occurrence");
+            let result = Arc::clone(out[first].as_ref().expect("first occurrence answered"));
+            out[slot] = Some(match &self.cache {
+                Some(cache) => {
+                    let mut cache = cache.lock().expect("cache lock");
+                    match cache.get(&(version, user, k)) {
+                        Some(hit) => Arc::clone(hit),
+                        None => {
+                            cache.insert((version, user, k), Arc::clone(&result));
+                            result
+                        }
+                    }
+                }
+                None => result,
+            });
+        }
+
+        (
+            version,
+            out.into_iter()
+                .map(|r| r.expect("every user answered"))
+                .collect(),
+        )
+    }
+
+    /// The uncached batched scoring path: one catalogue walk scores every
+    /// user in `users` (one [`EngineConfig::user_block`]-sized block),
+    /// maintaining a per-user seen-filter probe and top-K heap over the
+    /// shared score block.
+    fn rank_many(
+        &self,
+        snapshot: &EmbeddingSnapshot,
+        users: &[u32],
+        k: usize,
+    ) -> Vec<Vec<ScoredItem>> {
+        let n_items = snapshot.n_items();
+        let mut topks: Vec<TopK> = users.iter().map(|_| TopK::new(k)).collect();
+        let seens: Vec<Option<&[u64]>> = users
+            .iter()
+            .map(|&u| self.filter.as_ref().map(|f| f.row_words(u as usize)))
+            .collect();
+        let len_cap = self.block_size.min(n_items.max(1));
+        let mut block = vec![0.0f32; users.len() * len_cap];
+        let mut start = 0usize;
+        while start < n_items {
+            let len = self.block_size.min(n_items - start);
+            let out = &mut block[..users.len() * len];
+            snapshot.score_block_multi(users, start, len, out);
+            for (u, topk) in topks.iter_mut().enumerate() {
+                let scores = &out[u * len..(u + 1) * len];
+                match seens[u] {
+                    Some(words) => {
+                        for (j, &score) in scores.iter().enumerate() {
+                            let item = start + j;
+                            if words[item / 64] >> (item % 64) & 1 == 0 {
+                                topk.push(item as u32, score);
+                            }
+                        }
+                    }
+                    None => {
+                        for (j, &score) in scores.iter().enumerate() {
+                            topk.push((start + j) as u32, score);
+                        }
+                    }
+                }
+            }
+            start += len;
+        }
+        topks.into_iter().map(TopK::into_sorted).collect()
     }
 
     /// The uncached scoring path over one pinned snapshot.
@@ -436,5 +605,115 @@ mod tests {
     fn out_of_range_user_panics() {
         let engine = QueryEngine::new(snapshot(2, 10, 4));
         engine.recommend(2, 1);
+    }
+
+    #[test]
+    fn recommend_many_matches_sequential_bitwise() {
+        let snap = snapshot(7, 333, 8);
+        for user_block in [1usize, 2, 3, 8] {
+            let engine = QueryEngine::with_config(
+                snap.clone(),
+                EngineConfig {
+                    block_size: 64, // non-dividing: covers the tail block
+                    user_block,
+                    ..Default::default()
+                },
+            );
+            let users: Vec<u32> = vec![3, 0, 6, 1, 3, 5, 2, 4, 0]; // dups included
+            let (version, many) = engine.recommend_many(&users, 10);
+            assert_eq!(version, 1);
+            assert_eq!(many.len(), users.len());
+            for (slot, &user) in users.iter().enumerate() {
+                let solo = engine.recommend(user, 10);
+                assert_eq!(solo.len(), many[slot].len());
+                for (a, b) in many[slot].iter().zip(solo.iter()) {
+                    assert_eq!(a.item, b.item, "user_block {user_block} user {user}");
+                    assert_eq!(
+                        a.score.to_bits(),
+                        b.score.to_bits(),
+                        "user_block {user_block} user {user}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn recommend_many_respects_filter_and_fills_cache() {
+        let snap = snapshot(4, 200, 8);
+        let mut seen = gb_graph::BitMatrix::zeros(4, 200);
+        for item in (0..200).step_by(3) {
+            seen.set(1, item);
+        }
+        let engine = QueryEngine::with_config(
+            snap,
+            EngineConfig {
+                cache_capacity: 16,
+                user_block: 4,
+                ..Default::default()
+            },
+        )
+        .with_seen_filter(seen);
+        let (_, many) = engine.recommend_many(&[0, 1, 2], 200);
+        assert_eq!(
+            many[1].len(),
+            200 - 67,
+            "user 1 sees the filtered catalogue"
+        );
+        assert!(many[1].iter().all(|e| e.item % 3 != 0));
+        assert_eq!(many[0].len(), 200);
+        // The batch filled the cache: sequential queries are pointer hits.
+        for (slot, &user) in [0u32, 1, 2].iter().enumerate() {
+            let again = engine.recommend(user, 200);
+            assert!(
+                Arc::ptr_eq(&again, &many[slot]),
+                "user {user} should hit the batch-filled cache"
+            );
+        }
+    }
+
+    #[test]
+    fn recommend_many_cache_stats_match_sequential_semantics() {
+        // [5, 5, 2] on an empty cache must count like the sequential
+        // stream recommend(5), recommend(5), recommend(2): two misses
+        // (first touches) and one hit (the duplicate), not three misses.
+        let snap = snapshot(6, 60, 4);
+        let engine = QueryEngine::with_config(
+            snap,
+            EngineConfig {
+                cache_capacity: 8,
+                ..Default::default()
+            },
+        );
+        let (_, many) = engine.recommend_many(&[5, 5, 2], 7);
+        assert_eq!(engine.cache_stats(), (1, 2));
+        assert!(Arc::ptr_eq(&many[0], &many[1]));
+        // And the entries really are cached: re-querying is all hits.
+        engine.recommend(5, 7);
+        engine.recommend(2, 7);
+        assert_eq!(engine.cache_stats(), (3, 2));
+    }
+
+    #[test]
+    fn recommend_many_shares_one_arc_across_duplicates() {
+        let engine = QueryEngine::new(snapshot(3, 50, 4));
+        let (_, many) = engine.recommend_many(&[2, 2, 2], 5);
+        assert!(Arc::ptr_eq(&many[0], &many[1]));
+        assert!(Arc::ptr_eq(&many[1], &many[2]));
+    }
+
+    #[test]
+    fn recommend_many_empty_users_is_a_noop() {
+        let engine = QueryEngine::new(snapshot(2, 10, 4));
+        let (version, many) = engine.recommend_many(&[], 5);
+        assert_eq!(version, 1);
+        assert!(many.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn recommend_many_rejects_out_of_range_users() {
+        let engine = QueryEngine::new(snapshot(2, 10, 4));
+        engine.recommend_many(&[0, 2], 1);
     }
 }

@@ -19,14 +19,16 @@
 //!       └──────publish every N epochs──▶ SnapshotHandle  (versioned
 //!                                            │            hot swap)
 //!                                            ▼ load() per query
-//!                        QueryEngine  (blocked scoring kernel
-//!                          │           + seen-item BitMatrix filter
-//!                          │           + LRU cache keyed by
+//!                        QueryEngine  (blocked scoring kernel,
+//!                          │           batched multi-user catalogue
+//!                          │           passes, seen-item BitMatrix
+//!                          │           filter, LRU cache keyed by
 //!                          │             (version, user, k))
 //!                          ▼
 //!                   RecommendService  (bounded queue, N std-thread
-//!                          │           workers, per-request latency
-//!                          ▼           into gb_eval::timing)
+//!                          │           workers, multi-user query
+//!                          │           coalescing, enqueue→reply
+//!                          ▼           latency into gb_eval::timing)
 //!        recommend / recommend_versioned / recommend_batch / warm
 //! ```
 //!
@@ -43,16 +45,28 @@
 //!   through `gb_tensor::kernels::blend_dot_block`, filters seen items
 //!   with one bit-probe each ([`gb_graph::BitMatrix`]), and optionally
 //!   caches `(user, k)` responses in an LRU ([`cache::LruCache`]).
+//!   `recommend_many` scores up to `EngineConfig::user_block` users per
+//!   catalogue pass (`blend_dot_block_multi` streams the item tables
+//!   once per block), with per-user results bit-identical to sequential
+//!   `recommend`.
 //! * [`service::RecommendService`] — a std-thread worker pool consuming
-//!   a bounded request queue; per-request latency feeds
-//!   [`gb_eval::timing::Stopwatch`].
+//!   a bounded request queue; workers coalesce queued same-`k` queries
+//!   into shared catalogue passes. Per-request *enqueue→reply* latency
+//!   (queue wait included) feeds [`gb_eval::timing::Stopwatch`];
+//!   non-finite scores are dropped by [`topk::TopK::push`] so a diverged
+//!   snapshot can never serve a NaN ranking.
 //!
 //! Served rankings are *provably consistent* with offline evaluation:
 //! the blocked kernel accumulates in the same order as the
 //! `gb_eval::Scorer` implementations, and both sides share the
 //! tie-break of [`gb_eval::topk::ranks_before`], so a served top-K
 //! equals [`gb_eval::topk::reference_topk`] element-for-element (the
-//! integration tests assert exactly that).
+//! integration tests assert exactly that). One deliberate exception:
+//! the serving heap drops non-finite scores ([`topk::TopK::push`]),
+//! while `reference_topk` ranks them wherever `total_cmp` puts them —
+//! for any snapshot [`EmbeddingSnapshot::new`] accepts (finite tables;
+//! a score can still overflow to `±∞` in the dot product) serving
+//! prefers omitting an item to ranking an incomparable score.
 
 pub mod cache;
 pub mod engine;

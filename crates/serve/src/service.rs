@@ -5,14 +5,34 @@
 //! and cache are all shared, read-mostly state) and `n` worker threads
 //! draining a bounded channel. Callers block on a per-request reply
 //! channel — classic request/response over `std::sync::mpsc`, no async
-//! runtime required. Every request's wall-clock latency is recorded and
-//! can be drained into a [`gb_eval::timing::Stopwatch`] for the
-//! efficiency tables.
+//! runtime required.
+//!
+//! ## Query coalescing
+//!
+//! The catalogue pass is memory-bound on the item tables, so a worker
+//! that pops a query also drains up to `user_block - 1` more *compatible*
+//! queued queries (same `k`; one engine call pins one snapshot version
+//! for all of them) and answers the whole group through
+//! [`QueryEngine::recommend_many`] — one catalogue pass per group instead
+//! of one per request. Coalescing never changes any response: per-user
+//! results are bit-identical to sequential serving, only the latency
+//! distribution moves.
+//!
+//! ## Latency semantics
+//!
+//! Every request is stamped when it is *enqueued*, and its recorded
+//! latency is enqueue→reply — queue wait included. (Stamping at dequeue,
+//! as this service once did, silently under-reports tail latency exactly
+//! when it matters: under backlog.) Samples drain into a
+//! [`gb_eval::timing::Stopwatch`] for the efficiency tables;
+//! [`RecommendService::requests_served`] is a separate monotone counter
+//! that draining does not reset.
 
 use crate::engine::QueryEngine;
 use crate::topk::ScoredItem;
 use gb_eval::timing::Stopwatch;
-use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TryRecvError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -41,15 +61,24 @@ impl Default for ServiceConfig {
 /// One reply: `(request tag, snapshot version, ranked items)`.
 type Reply = (usize, u64, Arc<Vec<ScoredItem>>);
 
+/// A queued query, stamped at enqueue time so the recorded latency is
+/// enqueue→reply (queue wait included), not dequeue→reply.
+struct QueryJob {
+    user: u32,
+    k: usize,
+    reply: SyncSender<Reply>,
+    tag: usize,
+    enqueued: Instant,
+}
+
 enum Job {
-    Query {
+    Query(QueryJob),
+    /// Fire-and-forget cache warm-up.
+    Warm {
         user: u32,
         k: usize,
-        reply: SyncSender<Reply>,
-        tag: usize,
+        enqueued: Instant,
     },
-    /// Fire-and-forget cache warm-up.
-    Warm { user: u32, k: usize },
 }
 
 /// A running recommendation service.
@@ -60,6 +89,9 @@ pub struct RecommendService {
     queue: Option<SyncSender<Job>>,
     workers: Vec<JoinHandle<()>>,
     latencies: Arc<Mutex<Vec<Duration>>>,
+    /// Monotone count of jobs completed — deliberately separate from
+    /// `latencies`, which [`RecommendService::latency_stopwatch`] drains.
+    served: Arc<AtomicU64>,
     warm_k: usize,
 }
 
@@ -77,6 +109,7 @@ impl RecommendService {
         assert!(cfg.workers > 0, "need at least one worker");
         let engine = Arc::new(engine);
         let latencies = Arc::new(Mutex::new(Vec::new()));
+        let served = Arc::new(AtomicU64::new(0));
         let (tx, rx) = sync_channel::<Job>(cfg.queue_depth.max(1));
         let shared_rx = Arc::new(Mutex::new(rx));
         let workers = (0..cfg.workers)
@@ -84,9 +117,10 @@ impl RecommendService {
                 let engine = Arc::clone(&engine);
                 let rx = Arc::clone(&shared_rx);
                 let latencies = Arc::clone(&latencies);
+                let served = Arc::clone(&served);
                 std::thread::Builder::new()
                     .name(format!("gb-serve-{i}"))
-                    .spawn(move || worker_loop(&engine, &rx, &latencies))
+                    .spawn(move || worker_loop(&engine, &rx, &latencies, &served))
                     .expect("spawn worker thread")
             })
             .collect();
@@ -95,6 +129,7 @@ impl RecommendService {
             queue: Some(tx),
             workers,
             latencies,
+            served,
             warm_k: cfg.warm_k.max(1),
         }
     }
@@ -122,21 +157,23 @@ impl RecommendService {
     pub fn recommend_versioned(&self, user: u32, k: usize) -> (u64, Arc<Vec<ScoredItem>>) {
         self.check_user(user);
         let (reply_tx, reply_rx) = sync_channel(1);
-        self.send(Job::Query {
+        self.send(Job::Query(QueryJob {
             user,
             k,
             reply: reply_tx,
             tag: 0,
-        });
+            enqueued: Instant::now(),
+        }));
         let (_, version, result) = reply_rx.recv().expect("worker dropped reply channel");
         (version, result)
     }
 
     /// Top-`k` items for a batch of users.
     ///
-    /// Requests fan out across the worker pool and results return in
-    /// input order; answers are identical to issuing [`Self::recommend`]
-    /// per user sequentially.
+    /// Requests fan out across the worker pool (where adjacent queued
+    /// requests with the same `k` coalesce into shared catalogue passes)
+    /// and results return in input order; answers are bit-identical to
+    /// issuing [`Self::recommend`] per user sequentially.
     ///
     /// # Panics
     /// Panics if any user is out of range for the served snapshot.
@@ -145,12 +182,13 @@ impl RecommendService {
         let (reply_tx, reply_rx): (SyncSender<Reply>, Receiver<Reply>) =
             sync_channel(users.len().max(1));
         for (tag, &user) in users.iter().enumerate() {
-            self.send(Job::Query {
+            self.send(Job::Query(QueryJob {
                 user,
                 k,
                 reply: reply_tx.clone(),
                 tag,
-            });
+                enqueued: Instant::now(),
+            }));
         }
         drop(reply_tx);
         let mut out: Vec<Option<Arc<Vec<ScoredItem>>>> = vec![None; users.len()];
@@ -179,6 +217,7 @@ impl RecommendService {
             self.send(Job::Warm {
                 user,
                 k: self.warm_k,
+                enqueued: Instant::now(),
             });
         }
     }
@@ -193,7 +232,9 @@ impl RecommendService {
         );
     }
 
-    /// Drains all recorded per-request latencies into a [`Stopwatch`].
+    /// Drains all recorded enqueue→reply latencies into a [`Stopwatch`].
+    ///
+    /// Draining does not affect [`RecommendService::requests_served`].
     pub fn latency_stopwatch(&self) -> Stopwatch {
         let mut sw = Stopwatch::new();
         let mut samples = self.latencies.lock().expect("latency lock");
@@ -203,9 +244,10 @@ impl RecommendService {
         sw
     }
 
-    /// Number of requests served so far (including warm-ups).
+    /// Number of requests served so far (including warm-ups) — a monotone
+    /// counter, unaffected by draining the latency samples.
     pub fn requests_served(&self) -> usize {
-        self.latencies.lock().expect("latency lock").len()
+        self.served.load(Ordering::Relaxed) as usize
     }
 
     fn send(&self, job: Job) {
@@ -227,35 +269,72 @@ impl Drop for RecommendService {
     }
 }
 
-fn worker_loop(engine: &QueryEngine, rx: &Mutex<Receiver<Job>>, latencies: &Mutex<Vec<Duration>>) {
+fn worker_loop(
+    engine: &QueryEngine,
+    rx: &Mutex<Receiver<Job>>,
+    latencies: &Mutex<Vec<Duration>>,
+    served: &AtomicU64,
+) {
+    // A job popped while coalescing that could not join the group; it is
+    // processed first on the next iteration, never dropped.
+    let mut carry: Option<Job> = None;
     loop {
-        // Hold the queue lock only while popping, never while scoring.
-        let job = match rx.lock().expect("queue lock").recv() {
-            Ok(job) => job,
-            Err(_) => return, // queue closed
+        let job = match carry.take() {
+            Some(job) => job,
+            // Hold the queue lock only while popping, never while scoring.
+            None => match rx.lock().expect("queue lock").recv() {
+                Ok(job) => job,
+                Err(_) => return, // queue closed
+            },
         };
-        let start = Instant::now();
         match job {
-            Job::Query {
-                user,
-                k,
-                reply,
-                tag,
-            } => {
-                let (version, result) = engine.recommend_versioned(user, k);
-                latencies
-                    .lock()
-                    .expect("latency lock")
-                    .push(start.elapsed());
-                // The caller may have given up (e.g. panicked); ignore.
-                let _ = reply.send((tag, version, result));
+            Job::Query(first) => {
+                // Coalesce: opportunistically drain queued queries with the
+                // same `k` (all are answered from the one snapshot version
+                // recommend_many pins) into one shared catalogue pass.
+                // `try_lock`, not `lock`: an idle peer worker parks *inside*
+                // `recv()` while holding the queue mutex, so blocking here
+                // would deadlock against a caller that waits for this very
+                // reply before enqueueing anything else. A contended lock
+                // just means someone else is watching the queue — serve the
+                // group we already have.
+                let mut group = vec![first];
+                let user_block = engine.user_block();
+                if user_block > 1 {
+                    if let Ok(queue) = rx.try_lock() {
+                        while group.len() < user_block {
+                            match queue.try_recv() {
+                                Ok(Job::Query(job)) if job.k == group[0].k => group.push(job),
+                                Ok(other) => {
+                                    carry = Some(other);
+                                    break;
+                                }
+                                Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => break,
+                            }
+                        }
+                    }
+                }
+                let users: Vec<u32> = group.iter().map(|j| j.user).collect();
+                let (version, results) = engine.recommend_many(&users, group[0].k);
+                for (job, result) in group.into_iter().zip(results) {
+                    // Record before replying: once the caller has the
+                    // answer, the request is visible in the counters.
+                    latencies
+                        .lock()
+                        .expect("latency lock")
+                        .push(job.enqueued.elapsed());
+                    served.fetch_add(1, Ordering::Relaxed);
+                    // The caller may have given up (e.g. panicked); ignore.
+                    let _ = job.reply.send((job.tag, version, result));
+                }
             }
-            Job::Warm { user, k } => {
+            Job::Warm { user, k, enqueued } => {
                 let _ = engine.recommend(user, k);
                 latencies
                     .lock()
                     .expect("latency lock")
-                    .push(start.elapsed());
+                    .push(enqueued.elapsed());
+                served.fetch_add(1, Ordering::Relaxed);
             }
         }
     }

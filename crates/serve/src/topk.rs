@@ -57,9 +57,14 @@ impl TopK {
     }
 
     /// Offers one candidate; keeps it iff it ranks among the best `k`.
+    ///
+    /// Non-finite scores are rejected outright: `total_cmp` ranks a
+    /// positive NaN above `+∞`, so without this guard a diverged snapshot
+    /// would serve NaN-scored items at rank 1. Serving never ranks what it
+    /// cannot compare meaningfully.
     #[inline]
     pub fn push(&mut self, item: u32, score: f32) {
-        if self.k == 0 {
+        if self.k == 0 || !score.is_finite() {
             return;
         }
         let entry = (item, score);
@@ -182,6 +187,26 @@ mod tests {
         assert_eq!(t.threshold(), Some((1, 5.0)));
         t.push(3, 6.0);
         assert_eq!(t.threshold(), Some((3, 6.0)));
+    }
+
+    #[test]
+    fn non_finite_scores_never_ranked() {
+        // A NaN would beat +inf under total_cmp; the heap must drop it at
+        // the door, along with both infinities.
+        let got = collect(
+            &[
+                (0, f32::NAN),
+                (1, 2.0),
+                (2, f32::INFINITY),
+                (3, 1.0),
+                (4, f32::NEG_INFINITY),
+                (5, -f32::NAN),
+            ],
+            3,
+        );
+        assert_eq!(got, vec![(1, 2.0), (3, 1.0)]);
+        // All-NaN input yields an empty ranking, not a NaN at rank 1.
+        assert!(collect(&[(7, f32::NAN), (8, f32::NAN)], 2).is_empty());
     }
 
     #[test]

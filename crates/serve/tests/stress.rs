@@ -130,3 +130,96 @@ fn swapping_under_reader_fire_never_tears_or_staleness() {
         "every query went through the cache path"
     );
 }
+
+/// The batched path under fire: reader threads issue *bursts* of queries
+/// (saturating the queue so workers coalesce multi-user groups) while the
+/// writer hot-swaps snapshots back to back. Every reply in every burst
+/// must satisfy the stamp equation for its reported version — a coalesced
+/// group that mixed versions, tore a read, or cross-wired replies between
+/// queued requests shows up immediately.
+#[test]
+#[ignore = "soak test; CI runs it explicitly with a timeout"]
+fn coalesced_batches_under_publish_fire_stay_version_coherent() {
+    const BURSTS_PER_READER: usize = 150;
+    const BURST: usize = 24; // 3 user-blocks of coalescing per burst
+    let handle = SnapshotHandle::new(stamped(1));
+    let service = RecommendService::with_config(
+        QueryEngine::with_handle(
+            handle.clone(),
+            EngineConfig {
+                cache_capacity: 128,
+                user_block: 8,
+                ..Default::default()
+            },
+        ),
+        ServiceConfig {
+            workers: 4,
+            queue_depth: 64,
+            warm_k: 10,
+        },
+    );
+
+    std::thread::scope(|scope| {
+        let service = &service;
+        let handle = &handle;
+
+        scope.spawn(move || {
+            for v in 2..=N_PUBLISHES {
+                assert_eq!(handle.publish(stamped(v)), v);
+                std::thread::yield_now();
+            }
+        });
+
+        for reader in 0..N_READERS {
+            scope.spawn(move || {
+                let mut x = 0xDEAD_BEEFu64.wrapping_mul(reader as u64 + 1);
+                for burst in 0..BURSTS_PER_READER {
+                    let users: Vec<u32> = (0..BURST)
+                        .map(|_| {
+                            x = x
+                                .wrapping_mul(6364136223846793005)
+                                .wrapping_add(1442695040888963407);
+                            (x >> 33) as u32 % N_USERS as u32
+                        })
+                        .collect();
+                    let k = 1 + (x >> 17) as usize % 20;
+                    let answers = service.recommend_batch(&users, k);
+                    assert_eq!(answers.len(), users.len());
+                    for (slot, items) in answers.iter().enumerate() {
+                        assert_eq!(items.len(), k.min(N_ITEMS));
+                        // Recover the version from the top item's stamp;
+                        // every other entry must agree with it exactly.
+                        let top = &items[0];
+                        let version = (top.score / (1.0 + top.item as f32)) as u64;
+                        assert!(
+                            (1..=N_PUBLISHES).contains(&version),
+                            "reader {reader} burst {burst} slot {slot}: \
+                             implausible version {version}"
+                        );
+                        for e in items.iter() {
+                            let expect = version as f32 * (1.0 + e.item as f32);
+                            assert_eq!(
+                                e.score.to_bits(),
+                                expect.to_bits(),
+                                "reader {reader} burst {burst} slot {slot}: item {} \
+                                 scored {} — coalesced response tore across versions",
+                                e.item,
+                                e.score
+                            );
+                        }
+                        for w in items.windows(2) {
+                            assert!(w[0].item > w[1].item, "stamp ranking broken");
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    assert_eq!(handle.version(), N_PUBLISHES);
+    assert_eq!(
+        service.requests_served(),
+        N_READERS * BURSTS_PER_READER * BURST,
+        "monotone served counter covers every coalesced request"
+    );
+}

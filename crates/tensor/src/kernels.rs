@@ -619,6 +619,127 @@ pub fn blend_dot_block(
     }
 }
 
+/// Multi-user variant of [`blend_dot_block`]: scores the same contiguous
+/// item range `[start, start + len)` for a *block* of users in one
+/// catalogue pass. `out` holds one `len`-wide row per user, row-major:
+/// `out[u * len + j]` is user `u`'s score for item `start + j`.
+///
+/// The item tiles are the outer loop and the users the inner one, so each
+/// `ROW_TILE`-row segment of the item tables is loaded from memory once
+/// per user block instead of once per user — the serving catalogue pass is
+/// memory-bound on the item tables, and this is the classic multi-query
+/// amortization. Per user, every product is the *same* [`dot_tile`] call
+/// sequence as [`blend_dot_block`] issues, in the same order, so each
+/// user's row is bit-identical to a single-user call: batching is a
+/// scheduling choice, never a numeric one.
+///
+/// `item_social` may have zero columns (models without a social term).
+/// Zero users is a no-op.
+///
+/// # Panics
+/// Panics if `owns` and `socials` disagree in length, `out` is not
+/// exactly `owns.len() * len`, the range exceeds either item table, or a
+/// non-empty table's width disagrees with any user vector.
+#[allow(clippy::too_many_arguments)]
+pub fn blend_dot_block_multi(
+    owns: &[&[f32]],
+    item_own: &Matrix,
+    socials: &[&[f32]],
+    item_social: &Matrix,
+    alpha: f32,
+    start: usize,
+    len: usize,
+    out: &mut [f32],
+) {
+    assert_eq!(
+        owns.len(),
+        socials.len(),
+        "blend_dot_block_multi: user vector count mismatch"
+    );
+    assert_eq!(
+        out.len(),
+        owns.len() * len,
+        "blend_dot_block_multi: output size mismatch"
+    );
+    assert!(
+        start + len <= item_own.rows(),
+        "blend_dot_block_multi: own range out of bounds"
+    );
+    let has_social = item_social.cols() > 0 && alpha != 0.0;
+    if has_social {
+        assert!(
+            start + len <= item_social.rows(),
+            "blend_dot_block_multi: social range out of bounds"
+        );
+    }
+    for (u, own) in owns.iter().enumerate() {
+        assert_eq!(
+            item_own.cols(),
+            own.len(),
+            "blend_dot_block_multi: own width mismatch (user slot {u})"
+        );
+        if has_social {
+            assert_eq!(
+                item_social.cols(),
+                socials[u].len(),
+                "blend_dot_block_multi: social width mismatch (user slot {u})"
+            );
+        }
+    }
+    let blend = |o: f32, s: f32| {
+        if has_social {
+            (1.0 - alpha) * o + alpha * s
+        } else if alpha == 0.0 {
+            o
+        } else {
+            (1.0 - alpha) * o
+        }
+    };
+    let mut j0 = 0;
+    while j0 + ROW_TILE <= len {
+        let i0 = start + j0;
+        let own_rows = [
+            item_own.row(i0),
+            item_own.row(i0 + 1),
+            item_own.row(i0 + 2),
+            item_own.row(i0 + 3),
+        ];
+        let social_rows = if has_social {
+            Some([
+                item_social.row(i0),
+                item_social.row(i0 + 1),
+                item_social.row(i0 + 2),
+                item_social.row(i0 + 3),
+            ])
+        } else {
+            None
+        };
+        for (u, own) in owns.iter().enumerate() {
+            let o = dot_tile::<ROW_TILE>(own, own_rows);
+            let s = match &social_rows {
+                Some(rows) => dot_tile::<ROW_TILE>(socials[u], *rows),
+                None => [0.0; ROW_TILE],
+            };
+            let orow = &mut out[u * len + j0..u * len + j0 + ROW_TILE];
+            for t in 0..ROW_TILE {
+                orow[t] = blend(o[t], s[t]);
+            }
+        }
+        j0 += ROW_TILE;
+    }
+    for j in j0..len {
+        for (u, own) in owns.iter().enumerate() {
+            let o = dot_tile::<1>(own, [item_own.row(start + j)])[0];
+            let s = if has_social {
+                dot_tile::<1>(socials[u], [item_social.row(start + j)])[0]
+            } else {
+                0.0
+            };
+            out[u * len + j] = blend(o, s);
+        }
+    }
+}
+
 /// Cosine similarity between two equal-length vectors; 0.0 if either is a
 /// zero vector.
 pub fn cosine_similarity(a: &[f32], b: &[f32]) -> f32 {
@@ -952,6 +1073,103 @@ mod tests {
         let item_social = Matrix::zeros(3, 0);
         let mut out = vec![0.0f32; 2];
         blend_dot_block(&[0.0, 0.0], &item_own, &[], &item_social, 0.0, 2, &mut out);
+    }
+
+    #[test]
+    fn blend_dot_block_multi_matches_single_user_bitwise() {
+        // Awkward dims on purpose: non-multiple-of-8 widths and a
+        // non-multiple-of-4 item count exercise both tails.
+        let item_own = Matrix::from_fn(11, 13, |r, c| (r as f32 * 0.31 - c as f32 * 0.17).sin());
+        let item_social = Matrix::from_fn(11, 5, |r, c| (r as f32 * 0.23 + c as f32 * 0.41).cos());
+        let owns_data: Vec<Vec<f32>> = (0..3)
+            .map(|u| {
+                (0..13)
+                    .map(|i| ((u * 17 + i) as f32 * 0.19).sin())
+                    .collect()
+            })
+            .collect();
+        let socials_data: Vec<Vec<f32>> = (0..3)
+            .map(|u| (0..5).map(|i| ((u * 7 + i) as f32 * 0.29).cos()).collect())
+            .collect();
+        let owns: Vec<&[f32]> = owns_data.iter().map(Vec::as_slice).collect();
+        let socials: Vec<&[f32]> = socials_data.iter().map(Vec::as_slice).collect();
+        for &(start, len) in &[(0usize, 11usize), (2, 7), (3, 1), (0, 0)] {
+            let mut multi = vec![0.0f32; owns.len() * len];
+            blend_dot_block_multi(
+                &owns,
+                &item_own,
+                &socials,
+                &item_social,
+                0.35,
+                start,
+                len,
+                &mut multi,
+            );
+            for u in 0..owns.len() {
+                let mut single = vec![0.0f32; len];
+                blend_dot_block(
+                    owns[u],
+                    &item_own,
+                    socials[u],
+                    &item_social,
+                    0.35,
+                    start,
+                    &mut single,
+                );
+                for j in 0..len {
+                    assert_eq!(
+                        multi[u * len + j].to_bits(),
+                        single[j].to_bits(),
+                        "user {u} item {j} (start {start}, len {len})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn blend_dot_block_multi_no_social_matches_single() {
+        let item_own = Matrix::from_fn(9, 4, |r, c| (r * 4 + c) as f32 * 0.1);
+        let empty_social = Matrix::zeros(9, 0);
+        let owns_data: Vec<Vec<f32>> = (0..2)
+            .map(|u| (0..4).map(|i| (u + i) as f32).collect())
+            .collect();
+        let owns: Vec<&[f32]> = owns_data.iter().map(Vec::as_slice).collect();
+        let socials: Vec<&[f32]> = vec![&[], &[]];
+        let mut multi = vec![0.0f32; 2 * 9];
+        blend_dot_block_multi(
+            &owns,
+            &item_own,
+            &socials,
+            &empty_social,
+            0.0,
+            0,
+            9,
+            &mut multi,
+        );
+        for u in 0..2 {
+            let mut single = vec![0.0f32; 9];
+            blend_dot_block(owns[u], &item_own, &[], &empty_social, 0.0, 0, &mut single);
+            assert_eq!(&multi[u * 9..(u + 1) * 9], single.as_slice(), "user {u}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "output size mismatch")]
+    fn blend_dot_block_multi_checks_output_size() {
+        let item_own = Matrix::zeros(4, 2);
+        let item_social = Matrix::zeros(4, 0);
+        let mut out = vec![0.0f32; 3];
+        blend_dot_block_multi(
+            &[&[0.0, 0.0], &[0.0, 0.0]],
+            &item_own,
+            &[&[], &[]],
+            &item_social,
+            0.0,
+            0,
+            2,
+            &mut out,
+        );
     }
 
     #[test]

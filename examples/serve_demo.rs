@@ -55,6 +55,7 @@ fn main() {
         EngineConfig {
             block_size: 512,
             cache_capacity: 128,
+            ..Default::default()
         },
     )
     .with_seen_filter(gbgcn_repro::serve::seen_filter(&data.build_hetero()));
@@ -97,8 +98,11 @@ fn main() {
     let (hits, misses) = service.engine().cache_stats();
     println!("\nserved {served} requests");
     println!(
-        "mean latency {:.1} us, total scoring time {:.1} ms",
+        "enqueue→reply latency: mean {:.1} us, p50 {:.1} us, p99 {:.1} us \
+         (total {:.1} ms)",
         sw.mean_secs() * 1e6,
+        sw.percentile_secs(50.0) * 1e6,
+        sw.percentile_secs(99.0) * 1e6,
         sw.total_secs() * 1e3
     );
     println!(
