@@ -1,5 +1,5 @@
 //! Machine-readable perf trajectory: measures the serving/training hot
-//! paths before/after and writes `BENCH_PR4.json` (pass a path as argv[1]
+//! paths before/after and writes `BENCH_PR5.json` (pass a path as argv[1]
 //! to write elsewhere).
 //!
 //! Every row is an honest in-process A/B — both sides run in this binary,
@@ -22,6 +22,11 @@
 //! * `epoch_time`   — one MF training epoch, 4 shards on 2 threads, small
 //!   batches: per-batch `std::thread::scope` spawning vs the persistent
 //!   worker pool. Both sides produce bit-identical embeddings.
+//! * `ivf_vs_exact_latency` — the scaled-catalogue workload (80k items,
+//!   clustered like a real catalogue): a top-10 query through the
+//!   exhaustive blocked walk vs IVF retrieval probing 16 of 256 cells.
+//!   The companion `ivf_recall_at_10` row reports the measured recall of
+//!   the approximate ranking against exact serving on the same workload.
 //!
 //! Plus the enqueue→reply latency distribution (the corrected clock —
 //! queue wait included) of the full `RecommendService` under bursts of
@@ -37,10 +42,11 @@
 use gb_autograd::ShardExecutor;
 use gb_data::convert::InteractionKind;
 use gb_data::synth::{generate, SynthConfig};
+use gb_eval::metrics::recall_vs_exact;
 use gb_eval::topk::reference_topk;
 use gb_eval::Scorer;
 use gb_models::{EmbeddingSnapshot, Mf, TrainConfig};
-use gb_serve::{EngineConfig, QueryEngine, RecommendService, ServiceConfig};
+use gb_serve::{EngineConfig, QueryEngine, RecommendService, Retrieval, ServiceConfig};
 use gb_tensor::kernels::{self, reference};
 use gb_tensor::{init, Matrix};
 use rand::rngs::StdRng;
@@ -57,6 +63,24 @@ const USER_BLOCK: usize = 8;
 /// User universe of the latency workload: `SynthConfig::beibei_large`
 /// scale (8000 users), over the same 20k-item catalogue.
 const N_USERS_LARGE: usize = 8_000;
+
+/// The scaled-catalogue workload (the ROADMAP's deferred item): 4× the
+/// 20k catalogue, past where exhaustive per-query scans belong.
+const N_ITEMS_SCALED: usize = 80_000;
+/// Own/social embedding width of the scaled workload (64-wide
+/// concatenated item vectors).
+const DIM_SCALED: usize = 32;
+/// Latent categories of the scaled catalogue. Real catalogues are
+/// clustered (items belong to categories); the IVF cells recover that
+/// structure, which is exactly the regime approximate retrieval targets.
+const N_CATS_SCALED: usize = 256;
+const N_USERS_SCALED: usize = 2_000;
+/// IVF configuration measured: probe 16 of 256 cells (1/16 of the
+/// catalogue plus 256 routing dots per query).
+const IVF_CLUSTERS: usize = 256;
+const IVF_PROBES: usize = 16;
+/// Users averaged for the recall@10 measurement.
+const RECALL_USERS: usize = 128;
 
 /// Median wall-clock seconds of `f` over [`REPS`] runs (after one warmup).
 fn median_secs<F: FnMut()>(mut f: F) -> f64 {
@@ -430,6 +454,82 @@ fn serving_latency_row(snap: &EmbeddingSnapshot) -> LatencyRow {
     }
 }
 
+/// The scaled 80k-item catalogue: items drawn around `N_CATS_SCALED`
+/// category centers (center + 8% noise), users unclustered. Everything
+/// is seeded, so the workload — and the measured recall — is exactly
+/// reproducible.
+fn scaled_clustered_snapshot() -> EmbeddingSnapshot {
+    let mut rng = StdRng::seed_from_u64(777);
+    let centers_own = init::xavier_uniform(N_CATS_SCALED, DIM_SCALED, &mut rng);
+    let centers_social = init::xavier_uniform(N_CATS_SCALED, DIM_SCALED, &mut rng);
+    let noise_own = init::xavier_uniform(N_ITEMS_SCALED, DIM_SCALED, &mut rng);
+    let noise_social = init::xavier_uniform(N_ITEMS_SCALED, DIM_SCALED, &mut rng);
+    let item = |centers: &Matrix, noise: &Matrix| {
+        Matrix::from_fn(N_ITEMS_SCALED, DIM_SCALED, |r, c| {
+            centers.get(r % N_CATS_SCALED, c) + 0.08 * noise.get(r, c)
+        })
+    };
+    EmbeddingSnapshot::new(
+        0.6,
+        init::xavier_uniform(N_USERS_SCALED, DIM_SCALED, &mut rng),
+        item(&centers_own, &noise_own),
+        init::xavier_uniform(N_USERS_SCALED, DIM_SCALED, &mut rng),
+        item(&centers_social, &noise_social),
+    )
+}
+
+/// Exact vs IVF engines over the scaled catalogue. The IVF engine's
+/// index build (seeded k-means over all 80k concatenated item vectors)
+/// happens on its first query — the warmup inside `median_secs`, never a
+/// timed sample.
+fn scaled_engines(snap: &EmbeddingSnapshot) -> (QueryEngine, QueryEngine) {
+    let exact = QueryEngine::new(snap.clone());
+    let ivf = QueryEngine::with_config(
+        snap.clone(),
+        EngineConfig {
+            retrieval: Retrieval::Ivf {
+                n_clusters: IVF_CLUSTERS,
+                n_probe: IVF_PROBES,
+            },
+            ..Default::default()
+        },
+    );
+    (exact, ivf)
+}
+
+fn ivf_latency_row(exact: &QueryEngine, ivf: &QueryEngine) -> Row {
+    let mut user = 0u32;
+    let before = median_secs(|| {
+        user = (user + 1) % N_USERS_SCALED as u32;
+        std::hint::black_box(exact.recommend(user, 10));
+    });
+    let mut user = 0u32;
+    let after = median_secs(|| {
+        user = (user + 1) % N_USERS_SCALED as u32;
+        std::hint::black_box(ivf.recommend(user, 10));
+    });
+    Row {
+        name: "ivf_vs_exact_latency",
+        unit: "s_per_top10_query_80k_items_d32x2",
+        before_impl: "exhaustive blocked catalogue walk (Retrieval::Exact)",
+        after_impl: "IVF retrieval, 16 of 256 cells probed (Retrieval::Ivf)",
+        before_median_s: before,
+        after_median_s: after,
+    }
+}
+
+/// Mean recall@10 of the IVF ranking against exact serving over
+/// [`RECALL_USERS`] users of the scaled workload.
+fn ivf_recall_at_10(exact: &QueryEngine, ivf: &QueryEngine) -> f64 {
+    let mut total = 0.0f64;
+    for user in 0..RECALL_USERS as u32 {
+        let e: Vec<u32> = exact.recommend(user, 10).iter().map(|x| x.item).collect();
+        let a: Vec<u32> = ivf.recommend(user, 10).iter().map(|x| x.item).collect();
+        total += recall_vs_exact(&e, &a) as f64;
+    }
+    total / RECALL_USERS as f64
+}
+
 fn epoch_row() -> Row {
     let data = generate(&SynthConfig {
         n_users: 600,
@@ -468,10 +568,12 @@ fn epoch_row() -> Row {
 fn main() {
     let out_path = std::env::args()
         .nth(1)
-        .unwrap_or_else(|| "BENCH_PR4.json".to_string());
+        .unwrap_or_else(|| "BENCH_PR5.json".to_string());
     let cores = std::thread::available_parallelism().map_or(0, |n| n.get());
 
     let snap = synthetic_snapshot();
+    let scaled = scaled_clustered_snapshot();
+    let (exact_scaled, ivf_scaled) = scaled_engines(&scaled);
     let rows = [
         scoring_row(&snap),
         multi_user_scoring_row(&snap),
@@ -480,6 +582,7 @@ fn main() {
         topk_row(&snap),
         topk_multi_row(&snap),
         epoch_row(),
+        ivf_latency_row(&exact_scaled, &ivf_scaled),
     ];
     for r in &rows {
         println!(
@@ -490,6 +593,12 @@ fn main() {
             r.speedup()
         );
     }
+
+    let recall = ivf_recall_at_10(&exact_scaled, &ivf_scaled);
+    println!(
+        "{:<24} recall@10 {:.4} ({} of {} cells probed, {} items)",
+        "ivf_recall_at_10", recall, IVF_PROBES, IVF_CLUSTERS, N_ITEMS_SCALED
+    );
 
     let large = large_snapshot();
     let latency_rows = [serving_latency_row(&large)];
@@ -502,29 +611,47 @@ fn main() {
 
     let body: Vec<String> = rows.iter().map(Row::to_json).collect();
     let latency_body: Vec<String> = latency_rows.iter().map(LatencyRow::to_json).collect();
+    let retrieval_body = format!(
+        concat!(
+            "    {{\"name\": \"ivf_recall_at_10\",\n",
+            "     \"unit\": \"mean_recall_vs_exact_top10_over_{}_users\",\n",
+            "     \"n_clusters\": {}, \"n_probe\": {}, \"recall_at_10\": {:.4}}}"
+        ),
+        RECALL_USERS, IVF_CLUSTERS, IVF_PROBES, recall
+    );
     let json = format!(
         concat!(
             "{{\n",
-            "  \"pr\": 4,\n",
-            "  \"title\": \"Batched multi-user scoring + corrected serving telemetry\",\n",
+            "  \"pr\": 5,\n",
+            "  \"title\": \"IVF approximate retrieval + eval/sampler correctness fixes\",\n",
             "  \"host_cores\": {},\n",
             "  \"note\": \"Medians of {} runs on the dev container (1 core: parallel scaling ",
             "needs real hardware, and latency percentiles here reflect worker threads ",
-            "time-slicing one core). The multi_user_scoring / topk_serving_multi rows isolate ",
-            "the batched catalogue pass (item tables streamed once per 8-user block instead of ",
-            "once per user) — per-user outputs are bit-identical on both sides by the dot-kernel ",
-            "contract. latency_rows measure the full RecommendService under bursts of 128 queued ",
-            "top-10 queries on an 8000-user (beibei_large-scale) universe with the corrected ",
-            "enqueue-to-reply clock (queue wait included; the pre-PR clock started at dequeue ",
-            "and under-reported exactly this). Coalescing changes scheduling only: every reply ",
-            "is bit-identical to sequential serving.\",\n",
+            "time-slicing one core). The scaled_catalogue workload is the ROADMAP's deferred ",
+            "item: 80k items (4x the serving benches) drawn around 256 latent categories, the ",
+            "clustered regime real catalogues live in and the first workload where per-query ",
+            "work is sublinear in catalogue size (ivf_vs_exact_latency probes 16 of 256 IVF ",
+            "cells; ivf_recall_at_10 reports the measured recall of that approximate ranking ",
+            "vs exact serving — n_probe = n_clusters would be bit-identical by the exactness ",
+            "envelope, property-tested in gb-serve). Earlier rows carry over: batched ",
+            "multi-user scoring, the enqueue-to-reply latency clock, and the PR 3 kernel ",
+            "trajectory, all bit-identical per the dot-kernel contract.\",\n",
+            "  \"scaled_catalogue\": {{\"n_items\": {}, \"n_users\": {}, \"own_dim\": {}, ",
+            "\"social_dim\": {}, \"n_categories\": {}}},\n",
             "  \"rows\": [\n{}\n  ],\n",
+            "  \"retrieval_rows\": [\n{}\n  ],\n",
             "  \"latency_rows\": [\n{}\n  ]\n",
             "}}\n"
         ),
         cores,
         REPS,
+        N_ITEMS_SCALED,
+        N_USERS_SCALED,
+        DIM_SCALED,
+        DIM_SCALED,
+        N_CATS_SCALED,
         body.join(",\n"),
+        retrieval_body,
         latency_body.join(",\n")
     );
     let mut f = std::fs::File::create(&out_path).expect("create bench report");

@@ -84,14 +84,27 @@ impl NegativeSampler {
         rng: &mut StdRng,
     ) -> Vec<u32> {
         let positives = &self.interacted[user as usize];
-        let available = self.n_items - positives.len();
+        let mut seen = std::collections::HashSet::with_capacity(k + extra_exclude.len());
+        // Count only excludes that actually shrink the sampleable pool:
+        // an exclude that is already a positive (or a duplicate, or out
+        // of catalogue range) removes nothing the positives haven't
+        // already removed. Over-counting here used to spuriously panic
+        // for dense users on small catalogues even though `k` distinct
+        // negatives existed.
+        let mut effective_excludes = 0usize;
+        for &e in extra_exclude {
+            if seen.insert(e) && (e as usize) < self.n_items && positives.binary_search(&e).is_err()
+            {
+                effective_excludes += 1;
+            }
+        }
+        let available = self.n_items - positives.len() - effective_excludes;
         assert!(
-            available >= k + extra_exclude.len(),
-            "cannot draw {k} distinct negatives: only {available} non-positives exist"
+            available >= k,
+            "cannot draw {k} distinct negatives: only {available} \
+             non-positive non-excluded items exist"
         );
         let mut out = Vec::with_capacity(k);
-        let mut seen = std::collections::HashSet::with_capacity(k + extra_exclude.len());
-        seen.extend(extra_exclude.iter().copied());
         while out.len() < k {
             let item = rng.gen_range(0..self.n_items) as u32;
             if positives.binary_search(&item).is_ok() || !seen.insert(item) {
@@ -157,6 +170,42 @@ mod tests {
         let s = NegativeSampler::from_dataset(&dataset());
         let mut rng = StdRng::seed_from_u64(2);
         let _ = s.sample_distinct(0, 9, &[], &mut rng); // only 8 non-positives
+    }
+
+    #[test]
+    fn distinct_sampling_boundary_with_positive_exclude() {
+        // User 0's positives are {3, 7} over 10 items: exactly 8
+        // non-positives. Excluding an item that is *already* a positive
+        // must not shrink the counted pool — the pre-fix assert required
+        // 8 >= 8 + 1 and panicked on a request that is satisfiable.
+        let s = NegativeSampler::from_dataset(&dataset());
+        let mut rng = StdRng::seed_from_u64(3);
+        let cands = s.sample_distinct(0, 8, &[3], &mut rng);
+        assert_eq!(cands.len(), 8);
+        let mut sorted = cands.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 4, 5, 6, 8, 9]);
+    }
+
+    #[test]
+    fn distinct_sampling_ignores_duplicate_and_out_of_range_excludes() {
+        let s = NegativeSampler::from_dataset(&dataset());
+        let mut rng = StdRng::seed_from_u64(4);
+        // [9, 9, 42]: one distinct in-range non-positive exclude (9);
+        // the duplicate and the out-of-catalogue id cost nothing, so 7
+        // distinct negatives remain and the draw must succeed.
+        let cands = s.sample_distinct(0, 7, &[9, 9, 42], &mut rng);
+        assert_eq!(cands.len(), 7);
+        assert!(!cands.contains(&9) && !cands.contains(&3) && !cands.contains(&7));
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct negatives")]
+    fn distinct_sampling_still_rejects_truly_impossible_requests() {
+        // 8 non-positives, one genuinely excluded -> 7 available < 8.
+        let s = NegativeSampler::from_dataset(&dataset());
+        let mut rng = StdRng::seed_from_u64(5);
+        let _ = s.sample_distinct(0, 8, &[9], &mut rng);
     }
 
     #[test]

@@ -37,7 +37,20 @@ pub fn ndcg_at_k(rank: usize, k: usize) -> f32 {
 /// counted as half a position (mid-rank convention), which is unbiased
 /// when scores collide — important early in training when many scores
 /// are near-identical.
+///
+/// A non-finite `test_score` ranks as a miss (`candidate_scores.len()`,
+/// i.e. below every candidate): NaN compares false against everything,
+/// so counting comparisons would rank a diverged model's NaN at 0 and
+/// report Recall@K = 1.0. This mirrors the serving-side policy
+/// (`gb-serve`'s `TopK::push` drops non-finite scores) — an
+/// incomparable score is never treated as a hit. Candidates keep plain
+/// comparison semantics: a NaN candidate is neither greater nor equal,
+/// so it never pushes the test item down, while a `+∞` candidate *is*
+/// greater and counts against the rank like any other larger score.
 pub fn rank_of(test_score: f32, candidate_scores: &[f32]) -> usize {
+    if !test_score.is_finite() {
+        return candidate_scores.len();
+    }
     let mut greater = 0usize;
     let mut equal = 0usize;
     for &s in candidate_scores {
@@ -48,6 +61,18 @@ pub fn rank_of(test_score: f32, candidate_scores: &[f32]) -> usize {
         }
     }
     greater + equal / 2
+}
+
+/// Fraction of an exact (reference) top-K that an approximate ranking
+/// retrieved — the recall-vs-exact measurement for approximate retrieval
+/// (e.g. the IVF serving mode in `gb-serve`). Order does not matter,
+/// only membership; an empty exact ranking is trivially fully recalled.
+pub fn recall_vs_exact(exact: &[u32], approx: &[u32]) -> f32 {
+    if exact.is_empty() {
+        return 1.0;
+    }
+    let hits = exact.iter().filter(|i| approx.contains(i)).count();
+    hits as f32 / exact.len() as f32
 }
 
 /// Aggregated ranking metrics at several cutoffs, with per-user values
@@ -157,6 +182,40 @@ mod tests {
         assert_eq!(rank_of(0.5, &[0.9, 0.4, 0.3]), 1);
         assert_eq!(rank_of(1.0, &[0.1, 0.2]), 0);
         assert_eq!(rank_of(0.0, &[0.5, 0.5, 0.5]), 3);
+    }
+
+    #[test]
+    fn non_finite_test_score_is_a_miss_not_a_hit() {
+        // NaN compares false against everything, so the pre-fix
+        // comparison count ranked it 0 — a diverged model evaluated as
+        // perfect. All non-finite test scores rank below every candidate.
+        let cands = [0.9f32, 0.1, -0.5];
+        for bad in [f32::NAN, -f32::NAN, f32::INFINITY, f32::NEG_INFINITY] {
+            assert_eq!(rank_of(bad, &cands), 3, "test_score {bad}");
+            assert_eq!(recall_at_k(rank_of(bad, &cands), 3), 0.0);
+            assert_eq!(ndcg_at_k(rank_of(bad, &cands), 3), 0.0);
+        }
+        // A finite test score against all-NaN candidates stays rank 0:
+        // the guard applies to the test score, not the candidates.
+        assert_eq!(rank_of(0.5, &[f32::NAN, f32::NAN]), 0);
+    }
+
+    #[test]
+    fn nan_candidates_rank_below_finite_test_scores() {
+        // A NaN candidate is neither greater nor equal: it never pushes
+        // the test item down.
+        assert_eq!(rank_of(0.5, &[f32::NAN, 0.9, f32::NAN, 0.1]), 1);
+        // An infinite candidate, by contrast, compares normally: +inf
+        // counts as greater, -inf as smaller.
+        assert_eq!(rank_of(0.5, &[f32::INFINITY, f32::NEG_INFINITY]), 1);
+    }
+
+    #[test]
+    fn recall_vs_exact_counts_membership() {
+        assert_eq!(recall_vs_exact(&[1, 2, 3, 4], &[4, 9, 1, 7]), 0.5);
+        assert_eq!(recall_vs_exact(&[1, 2], &[2, 1]), 1.0);
+        assert_eq!(recall_vs_exact(&[5], &[]), 0.0);
+        assert_eq!(recall_vs_exact(&[], &[3]), 1.0);
     }
 
     #[test]

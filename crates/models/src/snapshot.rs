@@ -205,6 +205,29 @@ impl EmbeddingSnapshot {
         );
     }
 
+    /// Scores an explicit list of item ids for `user` into `out` — the
+    /// gathered scoring path behind `Scorer::score_items` (explicit
+    /// candidate lists, e.g. the evaluation protocol's 1000-candidate
+    /// sets). Each score is bit-identical to what
+    /// [`EmbeddingSnapshot::score_block`] computes for that item (both
+    /// are the same lane-blocked dot), so selecting a candidate subset
+    /// never changes an item's score.
+    ///
+    /// # Panics
+    /// Panics if `user` or any item id is out of range, or
+    /// `out.len() != items.len()`.
+    pub fn score_indexed(&self, user: u32, items: &[u32], out: &mut [f32]) {
+        kernels::blend_dot_indexed(
+            self.user_own.row(user as usize),
+            &self.item_own,
+            self.user_social.row(user as usize),
+            &self.item_social,
+            self.alpha,
+            items,
+            out,
+        );
+    }
+
     /// Heap footprint of the four tables in bytes.
     pub fn size_bytes(&self) -> usize {
         4 * (self.user_own.len()
@@ -215,15 +238,14 @@ impl EmbeddingSnapshot {
 }
 
 impl Scorer for EmbeddingSnapshot {
+    /// Scores an explicit candidate list through the gathered kernel
+    /// ([`EmbeddingSnapshot::score_indexed`]) — one call instead of one
+    /// single-item block per candidate, with every score bit-identical
+    /// either way (the same lane-blocked dot per item).
     fn score_items(&self, user: u32, items: &[u32]) -> Vec<f32> {
-        let mut out = [0.0f32];
-        items
-            .iter()
-            .map(|&i| {
-                self.score_block(user, i as usize, &mut out);
-                out[0]
-            })
-            .collect()
+        let mut out = vec![0.0f32; items.len()];
+        self.score_indexed(user, items, &mut out);
+        out
     }
 }
 
@@ -325,6 +347,19 @@ mod tests {
                     );
                 }
             }
+        }
+    }
+
+    #[test]
+    fn score_indexed_matches_score_block_bitwise() {
+        let s = snap();
+        let mut full = vec![0.0f32; 5];
+        s.score_block(1, 0, &mut full);
+        let items = [4u32, 0, 2, 2, 1];
+        let mut got = vec![0.0f32; items.len()];
+        s.score_indexed(1, &items, &mut got);
+        for (j, &i) in items.iter().enumerate() {
+            assert_eq!(got[j].to_bits(), full[i as usize].to_bits(), "item {i}");
         }
     }
 

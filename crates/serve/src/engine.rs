@@ -10,6 +10,17 @@
 //! `O(block_size + k)` regardless of catalogue size — no full score
 //! vector is ever materialized.
 //!
+//! ## Retrieval modes
+//!
+//! The exhaustive walk is [`Retrieval::Exact`]. Catalogues that outgrow
+//! it can serve with [`Retrieval::Ivf`]: an [`IvfIndex`] clusters the
+//! items offline and a query scores only its `n_probe` best cells —
+//! sublinear work per query, with `n_probe = n_clusters` provably
+//! bit-identical to exact serving. The index is tagged with the snapshot
+//! version it was built from and rebuilt when a query observes a newer
+//! publish, so approximate results never blend across a publish (the
+//! same guarantee the response cache gets from version-keyed entries).
+//!
 //! ## Cache invalidation rule
 //!
 //! Responses are cached under the key `(snapshot version, user, k)`.
@@ -19,11 +30,46 @@
 //! retired versions age out of the fixed-capacity LRU on their own.
 
 use crate::cache::LruCache;
+use crate::ivf::IvfIndex;
 use crate::topk::{ScoredItem, TopK};
 use gb_graph::BitMatrix;
 use gb_models::{EmbeddingSnapshot, SnapshotHandle, VersionedSnapshot};
+use std::collections::HashMap;
 use std::sync::Arc;
-use std::sync::Mutex;
+use std::sync::{Mutex, RwLock};
+
+/// Seed of the engine's IVF k-means builds. A fixed constant: two engines
+/// over the same published snapshot build bit-identical indexes, so
+/// approximate rankings are reproducible across processes and restarts.
+const IVF_SEED: u64 = 0x1BF5_2026;
+
+/// How the engine generates candidates for a query.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Retrieval {
+    /// Exhaustive: every query scores the full catalogue in blocks. Work
+    /// per query is linear in the catalogue size; results are exact by
+    /// construction.
+    Exact,
+    /// Approximate inverted-file retrieval: items are clustered into
+    /// `n_clusters` cells over the concatenated embedding space
+    /// ([`IvfIndex`]); a query scores only the members of its `n_probe`
+    /// best cells. Work per query is roughly `n_probe / n_clusters` of a
+    /// catalogue pass plus the `n_clusters` routing dots — sublinear in
+    /// the catalogue for fixed cell occupancy.
+    ///
+    /// `n_probe = n_clusters` probes every cell and is **bit-identical**
+    /// to [`Retrieval::Exact`] (property-tested): the candidate set
+    /// becomes the full ascending catalogue and survivor scores come
+    /// from the same lane-blocked dot as the exhaustive pass. Both knobs
+    /// are clamped to at least 1.
+    Ivf {
+        /// Cells the catalogue is partitioned into (clamped to the
+        /// catalogue size at build time).
+        n_clusters: usize,
+        /// Cells probed per query.
+        n_probe: usize,
+    },
+}
 
 /// Tuning knobs for [`QueryEngine`].
 #[derive(Clone, Debug)]
@@ -49,6 +95,12 @@ pub struct EngineConfig {
     /// scheduling knob: per-user scores (and therefore rankings) are
     /// bit-identical for every block size. Clamped to at least 1.
     pub user_block: usize,
+    /// Candidate generation mode: exhaustive catalogue scans
+    /// ([`Retrieval::Exact`], the default) or approximate inverted-file
+    /// retrieval ([`Retrieval::Ivf`]). The IVF index is built lazily from
+    /// the served snapshot and rebuilt whenever a new version is
+    /// published, so approximate results never blend across a publish.
+    pub retrieval: Retrieval,
 }
 
 impl Default for EngineConfig {
@@ -57,6 +109,7 @@ impl Default for EngineConfig {
             block_size: 512,
             cache_capacity: 0,
             user_block: 8,
+            retrieval: Retrieval::Exact,
         }
     }
 }
@@ -72,6 +125,20 @@ pub struct QueryEngine {
     cache: Option<Mutex<ResponseCache>>,
     block_size: usize,
     user_block: usize,
+    retrieval: Retrieval,
+    /// IVF indexes by snapshot version, newest last; at most the two
+    /// most recent versions are kept. Two, not one: around a publish,
+    /// in-flight queries still pinned to the old version coexist with
+    /// queries on the new one, and a single slot would make them evict
+    /// each other's index — a full k-means rebuild per eviction. Built
+    /// lazily on the first IVF-mode query per version; unused in exact
+    /// mode.
+    ivf: RwLock<Vec<Arc<IvfIndex>>>,
+    /// Serializes IVF index *builds* (not lookups): after a publish,
+    /// every worker misses the cache for the new version at once, and
+    /// without this gate each would run its own identical full-catalogue
+    /// k-means. Late arrivals block here, then hit the cache on re-check.
+    ivf_build: Mutex<()>,
 }
 
 impl QueryEngine {
@@ -95,6 +162,16 @@ impl QueryEngine {
         } else {
             None
         };
+        let retrieval = match cfg.retrieval {
+            Retrieval::Exact => Retrieval::Exact,
+            Retrieval::Ivf {
+                n_clusters,
+                n_probe,
+            } => Retrieval::Ivf {
+                n_clusters: n_clusters.max(1),
+                n_probe: n_probe.max(1),
+            },
+        };
         Self {
             handle,
             filter: None,
@@ -104,6 +181,9 @@ impl QueryEngine {
                 .max(1)
                 .next_multiple_of(gb_tensor::kernels::DOT_LANES),
             user_block: cfg.user_block.max(1),
+            retrieval,
+            ivf: RwLock::new(Vec::new()),
+            ivf_build: Mutex::new(()),
         }
     }
 
@@ -144,6 +224,65 @@ impl QueryEngine {
     /// Users scored per catalogue pass on the batched path (≥ 1).
     pub fn user_block(&self) -> usize {
         self.user_block
+    }
+
+    /// The candidate-generation mode this engine serves with.
+    pub fn retrieval(&self) -> Retrieval {
+        self.retrieval
+    }
+
+    /// The newest snapshot version an IVF index has been built for
+    /// (`None` before the first IVF-mode query, or in exact mode). After
+    /// any IVF-mode query this is at least the version that query
+    /// reported — the rebuild-on-publish observability hook.
+    pub fn ivf_index_version(&self) -> Option<u64> {
+        self.ivf
+            .read()
+            .expect("ivf lock")
+            .last()
+            .map(|idx| idx.version())
+    }
+
+    /// The IVF index for the snapshot `cur`, building it if no cached
+    /// index matches that version. Each query scores against the index
+    /// matching *its* pinned snapshot, so a response can never blend an
+    /// index from one publish with tables from another.
+    ///
+    /// The build runs under the `ivf_build` gate but *outside* the
+    /// cache's `RwLock` write lock — a k-means over the whole catalogue
+    /// must not stall queries already holding an index for a different
+    /// version, and the gate ensures a thundering herd of post-publish
+    /// misses runs the expensive build exactly once (everyone else waits
+    /// at the gate and then hits the cache on re-check).
+    fn ivf_for(&self, cur: &VersionedSnapshot, n_clusters: usize) -> Arc<IvfIndex> {
+        let lookup = |cached: &[Arc<IvfIndex>]| {
+            cached
+                .iter()
+                .find(|idx| idx.version() == cur.version())
+                .map(Arc::clone)
+        };
+        if let Some(idx) = lookup(&self.ivf.read().expect("ivf lock")) {
+            return idx;
+        }
+        let _building = self.ivf_build.lock().expect("ivf build lock");
+        if let Some(idx) = lookup(&self.ivf.read().expect("ivf lock")) {
+            return idx; // a peer built it while we waited at the gate
+        }
+        let built = Arc::new(IvfIndex::build(
+            cur.snapshot(),
+            cur.version(),
+            n_clusters,
+            IVF_SEED,
+        ));
+        let mut cached = self.ivf.write().expect("ivf lock");
+        cached.push(Arc::clone(&built));
+        // Newest last; keep the two most recent versions so queries
+        // pinned across a publish never evict each other's index.
+        cached.sort_by_key(|idx| idx.version());
+        if cached.len() > 2 {
+            cached.remove(0);
+        }
+        built
     }
 
     /// The handle the engine reads; publish to it to hot-swap the served
@@ -197,7 +336,7 @@ impl QueryEngine {
                 return (cur.version(), Arc::clone(hit));
             }
         }
-        let result = Arc::new(self.rank(cur.snapshot(), user, k));
+        let result = Arc::new(self.rank(&cur, user, k));
         if let Some(cache) = &self.cache {
             cache
                 .lock()
@@ -241,28 +380,33 @@ impl QueryEngine {
         // Probe the cache once per *distinct* user, exactly as a
         // sequential caller would on its first query — duplicate slots
         // are resolved afterwards so they count as the hits they would
-        // have been sequentially, not as extra misses.
-        let mut pending: Vec<u32> = Vec::new();
+        // have been sequentially, not as extra misses. Each distinct
+        // user's first slot is recorded up front, so duplicate detection
+        // and the per-ranked-user fill below are O(1) per slot instead of
+        // an O(users) rescan each (this path sits under IVF-batched wide
+        // serving and must not go quadratic in the batch width).
+        let mut first_slot: HashMap<u32, usize> = HashMap::with_capacity(users.len());
+        let mut pending: Vec<(u32, usize)> = Vec::new();
         let mut duplicates: Vec<usize> = Vec::new();
-        let mut seen_first: Vec<u32> = Vec::new();
         for (slot, &user) in users.iter().enumerate() {
-            if seen_first.contains(&user) {
+            if first_slot.contains_key(&user) {
                 duplicates.push(slot);
                 continue;
             }
-            seen_first.push(user);
+            first_slot.insert(user, slot);
             if let Some(cache) = &self.cache {
                 if let Some(hit) = cache.lock().expect("cache lock").get(&(version, user, k)) {
                     out[slot] = Some(Arc::clone(hit));
                     continue;
                 }
             }
-            pending.push(user);
+            pending.push((user, slot));
         }
 
         for block in pending.chunks(self.user_block) {
-            let ranked = self.rank_many(snapshot, block, k);
-            for (&user, result) in block.iter().zip(ranked) {
+            let block_users: Vec<u32> = block.iter().map(|&(user, _)| user).collect();
+            let ranked = self.rank_many(&cur, &block_users, k);
+            for (&(user, slot), result) in block.iter().zip(ranked) {
                 let result = Arc::new(result);
                 if let Some(cache) = &self.cache {
                     cache
@@ -270,11 +414,7 @@ impl QueryEngine {
                         .expect("cache lock")
                         .insert((version, user, k), Arc::clone(&result));
                 }
-                for (slot, &u) in users.iter().enumerate() {
-                    if u == user && out[slot].is_none() && !duplicates.contains(&slot) {
-                        out[slot] = Some(Arc::clone(&result));
-                    }
-                }
+                out[slot] = Some(result);
             }
         }
 
@@ -286,10 +426,7 @@ impl QueryEngine {
         // and reinsert, mirroring the sequential recompute-and-insert.
         for slot in duplicates {
             let user = users[slot];
-            let first = users
-                .iter()
-                .position(|&u| u == user)
-                .expect("duplicate has a first occurrence");
+            let first = first_slot[&user];
             let result = Arc::clone(out[first].as_ref().expect("first occurrence answered"));
             out[slot] = Some(match &self.cache {
                 Some(cache) => {
@@ -314,11 +451,100 @@ impl QueryEngine {
         )
     }
 
+    /// Uncached scoring dispatch for one user against one pinned
+    /// `(version, snapshot)` pair.
+    fn rank(&self, cur: &VersionedSnapshot, user: u32, k: usize) -> Vec<ScoredItem> {
+        match self.retrieval {
+            Retrieval::Exact => self.rank_exact(cur.snapshot(), user, k),
+            Retrieval::Ivf {
+                n_clusters,
+                n_probe,
+            } => {
+                let index = self.ivf_for(cur, n_clusters);
+                self.rank_ivf(cur.snapshot(), &index, user, k, n_probe)
+            }
+        }
+    }
+
+    /// Uncached batched scoring dispatch. Exact mode shares one catalogue
+    /// walk across the block; IVF mode ranks each user over its own
+    /// probed candidate set (candidate sets are per-user, so there is no
+    /// shared pass to amortize — the win is scoring far fewer items).
+    /// Either way every per-user result is bit-identical to [`Self::rank`]
+    /// for that user.
+    fn rank_many(&self, cur: &VersionedSnapshot, users: &[u32], k: usize) -> Vec<Vec<ScoredItem>> {
+        match self.retrieval {
+            Retrieval::Exact => self.rank_many_exact(cur.snapshot(), users, k),
+            Retrieval::Ivf {
+                n_clusters,
+                n_probe,
+            } => {
+                let index = self.ivf_for(cur, n_clusters);
+                users
+                    .iter()
+                    .map(|&user| self.rank_ivf(cur.snapshot(), &index, user, k, n_probe))
+                    .collect()
+            }
+        }
+    }
+
+    /// The IVF scoring path: route to the user's best `n_probe` cells,
+    /// then score only their members (each cell's *packed* item tables
+    /// streamed in `block_size` chunks through [`IvfIndex::score_cell`])
+    /// with the same seen-filter probe and heap as the exhaustive walk.
+    /// Best cell first, so the heap's threshold fills with strong
+    /// candidates early and most later offers fail one comparison.
+    ///
+    /// Scores are bit-identical to the exhaustive pass per surviving
+    /// item, and the heap selects under a strict total order — its
+    /// output depends only on the candidate *set*, not arrival order —
+    /// so probing every cell reproduces [`Self::rank_exact`]
+    /// bit-for-bit.
+    fn rank_ivf(
+        &self,
+        snapshot: &EmbeddingSnapshot,
+        index: &IvfIndex,
+        user: u32,
+        k: usize,
+        n_probe: usize,
+    ) -> Vec<ScoredItem> {
+        let cells = index.probe_cells(snapshot, user, n_probe);
+        let mut topk = TopK::new(k);
+        let seen = self.filter.as_ref().map(|f| f.row_words(user as usize));
+        let mut scores = vec![0.0f32; self.block_size.min(snapshot.n_items().max(1))];
+        for &cell in &cells {
+            let list = index.list(cell);
+            let mut start = 0usize;
+            while start < list.len() {
+                let len = self.block_size.min(list.len() - start);
+                let out = &mut scores[..len];
+                index.score_cell(snapshot, user, cell, start, out);
+                let chunk = &list[start..start + len];
+                match seen {
+                    Some(words) => {
+                        for (&item, &score) in chunk.iter().zip(out.iter()) {
+                            if words[item as usize / 64] >> (item % 64) & 1 == 0 {
+                                topk.push(item, score);
+                            }
+                        }
+                    }
+                    None => {
+                        for (&item, &score) in chunk.iter().zip(out.iter()) {
+                            topk.push(item, score);
+                        }
+                    }
+                }
+                start += len;
+            }
+        }
+        topk.into_sorted()
+    }
+
     /// The uncached batched scoring path: one catalogue walk scores every
     /// user in `users` (one [`EngineConfig::user_block`]-sized block),
     /// maintaining a per-user seen-filter probe and top-K heap over the
     /// shared score block.
-    fn rank_many(
+    fn rank_many_exact(
         &self,
         snapshot: &EmbeddingSnapshot,
         users: &[u32],
@@ -360,8 +586,8 @@ impl QueryEngine {
         topks.into_iter().map(TopK::into_sorted).collect()
     }
 
-    /// The uncached scoring path over one pinned snapshot.
-    fn rank(&self, snapshot: &EmbeddingSnapshot, user: u32, k: usize) -> Vec<ScoredItem> {
+    /// The exhaustive uncached scoring path over one pinned snapshot.
+    fn rank_exact(&self, snapshot: &EmbeddingSnapshot, user: u32, k: usize) -> Vec<ScoredItem> {
         let n_items = snapshot.n_items();
         let mut topk = TopK::new(k);
         let mut block = vec![0.0f32; self.block_size.min(n_items.max(1))];
@@ -605,6 +831,109 @@ mod tests {
     fn out_of_range_user_panics() {
         let engine = QueryEngine::new(snapshot(2, 10, 4));
         engine.recommend(2, 1);
+    }
+
+    fn ivf_engine(snap: EmbeddingSnapshot, n_clusters: usize, n_probe: usize) -> QueryEngine {
+        QueryEngine::with_config(
+            snap,
+            EngineConfig {
+                block_size: 64,
+                retrieval: Retrieval::Ivf {
+                    n_clusters,
+                    n_probe,
+                },
+                ..Default::default()
+            },
+        )
+    }
+
+    #[test]
+    fn ivf_full_probe_matches_exact_bitwise() {
+        let snap = snapshot(6, 333, 8);
+        let exact = QueryEngine::new(snap.clone());
+        let ivf = ivf_engine(snap, 7, 7);
+        for user in 0..6u32 {
+            let e = exact.recommend(user, 10);
+            let a = ivf.recommend(user, 10);
+            assert_eq!(e.len(), a.len(), "user {user}");
+            for (x, y) in e.iter().zip(a.iter()) {
+                assert_eq!(x.item, y.item, "user {user}");
+                assert_eq!(x.score.to_bits(), y.score.to_bits(), "user {user}");
+            }
+        }
+    }
+
+    #[test]
+    fn ivf_partial_probe_scores_match_exact_per_item() {
+        // A pruned ranking may miss items, but every item it *does*
+        // return carries the exact pass's bit-identical score and the
+        // returned order is consistent with the exact full ranking.
+        let snap = snapshot(4, 200, 8);
+        let exact = QueryEngine::new(snap.clone());
+        let ivf = ivf_engine(snap, 10, 3);
+        let full = exact.recommend(1, 200); // the entire exact ranking
+        let approx = ivf.recommend(1, 20);
+        assert!(!approx.is_empty());
+        let mut last_pos = 0usize;
+        for e in approx.iter() {
+            let pos = full
+                .iter()
+                .position(|f| f.item == e.item)
+                .expect("approx item exists in the exact ranking");
+            assert_eq!(e.score.to_bits(), full[pos].score.to_bits());
+            assert!(pos >= last_pos, "approx order must follow exact order");
+            last_pos = pos;
+        }
+    }
+
+    #[test]
+    fn ivf_index_rebuilds_on_publish() {
+        let old = snapshot(4, 120, 8);
+        let new = snapshot(4, 120, 4);
+        let engine = ivf_engine(old.clone(), 5, 5);
+        assert_eq!(engine.ivf_index_version(), None, "lazy until first query");
+        engine.recommend(0, 5);
+        assert_eq!(engine.ivf_index_version(), Some(1));
+
+        engine.handle().publish(new.clone());
+        // The stale index survives until a query observes the publish...
+        assert_eq!(engine.ivf_index_version(), Some(1));
+        let (version, got) = engine.recommend_versioned(2, 120);
+        assert_eq!(version, 2);
+        assert_eq!(engine.ivf_index_version(), Some(2), "rebuilt on publish");
+        // ...and the post-publish response comes entirely from the new
+        // tables (full probe ⇒ must equal exact serving of `new`).
+        let candidates: Vec<u32> = (0..120).collect();
+        let got: Vec<(u32, f32)> = got.iter().map(|e| (e.item, e.score)).collect();
+        assert_eq!(got, reference_topk(&new, 2, &candidates, 120));
+    }
+
+    #[test]
+    fn ivf_respects_seen_filter() {
+        let snap = snapshot(4, 200, 8);
+        let mut seen = gb_graph::BitMatrix::zeros(4, 200);
+        for item in (0..200).step_by(3) {
+            seen.set(1, item);
+        }
+        let engine = ivf_engine(snap, 8, 8).with_seen_filter(seen);
+        let rec = engine.recommend(1, 200);
+        assert_eq!(rec.len(), 200 - 67);
+        assert!(rec.iter().all(|e| e.item % 3 != 0), "a seen item leaked");
+    }
+
+    #[test]
+    fn ivf_knobs_are_clamped() {
+        let engine = ivf_engine(snapshot(2, 30, 4), 0, 0);
+        assert_eq!(
+            engine.retrieval(),
+            Retrieval::Ivf {
+                n_clusters: 1,
+                n_probe: 1
+            }
+        );
+        // One cluster, one probe = the whole catalogue through the IVF
+        // path.
+        assert_eq!(engine.recommend(0, 30).len(), 30);
     }
 
     #[test]

@@ -1,0 +1,323 @@
+//! IVF (inverted-file) approximate retrieval over the item catalogue.
+//!
+//! Past a certain catalogue size, even the blocked multi-user pass is
+//! linear work per query — every query touches every item. IVF makes the
+//! per-query work sublinear: partition the items into `n_clusters` cells
+//! offline, and per query score only the cells whose centroids look best
+//! for this user.
+//!
+//! ## Why one k-means fits the blended score
+//!
+//! The serving score is `(1-α)·u_own·v_own + α·u_social·v_social` — two
+//! dot products. But that is exactly *one* dot product in the
+//! concatenated embedding space:
+//!
+//! ```text
+//! q_u = [ w_own · u_own ; α · u_social ]     (the query vector)
+//! x_i = [ v_own[i]      ; v_social[i]  ]     (the item vector)
+//! q_u · x_i = blended score,  w_own = 1 when α = 0, else (1-α)
+//! ```
+//!
+//! so a single deterministic k-means over the per-item concatenated
+//! vectors `{x_i}` ([`gb_tensor::kmeans`]) yields centroids + inverted
+//! lists that route *any* user query, whatever its α-blend: rank
+//! centroids by `q_u · c_j`, probe the best `n_probe` lists, and score
+//! only the survivors with the exact kernels.
+//!
+//! ## Exactness envelope
+//!
+//! Probing is the only approximation. Survivor scores come from the same
+//! lane-blocked dot as the exhaustive pass — [`IvfIndex::score_cell`]
+//! streams each probed cell's *packed* item tables through the very
+//! kernel the exhaustive walk uses — and the serving heap
+//! selects under a *strict total order* (descending score, ascending
+//! item id) — so its kept set and output order depend only on the set of
+//! `(item, score)` pairs offered, never on the order they arrive. With
+//! `n_probe = n_clusters` every list is probed, the candidate set is the
+//! full catalogue, and the served ranking is **bit-identical** to exact
+//! serving — property-tested in `ivf_proptests.rs`.
+//!
+//! ## Version tagging
+//!
+//! An index is built from one [`EmbeddingSnapshot`] and stamped with that
+//! snapshot's published version. The query engine rebuilds the index
+//! whenever the served version moves, so approximate results can never
+//! blend centroids from one publish with item tables from another.
+
+use gb_models::EmbeddingSnapshot;
+use gb_tensor::{kernels, kmeans, Matrix};
+
+/// Lloyd iterations used for index builds. Routing quality saturates
+/// quickly — the index only has to rank cells, not place centroids
+/// optimally — and build cost is linear in this.
+const KMEANS_ITERS: usize = 5;
+
+/// An inverted-file index over one snapshot's item catalogue.
+///
+/// Immutable once built; the engine shares it across queries behind an
+/// `Arc` and replaces it wholesale when a new snapshot version is
+/// published.
+#[derive(Clone, Debug)]
+pub struct IvfIndex {
+    /// The snapshot version the index was built from.
+    version: u64,
+    /// Own-embedding width, to split query vectors the same way the item
+    /// vectors were concatenated.
+    own_dim: usize,
+    /// `n_clusters × (own_dim + social_dim)` cell centroids.
+    centroids: Matrix,
+    /// Per-centroid item ids, each list ascending (items are assigned in
+    /// ascending id order).
+    lists: Vec<Vec<u32>>,
+    /// Per-cell *packed* copies of the item tables, rows in list order.
+    /// This is the half of IVF that makes probing fast, not just small:
+    /// a cell's members are scattered across the catalogue tables (a
+    /// gather of ~every `n_clusters`-th row defeats the prefetcher), but
+    /// packed they stream sequentially through the same blocked kernel
+    /// as the exhaustive walk. Costs one extra copy of the item tables
+    /// across all cells — the standard IVF memory trade.
+    packed_own: Vec<Matrix>,
+    packed_social: Vec<Matrix>,
+}
+
+impl IvfIndex {
+    /// Clusters `snapshot`'s concatenated item vectors into `n_clusters`
+    /// cells (clamped to the catalogue size) with a seeded deterministic
+    /// k-means, and tags the index with `version`.
+    pub fn build(snapshot: &EmbeddingSnapshot, version: u64, n_clusters: usize, seed: u64) -> Self {
+        let n = snapshot.n_items();
+        let od = snapshot.own_dim();
+        let sd = snapshot.social_dim();
+        let item_own = snapshot.item_own();
+        let item_social = snapshot.item_social();
+        let concat = Matrix::from_fn(n, od + sd, |r, c| {
+            if c < od {
+                item_own.get(r, c)
+            } else {
+                item_social.get(r, c - od)
+            }
+        });
+        let km = kmeans::kmeans(&concat, n_clusters.max(1), KMEANS_ITERS, seed);
+        let mut lists: Vec<Vec<u32>> = vec![Vec::new(); km.centroids.rows()];
+        for (item, &cell) in km.assignments.iter().enumerate() {
+            lists[cell as usize].push(item as u32);
+        }
+        let packed_own = lists
+            .iter()
+            .map(|list| kernels::gather_rows(item_own, list))
+            .collect();
+        let packed_social = lists
+            .iter()
+            .map(|list| kernels::gather_rows(item_social, list))
+            .collect();
+        Self {
+            version,
+            own_dim: od,
+            centroids: km.centroids,
+            lists,
+            packed_own,
+            packed_social,
+        }
+    }
+
+    /// The snapshot version this index was built from.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Number of cells (≤ the requested `n_clusters` only when the
+    /// catalogue itself is smaller).
+    pub fn n_clusters(&self) -> usize {
+        self.lists.len()
+    }
+
+    /// The items of one cell, ascending.
+    pub fn list(&self, cell: usize) -> &[u32] {
+        &self.lists[cell]
+    }
+
+    /// Scores the members `[start, start + out.len())` of one cell's
+    /// list for `user` into `out`, streaming the cell's *packed* item
+    /// tables through the same blocked kernel as the exhaustive
+    /// catalogue walk — `out[j]` is the (bit-identical) served score of
+    /// item `self.list(cell)[start + j]`.
+    ///
+    /// # Panics
+    /// Panics if `user` is out of range, the range exceeds the cell, or
+    /// `snapshot` disagrees with the index on embedding widths.
+    pub fn score_cell(
+        &self,
+        snapshot: &EmbeddingSnapshot,
+        user: u32,
+        cell: usize,
+        start: usize,
+        out: &mut [f32],
+    ) {
+        kernels::blend_dot_block(
+            snapshot.user_own().row(user as usize),
+            &self.packed_own[cell],
+            snapshot.user_social().row(user as usize),
+            &self.packed_social[cell],
+            snapshot.alpha(),
+            start,
+            out,
+        );
+    }
+
+    /// Heap footprint of the packed per-cell tables in bytes (the
+    /// centroids and lists are negligible next to them) — effectively
+    /// one extra copy of the snapshot's item tables.
+    pub fn size_bytes(&self) -> usize {
+        4 * (self
+            .packed_own
+            .iter()
+            .chain(self.packed_social.iter())
+            .map(Matrix::len)
+            .sum::<usize>())
+    }
+
+    /// The user's routing vector in the concatenated item space:
+    /// `[w_own · u_own ; α · u_social]` with `w_own = 1` when `α = 0`
+    /// (the blend leaves the own product unweighted there), else `1-α` —
+    /// so `query · x_i` is exactly the served blend score.
+    fn query_vector(&self, snapshot: &EmbeddingSnapshot, user: u32) -> Vec<f32> {
+        let alpha = snapshot.alpha();
+        let own_w = if alpha == 0.0 { 1.0 } else { 1.0 - alpha };
+        let own = snapshot.user_own().row(user as usize);
+        let social = snapshot.user_social().row(user as usize);
+        debug_assert_eq!(own.len(), self.own_dim);
+        own.iter()
+            .map(|&v| own_w * v)
+            .chain(social.iter().map(|&v| alpha * v))
+            .collect()
+    }
+
+    /// The `n_probe` cell indices whose centroids score best against the
+    /// user's routing vector, best first (ties toward the lower cell
+    /// index). This is the per-query routing step — `n_clusters` dots
+    /// plus a small sort, independent of catalogue size. The engine
+    /// scores the returned cells' lists directly, best cell first, so
+    /// the heap's threshold fills with strong candidates early.
+    ///
+    /// # Panics
+    /// Panics if `user` is out of range for `snapshot`, or `snapshot`
+    /// disagrees with the index on embedding widths.
+    pub fn probe_cells(
+        &self,
+        snapshot: &EmbeddingSnapshot,
+        user: u32,
+        n_probe: usize,
+    ) -> Vec<usize> {
+        let k = self.lists.len();
+        if k == 0 {
+            return Vec::new();
+        }
+        let query = self.query_vector(snapshot, user);
+        assert_eq!(
+            query.len(),
+            self.centroids.cols(),
+            "snapshot embedding widths disagree with the IVF index"
+        );
+        let mut ranked: Vec<(usize, f32)> = (0..k)
+            .map(|j| (j, kernels::dot(&query, self.centroids.row(j))))
+            .collect();
+        ranked.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        ranked.truncate(n_probe.max(1).min(k));
+        ranked.into_iter().map(|(j, _)| j).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Test-side candidate materialization: the members of the `n_probe`
+    /// best cells, merged ascending (the engine walks the cells
+    /// directly; tests want the flat set to assert coverage).
+    fn probe(index: &IvfIndex, snap: &EmbeddingSnapshot, user: u32, n_probe: usize) -> Vec<u32> {
+        let mut out: Vec<u32> = index
+            .probe_cells(snap, user, n_probe)
+            .into_iter()
+            .flat_map(|c| index.list(c).to_vec())
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    fn snapshot(n_items: usize) -> EmbeddingSnapshot {
+        EmbeddingSnapshot::new(
+            0.4,
+            Matrix::from_fn(5, 6, |r, c| ((r * 7 + c * 3) as f32 * 0.17).sin()),
+            Matrix::from_fn(n_items, 6, |r, c| ((r * 5 + c) as f32 * 0.31).cos()),
+            Matrix::from_fn(5, 4, |r, c| ((r + c * 11) as f32 * 0.13).sin()),
+            Matrix::from_fn(n_items, 4, |r, c| ((r * 3 + c * 2) as f32 * 0.23).cos()),
+        )
+    }
+
+    #[test]
+    fn lists_partition_the_catalogue() {
+        let snap = snapshot(97);
+        let index = IvfIndex::build(&snap, 1, 8, 0);
+        assert_eq!(index.version(), 1);
+        let mut all: Vec<u32> = (0..index.n_clusters())
+            .flat_map(|c| index.list(c).to_vec())
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..97u32).collect::<Vec<_>>());
+        // Each list is ascending by construction.
+        for c in 0..index.n_clusters() {
+            assert!(index.list(c).windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn full_probe_returns_the_whole_catalogue_ascending() {
+        let snap = snapshot(60);
+        let index = IvfIndex::build(&snap, 1, 6, 0);
+        for user in 0..5u32 {
+            let cands = probe(&index, &snap, user, index.n_clusters());
+            assert_eq!(cands, (0..60u32).collect::<Vec<_>>(), "user {user}");
+            // Over-probing clamps to every list.
+            assert_eq!(probe(&index, &snap, user, 1000), cands);
+        }
+    }
+
+    #[test]
+    fn partial_probe_is_a_sorted_subset_of_cells() {
+        let snap = snapshot(80);
+        let index = IvfIndex::build(&snap, 1, 8, 0);
+        let cands = probe(&index, &snap, 2, 3);
+        assert!(cands.windows(2).all(|w| w[0] < w[1]), "sorted, no dups");
+        assert!(cands.len() < 80, "a partial probe prunes something");
+        // Every candidate belongs to some cell (sanity on membership).
+        for &i in &cands {
+            assert!((0..index.n_clusters()).any(|c| index.list(c).contains(&i)));
+        }
+    }
+
+    #[test]
+    fn same_seed_builds_identical_indexes() {
+        let snap = snapshot(50);
+        let a = IvfIndex::build(&snap, 3, 5, 99);
+        let b = IvfIndex::build(&snap, 3, 5, 99);
+        assert_eq!(a.n_clusters(), b.n_clusters());
+        for c in 0..a.n_clusters() {
+            assert_eq!(a.list(c), b.list(c), "cell {c}");
+        }
+    }
+
+    #[test]
+    fn clusters_clamp_to_catalogue_size() {
+        let snap = snapshot(3);
+        let index = IvfIndex::build(&snap, 1, 16, 0);
+        assert_eq!(index.n_clusters(), 3);
+    }
+
+    #[test]
+    fn empty_catalogue_probes_empty() {
+        let snap = snapshot(0);
+        let index = IvfIndex::build(&snap, 1, 4, 0);
+        assert_eq!(index.n_clusters(), 0);
+        assert!(probe(&index, &snap, 0, 4).is_empty());
+    }
+}

@@ -49,6 +49,13 @@
 //!   catalogue pass (`blend_dot_block_multi` streams the item tables
 //!   once per block), with per-user results bit-identical to sequential
 //!   `recommend`.
+//! * [`ivf::IvfIndex`] — approximate retrieval for catalogues that
+//!   outgrow exhaustive scans ([`engine::Retrieval::Ivf`]): a seeded
+//!   deterministic k-means over the concatenated item embeddings routes
+//!   each query to its `n_probe` best cells, and only those members are
+//!   scored (with the exact kernels — survivor scores are bit-identical,
+//!   and probing every cell reproduces exact serving bit-for-bit). The
+//!   index is version-tagged and rebuilt on publish.
 //! * [`service::RecommendService`] — a std-thread worker pool consuming
 //!   a bounded request queue; workers coalesce queued same-`k` queries
 //!   into shared catalogue passes. Per-request *enqueue→reply* latency
@@ -70,13 +77,15 @@
 
 pub mod cache;
 pub mod engine;
+pub mod ivf;
 pub mod service;
 pub mod snapshot_io;
 pub mod topk;
 
 pub use cache::LruCache;
-pub use engine::{EngineConfig, QueryEngine};
+pub use engine::{EngineConfig, QueryEngine, Retrieval};
 pub use gb_models::{EmbeddingSnapshot, SnapshotHandle, SnapshotSource, VersionedSnapshot};
+pub use ivf::IvfIndex;
 pub use service::{RecommendService, ServiceConfig};
 pub use snapshot_io::{load_from_path, load_snapshot, save_snapshot, save_to_path};
 pub use topk::{ScoredItem, TopK};

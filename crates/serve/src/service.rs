@@ -139,6 +139,15 @@ impl RecommendService {
         &self.engine
     }
 
+    /// The engine's candidate-generation mode, passed through untouched:
+    /// the service layer (queueing, coalescing, latency capture) is
+    /// identical for exact and IVF serving — retrieval is configured once
+    /// on the [`QueryEngine`] via `EngineConfig::retrieval` and every
+    /// worker serves with it.
+    pub fn retrieval(&self) -> crate::engine::Retrieval {
+        self.engine.retrieval()
+    }
+
     /// Top-`k` items for one user, computed on a worker thread.
     ///
     /// # Panics

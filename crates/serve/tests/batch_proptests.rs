@@ -164,6 +164,7 @@ proptest! {
                 block_size,
                 user_block,
                 cache_capacity: if cached == 1 { 8 } else { 0 },
+                ..Default::default()
             },
         );
         let (_, many) = batched.recommend_many(&users, k);

@@ -740,6 +740,119 @@ pub fn blend_dot_block_multi(
     }
 }
 
+/// Gathered variant of [`blend_dot_block`]: scores an explicit list of
+/// item ids instead of a contiguous range — the scoring path for
+/// arbitrary candidate sets (the offline `Scorer::score_items` surface;
+/// the evaluation protocol ranks explicit 1000-candidate lists through
+/// it). The IVF serving path instead streams *packed* per-cell tables
+/// through [`blend_dot_block`] — a gather defeats the prefetcher on hot
+/// catalogue-sized tables.
+///
+/// `out[j]` is the Eq. 9 blend for item `items[j]`. Every per-item
+/// product is the same lane-blocked [`dot`] (via [`dot_tile`], tiled
+/// [`ROW_TILE`] gathered rows at a time) as [`blend_dot_block`] issues
+/// for that item, so a gathered item's score is **bit-identical** to
+/// what a contiguous pass computes — candidate selection changes which
+/// items are scored, never what any score is.
+///
+/// `item_social` may have zero columns (models without a social term);
+/// with `alpha == 0.0` the own product is returned unblended.
+///
+/// # Panics
+/// Panics if `out.len() != items.len()`, any id is out of range for
+/// either (non-empty) item table, or a non-empty table's width disagrees
+/// with its user vector.
+#[allow(clippy::too_many_arguments)]
+pub fn blend_dot_indexed(
+    own: &[f32],
+    item_own: &Matrix,
+    social: &[f32],
+    item_social: &Matrix,
+    alpha: f32,
+    items: &[u32],
+    out: &mut [f32],
+) {
+    assert_eq!(
+        out.len(),
+        items.len(),
+        "blend_dot_indexed: output size mismatch"
+    );
+    assert_eq!(
+        item_own.cols(),
+        own.len(),
+        "blend_dot_indexed: own width mismatch"
+    );
+    let has_social = item_social.cols() > 0 && alpha != 0.0;
+    if has_social {
+        assert_eq!(
+            item_social.cols(),
+            social.len(),
+            "blend_dot_indexed: social width mismatch"
+        );
+    }
+    for &i in items {
+        assert!(
+            (i as usize) < item_own.rows() && (!has_social || (i as usize) < item_social.rows()),
+            "blend_dot_indexed: item {i} out of range"
+        );
+    }
+    let blend = |o: f32, s: f32| {
+        if has_social {
+            (1.0 - alpha) * o + alpha * s
+        } else if alpha == 0.0 {
+            o
+        } else {
+            (1.0 - alpha) * o
+        }
+    };
+    let n = items.len();
+    let mut j0 = 0;
+    while j0 + ROW_TILE <= n {
+        let ids = [
+            items[j0] as usize,
+            items[j0 + 1] as usize,
+            items[j0 + 2] as usize,
+            items[j0 + 3] as usize,
+        ];
+        let o = dot_tile::<ROW_TILE>(
+            own,
+            [
+                item_own.row(ids[0]),
+                item_own.row(ids[1]),
+                item_own.row(ids[2]),
+                item_own.row(ids[3]),
+            ],
+        );
+        let s = if has_social {
+            dot_tile::<ROW_TILE>(
+                social,
+                [
+                    item_social.row(ids[0]),
+                    item_social.row(ids[1]),
+                    item_social.row(ids[2]),
+                    item_social.row(ids[3]),
+                ],
+            )
+        } else {
+            [0.0; ROW_TILE]
+        };
+        for t in 0..ROW_TILE {
+            out[j0 + t] = blend(o[t], s[t]);
+        }
+        j0 += ROW_TILE;
+    }
+    for (j, slot) in out.iter_mut().enumerate().skip(j0) {
+        let i = items[j] as usize;
+        let o = dot_tile::<1>(own, [item_own.row(i)])[0];
+        let s = if has_social {
+            dot_tile::<1>(social, [item_social.row(i)])[0]
+        } else {
+            0.0
+        };
+        *slot = blend(o, s);
+    }
+}
+
 /// Cosine similarity between two equal-length vectors; 0.0 if either is a
 /// zero vector.
 pub fn cosine_similarity(a: &[f32], b: &[f32]) -> f32 {
@@ -1168,6 +1281,80 @@ mod tests {
             0.0,
             0,
             2,
+            &mut out,
+        );
+    }
+
+    #[test]
+    fn blend_dot_indexed_matches_block_scores_bitwise() {
+        let item_own = Matrix::from_fn(17, 13, |r, c| (r as f32 * 0.31 - c as f32 * 0.17).sin());
+        let item_social = Matrix::from_fn(17, 5, |r, c| (r as f32 * 0.23 + c as f32 * 0.41).cos());
+        let own: Vec<f32> = (0..13).map(|i| (i as f32 * 0.19).sin()).collect();
+        let social: Vec<f32> = (0..5).map(|i| (i as f32 * 0.29).cos()).collect();
+        let alpha = 0.35f32;
+        let mut full = vec![0.0f32; 17];
+        blend_dot_block(&own, &item_own, &social, &item_social, alpha, 0, &mut full);
+        // Arbitrary gathers (with repeats, unsorted) across both tile
+        // paths, and the full ascending catalogue as the exhaustive case.
+        let gathers: Vec<Vec<u32>> = vec![
+            vec![],
+            vec![16],
+            vec![3, 1, 4, 1, 5, 9, 2, 6],
+            vec![0, 5, 10, 15, 2],
+            (0..17u32).collect(),
+        ];
+        for items in gathers {
+            let mut got = vec![0.0f32; items.len()];
+            blend_dot_indexed(
+                &own,
+                &item_own,
+                &social,
+                &item_social,
+                alpha,
+                &items,
+                &mut got,
+            );
+            for (j, &i) in items.iter().enumerate() {
+                assert_eq!(
+                    got[j].to_bits(),
+                    full[i as usize].to_bits(),
+                    "item {i} (slot {j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn blend_dot_indexed_alpha_zero_is_pure_dot() {
+        let item_own = Matrix::from_fn(6, 2, |r, c| (r * 2 + c) as f32);
+        let empty_social = Matrix::zeros(6, 0);
+        let own = [2.0f32, -1.0];
+        let mut out = vec![0.0f32; 3];
+        blend_dot_indexed(
+            &own,
+            &item_own,
+            &[],
+            &empty_social,
+            0.0,
+            &[5, 0, 2],
+            &mut out,
+        );
+        assert_eq!(out, vec![9.0, -1.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn blend_dot_indexed_checks_ids() {
+        let item_own = Matrix::zeros(3, 2);
+        let item_social = Matrix::zeros(3, 0);
+        let mut out = vec![0.0f32; 1];
+        blend_dot_indexed(
+            &[0.0, 0.0],
+            &item_own,
+            &[],
+            &item_social,
+            0.0,
+            &[3],
             &mut out,
         );
     }

@@ -1,0 +1,258 @@
+//! Seeded, deterministic Lloyd k-means over the rows of a [`Matrix`].
+//!
+//! This is the clustering primitive behind approximate retrieval
+//! (`gb-serve`'s IVF index partitions the item catalogue with it). The
+//! requirements there are stricter than "converges nicely":
+//!
+//! * **Determinism.** Same `(data, k, iters, seed)` ⇒ bit-identical
+//!   centroids and assignments, on every run and every thread count. All
+//!   distance work goes through the fixed-order blocked kernels
+//!   ([`kernels::matmul_nt`], [`kernels::dot`]), accumulation walks rows
+//!   in ascending index order ([`kernels::scatter_add_rows`]), and
+//!   initialization uses an inline SplitMix64 stream — no global RNG
+//!   state anywhere.
+//! * **Total assignment.** Every row gets a cluster; distance ties break
+//!   toward the lowest centroid index; empty clusters keep their previous
+//!   centroid (they can be re-populated by a later iteration).
+//!
+//! Lloyd's update is used verbatim: assign each row to the nearest
+//! centroid under squared Euclidean distance, then recenter each cluster
+//! on the mean of its members. `argmin_j ‖x − c_j‖²` is computed as
+//! `argmin_j (½‖c_j‖² − x·c_j)` so the whole assignment step is one
+//! `matmul_nt` against the centroid matrix plus a per-centroid norm — the
+//! same register-tiled kernel the serving scorer uses.
+
+use crate::{kernels, Matrix};
+
+/// Output of [`kmeans`]: `k × d` centroids plus one cluster id per input
+/// row, consistent with a final assignment pass against those centroids.
+#[derive(Clone, Debug)]
+pub struct KMeans {
+    /// Cluster centers, one row each. May have fewer rows than the
+    /// requested `k` when the data has fewer rows than `k`.
+    pub centroids: Matrix,
+    /// `assignments[i]` is the centroid index row `i` belongs to.
+    pub assignments: Vec<u32>,
+}
+
+/// SplitMix64 step — a tiny, seedable, allocation-free generator, enough
+/// to pick distinct initial centroid rows deterministically.
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Nearest-centroid assignment: `out[i] = argmin_j ‖data[i] − c_j‖²`,
+/// ties broken toward the lowest `j`.
+///
+/// One [`kernels::matmul_nt`] computes every `data[i] · c_j`; the squared
+/// distance comparison drops the (assignment-invariant) `‖x‖²` term.
+/// Deterministic: the kernel has a fixed summation order and the argmin
+/// scan is ascending in `j`.
+///
+/// # Panics
+/// Panics if widths disagree or `centroids` has no rows while `data` has.
+pub fn assign(data: &Matrix, centroids: &Matrix) -> Vec<u32> {
+    if data.rows() == 0 {
+        return Vec::new();
+    }
+    assert!(centroids.rows() > 0, "assign: no centroids");
+    assert_eq!(data.cols(), centroids.cols(), "assign: width mismatch");
+    let k = centroids.rows();
+    let half_norms: Vec<f32> = (0..k)
+        .map(|j| 0.5 * kernels::dot(centroids.row(j), centroids.row(j)))
+        .collect();
+    let dots = kernels::matmul_nt(data, centroids);
+    (0..data.rows())
+        .map(|i| {
+            let row = dots.row(i);
+            let mut best = 0usize;
+            let mut best_d = half_norms[0] - row[0];
+            for j in 1..k {
+                let d = half_norms[j] - row[j];
+                if d < best_d {
+                    best = j;
+                    best_d = d;
+                }
+            }
+            best as u32
+        })
+        .collect()
+}
+
+/// Seeded farthest-point ("maxmin") initialization: the first center is
+/// a seeded random row, each further center the row farthest from every
+/// center chosen so far (ties toward the lower row index).
+///
+/// Random-row init routinely leaves well-separated natural clusters
+/// unseeded (drawing `k` rows from `k` equal clusters misses ~`1/e` of
+/// them), and Lloyd cannot split a merged cell afterwards; maxmin seeds
+/// every distant mode by construction. Deterministic given `seed`, and
+/// `O(n·k·d)` — the cost of one extra assignment pass.
+fn farthest_point_init(data: &Matrix, k: usize, seed: u64) -> Vec<usize> {
+    let n = data.rows();
+    let mut state = seed ^ 0xD1B5_4A32_D192_ED03;
+    let first = (splitmix64(&mut state) % n as u64) as usize;
+    let mut chosen = Vec::with_capacity(k);
+    chosen.push(first);
+    // Squared distance to the nearest chosen center so far; ‖x‖² terms
+    // are kept explicitly since the argmax compares different rows.
+    let sq_norm: Vec<f32> = (0..n)
+        .map(|i| kernels::dot(data.row(i), data.row(i)))
+        .collect();
+    let dist_to =
+        |i: usize, c: usize| sq_norm[i] + sq_norm[c] - 2.0 * kernels::dot(data.row(i), data.row(c));
+    let mut min_dist: Vec<f32> = (0..n).map(|i| dist_to(i, first)).collect();
+    while chosen.len() < k {
+        let mut best = 0usize;
+        let mut best_d = f32::NEG_INFINITY;
+        for (i, &d) in min_dist.iter().enumerate() {
+            if d > best_d {
+                best = i;
+                best_d = d;
+            }
+        }
+        chosen.push(best);
+        for (i, slot) in min_dist.iter_mut().enumerate() {
+            let d = dist_to(i, best);
+            if d < *slot {
+                *slot = d;
+            }
+        }
+    }
+    chosen
+}
+
+/// Seeded Lloyd k-means: `iters` assignment/update rounds from `k`
+/// centers chosen by seeded farthest-point initialization.
+///
+/// `k` is clamped to the number of data rows; zero rows yield an empty
+/// result. The returned assignments are a *final* assignment pass against
+/// the returned centroids, so they are mutually consistent even when
+/// `iters == 0` (pure seeded initialization).
+pub fn kmeans(data: &Matrix, k: usize, iters: usize, seed: u64) -> KMeans {
+    let n = data.rows();
+    let d = data.cols();
+    let k = k.min(n);
+    if k == 0 {
+        return KMeans {
+            centroids: Matrix::zeros(0, d),
+            assignments: Vec::new(),
+        };
+    }
+
+    let chosen = farthest_point_init(data, k, seed);
+    let mut centroids = data.select_rows(&chosen);
+
+    for _ in 0..iters {
+        let assignments = assign(data, &centroids);
+        // Recenter: ascending-row scatter-add keeps the mean's summation
+        // order fixed; empty clusters keep their previous centroid.
+        let mut sums = Matrix::zeros(k, d);
+        kernels::scatter_add_rows(&mut sums, &assignments, data);
+        let mut counts = vec![0usize; k];
+        for &a in &assignments {
+            counts[a as usize] += 1;
+        }
+        for (c, &count) in counts.iter().enumerate() {
+            if count == 0 {
+                continue;
+            }
+            let inv = 1.0 / count as f32;
+            let src = sums.row(c);
+            let dst = centroids.row_mut(c);
+            for (x, &s) in dst.iter_mut().zip(src) {
+                *x = s * inv;
+            }
+        }
+    }
+
+    let assignments = assign(data, &centroids);
+    KMeans {
+        centroids,
+        assignments,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two well-separated blobs around (±5, ±5).
+    fn blobs() -> Matrix {
+        Matrix::from_fn(20, 2, |r, c| {
+            let sign = if r < 10 { 5.0 } else { -5.0 };
+            sign + ((r * 2 + c) as f32 * 0.37).sin() * 0.3
+        })
+    }
+
+    #[test]
+    fn recovers_separated_clusters() {
+        let data = blobs();
+        let km = kmeans(&data, 2, 10, 7);
+        assert_eq!(km.centroids.rows(), 2);
+        assert_eq!(km.assignments.len(), 20);
+        // All of the first blob lands in one cluster, the second in the
+        // other.
+        let first = km.assignments[0];
+        assert!(km.assignments[..10].iter().all(|&a| a == first));
+        assert!(km.assignments[10..].iter().all(|&a| a != first));
+        // Centroids sit near the blob centers.
+        for c in 0..2 {
+            let row = km.centroids.row(c as usize);
+            let near = (row[0].abs() - 5.0).abs() < 0.5 && (row[1].abs() - 5.0).abs() < 0.5;
+            assert!(near, "centroid {c} at {row:?}");
+        }
+    }
+
+    #[test]
+    fn same_seed_is_bit_identical() {
+        let data = Matrix::from_fn(33, 7, |r, c| ((r * 13 + c * 5) as f32 * 0.11).sin());
+        let a = kmeans(&data, 5, 6, 42);
+        let b = kmeans(&data, 5, 6, 42);
+        assert_eq!(a.assignments, b.assignments);
+        assert_eq!(a.centroids.rows(), b.centroids.rows());
+        for (x, y) in a.centroids.as_slice().iter().zip(b.centroids.as_slice()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn k_clamped_to_row_count() {
+        let data = Matrix::from_fn(3, 2, |r, c| (r + c) as f32);
+        let km = kmeans(&data, 10, 4, 0);
+        assert_eq!(km.centroids.rows(), 3);
+        // With k == n every row is its own cluster: assignments are a
+        // permutation covering all centroids.
+        let mut seen = km.assignments.clone();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), 3);
+    }
+
+    #[test]
+    fn empty_data_yields_empty_result() {
+        let km = kmeans(&Matrix::zeros(0, 4), 3, 5, 1);
+        assert_eq!(km.centroids.rows(), 0);
+        assert!(km.assignments.is_empty());
+    }
+
+    #[test]
+    fn zero_iters_is_a_consistent_seeded_partition() {
+        let data = blobs();
+        let km = kmeans(&data, 3, 0, 9);
+        assert_eq!(km.assignments, assign(&data, &km.centroids));
+    }
+
+    #[test]
+    fn assignment_ties_break_to_lowest_index() {
+        // Two identical centroids: everything must go to index 0.
+        let data = Matrix::from_fn(4, 2, |r, _| r as f32);
+        let centroids = Matrix::from_vec(2, 2, vec![1.0, 1.0, 1.0, 1.0]);
+        assert_eq!(assign(&data, &centroids), vec![0, 0, 0, 0]);
+    }
+}

@@ -16,6 +16,7 @@
 
 pub mod init;
 pub mod kernels;
+pub mod kmeans;
 pub mod matrix;
 
 pub use matrix::Matrix;
