@@ -7,7 +7,7 @@ use std::time::{Duration, Instant};
 /// Table IV reports per-epoch training and testing times; the experiment
 /// driver wraps each epoch and each evaluation pass with [`Stopwatch::time`]
 /// and reads the means afterwards.
-#[derive(Default, Debug)]
+#[derive(Clone, Default, Debug)]
 pub struct Stopwatch {
     samples: Vec<Duration>,
 }
@@ -80,6 +80,71 @@ pub fn timed<R>(f: impl FnOnce() -> R) -> (R, f64) {
     (out, start.elapsed().as_secs_f64())
 }
 
+/// Per-stage latency attribution: a fixed set of labelled [`Stopwatch`]es
+/// recorded side by side.
+///
+/// The sharded serving tier records one stage per shard plus a merge
+/// stage, so an operator can see *which* shard drags the scatter-gather
+/// tail — the per-shard analogue of the per-phase Table IV wall clocks.
+#[derive(Clone, Debug)]
+pub struct LatencyBreakdown {
+    stages: Vec<(String, Stopwatch)>,
+}
+
+impl LatencyBreakdown {
+    /// A breakdown with one empty stopwatch per label.
+    pub fn new(labels: impl IntoIterator<Item = String>) -> Self {
+        Self {
+            stages: labels.into_iter().map(|l| (l, Stopwatch::new())).collect(),
+        }
+    }
+
+    /// Number of stages.
+    pub fn n_stages(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// The label of stage `idx`.
+    ///
+    /// # Panics
+    /// Panics if `idx` is out of range.
+    pub fn label(&self, idx: usize) -> &str {
+        &self.stages[idx].0
+    }
+
+    /// The accumulated samples of stage `idx`.
+    ///
+    /// # Panics
+    /// Panics if `idx` is out of range.
+    pub fn stage(&self, idx: usize) -> &Stopwatch {
+        &self.stages[idx].1
+    }
+
+    /// Records one sample for stage `idx`.
+    ///
+    /// # Panics
+    /// Panics if `idx` is out of range.
+    pub fn record(&mut self, idx: usize, d: Duration) {
+        self.stages[idx].1.record(d);
+    }
+
+    /// `(label, n_samples, mean_secs, p99_secs)` per stage — the compact
+    /// summary the bench reports embed.
+    pub fn summary(&self) -> Vec<(String, usize, f64, f64)> {
+        self.stages
+            .iter()
+            .map(|(l, sw)| {
+                (
+                    l.clone(),
+                    sw.n_samples(),
+                    sw.mean_secs(),
+                    sw.percentile_secs(99.0),
+                )
+            })
+            .collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -129,5 +194,26 @@ mod tests {
         let (v, secs) = timed(|| "done");
         assert_eq!(v, "done");
         assert!(secs >= 0.0);
+    }
+
+    #[test]
+    fn breakdown_attributes_samples_to_stages() {
+        let mut b = LatencyBreakdown::new(["shard0", "shard1", "merge"].map(String::from));
+        assert_eq!(b.n_stages(), 3);
+        b.record(0, Duration::from_millis(10));
+        b.record(0, Duration::from_millis(30));
+        b.record(2, Duration::from_millis(1));
+        assert_eq!(b.label(1), "shard1");
+        assert_eq!(b.stage(0).n_samples(), 2);
+        assert_eq!(b.stage(1).n_samples(), 0);
+        assert!((b.stage(0).mean_secs() - 0.020).abs() < 1e-9);
+        let summary = b.summary();
+        assert_eq!(summary.len(), 3);
+        assert_eq!(summary[2].0, "merge");
+        assert_eq!(summary[2].1, 1);
+        assert!(
+            (summary[0].3 - 0.030).abs() < 1e-9,
+            "p99 is the worst sample"
+        );
     }
 }

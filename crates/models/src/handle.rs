@@ -36,6 +36,19 @@ pub struct VersionedSnapshot {
 }
 
 impl VersionedSnapshot {
+    /// Pairs a snapshot with an externally assigned version.
+    ///
+    /// [`SnapshotHandle::publish`] assigns versions for the ordinary
+    /// hot-swap flow; this constructor exists for layers that *derive*
+    /// snapshots from a published one and must tag the derivative with
+    /// the source's version — e.g. the sharded serving tier, which
+    /// slices one published catalogue into per-shard sub-snapshots and
+    /// pins every slice to the global version so a scatter can never mix
+    /// publishes.
+    pub fn new(version: u64, snapshot: EmbeddingSnapshot) -> Self {
+        Self { version, snapshot }
+    }
+
     /// The publish ordinal (1 = the snapshot the handle started with).
     pub fn version(&self) -> u64 {
         self.version

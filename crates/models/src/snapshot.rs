@@ -49,10 +49,6 @@ impl EmbeddingSnapshot {
         user_social: Matrix,
         item_social: Matrix,
     ) -> Self {
-        assert!(
-            alpha.is_finite() && (0.0..=1.0).contains(&alpha),
-            "alpha {alpha} outside [0, 1]"
-        );
         for (name, m) in [
             ("user_own", &user_own),
             ("item_own", &item_own),
@@ -64,6 +60,31 @@ impl EmbeddingSnapshot {
                 "snapshot table `{name}` holds non-finite values"
             );
         }
+        Self::new_trusted(alpha, user_own, item_own, user_social, item_social)
+    }
+
+    /// Assembles a snapshot from tables that are already known finite —
+    /// the shape/alpha checks of [`EmbeddingSnapshot::new`] still run,
+    /// but the O(elements) non-finite scan is skipped.
+    ///
+    /// Two callers earn that trust: [`EmbeddingSnapshot::slice_items`]
+    /// (its inputs are views of already-validated tables) and the
+    /// serving mmap loader (which must publish a multi-GB mapped file
+    /// without faulting every page in; it defends against corrupted
+    /// floats downstream instead, where the serving heap refuses to rank
+    /// non-finite scores). Everyone else should use
+    /// [`EmbeddingSnapshot::new`].
+    pub fn new_trusted(
+        alpha: f32,
+        user_own: Matrix,
+        item_own: Matrix,
+        user_social: Matrix,
+        item_social: Matrix,
+    ) -> Self {
+        assert!(
+            alpha.is_finite() && (0.0..=1.0).contains(&alpha),
+            "alpha {alpha} outside [0, 1]"
+        );
         assert_eq!(
             user_own.rows(),
             user_social.rows(),
@@ -235,6 +256,56 @@ impl EmbeddingSnapshot {
             + self.user_social.len()
             + self.item_social.len())
     }
+
+    /// A snapshot whose four tables are shareable: clones and item-range
+    /// slices ([`EmbeddingSnapshot::slice_items`]) of the result are
+    /// O(1) and allocation-free. Idempotent — already-shared tables are
+    /// reused, not recopied — and every score is bit-identical to the
+    /// source snapshot (the tables are the same bytes).
+    ///
+    /// The sharded serving tier calls this once per publish so that N
+    /// shard slices alias one copy of the catalogue instead of holding N
+    /// partial copies plus N user-table duplicates.
+    pub fn to_shared(&self) -> EmbeddingSnapshot {
+        EmbeddingSnapshot::new_trusted(
+            self.alpha,
+            self.user_own.to_shared(),
+            self.item_own.to_shared(),
+            self.user_social.to_shared(),
+            self.item_social.to_shared(),
+        )
+    }
+
+    /// The sub-snapshot owning the contiguous item range
+    /// `[start, start + len)`: full user tables, sliced item tables, the
+    /// same `α`. Local item id `j` in the slice is global item
+    /// `start + j`, and its score for any user is bit-identical to the
+    /// full snapshot's (`score_block` reads whole item rows; slicing
+    /// never changes a row).
+    ///
+    /// On a shared snapshot ([`EmbeddingSnapshot::to_shared`]) the slice
+    /// is zero-copy; on an owned snapshot the item range is copied out
+    /// and the user tables are duplicated — shard construction should
+    /// share first.
+    ///
+    /// # Panics
+    /// Panics if `start + len > n_items()`.
+    pub fn slice_items(&self, start: usize, len: usize) -> EmbeddingSnapshot {
+        assert!(
+            start
+                .checked_add(len)
+                .is_some_and(|end| end <= self.n_items()),
+            "item range [{start}, {start}+{len}) out of bounds ({} items)",
+            self.n_items()
+        );
+        EmbeddingSnapshot::new_trusted(
+            self.alpha,
+            self.user_own.clone(),
+            self.item_own.view_rows(start, len),
+            self.user_social.clone(),
+            self.item_social.view_rows(start, len),
+        )
+    }
 }
 
 impl Scorer for EmbeddingSnapshot {
@@ -390,6 +461,56 @@ mod tests {
         let mut bad = Matrix::zeros(3, 2);
         bad.set(1, 1, f32::NAN);
         EmbeddingSnapshot::without_social(bad, Matrix::zeros(5, 2));
+    }
+
+    #[test]
+    fn shared_snapshot_scores_bitwise_like_the_original() {
+        let s = snap();
+        let shared = s.to_shared();
+        assert!(shared.item_own().is_shared());
+        for u in 0..3u32 {
+            for i in 0..5u32 {
+                assert_eq!(shared.score(u, i).to_bits(), s.score(u, i).to_bits());
+            }
+        }
+        // Idempotent: re-sharing aliases the same table memory.
+        let again = shared.to_shared();
+        assert_eq!(
+            again.item_own().as_slice().as_ptr(),
+            shared.item_own().as_slice().as_ptr()
+        );
+    }
+
+    #[test]
+    fn slice_items_scores_match_the_full_catalogue_bitwise() {
+        let s = snap().to_shared();
+        for (start, len) in [(0usize, 5usize), (1, 3), (4, 1), (2, 0), (5, 0)] {
+            let slice = s.slice_items(start, len);
+            assert_eq!(slice.n_items(), len);
+            assert_eq!(slice.n_users(), s.n_users());
+            let mut local = vec![0.0f32; len];
+            let mut global = vec![0.0f32; len];
+            for u in 0..s.n_users() as u32 {
+                slice.score_block(u, 0, &mut local);
+                s.score_block(u, start, &mut global);
+                for (a, b) in local.iter().zip(&global) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "user {u} range {start}+{len}");
+                }
+            }
+            // Zero-copy: the slice aliases the shared item table.
+            if len > 0 {
+                assert_eq!(
+                    slice.item_own().as_slice().as_ptr(),
+                    s.item_own().row(start).as_ptr()
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn slice_items_checks_bounds() {
+        snap().slice_items(3, 3);
     }
 
     #[test]

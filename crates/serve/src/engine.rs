@@ -101,6 +101,13 @@ pub struct EngineConfig {
     /// the served snapshot and rebuilt whenever a new version is
     /// published, so approximate results never blend across a publish.
     pub retrieval: Retrieval,
+    /// Whether IVF builds pack per-cell item tables (`true`, the
+    /// default: one extra copy of the item tables bought for sequential
+    /// cell streaming) or score cells in place against the snapshot
+    /// tables (`false`: zero extra item-table memory — the right call
+    /// when many shard engines share one box). Purely a layout knob:
+    /// rankings are bit-identical either way. Ignored in exact mode.
+    pub ivf_packed: bool,
 }
 
 impl Default for EngineConfig {
@@ -110,6 +117,7 @@ impl Default for EngineConfig {
             cache_capacity: 0,
             user_block: 8,
             retrieval: Retrieval::Exact,
+            ivf_packed: true,
         }
     }
 }
@@ -126,6 +134,7 @@ pub struct QueryEngine {
     block_size: usize,
     user_block: usize,
     retrieval: Retrieval,
+    ivf_packed: bool,
     /// IVF indexes by snapshot version, newest last; at most the two
     /// most recent versions are kept. Two, not one: around a publish,
     /// in-flight queries still pinned to the old version coexist with
@@ -182,6 +191,7 @@ impl QueryEngine {
                 .next_multiple_of(gb_tensor::kernels::DOT_LANES),
             user_block: cfg.user_block.max(1),
             retrieval,
+            ivf_packed: cfg.ivf_packed,
             ivf: RwLock::new(Vec::new()),
             ivf_build: Mutex::new(()),
         }
@@ -273,6 +283,7 @@ impl QueryEngine {
             cur.version(),
             n_clusters,
             IVF_SEED,
+            self.ivf_packed,
         ));
         let mut cached = self.ivf.write().expect("ivf lock");
         cached.push(Arc::clone(&built));
@@ -325,6 +336,29 @@ impl QueryEngine {
     /// blend across a concurrent publish.
     pub fn recommend_versioned(&self, user: u32, k: usize) -> (u64, Arc<Vec<ScoredItem>>) {
         let cur = self.handle.load();
+        (cur.version(), self.recommend_at(&cur, user, k))
+    }
+
+    /// [`QueryEngine::recommend`] against an explicitly pinned
+    /// `(version, snapshot)` pair instead of whatever the engine's handle
+    /// currently serves.
+    ///
+    /// This is the scatter primitive of the sharded tier: a
+    /// `ShardedEngine` pins *one* globally published snapshot, slices
+    /// it, and queries every shard engine against its slice of that same
+    /// version — even if the global handle moves mid-scatter, no shard
+    /// can answer from a different publish. Caching still works (the key
+    /// carries `cur`'s version), as does IVF (the index is built for
+    /// `cur`'s version on miss).
+    ///
+    /// # Panics
+    /// Panics if `user` is out of range for `cur`'s snapshot.
+    pub fn recommend_at(
+        &self,
+        cur: &VersionedSnapshot,
+        user: u32,
+        k: usize,
+    ) -> Arc<Vec<ScoredItem>> {
         assert!(
             (user as usize) < cur.snapshot().n_users(),
             "user {user} out of range ({} users)",
@@ -333,17 +367,17 @@ impl QueryEngine {
         let key = (cur.version(), user, k);
         if let Some(cache) = &self.cache {
             if let Some(hit) = cache.lock().expect("cache lock").get(&key) {
-                return (cur.version(), Arc::clone(hit));
+                return Arc::clone(hit);
             }
         }
-        let result = Arc::new(self.rank(&cur, user, k));
+        let result = Arc::new(self.rank(cur, user, k));
         if let Some(cache) = &self.cache {
             cache
                 .lock()
                 .expect("cache lock")
                 .insert(key, Arc::clone(&result));
         }
-        (cur.version(), result)
+        result
     }
 
     /// Top-`k` unseen items for each of `users`, all answered from *one*
@@ -366,6 +400,23 @@ impl QueryEngine {
     /// Panics if any user is out of range for the served snapshot.
     pub fn recommend_many(&self, users: &[u32], k: usize) -> (u64, Vec<Arc<Vec<ScoredItem>>>) {
         let cur = self.handle.load();
+        (cur.version(), self.recommend_many_at(&cur, users, k))
+    }
+
+    /// [`QueryEngine::recommend_many`] against an explicitly pinned
+    /// `(version, snapshot)` pair — the batched scatter primitive of the
+    /// sharded tier (see [`QueryEngine::recommend_at`]). Results are in
+    /// input order and bit-identical to per-user [`Self::recommend_at`]
+    /// calls against the same pair.
+    ///
+    /// # Panics
+    /// Panics if any user is out of range for `cur`'s snapshot.
+    pub fn recommend_many_at(
+        &self,
+        cur: &VersionedSnapshot,
+        users: &[u32],
+        k: usize,
+    ) -> Vec<Arc<Vec<ScoredItem>>> {
         let snapshot = cur.snapshot();
         let n_users = snapshot.n_users();
         for &user in users {
@@ -405,7 +456,7 @@ impl QueryEngine {
 
         for block in pending.chunks(self.user_block) {
             let block_users: Vec<u32> = block.iter().map(|&(user, _)| user).collect();
-            let ranked = self.rank_many(&cur, &block_users, k);
+            let ranked = self.rank_many(cur, &block_users, k);
             for (&(user, slot), result) in block.iter().zip(ranked) {
                 let result = Arc::new(result);
                 if let Some(cache) = &self.cache {
@@ -443,12 +494,9 @@ impl QueryEngine {
             });
         }
 
-        (
-            version,
-            out.into_iter()
-                .map(|r| r.expect("every user answered"))
-                .collect(),
-        )
+        out.into_iter()
+            .map(|r| r.expect("every user answered"))
+            .collect()
     }
 
     /// Uncached scoring dispatch for one user against one pinned
@@ -479,10 +527,17 @@ impl QueryEngine {
                 n_clusters,
                 n_probe,
             } => {
+                // Route once per distinct query vector across the block
+                // (queued duplicates are common under coalesced bursty
+                // traffic), then score each user over its shared route.
                 let index = self.ivf_for(cur, n_clusters);
+                let routes = index.probe_cells_block(cur.snapshot(), users, n_probe);
                 users
                     .iter()
-                    .map(|&user| self.rank_ivf(cur.snapshot(), &index, user, k, n_probe))
+                    .zip(&routes)
+                    .map(|(&user, cells)| {
+                        self.rank_ivf_cells(cur.snapshot(), &index, user, k, cells)
+                    })
                     .collect()
             }
         }
@@ -509,10 +564,24 @@ impl QueryEngine {
         n_probe: usize,
     ) -> Vec<ScoredItem> {
         let cells = index.probe_cells(snapshot, user, n_probe);
+        self.rank_ivf_cells(snapshot, index, user, k, &cells)
+    }
+
+    /// [`Self::rank_ivf`] over a precomputed cell route — the batched
+    /// path computes routes once per distinct query vector
+    /// ([`IvfIndex::probe_cells_block`]) and feeds them here.
+    fn rank_ivf_cells(
+        &self,
+        snapshot: &EmbeddingSnapshot,
+        index: &IvfIndex,
+        user: u32,
+        k: usize,
+        cells: &[usize],
+    ) -> Vec<ScoredItem> {
         let mut topk = TopK::new(k);
         let seen = self.filter.as_ref().map(|f| f.row_words(user as usize));
         let mut scores = vec![0.0f32; self.block_size.min(snapshot.n_items().max(1))];
-        for &cell in &cells {
+        for &cell in cells {
             let list = index.list(cell);
             let mut start = 0usize;
             while start < list.len() {
@@ -615,6 +684,70 @@ impl QueryEngine {
             start += len;
         }
         topk.into_sorted()
+    }
+}
+
+/// What the serving front ([`crate::service::RecommendService`]) needs
+/// from an engine — implemented by the single-catalogue [`QueryEngine`]
+/// and by the scatter-gather [`crate::router::ShardedEngine`], so one
+/// worker-pool/coalescing/latency layer fronts both.
+///
+/// The contract every implementation upholds: `recommend_many` results
+/// are in input order, each per-user result is bit-identical to a solo
+/// `recommend` against the same snapshot version, and the reported
+/// version is the one *every* returned ranking was computed from.
+pub trait ServeEngine: Send + Sync + 'static {
+    /// Users in the served universe (fixed across publishes).
+    fn n_users(&self) -> usize;
+
+    /// Users scored per catalogue pass on the batched path (≥ 1) — the
+    /// service coalescer's lower bound for group sizing.
+    fn user_block(&self) -> usize;
+
+    /// Whether responses are cached (drives [`RecommendService::warm`]'s
+    /// no-op shortcut).
+    ///
+    /// [`RecommendService::warm`]: crate::service::RecommendService::warm
+    fn has_cache(&self) -> bool;
+
+    /// The candidate-generation mode served with.
+    fn retrieval(&self) -> Retrieval;
+
+    /// Top-`k` for one user plus the snapshot version that produced it.
+    fn recommend_versioned(&self, user: u32, k: usize) -> (u64, Arc<Vec<ScoredItem>>);
+
+    /// Top-`k` per user, all pinned to one version (returned alongside).
+    fn recommend_many(&self, users: &[u32], k: usize) -> (u64, Vec<Arc<Vec<ScoredItem>>>);
+
+    /// Top-`k` for one user (version discarded).
+    fn recommend(&self, user: u32, k: usize) -> Arc<Vec<ScoredItem>> {
+        self.recommend_versioned(user, k).1
+    }
+}
+
+impl ServeEngine for QueryEngine {
+    fn n_users(&self) -> usize {
+        QueryEngine::n_users(self)
+    }
+
+    fn user_block(&self) -> usize {
+        QueryEngine::user_block(self)
+    }
+
+    fn has_cache(&self) -> bool {
+        QueryEngine::has_cache(self)
+    }
+
+    fn retrieval(&self) -> Retrieval {
+        QueryEngine::retrieval(self)
+    }
+
+    fn recommend_versioned(&self, user: u32, k: usize) -> (u64, Arc<Vec<ScoredItem>>) {
+        QueryEngine::recommend_versioned(self, user, k)
+    }
+
+    fn recommend_many(&self, users: &[u32], k: usize) -> (u64, Vec<Arc<Vec<ScoredItem>>>) {
+        QueryEngine::recommend_many(self, users, k)
     }
 }
 

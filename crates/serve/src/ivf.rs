@@ -24,12 +24,26 @@
 //! centroids by `q_u · c_j`, probe the best `n_probe` lists, and score
 //! only the survivors with the exact kernels.
 //!
+//! ## Packed vs. in-place cell scoring
+//!
+//! A cell's members are scattered across the catalogue tables, and a
+//! strided gather defeats the hardware prefetcher. The index therefore
+//! *packs* each cell's item rows into contiguous per-cell tables at build
+//! time — probing streams sequentially through the same blocked kernel as
+//! the exhaustive walk — at the cost of one full extra copy of the item
+//! tables. That trade is wrong for memory-tight deployments (e.g. many
+//! shards on one box), so packing is now a build-time choice: an unpacked
+//! index scores cell members through the gathered kernel
+//! ([`gb_tensor::kernels::blend_dot_indexed`]) directly against the
+//! snapshot tables — zero extra item-table memory, bit-identical scores
+//! (both kernels run the same per-row lane-blocked dot), just a slower
+//! stream. [`IvfIndex::size_bytes`] reports the honest total either way:
+//! centroids + inverted lists + packed tables (if any).
+//!
 //! ## Exactness envelope
 //!
 //! Probing is the only approximation. Survivor scores come from the same
-//! lane-blocked dot as the exhaustive pass — [`IvfIndex::score_cell`]
-//! streams each probed cell's *packed* item tables through the very
-//! kernel the exhaustive walk uses — and the serving heap
+//! lane-blocked dot as the exhaustive pass, and the serving heap
 //! selects under a *strict total order* (descending score, ascending
 //! item id) — so its kept set and output order depend only on the set of
 //! `(item, score)` pairs offered, never on the order they arrive. With
@@ -46,11 +60,20 @@
 
 use gb_models::EmbeddingSnapshot;
 use gb_tensor::{kernels, kmeans, Matrix};
+use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Lloyd iterations used for index builds. Routing quality saturates
 /// quickly — the index only has to rank cells, not place centroids
 /// optimally — and build cost is linear in this.
 const KMEANS_ITERS: usize = 5;
+
+/// Contiguous per-cell copies of the item tables, rows in list order.
+#[derive(Clone, Debug)]
+struct PackedCells {
+    own: Vec<Matrix>,
+    social: Vec<Matrix>,
+}
 
 /// An inverted-file index over one snapshot's item catalogue.
 ///
@@ -69,22 +92,27 @@ pub struct IvfIndex {
     /// Per-centroid item ids, each list ascending (items are assigned in
     /// ascending id order).
     lists: Vec<Vec<u32>>,
-    /// Per-cell *packed* copies of the item tables, rows in list order.
-    /// This is the half of IVF that makes probing fast, not just small:
-    /// a cell's members are scattered across the catalogue tables (a
-    /// gather of ~every `n_clusters`-th row defeats the prefetcher), but
-    /// packed they stream sequentially through the same blocked kernel
-    /// as the exhaustive walk. Costs one extra copy of the item tables
-    /// across all cells — the standard IVF memory trade.
-    packed_own: Vec<Matrix>,
-    packed_social: Vec<Matrix>,
+    /// Packed per-cell item tables when the build opted into the
+    /// memory-for-bandwidth trade; `None` scores cells in place through
+    /// the gathered kernel.
+    packed: Option<PackedCells>,
 }
 
 impl IvfIndex {
     /// Clusters `snapshot`'s concatenated item vectors into `n_clusters`
     /// cells (clamped to the catalogue size) with a seeded deterministic
-    /// k-means, and tags the index with `version`.
-    pub fn build(snapshot: &EmbeddingSnapshot, version: u64, n_clusters: usize, seed: u64) -> Self {
+    /// k-means, and tags the index with `version`. `packed` chooses the
+    /// cell-scoring layout (see the module docs): `true` copies each
+    /// cell's item rows into contiguous tables for sequential streaming,
+    /// `false` keeps only the inverted lists and scores against the
+    /// snapshot tables in place. Rankings are bit-identical either way.
+    pub fn build(
+        snapshot: &EmbeddingSnapshot,
+        version: u64,
+        n_clusters: usize,
+        seed: u64,
+        packed: bool,
+    ) -> Self {
         let n = snapshot.n_items();
         let od = snapshot.own_dim();
         let sd = snapshot.social_dim();
@@ -102,27 +130,33 @@ impl IvfIndex {
         for (item, &cell) in km.assignments.iter().enumerate() {
             lists[cell as usize].push(item as u32);
         }
-        let packed_own = lists
-            .iter()
-            .map(|list| kernels::gather_rows(item_own, list))
-            .collect();
-        let packed_social = lists
-            .iter()
-            .map(|list| kernels::gather_rows(item_social, list))
-            .collect();
+        let packed = packed.then(|| PackedCells {
+            own: lists
+                .iter()
+                .map(|list| kernels::gather_rows(item_own, list))
+                .collect(),
+            social: lists
+                .iter()
+                .map(|list| kernels::gather_rows(item_social, list))
+                .collect(),
+        });
         Self {
             version,
             own_dim: od,
             centroids: km.centroids,
             lists,
-            packed_own,
-            packed_social,
+            packed,
         }
     }
 
     /// The snapshot version this index was built from.
     pub fn version(&self) -> u64 {
         self.version
+    }
+
+    /// Whether this index carries packed per-cell item tables.
+    pub fn is_packed(&self) -> bool {
+        self.packed.is_some()
     }
 
     /// Number of cells (≤ the requested `n_clusters` only when the
@@ -137,10 +171,14 @@ impl IvfIndex {
     }
 
     /// Scores the members `[start, start + out.len())` of one cell's
-    /// list for `user` into `out`, streaming the cell's *packed* item
-    /// tables through the same blocked kernel as the exhaustive
-    /// catalogue walk — `out[j]` is the (bit-identical) served score of
-    /// item `self.list(cell)[start + j]`.
+    /// list for `user` into `out` — `out[j]` is the (bit-identical)
+    /// served score of item `self.list(cell)[start + j]`.
+    ///
+    /// A packed index streams the cell's contiguous item tables through
+    /// the blocked kernel of the exhaustive walk; an unpacked index
+    /// gathers the same rows from the snapshot tables through the
+    /// indexed kernel. Both run the identical per-row lane-blocked dot,
+    /// so every score is bit-identical across layouts.
     ///
     /// # Panics
     /// Panics if `user` is out of range, the range exceeds the cell, or
@@ -153,27 +191,44 @@ impl IvfIndex {
         start: usize,
         out: &mut [f32],
     ) {
-        kernels::blend_dot_block(
-            snapshot.user_own().row(user as usize),
-            &self.packed_own[cell],
-            snapshot.user_social().row(user as usize),
-            &self.packed_social[cell],
-            snapshot.alpha(),
-            start,
-            out,
-        );
+        match &self.packed {
+            Some(packed) => kernels::blend_dot_block(
+                snapshot.user_own().row(user as usize),
+                &packed.own[cell],
+                snapshot.user_social().row(user as usize),
+                &packed.social[cell],
+                snapshot.alpha(),
+                start,
+                out,
+            ),
+            None => kernels::blend_dot_indexed(
+                snapshot.user_own().row(user as usize),
+                snapshot.item_own(),
+                snapshot.user_social().row(user as usize),
+                snapshot.item_social(),
+                snapshot.alpha(),
+                &self.lists[cell][start..start + out.len()],
+                out,
+            ),
+        }
     }
 
-    /// Heap footprint of the packed per-cell tables in bytes (the
-    /// centroids and lists are negligible next to them) — effectively
-    /// one extra copy of the snapshot's item tables.
+    /// Honest heap footprint of the index in bytes: centroids, inverted
+    /// lists, and — only when built packed — the per-cell item-table
+    /// copies. (An earlier revision reported the packed tables alone,
+    /// understating unpacked indexes as free and omitting routing state.)
     pub fn size_bytes(&self) -> usize {
-        4 * (self
-            .packed_own
-            .iter()
-            .chain(self.packed_social.iter())
-            .map(Matrix::len)
-            .sum::<usize>())
+        let centroids = 4 * self.centroids.len();
+        let lists = 4 * self.lists.iter().map(Vec::len).sum::<usize>();
+        let packed = match &self.packed {
+            Some(p) => {
+                4 * (p.own.iter().chain(p.social.iter()))
+                    .map(Matrix::len)
+                    .sum::<usize>()
+            }
+            None => 0,
+        };
+        centroids + lists + packed
     }
 
     /// The user's routing vector in the concatenated item space:
@@ -192,6 +247,23 @@ impl IvfIndex {
             .collect()
     }
 
+    /// Ranks every cell against one routing vector, best first (ties
+    /// toward the lower cell index), truncated to `n_probe`.
+    fn route(&self, query: &[f32], n_probe: usize) -> Vec<usize> {
+        let k = self.lists.len();
+        assert_eq!(
+            query.len(),
+            self.centroids.cols(),
+            "snapshot embedding widths disagree with the IVF index"
+        );
+        let mut ranked: Vec<(usize, f32)> = (0..k)
+            .map(|j| (j, kernels::dot(query, self.centroids.row(j))))
+            .collect();
+        ranked.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        ranked.truncate(n_probe.max(1).min(k));
+        ranked.into_iter().map(|(j, _)| j).collect()
+    }
+
     /// The `n_probe` cell indices whose centroids score best against the
     /// user's routing vector, best first (ties toward the lower cell
     /// index). This is the per-query routing step — `n_clusters` dots
@@ -208,22 +280,44 @@ impl IvfIndex {
         user: u32,
         n_probe: usize,
     ) -> Vec<usize> {
-        let k = self.lists.len();
-        if k == 0 {
+        if self.lists.is_empty() {
             return Vec::new();
         }
-        let query = self.query_vector(snapshot, user);
-        assert_eq!(
-            query.len(),
-            self.centroids.cols(),
-            "snapshot embedding widths disagree with the IVF index"
-        );
-        let mut ranked: Vec<(usize, f32)> = (0..k)
-            .map(|j| (j, kernels::dot(&query, self.centroids.row(j))))
-            .collect();
-        ranked.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
-        ranked.truncate(n_probe.max(1).min(k));
-        ranked.into_iter().map(|(j, _)| j).collect()
+        self.route(&self.query_vector(snapshot, user), n_probe)
+    }
+
+    /// [`IvfIndex::probe_cells`] for a coalesced user block: routing is
+    /// computed once per *distinct* routing vector and shared across
+    /// duplicates (queued duplicate users are common under bursty
+    /// coalesced serving, and routing costs `n_clusters` dots each). The
+    /// returned slot `i` holds exactly what `probe_cells(snapshot,
+    /// users[i], n_probe)` returns — deduplication keys on the routing
+    /// vector's raw bits, so only provably identical routes are shared.
+    ///
+    /// # Panics
+    /// Panics if any user is out of range for `snapshot`, or `snapshot`
+    /// disagrees with the index on embedding widths.
+    pub fn probe_cells_block(
+        &self,
+        snapshot: &EmbeddingSnapshot,
+        users: &[u32],
+        n_probe: usize,
+    ) -> Vec<Arc<Vec<usize>>> {
+        if self.lists.is_empty() {
+            return users.iter().map(|_| Arc::new(Vec::new())).collect();
+        }
+        let mut memo: HashMap<Vec<u32>, Arc<Vec<usize>>> = HashMap::new();
+        users
+            .iter()
+            .map(|&user| {
+                let query = self.query_vector(snapshot, user);
+                let key: Vec<u32> = query.iter().map(|v| v.to_bits()).collect();
+                Arc::clone(
+                    memo.entry(key)
+                        .or_insert_with(|| Arc::new(self.route(&query, n_probe))),
+                )
+            })
+            .collect()
     }
 }
 
@@ -257,7 +351,7 @@ mod tests {
     #[test]
     fn lists_partition_the_catalogue() {
         let snap = snapshot(97);
-        let index = IvfIndex::build(&snap, 1, 8, 0);
+        let index = IvfIndex::build(&snap, 1, 8, 0, true);
         assert_eq!(index.version(), 1);
         let mut all: Vec<u32> = (0..index.n_clusters())
             .flat_map(|c| index.list(c).to_vec())
@@ -273,7 +367,7 @@ mod tests {
     #[test]
     fn full_probe_returns_the_whole_catalogue_ascending() {
         let snap = snapshot(60);
-        let index = IvfIndex::build(&snap, 1, 6, 0);
+        let index = IvfIndex::build(&snap, 1, 6, 0, true);
         for user in 0..5u32 {
             let cands = probe(&index, &snap, user, index.n_clusters());
             assert_eq!(cands, (0..60u32).collect::<Vec<_>>(), "user {user}");
@@ -285,7 +379,7 @@ mod tests {
     #[test]
     fn partial_probe_is_a_sorted_subset_of_cells() {
         let snap = snapshot(80);
-        let index = IvfIndex::build(&snap, 1, 8, 0);
+        let index = IvfIndex::build(&snap, 1, 8, 0, true);
         let cands = probe(&index, &snap, 2, 3);
         assert!(cands.windows(2).all(|w| w[0] < w[1]), "sorted, no dups");
         assert!(cands.len() < 80, "a partial probe prunes something");
@@ -298,8 +392,8 @@ mod tests {
     #[test]
     fn same_seed_builds_identical_indexes() {
         let snap = snapshot(50);
-        let a = IvfIndex::build(&snap, 3, 5, 99);
-        let b = IvfIndex::build(&snap, 3, 5, 99);
+        let a = IvfIndex::build(&snap, 3, 5, 99, true);
+        let b = IvfIndex::build(&snap, 3, 5, 99, true);
         assert_eq!(a.n_clusters(), b.n_clusters());
         for c in 0..a.n_clusters() {
             assert_eq!(a.list(c), b.list(c), "cell {c}");
@@ -309,15 +403,74 @@ mod tests {
     #[test]
     fn clusters_clamp_to_catalogue_size() {
         let snap = snapshot(3);
-        let index = IvfIndex::build(&snap, 1, 16, 0);
+        let index = IvfIndex::build(&snap, 1, 16, 0, true);
         assert_eq!(index.n_clusters(), 3);
     }
 
     #[test]
     fn empty_catalogue_probes_empty() {
         let snap = snapshot(0);
-        let index = IvfIndex::build(&snap, 1, 4, 0);
+        let index = IvfIndex::build(&snap, 1, 4, 0, true);
         assert_eq!(index.n_clusters(), 0);
         assert!(probe(&index, &snap, 0, 4).is_empty());
+        // The block router handles the empty index too.
+        let routes = index.probe_cells_block(&snap, &[0, 1], 4);
+        assert!(routes.iter().all(|r| r.is_empty()));
+    }
+
+    #[test]
+    fn unpacked_scores_match_packed_bitwise() {
+        let snap = snapshot(73);
+        let packed = IvfIndex::build(&snap, 1, 6, 0, true);
+        let unpacked = IvfIndex::build(&snap, 1, 6, 0, false);
+        assert!(packed.is_packed() && !unpacked.is_packed());
+        for c in 0..packed.n_clusters() {
+            assert_eq!(packed.list(c), unpacked.list(c), "same clustering");
+            let n = packed.list(c).len();
+            // Score in misaligned sub-ranges to cover start offsets.
+            for (start, take) in [(0usize, n), (1, n.saturating_sub(1)), (n / 2, n - n / 2)] {
+                for user in 0..3u32 {
+                    let mut a = vec![0.0f32; take];
+                    let mut b = vec![0.0f32; take];
+                    packed.score_cell(&snap, user, c, start, &mut a);
+                    unpacked.score_cell(&snap, user, c, start, &mut b);
+                    for (x, y) in a.iter().zip(&b) {
+                        assert_eq!(x.to_bits(), y.to_bits(), "cell {c} user {user}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn size_bytes_reports_the_layout_difference() {
+        let snap = snapshot(100);
+        let packed = IvfIndex::build(&snap, 1, 5, 0, true);
+        let unpacked = IvfIndex::build(&snap, 1, 5, 0, false);
+        // Both count centroids + lists; packed adds one full copy of the
+        // item tables (100 items × (6 own + 4 social) × 4 bytes).
+        assert_eq!(packed.size_bytes(), unpacked.size_bytes() + 100 * 10 * 4);
+        assert!(unpacked.size_bytes() > 0, "routing state is not free");
+    }
+
+    #[test]
+    fn block_routing_matches_single_routing_and_shares_duplicates() {
+        let snap = snapshot(90);
+        let index = IvfIndex::build(&snap, 1, 9, 0, true);
+        let users = [3u32, 0, 3, 1, 3, 0];
+        let routes = index.probe_cells_block(&snap, &users, 3);
+        assert_eq!(routes.len(), users.len());
+        for (slot, &user) in users.iter().enumerate() {
+            assert_eq!(
+                *routes[slot],
+                index.probe_cells(&snap, user, 3),
+                "slot {slot}"
+            );
+        }
+        // Duplicate users share one routing allocation.
+        assert!(Arc::ptr_eq(&routes[0], &routes[2]));
+        assert!(Arc::ptr_eq(&routes[2], &routes[4]));
+        assert!(Arc::ptr_eq(&routes[1], &routes[5]));
+        assert!(!Arc::ptr_eq(&routes[0], &routes[1]));
     }
 }

@@ -56,12 +56,27 @@
 //!   scored (with the exact kernels — survivor scores are bit-identical,
 //!   and probing every cell reproduces exact serving bit-for-bit). The
 //!   index is version-tagged and rebuilt on publish.
+//! * [`router::ShardedEngine`] — the scale-out tier: partitions the
+//!   catalogue across N shard engines along a [`shard::ShardPlan`]
+//!   (contiguous zero-copy snapshot/filter slices, per-shard IVF),
+//!   scatters each query to every shard, and merges the gathered
+//!   per-shard top-k under the same strict total order — bitwise
+//!   identical to a single engine at any shard count, with per-shard +
+//!   merge stage timing for tail attribution.
+//! * [`mmap`] — a mappable v2 snapshot layout: 64-byte-aligned raw-f32
+//!   sections behind a fixed header, validated in `O(1)` and served
+//!   straight from the page cache (raw-syscall `mmap` with a heap
+//!   fallback), so a multi-GB shard opens in microseconds instead of a
+//!   streaming parse.
 //! * [`service::RecommendService`] — a std-thread worker pool consuming
 //!   a bounded request queue; workers coalesce queued same-`k` queries
-//!   into shared catalogue passes. Per-request *enqueue→reply* latency
-//!   (queue wait included) feeds [`gb_eval::timing::Stopwatch`];
-//!   non-finite scores are dropped by [`topk::TopK::push`] so a diverged
-//!   snapshot can never serve a NaN ranking.
+//!   into shared catalogue passes, sized adaptively from the live queue
+//!   depth ([`service::coalesce_limit`]). Generic over [`ServeEngine`],
+//!   so a [`router::ShardedEngine`] drops in behind the same queue.
+//!   Per-request *enqueue→reply* latency (queue wait included) feeds
+//!   [`gb_eval::timing::Stopwatch`]; non-finite scores are dropped by
+//!   [`topk::TopK::push`] so a diverged snapshot can never serve a NaN
+//!   ranking.
 //!
 //! Served rankings are *provably consistent* with offline evaluation:
 //! the blocked kernel accumulates in the same order as the
@@ -78,15 +93,21 @@
 pub mod cache;
 pub mod engine;
 pub mod ivf;
+pub mod mmap;
+pub mod router;
 pub mod service;
+pub mod shard;
 pub mod snapshot_io;
 pub mod topk;
 
 pub use cache::LruCache;
-pub use engine::{EngineConfig, QueryEngine, Retrieval};
+pub use engine::{EngineConfig, QueryEngine, Retrieval, ServeEngine};
 pub use gb_models::{EmbeddingSnapshot, SnapshotHandle, SnapshotSource, VersionedSnapshot};
 pub use ivf::IvfIndex;
+pub use mmap::{open_mmap_snapshot, open_mmap_snapshot_heap, save_mmap_snapshot};
+pub use router::{ShardedConfig, ShardedEngine};
 pub use service::{RecommendService, ServiceConfig};
+pub use shard::ShardPlan;
 pub use snapshot_io::{load_from_path, load_snapshot, save_snapshot, save_to_path};
 pub use topk::{ScoredItem, TopK};
 

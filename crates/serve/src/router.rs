@@ -1,0 +1,602 @@
+//! Scatter-gather serving over a sharded catalogue.
+//!
+//! One [`QueryEngine`] owns the whole item catalogue — which caps a
+//! deployment at whatever one snapshot, one seen-filter, and one IVF
+//! build fit in RAM. [`ShardedEngine`] lifts that cap: a [`ShardPlan`]
+//! splits the catalogue into N contiguous ranges, each range is served
+//! by its own `QueryEngine` (zero-copy snapshot slice, word-shifted
+//! seen-filter slice, independently built IVF index), and a query
+//! *scatters* to every shard, *gathers* the per-shard top-K, and merges.
+//!
+//! ## Why the merge is provably bit-identical
+//!
+//! Three facts compose into the identity the proptests pin down
+//! (`shard_proptests.rs`):
+//!
+//! 1. **Per-item scores are position-independent.** A score is a pure
+//!    function of `(user row, item row, α)`; the blocked kernel's
+//!    accumulation order never depends on where in a table the item row
+//!    sits, so shard-local scores are bit-identical to single-engine
+//!    scores for the same global item.
+//! 2. **Per-shard top-k is a superset of the global top-k's members in
+//!    that shard's range.** Every member of the global top-k that lives
+//!    in shard `s` would also make shard `s`'s local top-k (the local
+//!    candidate set is a subset, so local competition is weaker).
+//! 3. **The heap's output depends only on the offered set.**
+//!    [`TopK`] selects under a strict total order (descending score,
+//!    ascending item id; non-finite scores dropped at the door on both
+//!    paths), so re-offering the gathered, id-translated candidates to
+//!    a fresh `TopK` reproduces the single-engine selection exactly —
+//!    arrival order, shard count, and shard boundaries all cancel out.
+//!
+//! (IVF caveat: with *partial* probing, a sharded deployment clusters
+//! each shard independently, so its candidate sets differ from a
+//! single-engine build's — identity holds for exact retrieval and for
+//! full-probe IVF, which is exact by construction.)
+//!
+//! ## One version, every shard
+//!
+//! All shards hang off *one* global [`SnapshotHandle`]. A query loads
+//! the current `Arc<VersionedSnapshot>` once, resolves the per-shard
+//! slice set for exactly that version ([`ShardedEngine`] keeps a
+//! two-slot version cache of slice sets, mirroring the engine's IVF
+//! cache), and scatters with explicit
+//! [`QueryEngine::recommend_at`]-style calls — so a publish landing
+//! mid-scatter can never tear a response across versions: every shard
+//! answers from the same publish, and the merged response reports that
+//! version. Publishing through [`ShardedEngine::publish`] shares the
+//! tables first ([`EmbeddingSnapshot::to_shared`]), so the N slices of
+//! a version alias one copy of the catalogue.
+
+use crate::engine::{EngineConfig, QueryEngine, Retrieval, ServeEngine};
+use crate::shard::ShardPlan;
+use crate::topk::{ScoredItem, TopK};
+use gb_eval::timing::LatencyBreakdown;
+use gb_graph::BitMatrix;
+use gb_models::{EmbeddingSnapshot, SnapshotHandle, VersionedSnapshot};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::{Duration, Instant};
+
+/// Tuning knobs for [`ShardedEngine`].
+#[derive(Clone, Debug)]
+pub struct ShardedConfig {
+    /// Number of catalogue shards (clamped to at least 1).
+    pub n_shards: usize,
+    /// Scatter to shards on spawned scoped threads (`true`) or serve
+    /// them sequentially on the caller's thread (`false`, the default —
+    /// on a single-core host the threaded scatter only adds switch
+    /// overhead; flip it on when shards get their own cores).
+    pub parallel_scatter: bool,
+    /// Per-shard engine tuning. `cache_capacity` and `user_block` apply
+    /// per shard; `retrieval: Ivf` builds one independent index per
+    /// shard (each clustering only its own item range — build cost per
+    /// shard shrinks superlinearly with the slice).
+    pub engine: EngineConfig,
+}
+
+impl Default for ShardedConfig {
+    fn default() -> Self {
+        Self {
+            n_shards: 4,
+            parallel_scatter: false,
+            engine: EngineConfig::default(),
+        }
+    }
+}
+
+/// The per-shard slice set of one published version: slice `s` is the
+/// sub-snapshot of shard `s`'s item range, tagged with the *global*
+/// version so shard engines cache/build against it.
+struct ShardSet {
+    version: u64,
+    slices: Vec<Arc<VersionedSnapshot>>,
+}
+
+/// N shard engines behind one handle, merged under the single-engine
+/// total order — bit-identical to an unsharded [`QueryEngine`] at any
+/// shard count (see the module docs for the argument, and
+/// `shard_proptests.rs` for the property tests).
+pub struct ShardedEngine {
+    handle: SnapshotHandle,
+    plan: ShardPlan,
+    shards: Vec<QueryEngine>,
+    /// Slice sets by version, newest last; the two most recent versions
+    /// are kept so queries pinned across a publish don't thrash slice
+    /// rebuilds (same shape as the engine's IVF two-slot cache).
+    sets: RwLock<Vec<Arc<ShardSet>>>,
+    /// Serializes slice-set *builds* so a post-publish thundering herd
+    /// shares one build instead of racing N identical ones.
+    set_build: Mutex<()>,
+    parallel: bool,
+    /// Per-shard scatter latency plus the merge stage, for tail
+    /// attribution ("which shard drags p99?").
+    timing: Mutex<LatencyBreakdown>,
+}
+
+impl ShardedEngine {
+    /// A sharded engine over `snapshot` with `n_shards` shards and
+    /// default per-shard tuning.
+    pub fn new(snapshot: EmbeddingSnapshot, n_shards: usize) -> Self {
+        Self::with_config(
+            snapshot,
+            ShardedConfig {
+                n_shards,
+                ..Default::default()
+            },
+        )
+    }
+
+    /// A sharded engine with explicit tuning. The snapshot's tables are
+    /// shared once up front so the per-shard slices are zero-copy views.
+    pub fn with_config(snapshot: EmbeddingSnapshot, cfg: ShardedConfig) -> Self {
+        Self::with_handle(SnapshotHandle::new(snapshot.to_shared()), cfg)
+    }
+
+    /// A sharded engine over a shared [`SnapshotHandle`] — snapshots
+    /// published to the handle (e.g. by a trainer mid-run) are served by
+    /// the very next query, every shard switching atomically to the new
+    /// version. Prefer publishing via [`ShardedEngine::publish`], which
+    /// shares the tables before they reach the handle; an owned snapshot
+    /// published directly costs one sharing copy at first query.
+    pub fn with_handle(handle: SnapshotHandle, cfg: ShardedConfig) -> Self {
+        let cur = handle.load();
+        let plan = ShardPlan::balanced(cur.snapshot().n_items(), cfg.n_shards);
+        let shared = cur.snapshot().to_shared();
+        let shards: Vec<QueryEngine> = plan
+            .ranges()
+            .iter()
+            .map(|&(start, len)| {
+                QueryEngine::with_config(shared.slice_items(start, len), cfg.engine.clone())
+            })
+            .collect();
+        let slices = plan
+            .ranges()
+            .iter()
+            .map(|&(start, len)| {
+                Arc::new(VersionedSnapshot::new(
+                    cur.version(),
+                    shared.slice_items(start, len),
+                ))
+            })
+            .collect();
+        let labels: Vec<String> = (0..plan.n_shards())
+            .map(|s| format!("shard{s}"))
+            .chain(std::iter::once("merge".to_string()))
+            .collect();
+        Self {
+            handle,
+            plan,
+            shards,
+            sets: RwLock::new(vec![Arc::new(ShardSet {
+                version: cur.version(),
+                slices,
+            })]),
+            set_build: Mutex::new(()),
+            parallel: cfg.parallel_scatter,
+            timing: Mutex::new(LatencyBreakdown::new(labels)),
+        }
+    }
+
+    /// Installs a seen-item filter, sliced per shard: shard `s` receives
+    /// the columns of its item range ([`BitMatrix::slice_cols`]), so its
+    /// local word-probes test exactly the global bits of its items.
+    /// Filtered items never appear in merged results.
+    ///
+    /// # Panics
+    /// Panics if the bitset shape disagrees with the served snapshot.
+    pub fn with_seen_filter(mut self, filter: BitMatrix) -> Self {
+        let cur = self.handle.load();
+        assert_eq!(
+            filter.rows(),
+            cur.snapshot().n_users(),
+            "filter user count mismatch"
+        );
+        assert_eq!(
+            filter.cols(),
+            cur.snapshot().n_items(),
+            "filter item count mismatch"
+        );
+        let plan = self.plan.clone();
+        self.shards = self
+            .shards
+            .into_iter()
+            .enumerate()
+            .map(|(s, engine)| {
+                let (start, len) = plan.range(s);
+                engine.with_seen_filter(filter.slice_cols(start, len))
+            })
+            .collect();
+        self
+    }
+
+    /// The global handle every shard serves from; publish to it (or via
+    /// [`ShardedEngine::publish`]) to hot-swap all shards atomically.
+    pub fn handle(&self) -> &SnapshotHandle {
+        &self.handle
+    }
+
+    /// Publishes a new snapshot to every shard at once, returning its
+    /// version. The tables are shared before they reach the handle, so
+    /// the per-shard slices built at first query alias one copy.
+    pub fn publish(&self, snapshot: EmbeddingSnapshot) -> u64 {
+        self.handle.publish(snapshot.to_shared())
+    }
+
+    /// The partition being served.
+    pub fn plan(&self) -> &ShardPlan {
+        &self.plan
+    }
+
+    /// Number of shards.
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard engines, plan order (read-only introspection).
+    pub fn shards(&self) -> &[QueryEngine] {
+        &self.shards
+    }
+
+    /// A point-in-time copy of the per-shard/merge latency attribution:
+    /// stages `shard0..shardN-1` record each shard's scatter service
+    /// time per query, stage `merge` the gather-merge. Under
+    /// `parallel_scatter` the per-shard stages still record true
+    /// per-shard durations (measured on the shard's thread).
+    pub fn latency_breakdown(&self) -> LatencyBreakdown {
+        self.timing.lock().expect("timing lock").clone()
+    }
+
+    /// Users in the served universe (fixed across publishes).
+    pub fn n_users(&self) -> usize {
+        self.handle.load().snapshot().n_users()
+    }
+
+    /// Top-`k` unseen items for `user` across the whole catalogue, best
+    /// first — bit-identical to a single-engine run at any shard count.
+    ///
+    /// # Panics
+    /// Panics if `user` is out of range for the served snapshot.
+    pub fn recommend(&self, user: u32, k: usize) -> Arc<Vec<ScoredItem>> {
+        self.recommend_versioned(user, k).1
+    }
+
+    /// Like [`ShardedEngine::recommend`], also reporting the snapshot
+    /// version that produced the response. Every shard contribution is
+    /// pinned to exactly that version, even across a concurrent publish.
+    pub fn recommend_versioned(&self, user: u32, k: usize) -> (u64, Arc<Vec<ScoredItem>>) {
+        let cur = self.handle.load();
+        self.check_user(&cur, user);
+        let set = self.set_for(&cur);
+        let (locals, shard_times) =
+            self.scatter(&set, |shard, slice| shard.recommend_at(slice, user, k));
+        let merge_start = Instant::now();
+        let mut topk = TopK::new(k);
+        self.offer_locals(&mut topk, locals.iter().map(|l| l.as_slice()));
+        let merged = Arc::new(topk.into_sorted());
+        self.record_query(&shard_times, merge_start.elapsed());
+        (cur.version(), merged)
+    }
+
+    /// Top-`k` per user, all pinned to one snapshot version: each shard
+    /// answers the whole (deduplicated) block through its batched path,
+    /// then per-user gathers merge under the global order. Results are
+    /// in input order; duplicates share one `Arc`; every per-user result
+    /// is bit-identical to solo [`ShardedEngine::recommend`] — and to a
+    /// single unsharded engine.
+    ///
+    /// # Panics
+    /// Panics if any user is out of range for the served snapshot.
+    pub fn recommend_many(&self, users: &[u32], k: usize) -> (u64, Vec<Arc<Vec<ScoredItem>>>) {
+        let cur = self.handle.load();
+        for &user in users {
+            self.check_user(&cur, user);
+        }
+        if users.is_empty() {
+            return (cur.version(), Vec::new());
+        }
+        let set = self.set_for(&cur);
+        // Scatter only distinct users; duplicate slots share the merge.
+        let mut first_of: HashMap<u32, usize> = HashMap::with_capacity(users.len());
+        let mut distinct: Vec<u32> = Vec::new();
+        for &user in users {
+            first_of.entry(user).or_insert_with(|| {
+                distinct.push(user);
+                distinct.len() - 1
+            });
+        }
+        let (per_shard, shard_times) = self.scatter(&set, |shard, slice| {
+            shard.recommend_many_at(slice, &distinct, k)
+        });
+        let merge_start = Instant::now();
+        let merged: Vec<Arc<Vec<ScoredItem>>> = (0..distinct.len())
+            .map(|i| {
+                let mut topk = TopK::new(k);
+                self.offer_locals(&mut topk, per_shard.iter().map(|rows| rows[i].as_slice()));
+                Arc::new(topk.into_sorted())
+            })
+            .collect();
+        let out = users
+            .iter()
+            .map(|user| Arc::clone(&merged[first_of[user]]))
+            .collect();
+        self.record_query(&shard_times, merge_start.elapsed());
+        (cur.version(), out)
+    }
+
+    /// Rejects out-of-range users against the pinned snapshot.
+    fn check_user(&self, cur: &VersionedSnapshot, user: u32) {
+        let n_users = cur.snapshot().n_users();
+        assert!(
+            (user as usize) < n_users,
+            "user {user} out of range ({n_users} users)"
+        );
+    }
+
+    /// The per-shard slice set for the pinned snapshot `cur`, building
+    /// (and caching, two versions deep) on first sight of a version.
+    /// Mirrors `QueryEngine::ivf_for`: lookups take a read lock, builds
+    /// serialize on a gate and re-check, so a post-publish herd builds
+    /// the N slices once.
+    fn set_for(&self, cur: &Arc<VersionedSnapshot>) -> Arc<ShardSet> {
+        let lookup = |sets: &[Arc<ShardSet>]| {
+            sets.iter()
+                .find(|s| s.version == cur.version())
+                .map(Arc::clone)
+        };
+        if let Some(set) = lookup(&self.sets.read().expect("set lock")) {
+            return set;
+        }
+        let _building = self.set_build.lock().expect("set build lock");
+        if let Some(set) = lookup(&self.sets.read().expect("set lock")) {
+            return set;
+        }
+        // Share once per version (O(1) if the publisher already shared),
+        // then slice zero-copy.
+        let shared = cur.snapshot().to_shared();
+        let slices = self
+            .plan
+            .ranges()
+            .iter()
+            .map(|&(start, len)| {
+                Arc::new(VersionedSnapshot::new(
+                    cur.version(),
+                    shared.slice_items(start, len),
+                ))
+            })
+            .collect();
+        let built = Arc::new(ShardSet {
+            version: cur.version(),
+            slices,
+        });
+        let mut sets = self.sets.write().expect("set lock");
+        sets.push(Arc::clone(&built));
+        sets.sort_by_key(|s| s.version);
+        if sets.len() > 2 {
+            sets.remove(0);
+        }
+        built
+    }
+
+    /// Runs `f` once per shard against that shard's slice of `set`,
+    /// returning per-shard results and service times in plan order.
+    /// With `parallel_scatter`, shards 1.. run on scoped threads while
+    /// shard 0 runs on the caller's thread; durations are measured on
+    /// the executing thread either way, so the attribution stays honest.
+    fn scatter<T: Send>(
+        &self,
+        set: &ShardSet,
+        f: impl Fn(&QueryEngine, &VersionedSnapshot) -> T + Sync,
+    ) -> (Vec<T>, Vec<Duration>) {
+        let run = |s: usize| {
+            let start = Instant::now();
+            let out = f(&self.shards[s], &set.slices[s]);
+            (out, start.elapsed())
+        };
+        let results: Vec<(T, Duration)> = if self.parallel && self.shards.len() > 1 {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (1..self.shards.len())
+                    .map(|s| scope.spawn(move || run(s)))
+                    .collect();
+                let mut all = Vec::with_capacity(self.shards.len());
+                all.push(run(0));
+                for handle in handles {
+                    all.push(handle.join().expect("shard scatter thread"));
+                }
+                all
+            })
+        } else {
+            (0..self.shards.len()).map(run).collect()
+        };
+        results.into_iter().unzip()
+    }
+
+    /// Offers every gathered local result to `topk`, translating each
+    /// shard's local item ids back to global ids (`global = shard range
+    /// start + local`). The heap's strict total order makes the offer
+    /// order irrelevant — this *is* the merge.
+    fn offer_locals<'a>(&self, topk: &mut TopK, locals: impl Iterator<Item = &'a [ScoredItem]>) {
+        for ((start, _), local) in self.plan.ranges().iter().zip(locals) {
+            let offset = *start as u32;
+            for entry in local {
+                topk.push(offset + entry.item, entry.score);
+            }
+        }
+    }
+
+    /// Records one query's per-shard and merge durations.
+    fn record_query(&self, shard_times: &[Duration], merge: Duration) {
+        let mut timing = self.timing.lock().expect("timing lock");
+        for (s, &d) in shard_times.iter().enumerate() {
+            timing.record(s, d);
+        }
+        timing.record(shard_times.len(), merge);
+    }
+}
+
+impl ServeEngine for ShardedEngine {
+    fn n_users(&self) -> usize {
+        ShardedEngine::n_users(self)
+    }
+
+    fn user_block(&self) -> usize {
+        // Uniform across shards (they share one EngineConfig).
+        self.shards[0].user_block()
+    }
+
+    fn has_cache(&self) -> bool {
+        self.shards[0].has_cache()
+    }
+
+    fn retrieval(&self) -> Retrieval {
+        self.shards[0].retrieval()
+    }
+
+    fn recommend_versioned(&self, user: u32, k: usize) -> (u64, Arc<Vec<ScoredItem>>) {
+        ShardedEngine::recommend_versioned(self, user, k)
+    }
+
+    fn recommend_many(&self, users: &[u32], k: usize) -> (u64, Vec<Arc<Vec<ScoredItem>>>) {
+        ShardedEngine::recommend_many(self, users, k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gb_tensor::Matrix;
+
+    fn snapshot(n_users: usize, n_items: usize, d: usize) -> EmbeddingSnapshot {
+        EmbeddingSnapshot::new(
+            0.4,
+            Matrix::from_fn(n_users, d, |r, c| ((r * 7 + c * 3) as f32 * 0.17).sin()),
+            Matrix::from_fn(n_items, d, |r, c| ((r * 5 + c) as f32 * 0.31).cos()),
+            Matrix::from_fn(n_users, d, |r, c| ((r + c * 11) as f32 * 0.13).sin()),
+            Matrix::from_fn(n_items, d, |r, c| ((r * 3 + c * 2) as f32 * 0.23).cos()),
+        )
+    }
+
+    fn pairs(items: &[ScoredItem]) -> Vec<(u32, u32)> {
+        items.iter().map(|e| (e.item, e.score.to_bits())).collect()
+    }
+
+    #[test]
+    fn sharded_matches_single_engine_bitwise() {
+        let snap = snapshot(5, 157, 8);
+        let single = QueryEngine::new(snap.clone());
+        for n_shards in [1usize, 2, 3, 5, 8] {
+            let sharded = ShardedEngine::new(snap.clone(), n_shards);
+            for user in 0..5u32 {
+                assert_eq!(
+                    pairs(&sharded.recommend(user, 10)),
+                    pairs(&single.recommend(user, 10)),
+                    "user {user} at {n_shards} shards"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_filter_slices_match_global_filter() {
+        let snap = snapshot(4, 130, 6);
+        let mut seen = BitMatrix::zeros(4, 130);
+        for item in (0..130).step_by(3) {
+            seen.set(1, item);
+        }
+        seen.set(2, 63);
+        seen.set(2, 64);
+        let single = QueryEngine::new(snap.clone()).with_seen_filter(seen.clone());
+        let sharded = ShardedEngine::new(snap, 3).with_seen_filter(seen);
+        for user in 0..4u32 {
+            assert_eq!(
+                pairs(&sharded.recommend(user, 130)),
+                pairs(&single.recommend(user, 130)),
+                "user {user}"
+            );
+        }
+    }
+
+    #[test]
+    fn publish_swaps_every_shard_to_the_new_version() {
+        let old = snapshot(4, 90, 8);
+        let new = snapshot(4, 90, 4);
+        let single = QueryEngine::new(new.clone());
+        let sharded = ShardedEngine::new(old, 4);
+        let (v1, _) = sharded.recommend_versioned(0, 5);
+        assert_eq!(v1, 1);
+        assert_eq!(sharded.publish(new), 2);
+        let (v2, got) = sharded.recommend_versioned(0, 90);
+        assert_eq!(v2, 2);
+        assert_eq!(pairs(&got), pairs(&single.recommend(0, 90)));
+    }
+
+    #[test]
+    fn recommend_many_merges_like_solo_queries() {
+        let snap = snapshot(6, 101, 8);
+        let sharded = ShardedEngine::new(snap, 4);
+        let users = [3u32, 0, 3, 5, 1, 3];
+        let (_, many) = ShardedEngine::recommend_many(&sharded, &users, 7);
+        assert_eq!(many.len(), users.len());
+        for (slot, &user) in users.iter().enumerate() {
+            assert_eq!(pairs(&many[slot]), pairs(&sharded.recommend(user, 7)));
+        }
+        // Duplicates share one Arc.
+        assert!(Arc::ptr_eq(&many[0], &many[2]));
+        assert!(Arc::ptr_eq(&many[2], &many[5]));
+    }
+
+    #[test]
+    fn parallel_scatter_is_bitwise_identical_to_sequential() {
+        let snap = snapshot(4, 200, 8);
+        let sequential = ShardedEngine::new(snap.clone(), 4);
+        let parallel = ShardedEngine::with_config(
+            snap,
+            ShardedConfig {
+                n_shards: 4,
+                parallel_scatter: true,
+                ..Default::default()
+            },
+        );
+        for user in 0..4u32 {
+            assert_eq!(
+                pairs(&parallel.recommend(user, 20)),
+                pairs(&sequential.recommend(user, 20))
+            );
+        }
+    }
+
+    #[test]
+    fn latency_breakdown_attributes_per_shard_and_merge() {
+        let sharded = ShardedEngine::new(snapshot(3, 60, 4), 3);
+        sharded.recommend(0, 5);
+        ShardedEngine::recommend_many(&sharded, &[1, 2], 5);
+        let breakdown = sharded.latency_breakdown();
+        assert_eq!(breakdown.n_stages(), 4, "3 shards + merge");
+        assert_eq!(breakdown.label(3), "merge");
+        for stage in 0..4 {
+            assert_eq!(
+                breakdown.stage(stage).n_samples(),
+                2,
+                "each query records every stage"
+            );
+        }
+    }
+
+    #[test]
+    fn more_shards_than_items_serves_empty_tail_shards() {
+        let snap = snapshot(3, 5, 4);
+        let single = QueryEngine::new(snap.clone());
+        let sharded = ShardedEngine::new(snap, 8);
+        assert_eq!(sharded.n_shards(), 8);
+        assert_eq!(
+            pairs(&sharded.recommend(1, 5)),
+            pairs(&single.recommend(1, 5))
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_user_panics() {
+        ShardedEngine::new(snapshot(2, 10, 4), 2).recommend(2, 1);
+    }
+}

@@ -1,22 +1,30 @@
 //! The concurrent query front: a std-thread worker pool over a bounded
 //! request queue.
 //!
-//! [`RecommendService`] owns an [`Arc<QueryEngine>`] (snapshot, filter,
-//! and cache are all shared, read-mostly state) and `n` worker threads
-//! draining a bounded channel. Callers block on a per-request reply
-//! channel — classic request/response over `std::sync::mpsc`, no async
-//! runtime required.
+//! [`RecommendService`] owns an `Arc` of any [`ServeEngine`] — a single
+//! [`QueryEngine`] or a [`ShardedEngine`](crate::router::ShardedEngine)
+//! behind the same queue — and `n` worker threads draining a bounded
+//! channel. Callers block on a per-request reply channel — classic
+//! request/response over `std::sync::mpsc`, no async runtime required.
 //!
-//! ## Query coalescing
+//! ## Adaptive query coalescing
 //!
 //! The catalogue pass is memory-bound on the item tables, so a worker
-//! that pops a query also drains up to `user_block - 1` more *compatible*
-//! queued queries (same `k`; one engine call pins one snapshot version
-//! for all of them) and answers the whole group through
-//! [`QueryEngine::recommend_many`] — one catalogue pass per group instead
-//! of one per request. Coalescing never changes any response: per-user
-//! results are bit-identical to sequential serving, only the latency
-//! distribution moves.
+//! that pops a query also drains more *compatible* queued queries (same
+//! `k`; one engine call pins one snapshot version for all of them) and
+//! answers the whole group through [`ServeEngine::recommend_many`] — one
+//! catalogue pass per `user_block` users instead of one per request.
+//!
+//! How greedily a worker drains is sized from the live queue depth
+//! ([`coalesce_limit`]): an idle service groups at most `user_block`
+//! (grabbing more would only add queue wait for work that saves
+//! nothing), while under backlog the group grows toward
+//! `ServiceConfig::coalesce_cap` so one dequeue amortizes lock and
+//! dispatch overhead across a burst — the engine still walks the
+//! catalogue in `user_block`-sized chunks internally, so a large group
+//! costs the same passes, just fewer handoffs. Coalescing never changes
+//! any response: per-user results are bit-identical to sequential
+//! serving, only the latency distribution moves.
 //!
 //! ## Latency semantics
 //!
@@ -28,10 +36,10 @@
 //! [`RecommendService::requests_served`] is a separate monotone counter
 //! that draining does not reset.
 
-use crate::engine::QueryEngine;
+use crate::engine::{QueryEngine, ServeEngine};
 use crate::topk::ScoredItem;
 use gb_eval::timing::Stopwatch;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TryRecvError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -46,6 +54,10 @@ pub struct ServiceConfig {
     pub queue_depth: usize,
     /// `k` used by [`RecommendService::warm`] to pre-populate the cache.
     pub warm_k: usize,
+    /// Upper bound on one coalesced group. The effective per-dequeue
+    /// limit adapts between the engine's `user_block` and this cap with
+    /// the live queue depth (see [`coalesce_limit`]).
+    pub coalesce_cap: usize,
 }
 
 impl Default for ServiceConfig {
@@ -54,8 +66,21 @@ impl Default for ServiceConfig {
             workers: 4,
             queue_depth: 256,
             warm_k: 10,
+            coalesce_cap: 64,
         }
     }
+}
+
+/// The group-size limit for one dequeue, given the engine's preferred
+/// block, the queue depth observed at dequeue time, and the configured
+/// cap: `max(user_block, min(depth, cap))`.
+///
+/// Empty-ish queue → `user_block` (the engine's sweet spot; waiting for
+/// more arrivals is not worth the added queue time). Deep queue → up to
+/// `cap`, so one worker pass drains a burst. Pure so it can be tested
+/// deterministically apart from the live queue.
+pub fn coalesce_limit(user_block: usize, depth: usize, cap: usize) -> usize {
+    user_block.max(depth.min(cap)).max(1)
 }
 
 /// One reply: `(request tag, snapshot version, ranked items)`.
@@ -81,23 +106,36 @@ enum Job {
     },
 }
 
-/// A running recommendation service.
-///
-/// Dropping the service closes the queue and joins all workers.
-pub struct RecommendService {
-    engine: Arc<QueryEngine>,
-    queue: Option<SyncSender<Job>>,
-    workers: Vec<JoinHandle<()>>,
-    latencies: Arc<Mutex<Vec<Duration>>>,
+/// Shared worker-side state: samples and counters every worker feeds.
+struct Stats {
+    latencies: Mutex<Vec<Duration>>,
     /// Monotone count of jobs completed — deliberately separate from
     /// `latencies`, which [`RecommendService::latency_stopwatch`] drains.
-    served: Arc<AtomicU64>,
+    served: AtomicU64,
+    /// Engine calls made for query groups (coalescing efficiency:
+    /// `served / batches` is the mean group size).
+    batches: AtomicU64,
+    /// Largest coalesced group seen so far.
+    largest_group: AtomicUsize,
+    /// Jobs currently enqueued (inc at send, dec at dequeue) — the
+    /// signal [`coalesce_limit`] adapts on.
+    depth: AtomicUsize,
+}
+
+/// A running recommendation service over any [`ServeEngine`].
+///
+/// Dropping the service closes the queue and joins all workers.
+pub struct RecommendService<E: ServeEngine = QueryEngine> {
+    engine: Arc<E>,
+    queue: Option<SyncSender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+    stats: Arc<Stats>,
     warm_k: usize,
 }
 
-impl RecommendService {
+impl<E: ServeEngine> RecommendService<E> {
     /// Starts workers over `engine` with default tuning.
-    pub fn start(engine: QueryEngine) -> Self {
+    pub fn start(engine: E) -> Self {
         Self::with_config(engine, ServiceConfig::default())
     }
 
@@ -105,22 +143,27 @@ impl RecommendService {
     ///
     /// # Panics
     /// Panics if `workers` is zero.
-    pub fn with_config(engine: QueryEngine, cfg: ServiceConfig) -> Self {
+    pub fn with_config(engine: E, cfg: ServiceConfig) -> Self {
         assert!(cfg.workers > 0, "need at least one worker");
         let engine = Arc::new(engine);
-        let latencies = Arc::new(Mutex::new(Vec::new()));
-        let served = Arc::new(AtomicU64::new(0));
+        let stats = Arc::new(Stats {
+            latencies: Mutex::new(Vec::new()),
+            served: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            largest_group: AtomicUsize::new(0),
+            depth: AtomicUsize::new(0),
+        });
+        let coalesce_cap = cfg.coalesce_cap.max(1);
         let (tx, rx) = sync_channel::<Job>(cfg.queue_depth.max(1));
         let shared_rx = Arc::new(Mutex::new(rx));
         let workers = (0..cfg.workers)
             .map(|i| {
                 let engine = Arc::clone(&engine);
                 let rx = Arc::clone(&shared_rx);
-                let latencies = Arc::clone(&latencies);
-                let served = Arc::clone(&served);
+                let stats = Arc::clone(&stats);
                 std::thread::Builder::new()
                     .name(format!("gb-serve-{i}"))
-                    .spawn(move || worker_loop(&engine, &rx, &latencies, &served))
+                    .spawn(move || worker_loop(engine.as_ref(), &rx, &stats, coalesce_cap))
                     .expect("spawn worker thread")
             })
             .collect();
@@ -128,22 +171,20 @@ impl RecommendService {
             engine,
             queue: Some(tx),
             workers,
-            latencies,
-            served,
+            stats,
             warm_k: cfg.warm_k.max(1),
         }
     }
 
     /// The engine being served (for snapshot/cache introspection).
-    pub fn engine(&self) -> &QueryEngine {
+    pub fn engine(&self) -> &E {
         &self.engine
     }
 
     /// The engine's candidate-generation mode, passed through untouched:
     /// the service layer (queueing, coalescing, latency capture) is
-    /// identical for exact and IVF serving — retrieval is configured once
-    /// on the [`QueryEngine`] via `EngineConfig::retrieval` and every
-    /// worker serves with it.
+    /// identical for exact and IVF serving, sharded or not — retrieval
+    /// is configured once on the engine and every worker serves with it.
     pub fn retrieval(&self) -> crate::engine::Retrieval {
         self.engine.retrieval()
     }
@@ -246,7 +287,7 @@ impl RecommendService {
     /// Draining does not affect [`RecommendService::requests_served`].
     pub fn latency_stopwatch(&self) -> Stopwatch {
         let mut sw = Stopwatch::new();
-        let mut samples = self.latencies.lock().expect("latency lock");
+        let mut samples = self.stats.latencies.lock().expect("latency lock");
         for d in samples.drain(..) {
             sw.record(d);
         }
@@ -256,19 +297,36 @@ impl RecommendService {
     /// Number of requests served so far (including warm-ups) — a monotone
     /// counter, unaffected by draining the latency samples.
     pub fn requests_served(&self) -> usize {
-        self.served.load(Ordering::Relaxed) as usize
+        self.stats.served.load(Ordering::Relaxed) as usize
+    }
+
+    /// Number of engine calls made for (possibly coalesced) query groups.
+    /// `requests_served / batches_served` approximates the mean group
+    /// size the coalescer achieved.
+    pub fn batches_served(&self) -> usize {
+        self.stats.batches.load(Ordering::Relaxed) as usize
+    }
+
+    /// The largest coalesced group any worker has served.
+    pub fn largest_group(&self) -> usize {
+        self.stats.largest_group.load(Ordering::Relaxed)
     }
 
     fn send(&self, job: Job) {
-        self.queue
+        // Count before sending: a worker may dequeue (and decrement)
+        // the instant the job lands.
+        self.stats.depth.fetch_add(1, Ordering::Relaxed);
+        let sent = self
+            .queue
             .as_ref()
             .expect("service is running")
             .send(job)
-            .expect("worker pool is alive");
+            .is_ok();
+        assert!(sent, "worker pool is alive");
     }
 }
 
-impl Drop for RecommendService {
+impl<E: ServeEngine> Drop for RecommendService<E> {
     fn drop(&mut self) {
         // Close the queue; workers exit when it drains.
         self.queue.take();
@@ -278,21 +336,25 @@ impl Drop for RecommendService {
     }
 }
 
-fn worker_loop(
-    engine: &QueryEngine,
+fn worker_loop<E: ServeEngine>(
+    engine: &E,
     rx: &Mutex<Receiver<Job>>,
-    latencies: &Mutex<Vec<Duration>>,
-    served: &AtomicU64,
+    stats: &Stats,
+    coalesce_cap: usize,
 ) {
     // A job popped while coalescing that could not join the group; it is
-    // processed first on the next iteration, never dropped.
+    // processed first on the next iteration, never dropped. Its depth
+    // decrement already happened when it was popped.
     let mut carry: Option<Job> = None;
     loop {
         let job = match carry.take() {
             Some(job) => job,
             // Hold the queue lock only while popping, never while scoring.
             None => match rx.lock().expect("queue lock").recv() {
-                Ok(job) => job,
+                Ok(job) => {
+                    stats.depth.fetch_sub(1, Ordering::Relaxed);
+                    job
+                }
                 Err(_) => return, // queue closed
             },
         };
@@ -300,7 +362,8 @@ fn worker_loop(
             Job::Query(first) => {
                 // Coalesce: opportunistically drain queued queries with the
                 // same `k` (all are answered from the one snapshot version
-                // recommend_many pins) into one shared catalogue pass.
+                // recommend_many pins) into one shared catalogue pass, up
+                // to a limit sized from the backlog at this instant.
                 // `try_lock`, not `lock`: an idle peer worker parks *inside*
                 // `recv()` while holding the queue mutex, so blocking here
                 // would deadlock against a caller that waits for this very
@@ -308,15 +371,24 @@ fn worker_loop(
                 // just means someone else is watching the queue — serve the
                 // group we already have.
                 let mut group = vec![first];
-                let user_block = engine.user_block();
-                if user_block > 1 {
+                let limit = coalesce_limit(
+                    engine.user_block(),
+                    stats.depth.load(Ordering::Relaxed),
+                    coalesce_cap,
+                );
+                if limit > 1 {
                     if let Ok(queue) = rx.try_lock() {
-                        while group.len() < user_block {
+                        while group.len() < limit {
                             match queue.try_recv() {
-                                Ok(Job::Query(job)) if job.k == group[0].k => group.push(job),
-                                Ok(other) => {
-                                    carry = Some(other);
-                                    break;
+                                Ok(job) => {
+                                    stats.depth.fetch_sub(1, Ordering::Relaxed);
+                                    match job {
+                                        Job::Query(job) if job.k == group[0].k => group.push(job),
+                                        other => {
+                                            carry = Some(other);
+                                            break;
+                                        }
+                                    }
                                 }
                                 Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => break,
                             }
@@ -325,26 +397,52 @@ fn worker_loop(
                 }
                 let users: Vec<u32> = group.iter().map(|j| j.user).collect();
                 let (version, results) = engine.recommend_many(&users, group[0].k);
+                stats.batches.fetch_add(1, Ordering::Relaxed);
+                stats
+                    .largest_group
+                    .fetch_max(group.len(), Ordering::Relaxed);
                 for (job, result) in group.into_iter().zip(results) {
                     // Record before replying: once the caller has the
                     // answer, the request is visible in the counters.
-                    latencies
+                    stats
+                        .latencies
                         .lock()
                         .expect("latency lock")
                         .push(job.enqueued.elapsed());
-                    served.fetch_add(1, Ordering::Relaxed);
+                    stats.served.fetch_add(1, Ordering::Relaxed);
                     // The caller may have given up (e.g. panicked); ignore.
                     let _ = job.reply.send((job.tag, version, result));
                 }
             }
             Job::Warm { user, k, enqueued } => {
                 let _ = engine.recommend(user, k);
-                latencies
+                stats
+                    .latencies
                     .lock()
                     .expect("latency lock")
                     .push(enqueued.elapsed());
-                served.fetch_add(1, Ordering::Relaxed);
+                stats.served.fetch_add(1, Ordering::Relaxed);
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coalesce_limit_adapts_between_block_and_cap() {
+        // Idle queue: the engine's preferred block wins.
+        assert_eq!(coalesce_limit(8, 0, 64), 8);
+        assert_eq!(coalesce_limit(8, 3, 64), 8);
+        // Backlog: grow with depth...
+        assert_eq!(coalesce_limit(8, 20, 64), 20);
+        // ...but never past the cap.
+        assert_eq!(coalesce_limit(8, 500, 64), 64);
+        // The cap never shrinks a group below the engine's block.
+        assert_eq!(coalesce_limit(8, 500, 4), 8);
+        // Degenerate configs still serve one job at a time.
+        assert_eq!(coalesce_limit(0, 0, 0), 1);
     }
 }

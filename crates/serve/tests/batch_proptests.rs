@@ -208,6 +208,7 @@ proptest! {
                 workers: 2,
                 queue_depth: 32,
                 warm_k: 5,
+                ..Default::default()
             },
         );
 
@@ -250,6 +251,7 @@ fn saturated_coalescer_answers_match_sequential_bitwise() {
             workers: 2,
             queue_depth: 64,
             warm_k: 5,
+            ..Default::default()
         },
     );
     let users: Vec<u32> = (0..24u32).cycle().take(192).collect();

@@ -201,6 +201,7 @@ fn concurrent_batches_equal_sequential_answers() {
             workers: 4,
             queue_depth: 8,
             warm_k: 10,
+            ..Default::default()
         },
     );
     service.warm(&users[..20]);

@@ -52,6 +52,7 @@ fn swapping_under_reader_fire_never_tears_or_staleness() {
             workers: 4,
             queue_depth: 64,
             warm_k: 10,
+            ..Default::default()
         },
     );
     let done_publishing = AtomicBool::new(false);
@@ -156,6 +157,7 @@ fn coalesced_batches_under_publish_fire_stay_version_coherent() {
             workers: 4,
             queue_depth: 64,
             warm_k: 10,
+            ..Default::default()
         },
     );
 

@@ -1,18 +1,80 @@
 //! Row-major dense `f32` matrix.
 
+use std::any::Any;
 use std::fmt;
 use std::ops::{Index, IndexMut};
+use std::sync::Arc;
+
+/// Backing storage of a [`Matrix`].
+///
+/// `Owned` is the classic exclusive `Vec` every matrix starts life with.
+/// `Shared` points into immutable memory kept alive by an `Arc` — another
+/// matrix's buffer, or a memory-mapped snapshot region — so clones and
+/// contiguous row-range views ([`Matrix::view_rows`]) are O(1) and
+/// allocation-free. Shared data is never written through: any mutable
+/// access first materializes a private owned copy (copy-on-write), so the
+/// sharing is invisible to every numeric consumer.
+enum Storage {
+    Owned(Vec<f32>),
+    Shared {
+        ptr: *const f32,
+        len: usize,
+        /// Keeps the memory behind `ptr` alive (and, per the
+        /// [`Matrix::from_raw_shared`] contract, immutable) for as long
+        /// as any view of it exists.
+        keep: Arc<dyn Any + Send + Sync>,
+    },
+}
+
+// SAFETY: `Shared` memory is immutable for the lifetime of `keep` (the
+// construction contract), so aliased reads from any thread are sound;
+// `Owned` is a plain `Vec<f32>`, which is already `Send + Sync`.
+unsafe impl Send for Storage {}
+unsafe impl Sync for Storage {}
+
+impl Clone for Storage {
+    fn clone(&self) -> Self {
+        match self {
+            Storage::Owned(v) => Storage::Owned(v.clone()),
+            Storage::Shared { ptr, len, keep } => Storage::Shared {
+                ptr: *ptr,
+                len: *len,
+                keep: Arc::clone(keep),
+            },
+        }
+    }
+}
 
 /// A dense, row-major `f32` matrix.
 ///
 /// This is the single numeric container of the reproduction: embedding
 /// tables, propagated representations, FC weights and gradients are all
 /// `Matrix` values. Vectors are represented as `n x 1` or `1 x n` matrices.
-#[derive(Clone, PartialEq)]
+///
+/// A matrix either owns its buffer or is a zero-copy view into shared
+/// immutable memory (see [`Matrix::to_shared`] / [`Matrix::view_rows`]);
+/// the distinction never changes any numeric result — mutation of a
+/// shared matrix transparently copies first.
 pub struct Matrix {
     rows: usize,
     cols: usize,
-    data: Vec<f32>,
+    data: Storage,
+}
+
+impl Clone for Matrix {
+    fn clone(&self) -> Self {
+        Self {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.clone(),
+        }
+    }
+}
+
+impl PartialEq for Matrix {
+    fn eq(&self, other: &Self) -> bool {
+        self.rows == other.rows && self.cols == other.cols && self.as_slice() == other.as_slice()
+    }
 }
 
 impl Matrix {
@@ -21,7 +83,7 @@ impl Matrix {
         Self {
             rows,
             cols,
-            data: vec![0.0; rows * cols],
+            data: Storage::Owned(vec![0.0; rows * cols]),
         }
     }
 
@@ -30,7 +92,7 @@ impl Matrix {
         Self {
             rows,
             cols,
-            data: vec![value; rows * cols],
+            data: Storage::Owned(vec![value; rows * cols]),
         }
     }
 
@@ -47,7 +109,11 @@ impl Matrix {
             rows,
             cols
         );
-        Self { rows, cols, data }
+        Self {
+            rows,
+            cols,
+            data: Storage::Owned(data),
+        }
     }
 
     /// Creates a matrix by evaluating `f(r, c)` for every element.
@@ -58,12 +124,116 @@ impl Matrix {
                 data.push(f(r, c));
             }
         }
-        Self { rows, cols, data }
+        Self {
+            rows,
+            cols,
+            data: Storage::Owned(data),
+        }
     }
 
     /// Builds a square identity matrix.
     pub fn eye(n: usize) -> Self {
         Self::from_fn(n, n, |r, c| if r == c { 1.0 } else { 0.0 })
+    }
+
+    /// A zero-copy matrix over caller-managed immutable memory.
+    ///
+    /// `ptr` must point to `rows * cols` contiguous row-major `f32`s and
+    /// `keep` must own (or keep alive) that memory. The serving mmap
+    /// loader uses this to serve embedding tables straight out of a
+    /// page-cached file mapping.
+    ///
+    /// # Safety
+    /// The caller must guarantee, for the entire lifetime of `keep` (and
+    /// therefore of every clone/view of the returned matrix):
+    /// * `ptr` is non-null, 4-byte aligned, and valid for reads of
+    ///   `rows * cols * 4` bytes;
+    /// * the pointed-to memory is never written to by anyone.
+    pub unsafe fn from_raw_shared(
+        rows: usize,
+        cols: usize,
+        ptr: *const f32,
+        keep: Arc<dyn Any + Send + Sync>,
+    ) -> Self {
+        Self {
+            rows,
+            cols,
+            data: Storage::Shared {
+                ptr,
+                len: rows * cols,
+                keep,
+            },
+        }
+    }
+
+    /// Whether this matrix is a zero-copy view into shared memory.
+    #[inline]
+    pub fn is_shared(&self) -> bool {
+        matches!(self.data, Storage::Shared { .. })
+    }
+
+    /// A shareable version of this matrix: clones and
+    /// [`Matrix::view_rows`] of the result are O(1) and allocation-free.
+    ///
+    /// Already-shared matrices return an O(1) clone; owned matrices pay
+    /// one copy of their buffer into an `Arc` (so `to_shared` is
+    /// idempotent — call it once, share everywhere).
+    pub fn to_shared(&self) -> Matrix {
+        match &self.data {
+            Storage::Shared { .. } => self.clone(),
+            Storage::Owned(v) => {
+                let keep: Arc<Vec<f32>> = Arc::new(v.clone());
+                let ptr = keep.as_ptr();
+                Matrix {
+                    rows: self.rows,
+                    cols: self.cols,
+                    data: Storage::Shared {
+                        ptr,
+                        len: v.len(),
+                        keep,
+                    },
+                }
+            }
+        }
+    }
+
+    /// A view of the contiguous row range `[start, start + n_rows)`.
+    ///
+    /// On a shared matrix this is zero-copy: the view aliases the same
+    /// memory (the sharded serving tier slices one catalogue table into
+    /// per-shard item ranges this way). On an owned matrix the rows are
+    /// copied out — call [`Matrix::to_shared`] first when slicing many
+    /// times. Either way the view's contents are bit-identical to the
+    /// source rows.
+    ///
+    /// # Panics
+    /// Panics if `start + n_rows > rows`.
+    pub fn view_rows(&self, start: usize, n_rows: usize) -> Matrix {
+        assert!(
+            start
+                .checked_add(n_rows)
+                .is_some_and(|end| end <= self.rows),
+            "row range [{start}, {start}+{n_rows}) out of bounds ({} rows)",
+            self.rows
+        );
+        match &self.data {
+            Storage::Shared { ptr, keep, .. } => Matrix {
+                rows: n_rows,
+                cols: self.cols,
+                data: Storage::Shared {
+                    // SAFETY: `start * cols <= len`, so the offset stays
+                    // inside (or one past) the shared allocation.
+                    ptr: unsafe { ptr.add(start * self.cols) },
+                    len: n_rows * self.cols,
+                    keep: Arc::clone(keep),
+                },
+            },
+            Storage::Owned(v) => Matrix::from_vec(
+                n_rows,
+                self.cols,
+                v[start * self.cols..(start + n_rows) * self.cols].to_vec(),
+            ),
+        }
     }
 
     /// Number of rows.
@@ -87,30 +257,59 @@ impl Matrix {
     /// Total number of elements.
     #[inline]
     pub fn len(&self) -> usize {
-        self.data.len()
+        self.rows * self.cols
     }
 
     /// Whether the matrix holds no elements.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
+        self.len() == 0
     }
 
     /// Immutable view of the underlying row-major buffer.
     #[inline]
     pub fn as_slice(&self) -> &[f32] {
-        &self.data
+        match &self.data {
+            Storage::Owned(v) => v,
+            // SAFETY: construction guarantees `ptr` is valid for `len`
+            // reads and immutable while `keep` lives.
+            Storage::Shared { ptr, len, .. } => unsafe { std::slice::from_raw_parts(*ptr, *len) },
+        }
+    }
+
+    /// The owned buffer, materializing a private copy first if the
+    /// matrix currently views shared memory (copy-on-write).
+    #[inline]
+    fn data_mut(&mut self) -> &mut Vec<f32> {
+        if let Storage::Shared { .. } = self.data {
+            self.data = Storage::Owned(self.as_slice().to_vec());
+        }
+        match &mut self.data {
+            Storage::Owned(v) => v,
+            Storage::Shared { .. } => unreachable!("just materialized an owned copy"),
+        }
     }
 
     /// Mutable view of the underlying row-major buffer.
+    ///
+    /// On a shared matrix this detaches a private owned copy first
+    /// (copy-on-write); other views of the shared memory are unaffected.
     #[inline]
     pub fn as_mut_slice(&mut self) -> &mut [f32] {
-        &mut self.data
+        self.data_mut()
     }
 
-    /// Consumes the matrix, returning the row-major buffer.
+    /// Consumes the matrix, returning the row-major buffer (copied out
+    /// if the matrix viewed shared memory).
     pub fn into_vec(self) -> Vec<f32> {
-        self.data
+        match self.data {
+            Storage::Owned(v) => v,
+            Storage::Shared { ptr, len, .. } => {
+                // SAFETY: same contract as `as_slice`; `keep` is still
+                // alive here because `self.data` owns it until drop.
+                unsafe { std::slice::from_raw_parts(ptr, len) }.to_vec()
+            }
+        }
     }
 
     /// Immutable view of row `r`.
@@ -122,7 +321,7 @@ impl Matrix {
             r,
             self.rows
         );
-        &self.data[r * self.cols..(r + 1) * self.cols]
+        &self.as_slice()[r * self.cols..(r + 1) * self.cols]
     }
 
     /// Mutable view of row `r`.
@@ -134,42 +333,45 @@ impl Matrix {
             r,
             self.rows
         );
-        &mut self.data[r * self.cols..(r + 1) * self.cols]
+        let cols = self.cols;
+        &mut self.data_mut()[r * cols..(r + 1) * cols]
     }
 
     /// Element accessor with bounds checking in debug builds.
     #[inline]
     pub fn get(&self, r: usize, c: usize) -> f32 {
         debug_assert!(r < self.rows && c < self.cols);
-        self.data[r * self.cols + c]
+        self.as_slice()[r * self.cols + c]
     }
 
     /// Element setter with bounds checking in debug builds.
     #[inline]
     pub fn set(&mut self, r: usize, c: usize, v: f32) {
         debug_assert!(r < self.rows && c < self.cols);
-        self.data[r * self.cols + c] = v;
+        let idx = r * self.cols + c;
+        self.data_mut()[idx] = v;
     }
 
     /// Sets every element to zero, keeping the allocation.
     pub fn zero_out(&mut self) {
-        self.data.iter_mut().for_each(|v| *v = 0.0);
+        self.as_mut_slice().iter_mut().for_each(|v| *v = 0.0);
     }
 
     /// Sets every element to `value`.
     pub fn fill(&mut self, value: f32) {
-        self.data.iter_mut().for_each(|v| *v = value);
+        self.as_mut_slice().iter_mut().for_each(|v| *v = value);
     }
 
     /// Returns the transpose as a new matrix.
     pub fn transposed(&self) -> Matrix {
-        let mut out = Matrix::zeros(self.cols, self.rows);
+        let src = self.as_slice();
+        let mut data = vec![0.0f32; self.rows * self.cols];
         for r in 0..self.rows {
             for c in 0..self.cols {
-                out.data[c * self.rows + r] = self.data[r * self.cols + c];
+                data[c * self.rows + r] = src[r * self.cols + c];
             }
         }
-        out
+        Matrix::from_vec(self.cols, self.rows, data)
     }
 
     /// Applies `f` elementwise, returning a new matrix.
@@ -177,32 +379,32 @@ impl Matrix {
         Matrix {
             rows: self.rows,
             cols: self.cols,
-            data: self.data.iter().map(|&v| f(v)).collect(),
+            data: Storage::Owned(self.as_slice().iter().map(|&v| f(v)).collect()),
         }
     }
 
     /// Applies `f` elementwise in place.
     pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
-        self.data.iter_mut().for_each(|v| *v = f(*v));
+        self.as_mut_slice().iter_mut().for_each(|v| *v = f(*v));
     }
 
     /// Sum of all elements.
     pub fn sum(&self) -> f32 {
-        self.data.iter().sum()
+        self.as_slice().iter().sum()
     }
 
     /// Mean of all elements (0.0 for an empty matrix).
     pub fn mean(&self) -> f32 {
-        if self.data.is_empty() {
+        if self.is_empty() {
             0.0
         } else {
-            self.sum() / self.data.len() as f32
+            self.sum() / self.len() as f32
         }
     }
 
     /// Squared Frobenius norm (sum of squared elements).
     pub fn sq_norm(&self) -> f32 {
-        self.data.iter().map(|v| v * v).sum()
+        self.as_slice().iter().map(|v| v * v).sum()
     }
 
     /// Frobenius norm.
@@ -212,12 +414,14 @@ impl Matrix {
 
     /// Largest absolute element; 0.0 for an empty matrix.
     pub fn max_abs(&self) -> f32 {
-        self.data.iter().fold(0.0_f32, |acc, v| acc.max(v.abs()))
+        self.as_slice()
+            .iter()
+            .fold(0.0_f32, |acc, v| acc.max(v.abs()))
     }
 
     /// Returns true if any element is NaN or infinite.
     pub fn has_non_finite(&self) -> bool {
-        self.data.iter().any(|v| !v.is_finite())
+        self.as_slice().iter().any(|v| !v.is_finite())
     }
 
     /// Copies `src` into row `r`.
@@ -237,9 +441,9 @@ impl Matrix {
         let mut data = Vec::with_capacity(rows * cols);
         for m in mats {
             assert_eq!(m.cols, cols, "vstack column mismatch");
-            data.extend_from_slice(&m.data);
+            data.extend_from_slice(m.as_slice());
         }
-        Matrix { rows, cols, data }
+        Matrix::from_vec(rows, cols, data)
     }
 
     /// Extracts the sub-matrix made of the listed rows (in order).
@@ -257,14 +461,15 @@ impl Index<(usize, usize)> for Matrix {
 
     #[inline]
     fn index(&self, (r, c): (usize, usize)) -> &f32 {
-        &self.data[r * self.cols + c]
+        &self.as_slice()[r * self.cols + c]
     }
 }
 
 impl IndexMut<(usize, usize)> for Matrix {
     #[inline]
     fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f32 {
-        &mut self.data[r * self.cols + c]
+        let idx = r * self.cols + c;
+        &mut self.data_mut()[idx]
     }
 }
 
@@ -376,5 +581,106 @@ mod tests {
         assert!(!m.has_non_finite());
         m.set(0, 1, f32::NAN);
         assert!(m.has_non_finite());
+    }
+
+    #[test]
+    fn to_shared_preserves_contents_bitwise() {
+        let m = Matrix::from_fn(7, 3, |r, c| ((r * 3 + c) as f32 * 0.37).sin());
+        let s = m.to_shared();
+        assert!(s.is_shared() && !m.is_shared());
+        assert_eq!(s, m);
+        for (a, b) in s.as_slice().iter().zip(m.as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // Idempotent: re-sharing clones the same memory.
+        let s2 = s.to_shared();
+        assert_eq!(s2.as_slice().as_ptr(), s.as_slice().as_ptr());
+    }
+
+    #[test]
+    fn shared_clone_aliases_memory() {
+        let s = Matrix::from_fn(4, 4, |r, c| (r + c) as f32).to_shared();
+        let c = s.clone();
+        assert_eq!(c.as_slice().as_ptr(), s.as_slice().as_ptr());
+    }
+
+    #[test]
+    fn view_rows_of_shared_is_zero_copy() {
+        let m = Matrix::from_fn(10, 3, |r, c| (r * 3 + c) as f32).to_shared();
+        let v = m.view_rows(4, 3);
+        assert_eq!(v.shape(), (3, 3));
+        assert_eq!(v.row(0), m.row(4));
+        assert_eq!(v.row(2), m.row(6));
+        assert_eq!(v.as_slice().as_ptr(), m.row(4).as_ptr(), "aliases source");
+        // Empty views at either end are fine.
+        assert_eq!(m.view_rows(0, 0).shape(), (0, 3));
+        assert_eq!(m.view_rows(10, 0).shape(), (0, 3));
+    }
+
+    #[test]
+    fn view_rows_of_owned_copies() {
+        let m = Matrix::from_fn(5, 2, |r, c| (r * 2 + c) as f32);
+        let v = m.view_rows(1, 3);
+        assert!(!v.is_shared());
+        assert_eq!(v.as_slice(), &[2.0, 3.0, 4.0, 5.0, 6.0, 7.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn view_rows_checks_bounds() {
+        Matrix::zeros(3, 2).view_rows(2, 2);
+    }
+
+    #[test]
+    fn mutation_of_shared_copies_on_write() {
+        let base = Matrix::from_fn(3, 3, |r, c| (r * 3 + c) as f32).to_shared();
+        let mut edited = base.clone();
+        edited.set(0, 0, 99.0);
+        assert!(!edited.is_shared(), "mutation detached a private copy");
+        assert_eq!(edited.get(0, 0), 99.0);
+        assert_eq!(base.get(0, 0), 0.0, "the shared original is untouched");
+        // The other mutators detach too.
+        let mut f = base.clone();
+        f.fill(1.0);
+        assert_eq!(base.get(1, 1), 4.0);
+        let mut z = base.clone();
+        z.zero_out();
+        assert_eq!(base.get(2, 2), 8.0);
+        let mut mi = base.clone();
+        mi.map_inplace(|v| v + 1.0);
+        assert_eq!(base.get(0, 1), 1.0);
+        let mut rm = base.clone();
+        rm.row_mut(1)[0] = -5.0;
+        assert_eq!(base.get(1, 0), 3.0);
+        let mut ix = base.clone();
+        ix[(2, 0)] = 7.0;
+        assert_eq!(base.get(2, 0), 6.0);
+    }
+
+    #[test]
+    fn into_vec_copies_out_of_shared_memory() {
+        let m = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let s = m.to_shared();
+        assert_eq!(s.into_vec(), vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(m.into_vec(), vec![1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn from_raw_shared_serves_external_memory() {
+        let backing: Arc<Vec<f32>> = Arc::new(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let m = unsafe { Matrix::from_raw_shared(2, 3, backing.as_ptr(), backing.clone()) };
+        assert!(m.is_shared());
+        assert_eq!(m.row(1), &[4.0, 5.0, 6.0]);
+        // The view keeps the backing alive on its own.
+        drop(backing);
+        assert_eq!(m.get(0, 2), 3.0);
+    }
+
+    #[test]
+    fn empty_shared_matrices_are_safe() {
+        let m = Matrix::zeros(0, 4).to_shared();
+        assert!(m.is_empty());
+        assert_eq!(m.as_slice().len(), 0);
+        assert_eq!(m.view_rows(0, 0).len(), 0);
     }
 }

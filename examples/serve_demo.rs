@@ -65,6 +65,7 @@ fn main() {
             workers: 4,
             queue_depth: 256,
             warm_k: 10,
+            ..Default::default()
         },
     );
 
