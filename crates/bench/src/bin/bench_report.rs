@@ -1,5 +1,5 @@
 //! Machine-readable perf trajectory: measures the serving/training hot
-//! paths before/after and writes `BENCH_PR5.json` (pass a path as argv[1]
+//! paths before/after and writes `BENCH_PR7.json` (pass a path as argv[1]
 //! to write elsewhere).
 //!
 //! Every row is an honest in-process A/B — both sides run in this binary,
@@ -49,6 +49,22 @@
 //!   streaming loader (read + parse + copy every float) vs the v2
 //!   `open_mmap_snapshot` zero-copy map of the same tables.
 //!
+//! And the PR 7 streaming-freshness workload, on the 80k-item scaled
+//! catalogue with 64-row deltas (one deal-lifecycle tick):
+//!
+//! * `delta_vs_full_publish` — time until the new version is live on
+//!   the handle, for a user-drift tick (64 user rows re-embedded):
+//!   shipping a fully materialized snapshot through `publish` vs
+//!   shipping only the changed rows through `publish_delta` (both
+//!   80k-item tables aliased instead of copied). Both sides produce
+//!   bitwise-identical served tables (asserted before timing).
+//! * `ivf_update_incremental_vs_rebuild` — bringing the retrieval
+//!   index to the new version: a full seeded k-means rebuild vs
+//!   `IvfIndex::update` (centroids kept, only moved items re-routed,
+//!   untouched packed cells aliased). The derived `freshness_rows`
+//!   entry combines both rows into end-to-end publish→serveable lag
+//!   and the sustainable publish rate of each path.
+//!
 //! Medians over repeated runs; single-run wall clock, so treat small
 //! deltas as noise and mind the core-count note embedded in the output.
 
@@ -58,10 +74,10 @@ use gb_data::synth::{generate, SynthConfig};
 use gb_eval::metrics::recall_vs_exact;
 use gb_eval::topk::reference_topk;
 use gb_eval::Scorer;
-use gb_models::{EmbeddingSnapshot, Mf, TrainConfig};
+use gb_models::{EmbeddingSnapshot, Mf, SnapshotDelta, SnapshotHandle, TrainConfig};
 use gb_serve::{
-    open_mmap_snapshot, save_mmap_snapshot, EngineConfig, QueryEngine, RecommendService, Retrieval,
-    ServeEngine, ServiceConfig, ShardedConfig, ShardedEngine,
+    open_mmap_snapshot, save_mmap_snapshot, EngineConfig, IvfIndex, QueryEngine, RecommendService,
+    Retrieval, ServeEngine, ServiceConfig, ShardedConfig, ShardedEngine,
 };
 use gb_tensor::kernels::{self, reference};
 use gb_tensor::{init, Matrix};
@@ -97,6 +113,12 @@ const IVF_CLUSTERS: usize = 256;
 const IVF_PROBES: usize = 16;
 /// Users averaged for the recall@10 measurement.
 const RECALL_USERS: usize = 128;
+/// Item rows replaced per delta publish in the freshness workload — a
+/// deal-lifecycle tick touches a small slice of the catalogue.
+const DELTA_CHANGED_ROWS: usize = 64;
+/// Seed of the freshness workload's IVF builds (any fixed value; the
+/// engine's own builds use its internal seed).
+const FRESHNESS_IVF_SEED: u64 = 0x1BF5_2026;
 
 /// The sharded-tier workload: past the million-item mark, where one
 /// engine's snapshot + IVF build is the monolith the shards split.
@@ -475,7 +497,8 @@ fn latency_side(snap: &EmbeddingSnapshot, user_block: usize) -> (f64, f64) {
     }
     let sw = service.latency_stopwatch();
     assert_eq!(sw.n_samples(), BURSTS * BURST);
-    (sw.percentile_secs(50.0), sw.percentile_secs(99.0))
+    let ps = sw.percentiles_secs(&[50.0, 99.0]);
+    (ps[0], ps[1])
 }
 
 fn serving_latency_row(snap: &EmbeddingSnapshot) -> LatencyRow {
@@ -569,6 +592,134 @@ fn ivf_recall_at_10(exact: &QueryEngine, ivf: &QueryEngine) -> f64 {
     total / RECALL_USERS as f64
 }
 
+/// The item-churn delta of the index-refresh row:
+/// [`DELTA_CHANGED_ROWS`] item rows replaced at even strides across the
+/// scaled catalogue, values seeded by the item id.
+fn item_churn_delta(snap: &EmbeddingSnapshot) -> SnapshotDelta {
+    let (od, sd) = (snap.own_dim(), snap.social_dim());
+    let mut delta = SnapshotDelta::new();
+    for j in 0..DELTA_CHANGED_ROWS {
+        let id = (j * (N_ITEMS_SCALED / DELTA_CHANGED_ROWS)) as u32;
+        let row = |w: usize, shift: f32| -> Vec<f32> {
+            (0..w)
+                .map(|c| ((id as usize + c) as f32 * 0.11 + shift).sin())
+                .collect()
+        };
+        delta = delta.set_item(id, row(od, 0.3), row(sd, -0.7));
+    }
+    delta
+}
+
+/// The user-drift delta of the publish-cost row:
+/// [`DELTA_CHANGED_ROWS`] user rows replaced (users whose deal
+/// participation moved their embedding between full retrains). This is
+/// the dominant streaming tick, and the case where the delta path wins
+/// big: item-row churn pays one COW table detach either way (bounded by
+/// one table copy), but user drift lets `publish_delta` alias both
+/// 80k-item tables while a full publish re-ships them.
+fn user_drift_delta(snap: &EmbeddingSnapshot) -> SnapshotDelta {
+    let (od, sd) = (snap.own_dim(), snap.social_dim());
+    let mut delta = SnapshotDelta::new();
+    for j in 0..DELTA_CHANGED_ROWS {
+        let id = (j * (N_USERS_SCALED / DELTA_CHANGED_ROWS)) as u32;
+        let row = |w: usize, shift: f32| -> Vec<f32> {
+            (0..w)
+                .map(|c| ((id as usize + c) as f32 * 0.13 + shift).cos())
+                .collect()
+        };
+        delta = delta.set_user(id, row(od, 0.5), row(sd, -0.2));
+    }
+    delta
+}
+
+/// Time-to-live-version of a publish: shipping a fully materialized
+/// snapshot vs shipping only the changed rows, on the user-drift tick.
+fn delta_publish_row(snap: &EmbeddingSnapshot) -> Row {
+    let base = snap.to_shared();
+    let delta = user_drift_delta(&base);
+    let next_full = delta.apply(&base);
+    // The full-publish side hands the handle a snapshot with *owned*
+    // tables — what a trainer-side export materializes. Built once here
+    // (untimed); each timed publish then pays the full deep copy a real
+    // per-tick export would pay.
+    let owned = |m: &Matrix| Matrix::from_fn(m.rows(), m.cols(), |r, c| m.get(r, c));
+    let next_owned = EmbeddingSnapshot::new(
+        next_full.alpha(),
+        owned(next_full.user_own()),
+        owned(next_full.item_own()),
+        owned(next_full.user_social()),
+        owned(next_full.item_social()),
+    );
+
+    // Sanity: both publish paths serve bitwise-identical tables.
+    let h_full = SnapshotHandle::new(base.clone());
+    let h_delta = SnapshotHandle::new(base.clone());
+    h_full.publish(next_owned.clone());
+    h_delta.publish_delta(&delta);
+    assert!(
+        *h_full.load().snapshot() == *h_delta.load().snapshot(),
+        "delta publish diverged from full publish"
+    );
+
+    Row {
+        name: "delta_vs_full_publish",
+        unit: "s_per_publish_80k_items_d32x2_64_changed_user_rows",
+        before_impl: "SnapshotHandle::publish of a fully materialized snapshot (every row shipped)",
+        after_impl:
+            "SnapshotHandle::publish_delta (changed rows only; untouched item tables aliased)",
+        before_median_s: median_secs(|| {
+            std::hint::black_box(h_full.publish(next_owned.clone()));
+        }),
+        after_median_s: median_secs(|| {
+            std::hint::black_box(h_delta.publish_delta(&delta));
+        }),
+    }
+}
+
+/// Time-to-fresh-index after a delta publish: full seeded k-means
+/// rebuild vs incremental nearest-centroid maintenance.
+fn ivf_update_row(snap: &EmbeddingSnapshot) -> Row {
+    let base = snap.to_shared();
+    let delta = item_churn_delta(&base);
+    let changed = delta.changed_item_ids();
+    let next = delta.apply(&base);
+    let prev = IvfIndex::build(&base, 1, IVF_CLUSTERS, FRESHNESS_IVF_SEED, true);
+
+    // Sanity: the incremental index keeps the cell count and stays a
+    // partition of the catalogue (every item in exactly one cell).
+    let updated = prev.update(&next, 2, &changed, 0);
+    assert_eq!(updated.n_clusters(), prev.n_clusters());
+    let mut members: Vec<u32> = (0..updated.n_clusters())
+        .flat_map(|c| updated.list(c).iter().copied())
+        .collect();
+    members.sort_unstable();
+    assert!(
+        members.len() == N_ITEMS_SCALED
+            && members.iter().enumerate().all(|(i, &m)| i == m as usize),
+        "updated index is not a partition of the catalogue"
+    );
+
+    Row {
+        name: "ivf_update_incremental_vs_rebuild",
+        unit: "s_per_index_refresh_80k_items_256_cells_64_moved_rows",
+        before_impl: "IvfIndex::build (full seeded k-means re-clustering of all 80k items)",
+        after_impl:
+            "IvfIndex::update (centroids kept, 64 moved items re-routed, untouched cells aliased)",
+        before_median_s: median_secs(|| {
+            std::hint::black_box(IvfIndex::build(
+                &next,
+                2,
+                IVF_CLUSTERS,
+                FRESHNESS_IVF_SEED,
+                true,
+            ));
+        }),
+        after_median_s: median_secs(|| {
+            std::hint::black_box(prev.update(&next, 2, &changed, 0));
+        }),
+    }
+}
+
 /// The 2^20-item clustered catalogue, tables pre-shared so engine and
 /// shard construction alias one copy instead of cloning 100+ MB.
 fn million_item_snapshot() -> EmbeddingSnapshot {
@@ -609,7 +760,8 @@ fn burst_percentiles<E: ServeEngine>(service: &RecommendService<E>, seed: u64) -
     }
     let sw = service.latency_stopwatch();
     assert_eq!(sw.n_samples(), BURSTS_1M * BURST_1M);
-    (sw.percentile_secs(50.0), sw.percentile_secs(99.0))
+    let ps = sw.percentiles_secs(&[50.0, 99.0]);
+    (ps[0], ps[1])
 }
 
 /// Single IVF engine vs the 4-shard scatter-gather tier over the 2^20
@@ -743,7 +895,7 @@ fn epoch_row() -> Row {
 fn main() {
     let out_path = std::env::args()
         .nth(1)
-        .unwrap_or_else(|| "BENCH_PR6.json".to_string());
+        .unwrap_or_else(|| "BENCH_PR7.json".to_string());
     let cores = std::thread::available_parallelism().map_or(0, |n| n.get());
 
     let snap = synthetic_snapshot();
@@ -760,6 +912,8 @@ fn main() {
         epoch_row(),
         ivf_latency_row(&exact_scaled, &ivf_scaled),
         mmap_load_row(&million),
+        delta_publish_row(&scaled),
+        ivf_update_row(&scaled),
     ];
     for r in &rows {
         println!(
@@ -800,6 +954,43 @@ fn main() {
         ),
         RECALL_USERS, IVF_CLUSTERS, IVF_PROBES, recall
     );
+    // Freshness lag: time from "new rows ready" to "serveable with a
+    // fresh retrieval index" — publish plus index refresh, per path.
+    // The reciprocal is the publish rate each path can sustain before
+    // refreshes pile up faster than they complete.
+    let by_name = |n: &str| {
+        rows.iter()
+            .find(|r| r.name == n)
+            .expect("bench row present")
+    };
+    let publish = by_name("delta_vs_full_publish");
+    let index = by_name("ivf_update_incremental_vs_rebuild");
+    let full_lag = publish.before_median_s + index.before_median_s;
+    let delta_lag = publish.after_median_s + index.after_median_s;
+    println!(
+        "{:<34} full-path lag {:>10.3e}s ({:.1} publish/s)  delta-path lag {:>10.3e}s ({:.1} publish/s)",
+        "freshness_lag_vs_publish_rate",
+        full_lag,
+        1.0 / full_lag,
+        delta_lag,
+        1.0 / delta_lag
+    );
+    let freshness_body = format!(
+        concat!(
+            "    {{\"name\": \"freshness_lag_vs_publish_rate\",\n",
+            "     \"unit\": \"s_from_rows_ready_to_serveable_with_fresh_ivf_80k_items\",\n",
+            "     \"full_path\": {{\"impl\": \"full publish + full k-means rebuild\", ",
+            "\"lag_s\": {:.6e}, \"max_publish_rate_hz\": {:.3}}},\n",
+            "     \"delta_path\": {{\"impl\": \"delta publish + incremental IVF update\", ",
+            "\"lag_s\": {:.6e}, \"max_publish_rate_hz\": {:.3}}},\n",
+            "     \"lag_speedup\": {:.3}}}"
+        ),
+        full_lag,
+        1.0 / full_lag,
+        delta_lag,
+        1.0 / delta_lag,
+        full_lag / delta_lag
+    );
     let stage_body: Vec<String> = shard_stages
         .iter()
         .map(|(label, n, mean, p99)| {
@@ -811,23 +1002,25 @@ fn main() {
     let json = format!(
         concat!(
             "{{\n",
-            "  \"pr\": 6,\n",
-            "  \"title\": \"Sharded scatter-gather serving tier + zero-copy snapshot loading\",\n",
+            "  \"pr\": 7,\n",
+            "  \"title\": \"Streaming deal lifecycle: delta publishes + incremental IVF + ",
+            "deal-state filters\",\n",
             "  \"host_cores\": {},\n",
-            "  \"note\": \"Medians of {} runs on the dev container (1 core: the sharded tier's ",
-            "sequential scatter is the honest configuration here — parallel_scatter needs real ",
-            "cores to show wall-clock wins, so the sharded row measures the overhead-vs-build ",
-            "tradeoff, not parallel speedup). The sharded_workload is the first past the ",
-            "million-item mark: 2^20 items around 512 latent categories, served by one IVF ",
-            "engine (one 1M-item k-means build) vs 4 shards that each cluster and probe only ",
-            "their quarter at the same global probe fraction; shard_stage_rows carries the ",
-            "per-shard scatter + merge attribution from LatencyBreakdown. Sharded results are ",
-            "bit-identical to single-engine at full probe or exact retrieval ",
-            "(property-tested in gb-serve); at partial probe both sides are approximate. ",
-            "snapshot_load_1m_items compares cold availability: v1 streams and copies every ",
-            "float, v2 validates a 144-byte header and maps the tables zero-copy. Earlier ",
-            "rows carry over: the scaled_catalogue IVF A/B and recall, batched multi-user ",
-            "scoring, the enqueue-to-reply latency clock, and the PR 3 kernel trajectory.\",\n",
+            "  \"note\": \"Medians of {} runs on the dev container (1 core — parallel-path rows ",
+            "understate real-hardware wins). New this PR: the freshness workload on the 80k ",
+            "scaled catalogue. delta_vs_full_publish measures time-to-live-version when a ",
+            "deal-lifecycle tick re-embeds 64 user rows: shipping the whole snapshot vs ",
+            "publish_delta (both 80k-item tables aliased — bitwise identical, asserted; ",
+            "item-row churn pays one COW table detach either way, so its publish cost is ",
+            "bounded by one table copy). ivf_update_incremental_vs_rebuild measures ",
+            "time-to-fresh-index: full 256-cell k-means vs IvfIndex::update re-routing only ",
+            "the 64 moved rows. freshness_rows derives the end-to-end publish-to-serveable ",
+            "lag and the sustainable publish rate of each path. Latency percentiles now come ",
+            "from Stopwatch::percentiles_secs (one sort per batch) and exclude warm-up ",
+            "traffic (warm jobs carry no enqueue stamp). Carried-over rows: the sharded 1M ",
+            "tier + mmap cold load (PR 6), the scaled-catalogue IVF A/B and recall (PR 5), ",
+            "batched multi-user scoring and the enqueue-to-reply clock (PR 4), and the PR 3 ",
+            "kernel trajectory.\",\n",
             "  \"scaled_catalogue\": {{\"n_items\": {}, \"n_users\": {}, \"own_dim\": {}, ",
             "\"social_dim\": {}, \"n_categories\": {}}},\n",
             "  \"sharded_workload\": {{\"n_items\": {}, \"n_users\": {}, \"own_dim\": {}, ",
@@ -837,6 +1030,7 @@ fn main() {
             "  \"rows\": [\n{}\n  ],\n",
             "  \"retrieval_rows\": [\n{}\n  ],\n",
             "  \"latency_rows\": [\n{}\n  ],\n",
+            "  \"freshness_rows\": [\n{}\n  ],\n",
             "  \"shard_stage_rows\": [\n{}\n  ]\n",
             "}}\n"
         ),
@@ -860,6 +1054,7 @@ fn main() {
         body.join(",\n"),
         retrieval_body,
         latency_body.join(",\n"),
+        freshness_body,
         stage_body.join(",\n")
     );
     let mut f = std::fs::File::create(&out_path).expect("create bench report");

@@ -28,10 +28,15 @@
 //!   variant.
 //! * [`stats`] — Table II-style statistics.
 //! * [`io`] — JSON (de)serialization of datasets.
+//! * [`events`] — the append-only deal lifecycle event log (open / join
+//!   / full / expire with logical timestamps) behind the streaming
+//!   serving path; [`synth::generate_with_events`] emits one alongside
+//!   the batch dataset.
 
 pub mod behavior;
 pub mod convert;
 pub mod dataset;
+pub mod events;
 pub mod io;
 pub mod negative;
 pub mod split;
@@ -42,6 +47,7 @@ pub mod text;
 pub use behavior::GroupBehavior;
 pub use convert::{GroupData, InteractionKind};
 pub use dataset::Dataset;
+pub use events::{DealEvent, DealEventKind, DealPhase, EventLog};
 pub use negative::NegativeSampler;
 pub use split::{Split, TestInstance};
 pub use stats::DatasetStats;

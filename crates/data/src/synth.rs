@@ -30,6 +30,7 @@
 
 use crate::behavior::GroupBehavior;
 use crate::dataset::Dataset;
+use crate::events::EventLog;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
@@ -144,6 +145,19 @@ impl SynthConfig {
 
 /// Generates a dataset according to `cfg`. Deterministic per config.
 pub fn generate(cfg: &SynthConfig) -> Dataset {
+    generate_with_events(cfg).0
+}
+
+/// Like [`generate`], additionally emitting the deal lifecycle behind
+/// every behavior as an append-only [`EventLog`]: one `open` per launch,
+/// one `join` per accepted friend (in browse order, before the stored
+/// participant list is sorted), then `full` if the group clinched at the
+/// item threshold or `expire` otherwise.
+///
+/// Event emission draws nothing from the RNG, so the returned dataset is
+/// byte-identical to [`generate`]'s for the same config, and the log is
+/// just as deterministic. Deal id `d` corresponds to `behaviors()[d]`.
+pub fn generate_with_events(cfg: &SynthConfig) -> (Dataset, EventLog) {
     assert!(cfg.n_users >= 4, "need at least 4 users");
     assert!(cfg.n_items >= 2, "need at least 2 items");
     assert!(
@@ -252,6 +266,7 @@ pub fn generate(cfg: &SynthConfig) -> Dataset {
     let mean_act = activities.iter().sum::<f64>() / cfg.n_users as f64;
 
     let mut behaviors = Vec::new();
+    let mut log = EventLog::new();
     for u in 0..cfg.n_users {
         let expect = cfg.behaviors_per_user * activities[u] / mean_act;
         let n_launch = (expect + rng.gen_range(0.0..1.0)).floor() as usize;
@@ -261,7 +276,11 @@ pub fn generate(cfg: &SynthConfig) -> Dataset {
             let tn = item_thresholds[item as usize] as usize;
             // Friends browse the shared group in random order; the group
             // closes as soon as it clinches (t_n joiners), matching how
-            // Pinduoduo-style deals work.
+            // Pinduoduo-style deals work. The lifecycle log mirrors the
+            // process event by event — open, joins in browse order, then
+            // full/expire — without consuming any randomness, so the
+            // dataset is unchanged by the recording.
+            let deal = log.open(item, u as u32, item_thresholds[item as usize]);
             let mut order = friends[u].clone();
             order.shuffle(&mut rng);
             let mut participants = Vec::new();
@@ -273,21 +292,28 @@ pub fn generate(cfg: &SynthConfig) -> Dataset {
                 let tie = tie_strength(u as u32, f, cfg.seed);
                 let logit = cfg.join_scale * affinity + tie + cfg.join_bias;
                 if rng.gen_bool(sigmoid64(logit as f64)) {
+                    log.join(deal, f);
                     participants.push(f);
                 }
+            }
+            if participants.len() >= tn {
+                log.full(deal);
+            } else {
+                log.expire(deal);
             }
             participants.sort_unstable();
             behaviors.push(GroupBehavior::new(u as u32, item, participants));
         }
     }
 
-    Dataset::new(
+    let data = Dataset::new(
         cfg.n_users,
         cfg.n_items,
         behaviors,
         social_pairs,
         item_thresholds,
-    )
+    );
+    (data, log)
 }
 
 // --- helpers ----------------------------------------------------------------
@@ -460,6 +486,58 @@ mod tests {
             top_decile,
             total
         );
+    }
+
+    #[test]
+    fn event_log_mirrors_behaviors_exactly() {
+        use crate::events::DealEventKind;
+        let cfg = SynthConfig::tiny();
+        let (d, log) = generate_with_events(&cfg);
+        assert_eq!(log.n_deals(), d.behaviors().len());
+
+        for (deal, b) in d.behaviors().iter().enumerate() {
+            let deal = deal as u32;
+            assert_eq!(log.deal_item(deal), b.item, "deal {deal}");
+            assert_eq!(
+                log.deal_joiners(deal) as usize,
+                b.participants.len(),
+                "deal {deal}"
+            );
+        }
+
+        // Replay: joins per deal are the behavior's participants (as a
+        // set — the log keeps browse order, the behavior sorts), and the
+        // terminal event matches the clinch condition.
+        let mut joined: Vec<Vec<u32>> = vec![Vec::new(); log.n_deals()];
+        let mut terminal: Vec<Option<bool>> = vec![None; log.n_deals()];
+        for ev in log.events() {
+            match ev.kind {
+                DealEventKind::Open {
+                    item, initiator, ..
+                } => {
+                    let b = &d.behaviors()[ev.deal as usize];
+                    assert_eq!((item, initiator), (b.item, b.initiator));
+                }
+                DealEventKind::Join { user } => joined[ev.deal as usize].push(user),
+                DealEventKind::Full => terminal[ev.deal as usize] = Some(true),
+                DealEventKind::Expire => terminal[ev.deal as usize] = Some(false),
+            }
+        }
+        for (deal, b) in d.behaviors().iter().enumerate() {
+            joined[deal].sort_unstable();
+            assert_eq!(joined[deal], b.participants, "deal {deal} joiners");
+            let clinched = b.participants.len() >= d.threshold(b.item) as usize;
+            assert_eq!(terminal[deal], Some(clinched), "deal {deal} terminal");
+        }
+    }
+
+    #[test]
+    fn event_emission_never_perturbs_the_dataset() {
+        let cfg = SynthConfig::tiny();
+        let (with_events, _) = generate_with_events(&cfg);
+        let plain = generate(&cfg);
+        assert_eq!(with_events.behaviors(), plain.behaviors());
+        assert_eq!(with_events.social_pairs(), plain.social_pairs());
     }
 
     #[test]

@@ -66,10 +66,46 @@ impl Stopwatch {
         if self.samples.is_empty() {
             return 0.0;
         }
+        let mut secs: Vec<f64> = self.samples.iter().map(Duration::as_secs_f64).collect();
+        let idx = Self::nearest_rank_index(p, secs.len());
+        // O(n) selection instead of a full O(n log n) sort: the element
+        // landing at `idx` is exactly the one a sort (with the same
+        // comparator) would put there, so the result is bit-identical.
+        let (_, v, _) = secs
+            .select_nth_unstable_by(idx, |a, b| a.partial_cmp(b).expect("durations are finite"));
+        *v
+    }
+
+    /// Nearest-rank percentiles for a whole report in one pass: sorts the
+    /// samples once and reads every requested rank from the sorted run,
+    /// instead of paying one selection (or worse, one sort) per
+    /// percentile. Values are bit-identical to calling
+    /// [`Stopwatch::percentile_secs`] per entry.
+    ///
+    /// # Panics
+    /// Panics if any `p` is outside `[0, 100]`.
+    pub fn percentiles_secs(&self, ps: &[f64]) -> Vec<f64> {
+        for &p in ps {
+            assert!(
+                (0.0..=100.0).contains(&p),
+                "percentile {p} outside [0, 100]"
+            );
+        }
+        if self.samples.is_empty() {
+            return vec![0.0; ps.len()];
+        }
         let mut sorted: Vec<f64> = self.samples.iter().map(Duration::as_secs_f64).collect();
         sorted.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
-        let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
-        sorted[rank.max(1) - 1]
+        ps.iter()
+            .map(|&p| sorted[Self::nearest_rank_index(p, sorted.len())])
+            .collect()
+    }
+
+    /// The 0-based index of the nearest-rank percentile `p` among `n`
+    /// ascending samples: `ceil(p/100 * n)` clamped to at least rank 1.
+    fn nearest_rank_index(p: f64, n: usize) -> usize {
+        let rank = ((p / 100.0) * n as f64).ceil() as usize;
+        rank.max(1) - 1
     }
 }
 
@@ -181,6 +217,32 @@ mod tests {
         assert!((sw.percentile_secs(20.0) - 0.010).abs() < 1e-9);
         assert!((sw.percentile_secs(20.1) - 0.020).abs() < 1e-9);
         assert_eq!(Stopwatch::new().percentile_secs(99.0), 0.0);
+    }
+
+    #[test]
+    fn batch_percentiles_match_per_call_values() {
+        let mut sw = Stopwatch::new();
+        for ms in [40u64, 10, 50, 20, 30, 30, 70] {
+            sw.record(Duration::from_millis(ms));
+        }
+        let ps = [0.0, 20.0, 20.1, 50.0, 99.0, 100.0];
+        let batch = sw.percentiles_secs(&ps);
+        for (&p, &got) in ps.iter().zip(&batch) {
+            assert_eq!(
+                got.to_bits(),
+                sw.percentile_secs(p).to_bits(),
+                "p{p} diverged between batch and per-call paths"
+            );
+        }
+        assert_eq!(Stopwatch::new().percentiles_secs(&ps), vec![0.0; ps.len()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn out_of_range_batch_percentile_rejected() {
+        let mut sw = Stopwatch::new();
+        sw.record(Duration::from_millis(1));
+        sw.percentiles_secs(&[50.0, 100.5]);
     }
 
     #[test]

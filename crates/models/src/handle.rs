@@ -25,14 +25,65 @@
 //!    are treated as misses once the current version differs (the cache
 //!    invalidation rule; asserted by the serve integration tests).
 
-use crate::snapshot::EmbeddingSnapshot;
+use crate::snapshot::{EmbeddingSnapshot, SnapshotDelta};
 use std::sync::{Arc, RwLock};
+
+/// What a delta publish changed, stamped onto the version it produced.
+///
+/// Consumers that maintain per-version derived structures (the serving
+/// IVF index) read this to update incrementally instead of rebuilding:
+/// if they hold the structure for [`DeltaStamp::prev_version`], only
+/// [`DeltaStamp::changed_items`] moved and [`DeltaStamp::n_appended`]
+/// rows appeared at the end of the catalogue — every other item row is
+/// byte-identical across the two versions.
+#[derive(Clone, Debug)]
+pub struct DeltaStamp {
+    prev_version: u64,
+    changed_items: Vec<u32>,
+    n_appended: usize,
+}
+
+impl DeltaStamp {
+    /// A stamp for a derived snapshot: `changed_items` is normalized to
+    /// ascending unique ids. Layers that slice a stamped publish into
+    /// sub-snapshots (the sharded serving tier) use this to re-stamp each
+    /// slice with its translated change set, so per-slice consumers keep
+    /// the incremental path.
+    pub fn new(prev_version: u64, mut changed_items: Vec<u32>, n_appended: usize) -> Self {
+        changed_items.sort_unstable();
+        changed_items.dedup();
+        Self {
+            prev_version,
+            changed_items,
+            n_appended,
+        }
+    }
+
+    /// The version this delta was applied on top of (always the
+    /// immediately preceding publish: `version() - 1`).
+    pub fn prev_version(&self) -> u64 {
+        self.prev_version
+    }
+
+    /// Replaced item ids, ascending and unique (appended ids excluded).
+    pub fn changed_items(&self) -> &[u32] {
+        &self.changed_items
+    }
+
+    /// Item rows appended past the previous catalogue end.
+    pub fn n_appended(&self) -> usize {
+        self.n_appended
+    }
+}
 
 /// An immutable snapshot plus the version it was published as.
 #[derive(Clone, Debug)]
 pub struct VersionedSnapshot {
     version: u64,
     snapshot: EmbeddingSnapshot,
+    /// Present iff this version was produced by
+    /// [`SnapshotHandle::publish_delta`].
+    delta: Option<Arc<DeltaStamp>>,
 }
 
 impl VersionedSnapshot {
@@ -46,7 +97,27 @@ impl VersionedSnapshot {
     /// pins every slice to the global version so a scatter can never mix
     /// publishes.
     pub fn new(version: u64, snapshot: EmbeddingSnapshot) -> Self {
-        Self { version, snapshot }
+        Self {
+            version,
+            snapshot,
+            delta: None,
+        }
+    }
+
+    /// [`VersionedSnapshot::new`] with a [`DeltaStamp`] attached — for
+    /// derived snapshots that preserve the incremental-update contract of
+    /// a stamped publish (e.g. a shard slice of a delta-published
+    /// catalogue, stamped with the change set translated to local ids).
+    ///
+    /// The caller owns the contract: every item row of `snapshot` outside
+    /// `stamp.changed_items()` and the appended tail must be byte-equal
+    /// to the same row at `stamp.prev_version()`.
+    pub fn with_delta(version: u64, snapshot: EmbeddingSnapshot, stamp: DeltaStamp) -> Self {
+        Self {
+            version,
+            snapshot,
+            delta: Some(Arc::new(stamp)),
+        }
     }
 
     /// The publish ordinal (1 = the snapshot the handle started with).
@@ -57,6 +128,13 @@ impl VersionedSnapshot {
     /// The published tables.
     pub fn snapshot(&self) -> &EmbeddingSnapshot {
         &self.snapshot
+    }
+
+    /// The delta that produced this version, if it was published with
+    /// [`SnapshotHandle::publish_delta`] — `None` for full publishes and
+    /// for derived snapshots tagged via [`VersionedSnapshot::new`].
+    pub fn delta(&self) -> Option<&DeltaStamp> {
+        self.delta.as_deref()
     }
 }
 
@@ -76,6 +154,7 @@ impl SnapshotHandle {
             current: Arc::new(RwLock::new(Arc::new(VersionedSnapshot {
                 version: 1,
                 snapshot: initial,
+                delta: None,
             }))),
         }
     }
@@ -87,9 +166,12 @@ impl SnapshotHandle {
     /// observe `snapshot` immediately.
     ///
     /// # Panics
-    /// Panics if `snapshot` disagrees with the current one on user or
-    /// item counts — mid-run refreshes never resize the universe, and a
-    /// mismatched table would break seen-filters sized at startup.
+    /// Panics if `snapshot` changes the user count or shrinks the item
+    /// catalogue. The universe rule is **grow-only**: the user population
+    /// is fixed mid-run (seen-filters are sized per user at startup), and
+    /// items may only be appended — newly opened deals land past the old
+    /// catalogue end, so existing item ids, filter columns, and shard
+    /// ranges never shift. Serving filters probe appended ids as unseen.
     pub fn publish(&self, snapshot: EmbeddingSnapshot) -> u64 {
         let mut slot = self.current.write().expect("snapshot lock poisoned");
         assert_eq!(
@@ -97,13 +179,51 @@ impl SnapshotHandle {
             slot.snapshot.n_users(),
             "published snapshot changes the user count"
         );
-        assert_eq!(
-            snapshot.n_items(),
+        assert!(
+            snapshot.n_items() >= slot.snapshot.n_items(),
+            "published snapshot shrinks the item count ({} -> {}): the universe is grow-only",
             slot.snapshot.n_items(),
-            "published snapshot changes the item count"
+            snapshot.n_items()
         );
         let version = slot.version + 1;
-        *slot = Arc::new(VersionedSnapshot { version, snapshot });
+        *slot = Arc::new(VersionedSnapshot {
+            version,
+            snapshot,
+            delta: None,
+        });
+        version
+    }
+
+    /// Publishes the successor of the current snapshot under `delta`,
+    /// returning the version assigned to it.
+    ///
+    /// This is the streaming refresh path: instead of exporting and
+    /// validating a full snapshot, the trainer ships only the changed
+    /// user/item rows (plus grow-only appended items) and the handle
+    /// materializes the new version copy-on-write over the current one —
+    /// unchanged tables are aliased, changed tables pay one copy, and the
+    /// result is bitwise identical to publishing the equivalent full
+    /// snapshot (see [`SnapshotDelta::apply`]). The new version carries a
+    /// [`DeltaStamp`] so per-version derived structures downstream (the
+    /// serving IVF index) can update incrementally.
+    ///
+    /// # Panics
+    /// Panics if the delta is malformed (out-of-range ids, wrong row
+    /// widths, non-finite values).
+    pub fn publish_delta(&self, delta: &SnapshotDelta) -> u64 {
+        let mut slot = self.current.write().expect("snapshot lock poisoned");
+        let snapshot = delta.apply(&slot.snapshot);
+        let version = slot.version + 1;
+        let stamp = DeltaStamp {
+            prev_version: slot.version,
+            changed_items: delta.changed_item_ids(),
+            n_appended: delta.n_appended(),
+        };
+        *slot = Arc::new(VersionedSnapshot {
+            version,
+            snapshot,
+            delta: Some(Arc::new(stamp)),
+        });
         version
     }
 
@@ -177,5 +297,72 @@ mod tests {
             Matrix::full(9, 2, 1.0),
             Matrix::full(4, 2, 1.0),
         ));
+    }
+
+    #[test]
+    fn item_growth_is_an_allowed_publish() {
+        let h = SnapshotHandle::new(snap(1.0));
+        let v = h.publish(EmbeddingSnapshot::without_social(
+            Matrix::full(3, 2, 2.0),
+            Matrix::full(6, 2, 2.0),
+        ));
+        assert_eq!(v, 2);
+        assert_eq!(h.load().snapshot().n_items(), 6);
+        assert!(h.load().delta().is_none(), "full publishes carry no stamp");
+    }
+
+    #[test]
+    #[should_panic(expected = "grow-only")]
+    fn item_shrink_rejected() {
+        let h = SnapshotHandle::new(snap(1.0));
+        h.publish(EmbeddingSnapshot::without_social(
+            Matrix::full(3, 2, 1.0),
+            Matrix::full(3, 2, 1.0),
+        ));
+    }
+
+    #[test]
+    fn publish_delta_stamps_the_version() {
+        let h = SnapshotHandle::new(snap(1.0));
+        let delta = SnapshotDelta::new()
+            .set_item(2, vec![5.0, 6.0], vec![])
+            .set_user(0, vec![-1.0, 1.0], vec![])
+            .append_item(vec![3.0, 4.0], vec![]);
+        let v = h.publish_delta(&delta);
+        assert_eq!(v, 2);
+        let cur = h.load();
+        assert_eq!(cur.snapshot().n_items(), 5);
+        assert_eq!(cur.snapshot().score(0, 2), -5.0 + 6.0);
+        assert_eq!(cur.snapshot().score(0, 4), -3.0 + 4.0);
+        let stamp = cur.delta().expect("delta publish is stamped");
+        assert_eq!(stamp.prev_version(), 1);
+        assert_eq!(stamp.changed_items(), &[2]);
+        assert_eq!(stamp.n_appended(), 1);
+        // A later full publish drops the stamp again.
+        h.publish(cur.snapshot().clone());
+        assert!(h.load().delta().is_none());
+    }
+
+    #[test]
+    fn delta_publish_matches_full_publish_bitwise() {
+        let base = snap(1.5);
+        let delta = SnapshotDelta::new().set_item(1, vec![9.0, -3.0], vec![]);
+
+        let via_delta = SnapshotHandle::new(base.clone());
+        via_delta.publish_delta(&delta);
+        let via_full = SnapshotHandle::new(base.clone());
+        via_full.publish(delta.apply(&base));
+
+        let (a, b) = (via_delta.load(), via_full.load());
+        assert_eq!(a.version(), b.version());
+        for u in 0..3u32 {
+            for i in 0..4u32 {
+                assert_eq!(
+                    a.snapshot().score(u, i).to_bits(),
+                    b.snapshot().score(u, i).to_bits(),
+                    "user {u} item {i}"
+                );
+            }
+        }
     }
 }

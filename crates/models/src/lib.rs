@@ -35,10 +35,10 @@ pub use agree::Agree;
 pub use common::{Recommender, TrainConfig, TrainReport};
 pub use diffnet::DiffNet;
 pub use gbmf::{Gbmf, GbmfConfig};
-pub use handle::{SnapshotHandle, VersionedSnapshot};
+pub use handle::{DeltaStamp, SnapshotHandle, VersionedSnapshot};
 pub use mf::Mf;
 pub use ncf::Ncf;
 pub use ngcf::Ngcf;
 pub use sigr::Sigr;
-pub use snapshot::{EmbeddingSnapshot, SnapshotSource};
+pub use snapshot::{EmbeddingSnapshot, SnapshotDelta, SnapshotSource};
 pub use socialmf::SocialMf;

@@ -320,6 +320,161 @@ impl Scorer for EmbeddingSnapshot {
     }
 }
 
+/// A sparse, grow-only update to an [`EmbeddingSnapshot`]: the changed
+/// user rows, the changed item rows, and item rows appended to the end
+/// of the catalogue (newly opened deals).
+///
+/// [`SnapshotDelta::apply`] materializes the successor snapshot
+/// copy-on-write over the previous version's tables: a table with no
+/// changed rows is aliased (an O(1) shared clone — see
+/// [`gb_tensor::Matrix::to_shared`]), a table with changed rows pays
+/// exactly one copy, and the result is **bitwise identical** to building
+/// the equivalent full snapshot from scratch — scoring reads whole rows,
+/// and every row is byte-for-byte the same either way.
+///
+/// The universe is grow-only: items can be appended, never removed, and
+/// the user count never changes mid-run (seen-filters are sized per
+/// user at startup; item-side filters probe appended ids as unseen).
+#[derive(Clone, Debug, Default)]
+pub struct SnapshotDelta {
+    /// `(user, own row, social row)` replacements.
+    user_rows: Vec<(u32, Vec<f32>, Vec<f32>)>,
+    /// `(item, own row, social row)` replacements.
+    item_rows: Vec<(u32, Vec<f32>, Vec<f32>)>,
+    /// `(own row, social row)` appended past the current catalogue end.
+    appended_items: Vec<(Vec<f32>, Vec<f32>)>,
+}
+
+impl SnapshotDelta {
+    /// An empty delta (applying it aliases every table unchanged).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Replaces `user`'s own/social rows. Last write wins on duplicates.
+    pub fn set_user(mut self, user: u32, own: Vec<f32>, social: Vec<f32>) -> Self {
+        self.user_rows.push((user, own, social));
+        self
+    }
+
+    /// Replaces `item`'s own/social rows. Last write wins on duplicates.
+    pub fn set_item(mut self, item: u32, own: Vec<f32>, social: Vec<f32>) -> Self {
+        self.item_rows.push((item, own, social));
+        self
+    }
+
+    /// Appends a new item row past the catalogue end (a newly opened
+    /// deal). Appended ids are assigned in call order starting at the
+    /// previous snapshot's `n_items()`.
+    pub fn append_item(mut self, own: Vec<f32>, social: Vec<f32>) -> Self {
+        self.appended_items.push((own, social));
+        self
+    }
+
+    /// Whether the delta changes nothing.
+    pub fn is_empty(&self) -> bool {
+        self.user_rows.is_empty() && self.item_rows.is_empty() && self.appended_items.is_empty()
+    }
+
+    /// Number of appended item rows.
+    pub fn n_appended(&self) -> usize {
+        self.appended_items.len()
+    }
+
+    /// The replaced item ids, ascending and deduplicated (appended ids
+    /// are not included — the consumer derives them from the row-count
+    /// growth). The incremental IVF maintainer reassigns exactly these.
+    pub fn changed_item_ids(&self) -> Vec<u32> {
+        let mut ids: Vec<u32> = self.item_rows.iter().map(|(i, _, _)| *i).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+
+    /// Materializes the successor of `prev` under this delta.
+    ///
+    /// # Panics
+    /// Panics if any row id is out of range for `prev`, any row has the
+    /// wrong width, or any replacement value is non-finite (the same
+    /// export-time discipline as [`EmbeddingSnapshot::new`], paid only on
+    /// the delta rows instead of the whole universe).
+    pub fn apply(&self, prev: &EmbeddingSnapshot) -> EmbeddingSnapshot {
+        let check = |what: &str, id: usize, row: &[f32], want: usize| {
+            assert_eq!(
+                row.len(),
+                want,
+                "{what} row {id} has width {}, snapshot expects {want}",
+                row.len()
+            );
+            assert!(
+                row.iter().all(|v| v.is_finite()),
+                "{what} row {id} holds non-finite values"
+            );
+        };
+        for (u, own, social) in &self.user_rows {
+            assert!(
+                (*u as usize) < prev.n_users(),
+                "delta user {u} out of range ({} users)",
+                prev.n_users()
+            );
+            check("user own", *u as usize, own, prev.own_dim());
+            check("user social", *u as usize, social, prev.social_dim());
+        }
+        for (i, own, social) in &self.item_rows {
+            assert!(
+                (*i as usize) < prev.n_items(),
+                "delta item {i} out of range ({} items)",
+                prev.n_items()
+            );
+            check("item own", *i as usize, own, prev.own_dim());
+            check("item social", *i as usize, social, prev.social_dim());
+        }
+        for (n, (own, social)) in self.appended_items.iter().enumerate() {
+            let id = prev.n_items() + n;
+            check("appended item own", id, own, prev.own_dim());
+            check("appended item social", id, social, prev.social_dim());
+        }
+
+        // Unchanged tables are aliased (shared clone, O(1) once the
+        // source is shared); changed tables pay exactly one copy — the
+        // copy-on-write detach of the first `set_row`, or the plain clone
+        // if the source is still owned. Either way the previous version's
+        // tables are untouched, so in-flight queries keep serving them.
+        let patch = |table: &Matrix, rows: &[(u32, Vec<f32>, Vec<f32>)], social: bool| {
+            if rows.is_empty() {
+                return table.to_shared();
+            }
+            let mut out = table.clone();
+            for (id, own_row, social_row) in rows {
+                out.set_row(*id as usize, if social { social_row } else { own_row });
+            }
+            out
+        };
+        let user_own = patch(prev.user_own(), &self.user_rows, false);
+        let user_social = patch(prev.user_social(), &self.user_rows, true);
+        let mut item_own = patch(prev.item_own(), &self.item_rows, false);
+        let mut item_social = patch(prev.item_social(), &self.item_rows, true);
+        if !self.appended_items.is_empty() {
+            // Grow-only append: the extended tables pay one copy of the
+            // catalogue (vstack), never a re-layout of existing rows.
+            let stack = |base: &Matrix, cols: usize, social: bool| {
+                let tail = Matrix::from_fn(self.appended_items.len(), cols, |r, c| {
+                    let (own_row, social_row) = &self.appended_items[r];
+                    if social {
+                        social_row[c]
+                    } else {
+                        own_row[c]
+                    }
+                });
+                Matrix::vstack(&[base, &tail])
+            };
+            item_own = stack(&item_own, prev.own_dim(), false);
+            item_social = stack(&item_social, prev.social_dim(), true);
+        }
+        EmbeddingSnapshot::new_trusted(prev.alpha(), user_own, item_own, user_social, item_social)
+    }
+}
+
 /// A trained model that can export its cached final embeddings.
 pub trait SnapshotSource {
     /// Freezes the model's post-training embeddings for serving.
@@ -511,6 +666,130 @@ mod tests {
     #[should_panic(expected = "out of bounds")]
     fn slice_items_checks_bounds() {
         snap().slice_items(3, 3);
+    }
+
+    #[test]
+    fn delta_apply_is_bitwise_the_full_rebuild() {
+        let base = snap().to_shared();
+        let delta = SnapshotDelta::new()
+            .set_user(1, vec![9.0, -2.0], vec![0.5, 0.25, 0.0, 1.0])
+            .set_item(3, vec![1.5, 2.5], vec![0.0, 1.0, 2.0, 3.0])
+            .set_item(3, vec![-1.5, 0.5], vec![4.0, 3.0, 2.0, 1.0]) // last wins
+            .append_item(vec![7.0, 8.0], vec![1.0, 1.0, 1.0, 1.0]);
+        let next = delta.apply(&base);
+
+        // The equivalent full rebuild, row by row.
+        let full = EmbeddingSnapshot::new(
+            base.alpha(),
+            Matrix::from_fn(3, 2, |r, c| {
+                if r == 1 {
+                    [9.0, -2.0][c]
+                } else {
+                    base.user_own().get(r, c)
+                }
+            }),
+            Matrix::from_fn(6, 2, |r, c| match r {
+                3 => [-1.5, 0.5][c],
+                5 => [7.0, 8.0][c],
+                _ => base.item_own().get(r, c),
+            }),
+            Matrix::from_fn(3, 4, |r, c| {
+                if r == 1 {
+                    [0.5, 0.25, 0.0, 1.0][c]
+                } else {
+                    base.user_social().get(r, c)
+                }
+            }),
+            Matrix::from_fn(6, 4, |r, c| match r {
+                3 => [4.0, 3.0, 2.0, 1.0][c],
+                5 => [1.0; 4][c],
+                _ => base.item_social().get(r, c),
+            }),
+        );
+        assert_eq!(next.n_items(), 6);
+        for u in 0..3u32 {
+            for i in 0..6u32 {
+                assert_eq!(
+                    next.score(u, i).to_bits(),
+                    full.score(u, i).to_bits(),
+                    "user {u} item {i}"
+                );
+            }
+        }
+        // The previous version's tables are untouched by the publish.
+        assert_eq!(base.n_items(), 5);
+        assert_eq!(base.item_own().get(3, 0), snap().item_own().get(3, 0));
+    }
+
+    #[test]
+    fn delta_apply_aliases_unchanged_tables() {
+        let base = snap().to_shared();
+        let next = SnapshotDelta::new()
+            .set_item(0, vec![1.0, 2.0], vec![0.0, 0.0, 0.0, 0.0])
+            .apply(&base);
+        // User tables had no changed rows: zero-copy aliases.
+        assert_eq!(
+            next.user_own().as_slice().as_ptr(),
+            base.user_own().as_slice().as_ptr()
+        );
+        assert_eq!(
+            next.user_social().as_slice().as_ptr(),
+            base.user_social().as_slice().as_ptr()
+        );
+        // Item tables changed: detached, base unchanged.
+        assert_ne!(
+            next.item_own().as_slice().as_ptr(),
+            base.item_own().as_slice().as_ptr()
+        );
+        assert_eq!(next.item_own().get(0, 0), 1.0);
+        assert_eq!(base.item_own().get(0, 0), snap().item_own().get(0, 0));
+    }
+
+    #[test]
+    fn empty_delta_is_identity() {
+        let base = snap().to_shared();
+        let delta = SnapshotDelta::new();
+        assert!(delta.is_empty());
+        let next = delta.apply(&base);
+        assert_eq!(next, base);
+        assert_eq!(
+            next.item_own().as_slice().as_ptr(),
+            base.item_own().as_slice().as_ptr()
+        );
+    }
+
+    #[test]
+    fn delta_changed_ids_are_sorted_and_deduped() {
+        let d = SnapshotDelta::new()
+            .set_item(4, vec![0.0; 2], vec![0.0; 4])
+            .set_item(1, vec![0.0; 2], vec![0.0; 4])
+            .set_item(4, vec![0.0; 2], vec![0.0; 4]);
+        assert_eq!(d.changed_item_ids(), vec![1, 4]);
+        assert_eq!(d.n_appended(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn delta_rejects_out_of_range_item() {
+        SnapshotDelta::new()
+            .set_item(5, vec![0.0; 2], vec![0.0; 4])
+            .apply(&snap());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn delta_rejects_non_finite_rows() {
+        SnapshotDelta::new()
+            .set_item(0, vec![f32::NAN, 0.0], vec![0.0; 4])
+            .apply(&snap());
+    }
+
+    #[test]
+    #[should_panic(expected = "width")]
+    fn delta_rejects_wrong_width_rows() {
+        SnapshotDelta::new()
+            .append_item(vec![0.0; 3], vec![0.0; 4])
+            .apply(&snap());
     }
 
     #[test]

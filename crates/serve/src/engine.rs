@@ -23,11 +23,13 @@
 //!
 //! ## Cache invalidation rule
 //!
-//! Responses are cached under the key `(snapshot version, user, k)`.
-//! A publish therefore invalidates every older response *by key*: a
-//! query against version `v+1` can never observe a response computed
-//! from version `v`, with no flush or epoch bookkeeping. Entries for
-//! retired versions age out of the fixed-capacity LRU on their own.
+//! Responses are cached under the key `(snapshot version, deal-filter
+//! generation, user, k)`. A publish — or a deal-filter swap — therefore
+//! invalidates every older response *by key*: a query against version
+//! `v+1` (or filter generation `g+1`) can never observe a response
+//! computed under `v` (or `g`), with no flush or epoch bookkeeping.
+//! Entries for retired versions and generations age out of the
+//! fixed-capacity LRU on their own.
 
 use crate::cache::LruCache;
 use crate::ivf::IvfIndex;
@@ -84,8 +86,8 @@ pub struct EngineConfig {
     /// block size never changes scores, only how the catalogue walk is
     /// chunked.
     pub block_size: usize,
-    /// Response cache capacity in `(version, user, k)` entries; 0
-    /// disables caching.
+    /// Response cache capacity in `(version, deal generation, user, k)`
+    /// entries; 0 disables caching.
     pub cache_capacity: usize,
     /// Users scored per catalogue pass on the batched path
     /// ([`QueryEngine::recommend_many`], and the service-side query
@@ -108,6 +110,16 @@ pub struct EngineConfig {
     /// when many shard engines share one box). Purely a layout knob:
     /// rankings are bit-identical either way. Ignored in exact mode.
     pub ivf_packed: bool,
+    /// Whether a delta publish ([`SnapshotHandle::publish_delta`])
+    /// updates the IVF index incrementally (`true`: keep the previous
+    /// version's centroids, re-route only the changed and appended items
+    /// by nearest centroid — [`IvfIndex::update`]) instead of re-running
+    /// the full k-means build (`false`, the default). Requires the
+    /// previous version's index to still be cached; otherwise, and for
+    /// full publishes, the full rebuild runs as before. Version-tagging
+    /// semantics are unchanged either way: a response never blends an
+    /// index from one publish with tables from another.
+    pub ivf_incremental: bool,
 }
 
 impl Default for EngineConfig {
@@ -118,23 +130,57 @@ impl Default for EngineConfig {
             user_block: 8,
             retrieval: Retrieval::Exact,
             ivf_packed: true,
+            ivf_incremental: false,
         }
     }
 }
 
-/// Cached responses, keyed by `(snapshot version, user, k)`.
-type ResponseCache = LruCache<(u64, u32, usize), Arc<Vec<ScoredItem>>>;
+/// Cached responses, keyed by
+/// `(snapshot version, deal-filter generation, user, k)`.
+type ResponseCache = LruCache<(u64, u64, u32, usize), Arc<Vec<ScoredItem>>>;
+
+/// The installed deal-state filter plus its generation counter. Read
+/// together under one lock so a query's cache key and probe words always
+/// agree — a filter swapped in mid-query can at worst make an in-flight
+/// insert land under the retired generation's (dead) key, never serve a
+/// response computed under one filter from a key claiming another.
+struct DealSlot {
+    generation: u64,
+    filter: Option<Arc<BitMatrix>>,
+}
+
+/// Whether `item`'s bit is set in a filter row. Bounds-checked: items
+/// past the row's words — appended by a grow-only publish after the
+/// filter was built — read as unset, i.e. unseen/allowed.
+#[inline]
+fn bit_set(words: &[u64], item: usize) -> bool {
+    words
+        .get(item / 64)
+        .is_some_and(|w| w >> (item % 64) & 1 == 1)
+}
+
+/// The composed candidate gate: an item is blocked when its per-user
+/// seen bit *or* its catalogue-wide deal-state bit is set.
+#[inline]
+fn blocked(seen: Option<&[u64]>, deal: Option<&[u64]>, item: usize) -> bool {
+    seen.is_some_and(|w| bit_set(w, item)) || deal.is_some_and(|w| bit_set(w, item))
+}
 
 /// Scores one user against the full catalogue and keeps the top K.
 pub struct QueryEngine {
     handle: SnapshotHandle,
     /// Seen-item bitset: bit `(u, n)` set ⇒ never recommend `n` to `u`.
     filter: Option<BitMatrix>,
+    /// Deal-state filter (one row of item bits, bit set ⇒ blocked) plus
+    /// its generation, swappable at runtime as deal lifecycles progress;
+    /// composes with the per-user seen filter at every rank site.
+    deal: RwLock<DealSlot>,
     cache: Option<Mutex<ResponseCache>>,
     block_size: usize,
     user_block: usize,
     retrieval: Retrieval,
     ivf_packed: bool,
+    ivf_incremental: bool,
     /// IVF indexes by snapshot version, newest last; at most the two
     /// most recent versions are kept. Two, not one: around a publish,
     /// in-flight queries still pinned to the old version coexist with
@@ -184,6 +230,10 @@ impl QueryEngine {
         Self {
             handle,
             filter: None,
+            deal: RwLock::new(DealSlot {
+                generation: 0,
+                filter: None,
+            }),
             cache,
             block_size: cfg
                 .block_size
@@ -192,6 +242,7 @@ impl QueryEngine {
             user_block: cfg.user_block.max(1),
             retrieval,
             ivf_packed: cfg.ivf_packed,
+            ivf_incremental: cfg.ivf_incremental,
             ivf: RwLock::new(Vec::new()),
             ivf_build: Mutex::new(()),
         }
@@ -202,9 +253,9 @@ impl QueryEngine {
     /// computed without the filter and could leak seen items.
     ///
     /// # Panics
-    /// Panics if the bitset shape disagrees with the served snapshot
-    /// (publishes never resize the universe, so the check holds for
-    /// every later snapshot too).
+    /// Panics if the bitset shape disagrees with the served snapshot.
+    /// The universe is grow-only: later publishes may append items past
+    /// the filter's columns, and those items probe as unseen.
     pub fn with_seen_filter(mut self, filter: BitMatrix) -> Self {
         let cur = self.handle.load();
         assert_eq!(
@@ -224,6 +275,53 @@ impl QueryEngine {
             cache.lock().expect("cache lock").clear();
         }
         self
+    }
+
+    /// Installs (or replaces) the deal-state candidate filter: one row of
+    /// item bits, bit `n` set ⇒ item `n` is blocked for *every* user —
+    /// e.g. `gb_data::EventLog::blocked_items_at` masking items whose
+    /// most recent deal is not in an allowed phase (live / expiring /
+    /// full). Composes with the per-user seen filter: a candidate
+    /// survives only if both gates pass.
+    ///
+    /// Takes effect for every subsequent query (in-flight queries keep
+    /// the filter they started with). Cached responses computed under the
+    /// previous filter are invalidated *by key*: the cache key carries
+    /// the filter generation, so stale entries become unreachable and age
+    /// out of the LRU — same rule a publish applies via the version.
+    ///
+    /// Items past the filter's columns (appended by a later grow-only
+    /// publish) probe as allowed.
+    ///
+    /// # Panics
+    /// Panics unless the filter is exactly one row.
+    pub fn set_deal_filter(&self, filter: BitMatrix) {
+        assert_eq!(filter.rows(), 1, "deal filter is one row of item bits");
+        let mut slot = self.deal.write().expect("deal lock");
+        slot.generation += 1;
+        slot.filter = Some(Arc::new(filter));
+    }
+
+    /// Removes the deal-state filter; subsequent queries gate candidates
+    /// on the seen filter alone. Bumps the filter generation like
+    /// [`QueryEngine::set_deal_filter`].
+    pub fn clear_deal_filter(&self) {
+        let mut slot = self.deal.write().expect("deal lock");
+        slot.generation += 1;
+        slot.filter = None;
+    }
+
+    /// How many times the deal-state filter has been installed, replaced,
+    /// or cleared — the cache-key component that retires responses
+    /// computed under an earlier filter.
+    pub fn deal_generation(&self) -> u64 {
+        self.deal.read().expect("deal lock").generation
+    }
+
+    /// One consistent `(generation, filter)` read for a whole query.
+    fn deal_slot(&self) -> (u64, Option<Arc<BitMatrix>>) {
+        let slot = self.deal.read().expect("deal lock");
+        (slot.generation, slot.filter.clone())
     }
 
     /// Whether this engine caches responses.
@@ -278,13 +376,7 @@ impl QueryEngine {
         if let Some(idx) = lookup(&self.ivf.read().expect("ivf lock")) {
             return idx; // a peer built it while we waited at the gate
         }
-        let built = Arc::new(IvfIndex::build(
-            cur.snapshot(),
-            cur.version(),
-            n_clusters,
-            IVF_SEED,
-            self.ivf_packed,
-        ));
+        let built = Arc::new(self.build_ivf(cur, n_clusters));
         let mut cached = self.ivf.write().expect("ivf lock");
         cached.push(Arc::clone(&built));
         // Newest last; keep the two most recent versions so queries
@@ -294,6 +386,45 @@ impl QueryEngine {
             cached.remove(0);
         }
         built
+    }
+
+    /// One IVF index for `cur`, by whichever path applies: when
+    /// incremental maintenance is enabled and `cur` is a delta publish
+    /// whose predecessor's index is still cached, the predecessor is
+    /// updated in place of a rebuild — only the changed and appended
+    /// items are re-routed to their nearest existing centroid
+    /// ([`IvfIndex::update`]). Everything else (full publishes, a missing
+    /// predecessor index, an empty predecessor catalogue, incremental
+    /// off) runs the full seeded k-means build, exactly as before.
+    fn build_ivf(&self, cur: &VersionedSnapshot, n_clusters: usize) -> IvfIndex {
+        if self.ivf_incremental {
+            if let Some(stamp) = cur.delta() {
+                let prev = self
+                    .ivf
+                    .read()
+                    .expect("ivf lock")
+                    .iter()
+                    .find(|idx| idx.version() == stamp.prev_version())
+                    .map(Arc::clone);
+                if let Some(prev) = prev {
+                    if prev.n_clusters() > 0 {
+                        return prev.update(
+                            cur.snapshot(),
+                            cur.version(),
+                            stamp.changed_items(),
+                            stamp.n_appended(),
+                        );
+                    }
+                }
+            }
+        }
+        IvfIndex::build(
+            cur.snapshot(),
+            cur.version(),
+            n_clusters,
+            IVF_SEED,
+            self.ivf_packed,
+        )
     }
 
     /// The handle the engine reads; publish to it to hot-swap the served
@@ -364,13 +495,14 @@ impl QueryEngine {
             "user {user} out of range ({} users)",
             cur.snapshot().n_users()
         );
-        let key = (cur.version(), user, k);
+        let (deal_gen, deal) = self.deal_slot();
+        let key = (cur.version(), deal_gen, user, k);
         if let Some(cache) = &self.cache {
             if let Some(hit) = cache.lock().expect("cache lock").get(&key) {
                 return Arc::clone(hit);
             }
         }
-        let result = Arc::new(self.rank(cur, user, k));
+        let result = Arc::new(self.rank(cur, deal.as_deref(), user, k));
         if let Some(cache) = &self.cache {
             cache
                 .lock()
@@ -426,6 +558,7 @@ impl QueryEngine {
             );
         }
         let version = cur.version();
+        let (deal_gen, deal) = self.deal_slot();
         let mut out: Vec<Option<Arc<Vec<ScoredItem>>>> = vec![None; users.len()];
 
         // Probe the cache once per *distinct* user, exactly as a
@@ -446,7 +579,11 @@ impl QueryEngine {
             }
             first_slot.insert(user, slot);
             if let Some(cache) = &self.cache {
-                if let Some(hit) = cache.lock().expect("cache lock").get(&(version, user, k)) {
+                if let Some(hit) = cache
+                    .lock()
+                    .expect("cache lock")
+                    .get(&(version, deal_gen, user, k))
+                {
                     out[slot] = Some(Arc::clone(hit));
                     continue;
                 }
@@ -456,14 +593,14 @@ impl QueryEngine {
 
         for block in pending.chunks(self.user_block) {
             let block_users: Vec<u32> = block.iter().map(|&(user, _)| user).collect();
-            let ranked = self.rank_many(cur, &block_users, k);
+            let ranked = self.rank_many(cur, deal.as_deref(), &block_users, k);
             for (&(user, slot), result) in block.iter().zip(ranked) {
                 let result = Arc::new(result);
                 if let Some(cache) = &self.cache {
                     cache
                         .lock()
                         .expect("cache lock")
-                        .insert((version, user, k), Arc::clone(&result));
+                        .insert((version, deal_gen, user, k), Arc::clone(&result));
                 }
                 out[slot] = Some(result);
             }
@@ -482,10 +619,10 @@ impl QueryEngine {
             out[slot] = Some(match &self.cache {
                 Some(cache) => {
                     let mut cache = cache.lock().expect("cache lock");
-                    match cache.get(&(version, user, k)) {
+                    match cache.get(&(version, deal_gen, user, k)) {
                         Some(hit) => Arc::clone(hit),
                         None => {
-                            cache.insert((version, user, k), Arc::clone(&result));
+                            cache.insert((version, deal_gen, user, k), Arc::clone(&result));
                             result
                         }
                     }
@@ -500,16 +637,22 @@ impl QueryEngine {
     }
 
     /// Uncached scoring dispatch for one user against one pinned
-    /// `(version, snapshot)` pair.
-    fn rank(&self, cur: &VersionedSnapshot, user: u32, k: usize) -> Vec<ScoredItem> {
+    /// `(version, snapshot)` pair, under one pinned deal filter.
+    fn rank(
+        &self,
+        cur: &VersionedSnapshot,
+        deal: Option<&BitMatrix>,
+        user: u32,
+        k: usize,
+    ) -> Vec<ScoredItem> {
         match self.retrieval {
-            Retrieval::Exact => self.rank_exact(cur.snapshot(), user, k),
+            Retrieval::Exact => self.rank_exact(cur.snapshot(), deal, user, k),
             Retrieval::Ivf {
                 n_clusters,
                 n_probe,
             } => {
                 let index = self.ivf_for(cur, n_clusters);
-                self.rank_ivf(cur.snapshot(), &index, user, k, n_probe)
+                self.rank_ivf(cur.snapshot(), &index, deal, user, k, n_probe)
             }
         }
     }
@@ -520,9 +663,15 @@ impl QueryEngine {
     /// shared pass to amortize — the win is scoring far fewer items).
     /// Either way every per-user result is bit-identical to [`Self::rank`]
     /// for that user.
-    fn rank_many(&self, cur: &VersionedSnapshot, users: &[u32], k: usize) -> Vec<Vec<ScoredItem>> {
+    fn rank_many(
+        &self,
+        cur: &VersionedSnapshot,
+        deal: Option<&BitMatrix>,
+        users: &[u32],
+        k: usize,
+    ) -> Vec<Vec<ScoredItem>> {
         match self.retrieval {
-            Retrieval::Exact => self.rank_many_exact(cur.snapshot(), users, k),
+            Retrieval::Exact => self.rank_many_exact(cur.snapshot(), deal, users, k),
             Retrieval::Ivf {
                 n_clusters,
                 n_probe,
@@ -536,7 +685,7 @@ impl QueryEngine {
                     .iter()
                     .zip(&routes)
                     .map(|(&user, cells)| {
-                        self.rank_ivf_cells(cur.snapshot(), &index, user, k, cells)
+                        self.rank_ivf_cells(cur.snapshot(), &index, deal, user, k, cells)
                     })
                     .collect()
             }
@@ -559,12 +708,13 @@ impl QueryEngine {
         &self,
         snapshot: &EmbeddingSnapshot,
         index: &IvfIndex,
+        deal: Option<&BitMatrix>,
         user: u32,
         k: usize,
         n_probe: usize,
     ) -> Vec<ScoredItem> {
         let cells = index.probe_cells(snapshot, user, n_probe);
-        self.rank_ivf_cells(snapshot, index, user, k, &cells)
+        self.rank_ivf_cells(snapshot, index, deal, user, k, &cells)
     }
 
     /// [`Self::rank_ivf`] over a precomputed cell route — the batched
@@ -574,12 +724,14 @@ impl QueryEngine {
         &self,
         snapshot: &EmbeddingSnapshot,
         index: &IvfIndex,
+        deal: Option<&BitMatrix>,
         user: u32,
         k: usize,
         cells: &[usize],
     ) -> Vec<ScoredItem> {
         let mut topk = TopK::new(k);
         let seen = self.filter.as_ref().map(|f| f.row_words(user as usize));
+        let deal = deal.map(|f| f.row_words(0));
         let mut scores = vec![0.0f32; self.block_size.min(snapshot.n_items().max(1))];
         for &cell in cells {
             let list = index.list(cell);
@@ -589,16 +741,13 @@ impl QueryEngine {
                 let out = &mut scores[..len];
                 index.score_cell(snapshot, user, cell, start, out);
                 let chunk = &list[start..start + len];
-                match seen {
-                    Some(words) => {
-                        for (&item, &score) in chunk.iter().zip(out.iter()) {
-                            if words[item as usize / 64] >> (item % 64) & 1 == 0 {
-                                topk.push(item, score);
-                            }
-                        }
+                if seen.is_none() && deal.is_none() {
+                    for (&item, &score) in chunk.iter().zip(out.iter()) {
+                        topk.push(item, score);
                     }
-                    None => {
-                        for (&item, &score) in chunk.iter().zip(out.iter()) {
+                } else {
+                    for (&item, &score) in chunk.iter().zip(out.iter()) {
+                        if !blocked(seen, deal, item as usize) {
                             topk.push(item, score);
                         }
                     }
@@ -616,6 +765,7 @@ impl QueryEngine {
     fn rank_many_exact(
         &self,
         snapshot: &EmbeddingSnapshot,
+        deal: Option<&BitMatrix>,
         users: &[u32],
         k: usize,
     ) -> Vec<Vec<ScoredItem>> {
@@ -625,6 +775,7 @@ impl QueryEngine {
             .iter()
             .map(|&u| self.filter.as_ref().map(|f| f.row_words(u as usize)))
             .collect();
+        let deal = deal.map(|f| f.row_words(0));
         let len_cap = self.block_size.min(n_items.max(1));
         let mut block = vec![0.0f32; users.len() * len_cap];
         let mut start = 0usize;
@@ -634,18 +785,15 @@ impl QueryEngine {
             snapshot.score_block_multi(users, start, len, out);
             for (u, topk) in topks.iter_mut().enumerate() {
                 let scores = &out[u * len..(u + 1) * len];
-                match seens[u] {
-                    Some(words) => {
-                        for (j, &score) in scores.iter().enumerate() {
-                            let item = start + j;
-                            if words[item / 64] >> (item % 64) & 1 == 0 {
-                                topk.push(item as u32, score);
-                            }
-                        }
+                if seens[u].is_none() && deal.is_none() {
+                    for (j, &score) in scores.iter().enumerate() {
+                        topk.push((start + j) as u32, score);
                     }
-                    None => {
-                        for (j, &score) in scores.iter().enumerate() {
-                            topk.push((start + j) as u32, score);
+                } else {
+                    for (j, &score) in scores.iter().enumerate() {
+                        let item = start + j;
+                        if !blocked(seens[u], deal, item) {
+                            topk.push(item as u32, score);
                         }
                     }
                 }
@@ -656,28 +804,32 @@ impl QueryEngine {
     }
 
     /// The exhaustive uncached scoring path over one pinned snapshot.
-    fn rank_exact(&self, snapshot: &EmbeddingSnapshot, user: u32, k: usize) -> Vec<ScoredItem> {
+    fn rank_exact(
+        &self,
+        snapshot: &EmbeddingSnapshot,
+        deal: Option<&BitMatrix>,
+        user: u32,
+        k: usize,
+    ) -> Vec<ScoredItem> {
         let n_items = snapshot.n_items();
         let mut topk = TopK::new(k);
         let mut block = vec![0.0f32; self.block_size.min(n_items.max(1))];
         let seen = self.filter.as_ref().map(|f| f.row_words(user as usize));
+        let deal = deal.map(|f| f.row_words(0));
         let mut start = 0usize;
         while start < n_items {
             let len = self.block_size.min(n_items - start);
             let out = &mut block[..len];
             snapshot.score_block(user, start, out);
-            match seen {
-                Some(words) => {
-                    for (j, &score) in out.iter().enumerate() {
-                        let item = start + j;
-                        if words[item / 64] >> (item % 64) & 1 == 0 {
-                            topk.push(item as u32, score);
-                        }
-                    }
+            if seen.is_none() && deal.is_none() {
+                for (j, &score) in out.iter().enumerate() {
+                    topk.push((start + j) as u32, score);
                 }
-                None => {
-                    for (j, &score) in out.iter().enumerate() {
-                        topk.push((start + j) as u32, score);
+            } else {
+                for (j, &score) in out.iter().enumerate() {
+                    let item = start + j;
+                    if !blocked(seen, deal, item) {
+                        topk.push(item as u32, score);
                     }
                 }
             }
@@ -1177,5 +1329,222 @@ mod tests {
     fn recommend_many_rejects_out_of_range_users() {
         let engine = QueryEngine::new(snapshot(2, 10, 4));
         engine.recommend_many(&[0, 2], 1);
+    }
+
+    /// A deal filter blocking every item `% 5 == 0`.
+    fn deal_filter(n_items: usize) -> gb_graph::BitMatrix {
+        let mut f = gb_graph::BitMatrix::zeros(1, n_items);
+        for item in (0..n_items).step_by(5) {
+            f.set(0, item);
+        }
+        f
+    }
+
+    #[test]
+    fn deal_filter_blocks_items_for_every_user() {
+        let engine = QueryEngine::new(snapshot(4, 200, 8));
+        engine.set_deal_filter(deal_filter(200));
+        for user in 0..4u32 {
+            let rec = engine.recommend(user, 200);
+            assert_eq!(rec.len(), 160, "user {user}: 40 items blocked");
+            assert!(rec.iter().all(|e| e.item % 5 != 0), "a blocked item leaked");
+        }
+        engine.clear_deal_filter();
+        assert_eq!(engine.recommend(0, 200).len(), 200);
+    }
+
+    #[test]
+    fn deal_filter_composes_with_seen_filter() {
+        let snap = snapshot(3, 150, 8);
+        let mut seen = gb_graph::BitMatrix::zeros(3, 150);
+        for item in (0..150).step_by(3) {
+            seen.set(1, item);
+        }
+        let engine = QueryEngine::new(snap.clone()).with_seen_filter(seen);
+        engine.set_deal_filter(deal_filter(150));
+        let allowed: Vec<u32> = (0..150u32).filter(|i| i % 3 != 0 && i % 5 != 0).collect();
+        let got: Vec<(u32, f32)> = engine
+            .recommend(1, 150)
+            .iter()
+            .map(|e| (e.item, e.score))
+            .collect();
+        assert_eq!(got, reference_topk(&snap, 1, &allowed, 150));
+        // A user with no seen bits is gated by the deal filter alone.
+        assert_eq!(engine.recommend(0, 150).len(), 120);
+    }
+
+    #[test]
+    fn deal_filter_swap_retires_cached_responses_by_generation() {
+        let engine = QueryEngine::with_config(
+            snapshot(3, 100, 4),
+            EngineConfig {
+                cache_capacity: 8,
+                ..Default::default()
+            },
+        );
+        assert_eq!(engine.deal_generation(), 0);
+        let unfiltered = engine.recommend(0, 100);
+        assert_eq!(unfiltered.len(), 100);
+        engine.set_deal_filter(deal_filter(100));
+        assert_eq!(engine.deal_generation(), 1);
+        let filtered = engine.recommend(0, 100);
+        assert_eq!(filtered.len(), 80, "the pre-filter entry must not serve");
+        // Clearing is a new generation, not a return to the old key.
+        engine.clear_deal_filter();
+        assert_eq!(engine.deal_generation(), 2);
+        assert_eq!(engine.recommend(0, 100).len(), 100);
+        // All three were misses; re-query under the current generation hits.
+        assert_eq!(engine.cache_stats(), (0, 3));
+        engine.recommend(0, 100);
+        assert_eq!(engine.cache_stats(), (1, 3));
+    }
+
+    #[test]
+    fn grown_publish_serves_appended_items_past_old_filters() {
+        // Filters installed for the 60-item catalogue; a grow-only
+        // publish appends 20 items. Appended ids probe as unseen/allowed
+        // on both filters instead of indexing out of bounds.
+        let old = snapshot(3, 60, 4);
+        let mut seen = gb_graph::BitMatrix::zeros(3, 60);
+        seen.set(0, 10);
+        let engine = QueryEngine::new(old).with_seen_filter(seen);
+        engine.set_deal_filter(deal_filter(60));
+        let new = snapshot(3, 80, 4);
+        engine.handle().publish(new.clone());
+        let rec = engine.recommend(0, 80);
+        let expect: Vec<u32> = (0..80u32)
+            .filter(|&i| i != 10 && (i >= 60 || i % 5 != 0))
+            .collect();
+        assert_eq!(rec.len(), expect.len());
+        let got: Vec<(u32, f32)> = rec.iter().map(|e| (e.item, e.score)).collect();
+        assert_eq!(got, reference_topk(&new, 0, &expect, 80));
+    }
+
+    #[test]
+    fn ivf_deal_filter_matches_exact_bitwise() {
+        let snap = snapshot(4, 200, 8);
+        let exact = QueryEngine::new(snap.clone());
+        exact.set_deal_filter(deal_filter(200));
+        let ivf = ivf_engine(snap, 8, 8);
+        ivf.set_deal_filter(deal_filter(200));
+        for user in 0..4u32 {
+            let e = exact.recommend(user, 200);
+            let a = ivf.recommend(user, 200);
+            assert_eq!(e.len(), a.len(), "user {user}");
+            for (x, y) in e.iter().zip(a.iter()) {
+                assert_eq!((x.item, x.score.to_bits()), (y.item, y.score.to_bits()));
+            }
+        }
+    }
+
+    fn delta_for(snap: &EmbeddingSnapshot) -> gb_models::SnapshotDelta {
+        let d = snap.own_dim();
+        gb_models::SnapshotDelta::new()
+            .set_item(7, vec![0.3; d], vec![-0.2; d])
+            .set_item(40, vec![-0.8; d], vec![0.5; d])
+            .append_item(vec![0.6; d], vec![0.4; d])
+            .append_item(vec![-0.1; d], vec![0.9; d])
+    }
+
+    #[test]
+    fn incremental_ivf_update_matches_exact_after_delta_publish() {
+        let snap = snapshot(5, 120, 8);
+        let engine = QueryEngine::with_config(
+            snap.clone(),
+            EngineConfig {
+                block_size: 64,
+                retrieval: Retrieval::Ivf {
+                    n_clusters: 6,
+                    n_probe: 6,
+                },
+                ivf_incremental: true,
+                ..Default::default()
+            },
+        );
+        engine.recommend(0, 5); // build the v1 index
+        assert_eq!(engine.ivf_index_version(), Some(1));
+        let delta = delta_for(&snap);
+        engine.handle().publish_delta(&delta);
+        let cur = engine.snapshot();
+        let exact = QueryEngine::new(cur.snapshot().clone());
+        for user in 0..5u32 {
+            let (version, got) = engine.recommend_versioned(user, 122);
+            assert_eq!(version, 2);
+            let want = exact.recommend(user, 122);
+            assert_eq!(got.len(), want.len(), "user {user}");
+            for (a, b) in got.iter().zip(want.iter()) {
+                assert_eq!(
+                    (a.item, a.score.to_bits()),
+                    (b.item, b.score.to_bits()),
+                    "user {user}: incremental full-probe must stay exact"
+                );
+            }
+        }
+        assert_eq!(engine.ivf_index_version(), Some(2), "updated on publish");
+    }
+
+    #[test]
+    fn incremental_ivf_never_blends_across_a_publish() {
+        // Partial probe after a delta publish: every returned score must
+        // come from the *new* tables — a stale packed cell or list would
+        // surface an old-version bit pattern.
+        let snap = snapshot(4, 150, 8);
+        let engine = QueryEngine::with_config(
+            snap.clone(),
+            EngineConfig {
+                block_size: 32,
+                retrieval: Retrieval::Ivf {
+                    n_clusters: 10,
+                    n_probe: 3,
+                },
+                ivf_incremental: true,
+                ..Default::default()
+            },
+        );
+        engine.recommend(0, 5);
+        engine.handle().publish_delta(&delta_for(&snap));
+        let cur = engine.snapshot();
+        for user in 0..4u32 {
+            let (version, got) = engine.recommend_versioned(user, 20);
+            assert_eq!(version, 2);
+            assert!(!got.is_empty());
+            for e in got.iter() {
+                let fresh = cur.snapshot().score_items(user, &[e.item])[0];
+                assert_eq!(
+                    e.score.to_bits(),
+                    fresh.to_bits(),
+                    "user {user} item {}: served score blends a stale row",
+                    e.item
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_ivf_falls_back_to_rebuild_without_a_cached_predecessor() {
+        let snap = snapshot(3, 90, 8);
+        let engine = QueryEngine::with_config(
+            snap.clone(),
+            EngineConfig {
+                retrieval: Retrieval::Ivf {
+                    n_clusters: 5,
+                    n_probe: 5,
+                },
+                ivf_incremental: true,
+                ..Default::default()
+            },
+        );
+        // Delta-publish *before* any query: no v1 index exists, so the
+        // v2 index must come from a full build — and still serve exactly.
+        engine.handle().publish_delta(&delta_for(&snap));
+        let cur = engine.snapshot();
+        let exact = QueryEngine::new(cur.snapshot().clone());
+        let got = engine.recommend(1, 92);
+        let want = exact.recommend(1, 92);
+        assert_eq!(got.len(), want.len());
+        for (a, b) in got.iter().zip(want.iter()) {
+            assert_eq!((a.item, a.score.to_bits()), (b.item, b.score.to_bits()));
+        }
+        assert_eq!(engine.ivf_index_version(), Some(2));
     }
 }

@@ -69,10 +69,13 @@ use std::sync::Arc;
 const KMEANS_ITERS: usize = 5;
 
 /// Contiguous per-cell copies of the item tables, rows in list order.
+/// Each cell's tables sit behind an `Arc` so an incremental update
+/// ([`IvfIndex::update`]) can alias the cells a delta never touched
+/// instead of re-gathering them.
 #[derive(Clone, Debug)]
 struct PackedCells {
-    own: Vec<Matrix>,
-    social: Vec<Matrix>,
+    own: Vec<Arc<Matrix>>,
+    social: Vec<Arc<Matrix>>,
 }
 
 /// An inverted-file index over one snapshot's item catalogue.
@@ -133,17 +136,152 @@ impl IvfIndex {
         let packed = packed.then(|| PackedCells {
             own: lists
                 .iter()
-                .map(|list| kernels::gather_rows(item_own, list))
+                .map(|list| Arc::new(kernels::gather_rows(item_own, list)))
                 .collect(),
             social: lists
                 .iter()
-                .map(|list| kernels::gather_rows(item_social, list))
+                .map(|list| Arc::new(kernels::gather_rows(item_social, list)))
                 .collect(),
         });
         Self {
             version,
             own_dim: od,
             centroids: km.centroids,
+            lists,
+            packed,
+        }
+    }
+
+    /// Derives the index for a *delta* successor of the snapshot this
+    /// index was built from, without re-running k-means.
+    ///
+    /// The delta contract (see `gb_models::DeltaStamp`) guarantees that
+    /// between the two versions only the rows in `changed` moved and
+    /// `n_appended` rows appeared past the old catalogue end — every
+    /// other item row is byte-identical. So the centroids are kept as-is,
+    /// only the changed + appended items are re-routed to their nearest
+    /// existing cell ([`kmeans::assign`] — the same argmin the full
+    /// build's final pass uses), and only the cells that gained or lost a
+    /// member are re-packed; untouched cells alias the previous packed
+    /// tables outright. Cost is `O(moved · n_clusters · d)` routing plus
+    /// the affected-cell repack, versus the full build's
+    /// `O(n · n_clusters · d · iters)` k-means over the whole catalogue.
+    ///
+    /// The derived index still partitions the catalogue, so full-probe
+    /// serving through it stays bit-identical to exact serving of the new
+    /// snapshot. Cell *boundaries* are those of the original build
+    /// (centroids are not re-fit), so partial-probe routing quality
+    /// degrades gracefully over long delta chains — a periodic full
+    /// rebuild re-fits them.
+    ///
+    /// # Panics
+    /// Panics if the index has no cells (nothing to assign into), if
+    /// `snapshot`'s widths disagree with the index, if `changed` contains
+    /// ids outside the previous catalogue, or if the previous catalogue
+    /// size implied by `snapshot.n_items() - n_appended` disagrees with
+    /// the index's lists.
+    pub fn update(
+        &self,
+        snapshot: &EmbeddingSnapshot,
+        version: u64,
+        changed: &[u32],
+        n_appended: usize,
+    ) -> Self {
+        let n = snapshot.n_items();
+        assert!(n >= n_appended, "update: more appended items than items");
+        let prev_n = n - n_appended;
+        let od = snapshot.own_dim();
+        let sd = snapshot.social_dim();
+        assert!(!self.lists.is_empty(), "update: index has no cells");
+        assert_eq!(od, self.own_dim, "update: own-embedding width mismatch");
+        assert_eq!(
+            od + sd,
+            self.centroids.cols(),
+            "update: concat width disagrees with the IVF centroids"
+        );
+        assert_eq!(
+            prev_n,
+            self.lists.iter().map(Vec::len).sum::<usize>(),
+            "update: previous catalogue size disagrees with the index"
+        );
+        for &item in changed {
+            assert!(
+                (item as usize) < prev_n,
+                "update: changed item {item} outside the previous catalogue ({prev_n} items)"
+            );
+        }
+        assert!(
+            changed.windows(2).all(|w| w[0] < w[1]),
+            "update: changed ids must be ascending and unique"
+        );
+        // The moved set: replaced rows plus the appended tail.
+        let moved: Vec<u32> = changed
+            .iter()
+            .copied()
+            .chain(prev_n as u32..n as u32)
+            .collect();
+        let item_own = snapshot.item_own();
+        let item_social = snapshot.item_social();
+        let concat = Matrix::from_fn(moved.len(), od + sd, |r, c| {
+            let item = moved[r] as usize;
+            if c < od {
+                item_own.get(item, c)
+            } else {
+                item_social.get(item, c - od)
+            }
+        });
+        let cells = kmeans::assign(&concat, &self.centroids);
+
+        let mut lists = self.lists.clone();
+        let mut affected = vec![false; lists.len()];
+        for (cell, list) in lists.iter_mut().enumerate() {
+            let before = list.len();
+            list.retain(|i| changed.binary_search(i).is_err());
+            if list.len() != before {
+                affected[cell] = true;
+            }
+        }
+        for (&item, &cell) in moved.iter().zip(&cells) {
+            let list = &mut lists[cell as usize];
+            let pos = list
+                .binary_search(&item)
+                .expect_err("moved item already present in its target cell");
+            list.insert(pos, item);
+            affected[cell as usize] = true;
+        }
+
+        // Re-pack only the cells whose membership (or member rows)
+        // changed; every member of an untouched cell is an unchanged item
+        // whose row is byte-equal across the two versions, so aliasing
+        // the old packed tables serves identical bits.
+        let packed = self.packed.as_ref().map(|old| PackedCells {
+            own: lists
+                .iter()
+                .enumerate()
+                .map(|(c, list)| {
+                    if affected[c] {
+                        Arc::new(kernels::gather_rows(item_own, list))
+                    } else {
+                        Arc::clone(&old.own[c])
+                    }
+                })
+                .collect(),
+            social: lists
+                .iter()
+                .enumerate()
+                .map(|(c, list)| {
+                    if affected[c] {
+                        Arc::new(kernels::gather_rows(item_social, list))
+                    } else {
+                        Arc::clone(&old.social[c])
+                    }
+                })
+                .collect(),
+        });
+        Self {
+            version,
+            own_dim: od,
+            centroids: self.centroids.clone(),
             lists,
             packed,
         }
@@ -223,7 +361,7 @@ impl IvfIndex {
         let packed = match &self.packed {
             Some(p) => {
                 4 * (p.own.iter().chain(p.social.iter()))
-                    .map(Matrix::len)
+                    .map(|m| m.len())
                     .sum::<usize>()
             }
             None => 0,
@@ -472,5 +610,112 @@ mod tests {
         assert!(Arc::ptr_eq(&routes[2], &routes[4]));
         assert!(Arc::ptr_eq(&routes[1], &routes[5]));
         assert!(!Arc::ptr_eq(&routes[0], &routes[1]));
+    }
+
+    /// A delta successor of `snapshot(n)`: item 3's rows replaced, two
+    /// items appended past the old end.
+    fn delta_successor(prev: &EmbeddingSnapshot) -> (EmbeddingSnapshot, Vec<u32>, usize) {
+        let delta = gb_models::SnapshotDelta::new()
+            .set_item(3, vec![0.9; 6], vec![-0.4; 4])
+            .append_item(vec![0.2; 6], vec![0.7; 4])
+            .append_item(vec![-0.6; 6], vec![0.1; 4]);
+        (
+            delta.apply(prev),
+            delta.changed_item_ids(),
+            delta.n_appended(),
+        )
+    }
+
+    #[test]
+    fn update_partitions_the_grown_catalogue() {
+        let prev = snapshot(50);
+        let index = IvfIndex::build(&prev, 1, 6, 0, true);
+        let (next, changed, appended) = delta_successor(&prev);
+        let updated = index.update(&next, 2, &changed, appended);
+        assert_eq!(updated.version(), 2);
+        assert_eq!(updated.n_clusters(), index.n_clusters());
+        let mut all: Vec<u32> = (0..updated.n_clusters())
+            .flat_map(|c| updated.list(c).to_vec())
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..52u32).collect::<Vec<_>>());
+        for c in 0..updated.n_clusters() {
+            assert!(updated.list(c).windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn update_scores_match_a_fresh_gather_bitwise() {
+        // Packed and unpacked updates must agree with each other (the
+        // unpacked side always reads the new snapshot tables directly, so
+        // agreement proves the aliased/repacked cells hold the new bits).
+        let prev = snapshot(41);
+        let packed = IvfIndex::build(&prev, 1, 5, 0, true);
+        let unpacked = IvfIndex::build(&prev, 1, 5, 0, false);
+        let (next, changed, appended) = delta_successor(&prev);
+        let up = packed.update(&next, 2, &changed, appended);
+        let uu = unpacked.update(&next, 2, &changed, appended);
+        assert!(up.is_packed() && !uu.is_packed());
+        for c in 0..up.n_clusters() {
+            assert_eq!(up.list(c), uu.list(c), "same re-routing");
+            let n = up.list(c).len();
+            let mut a = vec![0.0f32; n];
+            let mut b = vec![0.0f32; n];
+            for user in 0..3u32 {
+                up.score_cell(&next, user, c, 0, &mut a);
+                uu.score_cell(&next, user, c, 0, &mut b);
+                for (x, y) in a.iter().zip(&b) {
+                    assert_eq!(x.to_bits(), y.to_bits(), "cell {c} user {user}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn update_reroutes_like_a_final_assignment_pass() {
+        // Every moved item must land in the cell a nearest-centroid pass
+        // over the *old* centroids picks — i.e. exactly where the full
+        // build's final assignment would put that vector.
+        let prev = snapshot(37);
+        let index = IvfIndex::build(&prev, 1, 4, 0, true);
+        let (next, changed, appended) = delta_successor(&prev);
+        let updated = index.update(&next, 2, &changed, appended);
+        // Unchanged items keep their cell.
+        for c in 0..index.n_clusters() {
+            for &item in index.list(c) {
+                if changed.contains(&item) {
+                    continue;
+                }
+                assert!(updated.list(c).contains(&item), "item {item} moved cells");
+            }
+        }
+    }
+
+    #[test]
+    fn update_with_empty_delta_aliases_every_packed_cell() {
+        let prev = snapshot(30);
+        let index = IvfIndex::build(&prev, 1, 4, 0, true);
+        let updated = index.update(&prev, 2, &[], 0);
+        assert_eq!(updated.version(), 2);
+        let (old, new) = (
+            index.packed.as_ref().unwrap(),
+            updated.packed.as_ref().unwrap(),
+        );
+        for c in 0..index.n_clusters() {
+            assert_eq!(index.list(c), updated.list(c));
+            assert!(
+                Arc::ptr_eq(&old.own[c], &new.own[c]),
+                "cell {c} re-gathered"
+            );
+            assert!(Arc::ptr_eq(&old.social[c], &new.social[c]));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "catalogue size disagrees")]
+    fn update_rejects_a_non_successor_snapshot() {
+        let prev = snapshot(30);
+        let index = IvfIndex::build(&prev, 1, 4, 0, true);
+        index.update(&snapshot(33), 2, &[], 0); // 3 new items, not stamped
     }
 }

@@ -21,9 +21,10 @@
 //!                                            ▼ load() per query
 //!                        QueryEngine  (blocked scoring kernel,
 //!                          │           batched multi-user catalogue
-//!                          │           passes, seen-item BitMatrix
-//!                          │           filter, LRU cache keyed by
-//!                          │             (version, user, k))
+//!                          │           passes, seen-item + deal-state
+//!                          │           BitMatrix filters, LRU cache
+//!                          │           keyed by (version, deal
+//!                          │             generation, user, k))
 //!                          ▼
 //!                   RecommendService  (bounded queue, N std-thread
 //!                          │           workers, multi-user query
@@ -36,14 +37,23 @@
 //! served embeddings without restart: each query pins one
 //! `(version, tables)` pair for its whole lifetime, and cached responses
 //! are keyed by that version, so a response can never mix snapshots or
-//! outlive the version it was computed from.
+//! outlive the version it was computed from. Publishes come in two
+//! flavours with identical serving semantics: a full
+//! `SnapshotHandle::publish` replaces every table, while
+//! `publish_delta` ships only the changed/appended rows and
+//! copy-on-writes them over the previous version's shared storage —
+//! bitwise the same result, at cost proportional to the delta. The
+//! item universe is grow-only across publishes (appended items simply
+//! probe as unseen in any shorter filter).
 //!
 //! * [`topk::TopK`] — bounded min-heap partial sort: `O(n log k)` per
 //!   query instead of the eval path's materialize-and-sort
 //!   `O(n log n)`, with `O(k)` extra memory.
 //! * [`engine::QueryEngine`] — walks the catalogue in cache-sized blocks
 //!   through `gb_tensor::kernels::blend_dot_block`, filters seen items
-//!   with one bit-probe each ([`gb_graph::BitMatrix`]), and optionally
+//!   and deal-blocked items (a hot-swappable one-row deal-state mask,
+//!   e.g. from `gb_data::EventLog::blocked_items_at`) with one
+//!   bit-probe each ([`gb_graph::BitMatrix`]), and optionally
 //!   caches `(user, k)` responses in an LRU ([`cache::LruCache`]).
 //!   `recommend_many` scores up to `EngineConfig::user_block` users per
 //!   catalogue pass (`blend_dot_block_multi` streams the item tables
@@ -55,7 +65,11 @@
 //!   each query to its `n_probe` best cells, and only those members are
 //!   scored (with the exact kernels — survivor scores are bit-identical,
 //!   and probing every cell reproduces exact serving bit-for-bit). The
-//!   index is version-tagged and rebuilt on publish.
+//!   index is version-tagged and rebuilt on publish; with
+//!   [`EngineConfig::ivf_incremental`] a delta publish instead reuses
+//!   the previous version's centroids and re-routes only the
+//!   changed/appended items ([`IvfIndex::update`]), aliasing every
+//!   untouched packed cell.
 //! * [`router::ShardedEngine`] — the scale-out tier: partitions the
 //!   catalogue across N shard engines along a [`shard::ShardPlan`]
 //!   (contiguous zero-copy snapshot/filter slices, per-shard IVF),

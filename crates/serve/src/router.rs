@@ -53,7 +53,7 @@ use crate::shard::ShardPlan;
 use crate::topk::{ScoredItem, TopK};
 use gb_eval::timing::LatencyBreakdown;
 use gb_graph::BitMatrix;
-use gb_models::{EmbeddingSnapshot, SnapshotHandle, VersionedSnapshot};
+use gb_models::{DeltaStamp, EmbeddingSnapshot, SnapshotDelta, SnapshotHandle, VersionedSnapshot};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::{Duration, Instant};
@@ -181,7 +181,9 @@ impl ShardedEngine {
     /// Installs a seen-item filter, sliced per shard: shard `s` receives
     /// the columns of its item range ([`BitMatrix::slice_cols`]), so its
     /// local word-probes test exactly the global bits of its items.
-    /// Filtered items never appear in merged results.
+    /// Filtered items never appear in merged results. Items appended by
+    /// later grow-only publishes land past the filter's columns and probe
+    /// as unseen, globally and on every shard.
     ///
     /// # Panics
     /// Panics if the bitset shape disagrees with the served snapshot.
@@ -197,17 +199,54 @@ impl ShardedEngine {
             cur.snapshot().n_items(),
             "filter item count mismatch"
         );
-        let plan = self.plan.clone();
+        let ranges = self.effective_ranges(filter.cols());
         self.shards = self
             .shards
             .into_iter()
-            .enumerate()
-            .map(|(s, engine)| {
-                let (start, len) = plan.range(s);
-                engine.with_seen_filter(filter.slice_cols(start, len))
-            })
+            .zip(&ranges)
+            .map(|(engine, &(start, len))| engine.with_seen_filter(filter.slice_cols(start, len)))
             .collect();
         self
+    }
+
+    /// Installs (or replaces) the deal-state candidate filter on every
+    /// shard: one global row of item bits (bit set ⇒ blocked for every
+    /// user — see `gb_data::EventLog::blocked_items_at`), sliced so each
+    /// shard probes exactly the global bits of its served item range.
+    /// Composes with the per-shard seen filters, and each shard's
+    /// response cache retires its old entries by generation, exactly as
+    /// on a single engine. Items past the filter's columns (appended by
+    /// later grow-only publishes) probe as allowed.
+    ///
+    /// The install is atomic per shard, not across shards: a query
+    /// scattering concurrently with the install may gather some shards
+    /// under the old filter and some under the new (each internally
+    /// consistent). Queries issued after the install returns see the new
+    /// filter everywhere.
+    ///
+    /// # Panics
+    /// Panics unless the filter is one row covering at least the planned
+    /// catalogue.
+    pub fn set_deal_filter(&self, filter: BitMatrix) {
+        assert_eq!(filter.rows(), 1, "deal filter is one row of item bits");
+        assert!(
+            filter.cols() >= self.plan.n_items(),
+            "deal filter covers {} items but the shard plan serves {}",
+            filter.cols(),
+            self.plan.n_items()
+        );
+        let ranges = self.effective_ranges(filter.cols());
+        for (shard, &(start, len)) in self.shards.iter().zip(&ranges) {
+            shard.set_deal_filter(filter.slice_cols(start, len));
+        }
+    }
+
+    /// Removes the deal-state filter from every shard; see
+    /// [`QueryEngine::clear_deal_filter`].
+    pub fn clear_deal_filter(&self) {
+        for shard in &self.shards {
+            shard.clear_deal_filter();
+        }
     }
 
     /// The global handle every shard serves from; publish to it (or via
@@ -221,6 +260,16 @@ impl ShardedEngine {
     /// the per-shard slices built at first query alias one copy.
     pub fn publish(&self, snapshot: EmbeddingSnapshot) -> u64 {
         self.handle.publish(snapshot.to_shared())
+    }
+
+    /// Publishes a delta successor of the current snapshot to every
+    /// shard at once ([`SnapshotHandle::publish_delta`]), returning its
+    /// version. The next query's slice set carries the delta stamp
+    /// translated to each shard's local ids, so shard engines running
+    /// incremental IVF maintenance keep the incremental path across the
+    /// scatter boundary.
+    pub fn publish_delta(&self, delta: &SnapshotDelta) -> u64 {
+        self.handle.publish_delta(delta)
     }
 
     /// The partition being served.
@@ -333,6 +382,27 @@ impl ShardedEngine {
         );
     }
 
+    /// The served per-shard ranges for a catalogue of `n_items`: the
+    /// construction-time plan, with the grow-only tail
+    /// `[plan.n_items(), n_items)` appended to the last shard. Range
+    /// *starts* never shift, so global-id translation, installed filter
+    /// slices, and earlier versions' shard sets all stay valid as the
+    /// catalogue grows.
+    fn effective_ranges(&self, n_items: usize) -> Vec<(usize, usize)> {
+        assert!(
+            n_items >= self.plan.n_items(),
+            "served catalogue shrank below the shard plan ({} -> {n_items})",
+            self.plan.n_items()
+        );
+        let mut ranges = self.plan.ranges().to_vec();
+        let grown = n_items - self.plan.n_items();
+        if grown > 0 {
+            let last = ranges.len() - 1;
+            ranges[last].1 += grown;
+        }
+        ranges
+    }
+
     /// The per-shard slice set for the pinned snapshot `cur`, building
     /// (and caching, two versions deep) on first sight of a version.
     /// Mirrors `QueryEngine::ivf_for`: lookups take a read lock, builds
@@ -352,17 +422,37 @@ impl ShardedEngine {
             return set;
         }
         // Share once per version (O(1) if the publisher already shared),
-        // then slice zero-copy.
+        // then slice zero-copy. Grow-only publishes extend the last
+        // shard's range; a delta publish is re-stamped per shard with the
+        // change set translated to local ids, so shard engines keep the
+        // incremental IVF path.
         let shared = cur.snapshot().to_shared();
-        let slices = self
-            .plan
-            .ranges()
+        let ranges = self.effective_ranges(cur.snapshot().n_items());
+        let prev_ranges = cur
+            .delta()
+            .map(|stamp| self.effective_ranges(cur.snapshot().n_items() - stamp.n_appended()));
+        let slices = ranges
             .iter()
-            .map(|&(start, len)| {
-                Arc::new(VersionedSnapshot::new(
-                    cur.version(),
-                    shared.slice_items(start, len),
-                ))
+            .enumerate()
+            .map(|(s, &(start, len))| {
+                let slice = shared.slice_items(start, len);
+                match (cur.delta(), &prev_ranges) {
+                    (Some(stamp), Some(prev)) => {
+                        let (_, prev_len) = prev[s];
+                        let local_changed: Vec<u32> = stamp
+                            .changed_items()
+                            .iter()
+                            .filter(|&&g| (start..start + prev_len).contains(&(g as usize)))
+                            .map(|&g| g - start as u32)
+                            .collect();
+                        Arc::new(VersionedSnapshot::with_delta(
+                            cur.version(),
+                            slice,
+                            DeltaStamp::new(stamp.prev_version(), local_changed, len - prev_len),
+                        ))
+                    }
+                    _ => Arc::new(VersionedSnapshot::new(cur.version(), slice)),
+                }
             })
             .collect();
         let built = Arc::new(ShardSet {
@@ -598,5 +688,102 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn out_of_range_user_panics() {
         ShardedEngine::new(snapshot(2, 10, 4), 2).recommend(2, 1);
+    }
+
+    fn deal_filter(n_items: usize) -> BitMatrix {
+        let mut f = BitMatrix::zeros(1, n_items);
+        for item in (0..n_items).step_by(4) {
+            f.set(0, item);
+        }
+        f
+    }
+
+    #[test]
+    fn sharded_deal_filter_matches_single_engine_bitwise() {
+        let snap = snapshot(4, 130, 6);
+        let mut seen = BitMatrix::zeros(4, 130);
+        for item in (0..130).step_by(3) {
+            seen.set(1, item);
+        }
+        let single = QueryEngine::new(snap.clone()).with_seen_filter(seen.clone());
+        single.set_deal_filter(deal_filter(130));
+        for n_shards in [1usize, 3, 5] {
+            let sharded = ShardedEngine::new(snap.clone(), n_shards).with_seen_filter(seen.clone());
+            sharded.set_deal_filter(deal_filter(130));
+            for user in 0..4u32 {
+                assert_eq!(
+                    pairs(&sharded.recommend(user, 130)),
+                    pairs(&single.recommend(user, 130)),
+                    "user {user} at {n_shards} shards"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn clearing_the_deal_filter_restores_the_full_candidate_set() {
+        let sharded = ShardedEngine::new(snapshot(3, 64, 4), 4);
+        sharded.set_deal_filter(deal_filter(64));
+        assert_eq!(sharded.recommend(0, 64).len(), 48);
+        sharded.clear_deal_filter();
+        assert_eq!(sharded.recommend(0, 64).len(), 64);
+    }
+
+    #[test]
+    fn grown_publish_extends_the_last_shard() {
+        // The plan was cut for 90 items; a grow-only publish appends 17.
+        // The tail lands on the last shard, and the merged ranking stays
+        // bit-identical to a single engine over the grown catalogue.
+        let old = snapshot(4, 90, 6);
+        let new = snapshot(4, 107, 6);
+        let sharded = ShardedEngine::new(old, 3);
+        sharded.recommend(0, 5); // build the v1 slice set first
+        assert_eq!(sharded.publish(new.clone()), 2);
+        let single = QueryEngine::new(new);
+        for user in 0..4u32 {
+            let (version, got) = sharded.recommend_versioned(user, 107);
+            assert_eq!(version, 2);
+            assert_eq!(
+                pairs(&got),
+                pairs(&single.recommend(user, 107)),
+                "user {user}"
+            );
+        }
+    }
+
+    #[test]
+    fn delta_publish_is_restamped_per_shard() {
+        let snap = snapshot(3, 80, 4);
+        let sharded = ShardedEngine::new(snap.clone(), 3);
+        sharded.recommend(0, 3);
+        let delta = SnapshotDelta::new()
+            .set_item(5, vec![0.5; 4], vec![-0.5; 4])
+            .set_item(60, vec![0.1; 4], vec![0.2; 4])
+            .append_item(vec![0.9; 4], vec![0.3; 4]);
+        assert_eq!(sharded.publish_delta(&delta), 2);
+        let cur = sharded.handle().load();
+        let set = sharded.set_for(&cur);
+        // 80 items over 3 shards: ranges (0,27) (27,27) (54,26); the
+        // appended item extends the last to (54,27).
+        let stamps: Vec<_> = set
+            .slices
+            .iter()
+            .map(|s| s.delta().expect("every slice re-stamped"))
+            .collect();
+        assert_eq!(stamps[0].changed_items(), &[5]);
+        assert_eq!(stamps[0].n_appended(), 0);
+        assert!(stamps[1].changed_items().is_empty());
+        assert_eq!(stamps[2].changed_items(), &[60 - 54]);
+        assert_eq!(stamps[2].n_appended(), 1);
+        assert_eq!(set.slices[2].snapshot().n_items(), 27);
+        // And the served merge equals a single engine over the new tables.
+        let single = QueryEngine::new(cur.snapshot().clone());
+        for user in 0..3u32 {
+            assert_eq!(
+                pairs(&sharded.recommend(user, 81)),
+                pairs(&single.recommend(user, 81)),
+                "user {user}"
+            );
+        }
     }
 }

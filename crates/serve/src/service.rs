@@ -98,20 +98,26 @@ struct QueryJob {
 
 enum Job {
     Query(QueryJob),
-    /// Fire-and-forget cache warm-up.
+    /// Fire-and-forget cache warm-up. No caller is waiting, so warm jobs
+    /// carry no enqueue stamp and never feed the latency samples.
     Warm {
         user: u32,
         k: usize,
-        enqueued: Instant,
     },
 }
 
 /// Shared worker-side state: samples and counters every worker feeds.
 struct Stats {
     latencies: Mutex<Vec<Duration>>,
-    /// Monotone count of jobs completed — deliberately separate from
-    /// `latencies`, which [`RecommendService::latency_stopwatch`] drains.
+    /// Monotone count of *caller-facing* queries completed — deliberately
+    /// separate from `latencies`, which
+    /// [`RecommendService::latency_stopwatch`] drains. Warm-ups are
+    /// counted in `warmed` instead: folding fire-and-forget cache fills
+    /// into `served` would skew the `served / batches` mean-group-size
+    /// metric, just as recording their latency would skew the percentiles.
     served: AtomicU64,
+    /// Monotone count of warm-up jobs completed.
+    warmed: AtomicU64,
     /// Engine calls made for query groups (coalescing efficiency:
     /// `served / batches` is the mean group size).
     batches: AtomicU64,
@@ -149,6 +155,7 @@ impl<E: ServeEngine> RecommendService<E> {
         let stats = Arc::new(Stats {
             latencies: Mutex::new(Vec::new()),
             served: AtomicU64::new(0),
+            warmed: AtomicU64::new(0),
             batches: AtomicU64::new(0),
             largest_group: AtomicUsize::new(0),
             depth: AtomicUsize::new(0),
@@ -267,7 +274,6 @@ impl<E: ServeEngine> RecommendService<E> {
             self.send(Job::Warm {
                 user,
                 k: self.warm_k,
-                enqueued: Instant::now(),
             });
         }
     }
@@ -294,10 +300,20 @@ impl<E: ServeEngine> RecommendService<E> {
         sw
     }
 
-    /// Number of requests served so far (including warm-ups) — a monotone
-    /// counter, unaffected by draining the latency samples.
+    /// Number of caller-facing requests served so far — a monotone
+    /// counter, unaffected by draining the latency samples. Warm-ups are
+    /// excluded (see [`RecommendService::warmups_served`]): they are not
+    /// requests anyone waited on, and counting them here would inflate
+    /// the `requests_served / batches_served` mean-group-size metric.
     pub fn requests_served(&self) -> usize {
         self.stats.served.load(Ordering::Relaxed) as usize
+    }
+
+    /// Number of fire-and-forget cache warm-ups completed — tracked apart
+    /// from [`RecommendService::requests_served`] so warm traffic never
+    /// contaminates the serving metrics or latency percentiles.
+    pub fn warmups_served(&self) -> usize {
+        self.stats.warmed.load(Ordering::Relaxed) as usize
     }
 
     /// Number of engine calls made for (possibly coalesced) query groups.
@@ -414,14 +430,12 @@ fn worker_loop<E: ServeEngine>(
                     let _ = job.reply.send((job.tag, version, result));
                 }
             }
-            Job::Warm { user, k, enqueued } => {
+            Job::Warm { user, k } => {
+                // Populate the cache, but keep the serving metrics clean:
+                // no caller waited on this, so its wall clock belongs in
+                // neither the latency percentiles nor `served`.
                 let _ = engine.recommend(user, k);
-                stats
-                    .latencies
-                    .lock()
-                    .expect("latency lock")
-                    .push(enqueued.elapsed());
-                stats.served.fetch_add(1, Ordering::Relaxed);
+                stats.warmed.fetch_add(1, Ordering::Relaxed);
             }
         }
     }

@@ -210,11 +210,16 @@ fn concurrent_batches_equal_sequential_answers() {
         let g: Vec<(u32, f32)> = g.iter().map(|x| (x.item, x.score)).collect();
         assert_eq!(&g, e, "request {i} (user {})", users[i]);
     }
+    // Warm-ups must never leak into the serving metrics: only the 300
+    // caller-facing batch requests count, and only they carry latency
+    // samples (regression for the warm-job metric pollution bug).
     let served = service.requests_served();
-    assert!(
-        served >= 320,
-        "warm + batch requests recorded, got {served}"
-    );
+    assert_eq!(served, 300, "exactly the batch requests are served");
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    while service.warmups_served() < 20 && std::time::Instant::now() < deadline {
+        std::thread::yield_now();
+    }
+    assert_eq!(service.warmups_served(), 20, "warm-ups tracked separately");
     let sw = service.latency_stopwatch(); // drains the samples
     assert_eq!(sw.n_samples(), served);
     assert!(sw.mean_secs() >= 0.0);
