@@ -1,5 +1,5 @@
 //! Machine-readable perf trajectory: measures the serving/training hot
-//! paths before/after and writes `BENCH_PR7.json` (pass a path as argv[1]
+//! paths before/after and writes `BENCH_PR8.json` (pass a path as argv[1]
 //! to write elsewhere).
 //!
 //! Every row is an honest in-process A/B — both sides run in this binary,
@@ -64,6 +64,17 @@
 //!   untouched packed cells aliased). The derived `freshness_rows`
 //!   entry combines both rows into end-to-end publish→serveable lag
 //!   and the sustainable publish rate of each path.
+//!
+//! And the PR 8 robustness-overhead rows:
+//!
+//! * `supervised_vs_raw_batch_scoring` — the price of worker
+//!   supervision when nothing fails: `recommend_many` vs
+//!   `try_recommend_many` (request validation + `catch_unwind`) on the
+//!   same 8-user batch. Expected within noise of 1.0x.
+//! * `shed_vs_queue_p99_under_burst` — the same burst overload with
+//!   blocking backpressure only vs a depth-32 admission watermark;
+//!   p50/p99 of the *served* requests per side (shed requests are
+//!   refused in O(1) and never enter the latency clock).
 //!
 //! Medians over repeated runs; single-run wall clock, so treat small
 //! deltas as noise and mind the core-count note embedded in the output.
@@ -516,6 +527,107 @@ fn serving_latency_row(snap: &EmbeddingSnapshot) -> LatencyRow {
     }
 }
 
+/// Runs the burst workload with admission control at `shed_watermark`
+/// and returns `(p50, p99)` of the *served* requests plus how many were
+/// shed. `usize::MAX` = never shed (blocking backpressure only — the
+/// pre-PR 8 behaviour).
+fn shed_side(snap: &EmbeddingSnapshot, shed_watermark: usize) -> (f64, f64, usize) {
+    const BURSTS: usize = 6;
+    const BURST: usize = 128;
+    let service = RecommendService::with_config(
+        QueryEngine::with_config(
+            snap.clone(),
+            EngineConfig {
+                user_block: USER_BLOCK,
+                ..Default::default()
+            },
+        ),
+        ServiceConfig {
+            workers: 2,
+            queue_depth: BURST,
+            warm_k: 10,
+            shed_watermark,
+            ..Default::default()
+        },
+    );
+    let mut x = 0x243F_6A88_85A3_08D3u64;
+    for _ in 0..BURSTS {
+        let users: Vec<u32> = (0..BURST)
+            .map(|_| {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (x >> 33) as u32 % N_USERS_LARGE as u32
+            })
+            .collect();
+        std::hint::black_box(service.try_recommend_batch(&users, 10));
+    }
+    let shed = service.requests_shed();
+    let sw = service.latency_stopwatch();
+    assert_eq!(sw.n_samples() + shed, BURSTS * BURST);
+    let ps = sw.percentiles_secs(&[50.0, 99.0]);
+    (ps[0], ps[1], shed)
+}
+
+/// Load shedding vs pure queueing under the same burst overload: with a
+/// queue-depth watermark, requests past the watermark are refused in
+/// O(1) at admission and the *served* requests never wait behind a deep
+/// backlog — the p99 an operator actually promises. Both sides run the
+/// identical offered load; only admission policy differs.
+fn shed_vs_queue_row(snap: &EmbeddingSnapshot) -> (LatencyRow, usize) {
+    let (before_p50, before_p99, shed_before) = shed_side(snap, usize::MAX);
+    assert_eq!(shed_before, 0, "unbounded watermark never sheds");
+    let (after_p50, after_p99, shed_after) = shed_side(snap, 32);
+    (
+        LatencyRow {
+            name: "shed_vs_queue_p99_under_burst",
+            unit: "s_per_served_top10_query_8000users_20k_items_bursts_of_128",
+            before_impl:
+                "blocking backpressure only: every burst request queues, p99 rides the backlog",
+            after_impl:
+                "watermark shedding (depth>=32 refused with Overloaded): served p99 is bounded",
+            before_p50_s: before_p50,
+            before_p99_s: before_p99,
+            after_p50_s: after_p50,
+            after_p99_s: after_p99,
+        },
+        shed_after,
+    )
+}
+
+/// The cost of worker supervision on the uncontended hot path: the same
+/// batched catalogue pass through the raw infallible entry point vs the
+/// supervised fallible one (`try_recommend_many` = request validation +
+/// `catch_unwind` around scoring). `catch_unwind` is zero-cost until a
+/// panic actually unwinds, so this row should sit within noise of 1.0x —
+/// it exists to keep that claim measured, not assumed.
+fn supervision_row(snap: &EmbeddingSnapshot) -> Row {
+    let engine = QueryEngine::with_config(
+        snap.clone(),
+        EngineConfig {
+            user_block: USER_BLOCK,
+            cache_capacity: 0,
+            ..Default::default()
+        },
+    );
+    let users: Vec<u32> = (0..USER_BLOCK as u32).collect();
+    let raw = median_secs(|| {
+        std::hint::black_box(engine.recommend_many(&users, 10));
+    });
+    let supervised = median_secs(|| {
+        std::hint::black_box(engine.try_recommend_many(&users, 10).expect("no faults"));
+    });
+    Row {
+        name: "supervised_vs_raw_batch_scoring",
+        unit: "s_per_8user_top10_batch_20k_items",
+        before_impl: "recommend_many: unsupervised batched catalogue pass",
+        after_impl:
+            "try_recommend_many: validation + catch_unwind supervision around the same pass",
+        before_median_s: raw,
+        after_median_s: supervised,
+    }
+}
+
 /// The scaled 80k-item catalogue: items drawn around `N_CATS_SCALED`
 /// category centers (center + 8% noise), users unclustered. Everything
 /// is seeded, so the workload — and the measured recall — is exactly
@@ -895,7 +1007,7 @@ fn epoch_row() -> Row {
 fn main() {
     let out_path = std::env::args()
         .nth(1)
-        .unwrap_or_else(|| "BENCH_PR7.json".to_string());
+        .unwrap_or_else(|| "BENCH_PR8.json".to_string());
     let cores = std::thread::available_parallelism().map_or(0, |n| n.get());
 
     let snap = synthetic_snapshot();
@@ -914,6 +1026,7 @@ fn main() {
         mmap_load_row(&million),
         delta_publish_row(&scaled),
         ivf_update_row(&scaled),
+        supervision_row(&snap),
     ];
     for r in &rows {
         println!(
@@ -933,7 +1046,12 @@ fn main() {
 
     let large = large_snapshot();
     let (sharded_row, shard_stages) = sharded_latency_row(&million);
-    let latency_rows = [serving_latency_row(&large), sharded_row];
+    let (shed_row, shed_count) = shed_vs_queue_row(&large);
+    let latency_rows = [serving_latency_row(&large), sharded_row, shed_row];
+    println!(
+        "{:<34} shed {} burst requests at watermark 32 (served-only percentiles)",
+        "shed_vs_queue_p99_under_burst", shed_count
+    );
     for r in &latency_rows {
         println!(
             "{:<34} before p50 {:>10.3e}s p99 {:>10.3e}s  after p50 {:>10.3e}s p99 {:>10.3e}s",
@@ -1002,25 +1120,23 @@ fn main() {
     let json = format!(
         concat!(
             "{{\n",
-            "  \"pr\": 7,\n",
-            "  \"title\": \"Streaming deal lifecycle: delta publishes + incremental IVF + ",
-            "deal-state filters\",\n",
+            "  \"pr\": 8,\n",
+            "  \"title\": \"Fault-tolerant serving: typed errors, deadlines + load shedding, ",
+            "worker supervision, degraded scatter-gather\",\n",
             "  \"host_cores\": {},\n",
             "  \"note\": \"Medians of {} runs on the dev container (1 core — parallel-path rows ",
-            "understate real-hardware wins). New this PR: the freshness workload on the 80k ",
-            "scaled catalogue. delta_vs_full_publish measures time-to-live-version when a ",
-            "deal-lifecycle tick re-embeds 64 user rows: shipping the whole snapshot vs ",
-            "publish_delta (both 80k-item tables aliased — bitwise identical, asserted; ",
-            "item-row churn pays one COW table detach either way, so its publish cost is ",
-            "bounded by one table copy). ivf_update_incremental_vs_rebuild measures ",
-            "time-to-fresh-index: full 256-cell k-means vs IvfIndex::update re-routing only ",
-            "the 64 moved rows. freshness_rows derives the end-to-end publish-to-serveable ",
-            "lag and the sustainable publish rate of each path. Latency percentiles now come ",
-            "from Stopwatch::percentiles_secs (one sort per batch) and exclude warm-up ",
-            "traffic (warm jobs carry no enqueue stamp). Carried-over rows: the sharded 1M ",
-            "tier + mmap cold load (PR 6), the scaled-catalogue IVF A/B and recall (PR 5), ",
-            "batched multi-user scoring and the enqueue-to-reply clock (PR 4), and the PR 3 ",
-            "kernel trajectory.\",\n",
+            "understate real-hardware wins). New this PR: the robustness overhead rows. ",
+            "supervised_vs_raw_batch_scoring prices worker supervision on the uncontended hot ",
+            "path — the same 8-user catalogue pass through recommend_many vs try_recommend_many ",
+            "(validation + catch_unwind); catch_unwind costs nothing until a panic unwinds, so ",
+            "this should sit within noise of 1.0x. shed_vs_queue_p99_under_burst runs the ",
+            "identical burst overload with blocking backpressure only vs a depth-32 admission ",
+            "watermark; percentiles cover served requests on both sides (shed requests are ",
+            "refused in O(1) and never enter the clock), so the row reads as the served-p99 an ",
+            "operator can promise under overload. Carried-over rows: the freshness workload ",
+            "(PR 7), the sharded 1M tier + mmap cold load (PR 6), the scaled-catalogue IVF A/B ",
+            "and recall (PR 5), batched multi-user scoring and the enqueue-to-reply clock ",
+            "(PR 4), and the PR 3 kernel trajectory.\",\n",
             "  \"scaled_catalogue\": {{\"n_items\": {}, \"n_users\": {}, \"own_dim\": {}, ",
             "\"social_dim\": {}, \"n_categories\": {}}},\n",
             "  \"sharded_workload\": {{\"n_items\": {}, \"n_users\": {}, \"own_dim\": {}, ",

@@ -49,6 +49,16 @@ impl Stopwatch {
         self.samples.iter().map(Duration::as_secs_f64).sum()
     }
 
+    /// The worst recorded sample in seconds (0.0 when empty) — the
+    /// number a fault soak asserts against: percentiles hide a single
+    /// stall, the maximum cannot.
+    pub fn max_secs(&self) -> f64 {
+        self.samples
+            .iter()
+            .map(Duration::as_secs_f64)
+            .fold(0.0, f64::max)
+    }
+
     /// Nearest-rank percentile in seconds (0.0 when empty).
     ///
     /// `p` is in percent: `percentile_secs(50.0)` is the median,
@@ -193,6 +203,8 @@ mod tests {
         assert_eq!(sw.n_samples(), 2);
         assert!((sw.mean_secs() - 0.2).abs() < 1e-9);
         assert!((sw.total_secs() - 0.4).abs() < 1e-9);
+        assert!((sw.max_secs() - 0.3).abs() < 1e-9);
+        assert_eq!(Stopwatch::new().max_secs(), 0.0);
     }
 
     #[test]

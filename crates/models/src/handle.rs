@@ -26,7 +26,7 @@
 //!    invalidation rule; asserted by the serve integration tests).
 
 use crate::snapshot::{EmbeddingSnapshot, SnapshotDelta};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, PoisonError, RwLock};
 
 /// What a delta publish changed, stamped onto the version it produced.
 ///
@@ -173,7 +173,12 @@ impl SnapshotHandle {
     /// catalogue end, so existing item ids, filter columns, and shard
     /// ranges never shift. Serving filters probe appended ids as unseen.
     pub fn publish(&self, snapshot: EmbeddingSnapshot) -> u64 {
-        let mut slot = self.current.write().expect("snapshot lock poisoned");
+        // Recover from poison rather than propagate it: every panic in the
+        // publish paths (the validation asserts below, `SnapshotDelta::apply`)
+        // fires *before* the slot is mutated, so a poisoned lock still guards
+        // a fully consistent previous version — one rejected publish must not
+        // take serving down with it.
+        let mut slot = self.current.write().unwrap_or_else(PoisonError::into_inner);
         assert_eq!(
             snapshot.n_users(),
             slot.snapshot.n_users(),
@@ -211,7 +216,8 @@ impl SnapshotHandle {
     /// Panics if the delta is malformed (out-of-range ids, wrong row
     /// widths, non-finite values).
     pub fn publish_delta(&self, delta: &SnapshotDelta) -> u64 {
-        let mut slot = self.current.write().expect("snapshot lock poisoned");
+        // Poison recovery is sound here for the same reason as in `publish`.
+        let mut slot = self.current.write().unwrap_or_else(PoisonError::into_inner);
         let snapshot = delta.apply(&slot.snapshot);
         let version = slot.version + 1;
         let stamp = DeltaStamp {
@@ -232,12 +238,15 @@ impl SnapshotHandle {
     /// The returned `Arc` stays valid (and unchanged) for as long as the
     /// caller holds it, regardless of later publishes.
     pub fn load(&self) -> Arc<VersionedSnapshot> {
-        Arc::clone(&self.current.read().expect("snapshot lock poisoned"))
+        Arc::clone(&self.current.read().unwrap_or_else(PoisonError::into_inner))
     }
 
     /// The currently-served version without cloning the snapshot pointer.
     pub fn version(&self) -> u64 {
-        self.current.read().expect("snapshot lock poisoned").version
+        self.current
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .version
     }
 }
 
@@ -297,6 +306,25 @@ mod tests {
             Matrix::full(9, 2, 1.0),
             Matrix::full(4, 2, 1.0),
         ));
+    }
+
+    #[test]
+    fn rejected_publish_does_not_poison_the_handle() {
+        let h = SnapshotHandle::new(snap(1.0));
+        let publisher = h.clone();
+        // A publish that trips the validation asserts panics while holding
+        // the write lock; serving must keep reading the previous version.
+        let result = std::thread::spawn(move || {
+            publisher.publish(EmbeddingSnapshot::without_social(
+                Matrix::full(9, 2, 1.0),
+                Matrix::full(4, 2, 1.0),
+            ));
+        })
+        .join();
+        assert!(result.is_err(), "resizing publish should panic");
+        assert_eq!(h.version(), 1, "bad publish must not bump the version");
+        assert_eq!(h.load().snapshot().score(0, 0), 2.0);
+        assert_eq!(h.publish(snap(2.0)), 2, "handle still accepts publishes");
     }
 
     #[test]

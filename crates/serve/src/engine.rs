@@ -32,11 +32,14 @@
 //! fixed-capacity LRU on their own.
 
 use crate::cache::LruCache;
+use crate::error::{lock_recover, read_recover, write_recover, ServeError};
+use crate::faults::FaultPlan;
 use crate::ivf::IvfIndex;
 use crate::topk::{ScoredItem, TopK};
 use gb_graph::BitMatrix;
 use gb_models::{EmbeddingSnapshot, SnapshotHandle, VersionedSnapshot};
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::sync::{Mutex, RwLock};
 
@@ -139,6 +142,11 @@ impl Default for EngineConfig {
 /// `(snapshot version, deal-filter generation, user, k)`.
 type ResponseCache = LruCache<(u64, u64, u32, usize), Arc<Vec<ScoredItem>>>;
 
+/// What a fallible batched scoring call resolves to: the snapshot
+/// version the whole batch was pinned to plus one shared top-`k` list
+/// per requested user — or the typed error that refused the batch.
+pub type VersionedBatchResult = Result<(u64, Vec<Arc<Vec<ScoredItem>>>), ServeError>;
+
 /// The installed deal-state filter plus its generation counter. Read
 /// together under one lock so a query's cache key and probe words always
 /// agree — a filter swapped in mid-query can at worst make an in-flight
@@ -194,6 +202,9 @@ pub struct QueryEngine {
     /// without this gate each would run its own identical full-catalogue
     /// k-means. Late arrivals block here, then hit the cache on re-check.
     ivf_build: Mutex<()>,
+    /// Scripted fault schedule (tests/soaks only): consulted at every
+    /// uncached scoring dispatch. `None` in production — one branch.
+    faults: Option<Arc<FaultPlan>>,
 }
 
 impl QueryEngine {
@@ -245,7 +256,18 @@ impl QueryEngine {
             ivf_incremental: cfg.ivf_incremental,
             ivf: RwLock::new(Vec::new()),
             ivf_build: Mutex::new(()),
+            faults: None,
         }
+    }
+
+    /// Attaches a scripted [`FaultPlan`] (tests and soaks): the engine
+    /// consults it at every uncached scoring dispatch, where an injected
+    /// panic lands exactly where a real scoring bug would — outside any
+    /// engine lock, inside the supervision boundary of the `try_*` APIs
+    /// and the service workers.
+    pub fn with_faults(mut self, plan: Arc<FaultPlan>) -> Self {
+        self.faults = Some(plan);
+        self
     }
 
     /// Installs a seen-item filter; filtered items never appear in
@@ -272,7 +294,7 @@ impl QueryEngine {
         if let Some(cache) = &self.cache {
             // Flush entries, keep hit/miss counters and the slab
             // allocation — invalidation is not amnesia.
-            cache.lock().expect("cache lock").clear();
+            lock_recover(cache).clear();
         }
         self
     }
@@ -297,7 +319,7 @@ impl QueryEngine {
     /// Panics unless the filter is exactly one row.
     pub fn set_deal_filter(&self, filter: BitMatrix) {
         assert_eq!(filter.rows(), 1, "deal filter is one row of item bits");
-        let mut slot = self.deal.write().expect("deal lock");
+        let mut slot = write_recover(&self.deal);
         slot.generation += 1;
         slot.filter = Some(Arc::new(filter));
     }
@@ -306,7 +328,7 @@ impl QueryEngine {
     /// on the seen filter alone. Bumps the filter generation like
     /// [`QueryEngine::set_deal_filter`].
     pub fn clear_deal_filter(&self) {
-        let mut slot = self.deal.write().expect("deal lock");
+        let mut slot = write_recover(&self.deal);
         slot.generation += 1;
         slot.filter = None;
     }
@@ -315,12 +337,12 @@ impl QueryEngine {
     /// or cleared — the cache-key component that retires responses
     /// computed under an earlier filter.
     pub fn deal_generation(&self) -> u64 {
-        self.deal.read().expect("deal lock").generation
+        read_recover(&self.deal).generation
     }
 
     /// One consistent `(generation, filter)` read for a whole query.
     fn deal_slot(&self) -> (u64, Option<Arc<BitMatrix>>) {
-        let slot = self.deal.read().expect("deal lock");
+        let slot = read_recover(&self.deal);
         (slot.generation, slot.filter.clone())
     }
 
@@ -344,11 +366,7 @@ impl QueryEngine {
     /// any IVF-mode query this is at least the version that query
     /// reported — the rebuild-on-publish observability hook.
     pub fn ivf_index_version(&self) -> Option<u64> {
-        self.ivf
-            .read()
-            .expect("ivf lock")
-            .last()
-            .map(|idx| idx.version())
+        read_recover(&self.ivf).last().map(|idx| idx.version())
     }
 
     /// The IVF index for the snapshot `cur`, building it if no cached
@@ -369,15 +387,15 @@ impl QueryEngine {
                 .find(|idx| idx.version() == cur.version())
                 .map(Arc::clone)
         };
-        if let Some(idx) = lookup(&self.ivf.read().expect("ivf lock")) {
+        if let Some(idx) = lookup(&read_recover(&self.ivf)) {
             return idx;
         }
-        let _building = self.ivf_build.lock().expect("ivf build lock");
-        if let Some(idx) = lookup(&self.ivf.read().expect("ivf lock")) {
+        let _building = lock_recover(&self.ivf_build);
+        if let Some(idx) = lookup(&read_recover(&self.ivf)) {
             return idx; // a peer built it while we waited at the gate
         }
         let built = Arc::new(self.build_ivf(cur, n_clusters));
-        let mut cached = self.ivf.write().expect("ivf lock");
+        let mut cached = write_recover(&self.ivf);
         cached.push(Arc::clone(&built));
         // Newest last; keep the two most recent versions so queries
         // pinned across a publish never evict each other's index.
@@ -399,10 +417,7 @@ impl QueryEngine {
     fn build_ivf(&self, cur: &VersionedSnapshot, n_clusters: usize) -> IvfIndex {
         if self.ivf_incremental {
             if let Some(stamp) = cur.delta() {
-                let prev = self
-                    .ivf
-                    .read()
-                    .expect("ivf lock")
+                let prev = read_recover(&self.ivf)
                     .iter()
                     .find(|idx| idx.version() == stamp.prev_version())
                     .map(Arc::clone);
@@ -446,7 +461,7 @@ impl QueryEngine {
     /// `(hits, misses)` of the response cache (zeros when disabled).
     pub fn cache_stats(&self) -> (u64, u64) {
         match &self.cache {
-            Some(c) => c.lock().expect("cache lock").stats(),
+            Some(c) => lock_recover(c).stats(),
             None => (0, 0),
         }
     }
@@ -470,6 +485,55 @@ impl QueryEngine {
         (cur.version(), self.recommend_at(&cur, user, k))
     }
 
+    /// Fallible [`QueryEngine::recommend`]: a bad user id comes back as
+    /// [`ServeError::InvalidRequest`] and a scoring panic is caught at
+    /// this boundary and returned as [`ServeError::Poisoned`] — the
+    /// engine survives (its locks are poison-tolerant and no critical
+    /// section can be interrupted mid-mutation; see `crate::error`).
+    pub fn try_recommend(&self, user: u32, k: usize) -> Result<Arc<Vec<ScoredItem>>, ServeError> {
+        self.try_recommend_versioned(user, k).map(|(_, r)| r)
+    }
+
+    /// [`QueryEngine::try_recommend`] reporting the snapshot version the
+    /// response was computed from.
+    pub fn try_recommend_versioned(
+        &self,
+        user: u32,
+        k: usize,
+    ) -> Result<(u64, Arc<Vec<ScoredItem>>), ServeError> {
+        let cur = self.handle.load();
+        let n_users = cur.snapshot().n_users();
+        if user as usize >= n_users {
+            return Err(ServeError::InvalidRequest {
+                reason: format!("user {user} out of range ({n_users} users)"),
+            });
+        }
+        let version = cur.version();
+        catch_unwind(AssertUnwindSafe(|| self.recommend_at(&cur, user, k)))
+            .map(|r| (version, r))
+            .map_err(|p| ServeError::poisoned(p.as_ref(), "scoring"))
+    }
+
+    /// Fallible [`QueryEngine::recommend_many`]: the whole batch is
+    /// validated up front (any out-of-range user rejects it with
+    /// [`ServeError::InvalidRequest`] before work happens), and a panic
+    /// anywhere in the batched scoring pass is caught and returned as
+    /// one [`ServeError::Poisoned`] for the batch — per-user partial
+    /// results are never fabricated from an interrupted pass.
+    pub fn try_recommend_batch(&self, users: &[u32], k: usize) -> VersionedBatchResult {
+        let cur = self.handle.load();
+        let n_users = cur.snapshot().n_users();
+        if let Some(&user) = users.iter().find(|&&u| u as usize >= n_users) {
+            return Err(ServeError::InvalidRequest {
+                reason: format!("user {user} out of range ({n_users} users)"),
+            });
+        }
+        let version = cur.version();
+        catch_unwind(AssertUnwindSafe(|| self.recommend_many_at(&cur, users, k)))
+            .map(|r| (version, r))
+            .map_err(|p| ServeError::poisoned(p.as_ref(), "batched scoring"))
+    }
+
     /// [`QueryEngine::recommend`] against an explicitly pinned
     /// `(version, snapshot)` pair instead of whatever the engine's handle
     /// currently serves.
@@ -490,24 +554,42 @@ impl QueryEngine {
         user: u32,
         k: usize,
     ) -> Arc<Vec<ScoredItem>> {
+        let (deal_gen, deal) = self.deal_slot();
+        self.recommend_at_with_deal(cur, deal_gen, deal.as_deref(), user, k)
+    }
+
+    /// [`QueryEngine::recommend_at`] under an explicitly pinned
+    /// `(generation, filter)` deal slot instead of this engine's own.
+    /// The sharded tier reads its *router-level* slot once per query and
+    /// pins every shard to it — the mechanism that makes a cross-shard
+    /// filter install atomic from any single query's point of view.
+    /// Cache keys carry the caller's generation, so the invalidation
+    /// rule is unchanged.
+    ///
+    /// # Panics
+    /// Panics if `user` is out of range for `cur`'s snapshot.
+    pub(crate) fn recommend_at_with_deal(
+        &self,
+        cur: &VersionedSnapshot,
+        deal_gen: u64,
+        deal: Option<&BitMatrix>,
+        user: u32,
+        k: usize,
+    ) -> Arc<Vec<ScoredItem>> {
         assert!(
             (user as usize) < cur.snapshot().n_users(),
             "user {user} out of range ({} users)",
             cur.snapshot().n_users()
         );
-        let (deal_gen, deal) = self.deal_slot();
         let key = (cur.version(), deal_gen, user, k);
         if let Some(cache) = &self.cache {
-            if let Some(hit) = cache.lock().expect("cache lock").get(&key) {
+            if let Some(hit) = lock_recover(cache).get(&key) {
                 return Arc::clone(hit);
             }
         }
-        let result = Arc::new(self.rank(cur, deal.as_deref(), user, k));
+        let result = Arc::new(self.rank(cur, deal, user, k));
         if let Some(cache) = &self.cache {
-            cache
-                .lock()
-                .expect("cache lock")
-                .insert(key, Arc::clone(&result));
+            lock_recover(cache).insert(key, Arc::clone(&result));
         }
         result
     }
@@ -549,6 +631,23 @@ impl QueryEngine {
         users: &[u32],
         k: usize,
     ) -> Vec<Arc<Vec<ScoredItem>>> {
+        let (deal_gen, deal) = self.deal_slot();
+        self.recommend_many_at_with_deal(cur, deal_gen, deal.as_deref(), users, k)
+    }
+
+    /// [`QueryEngine::recommend_many_at`] under an explicitly pinned
+    /// deal slot — see [`QueryEngine::recommend_at_with_deal`].
+    ///
+    /// # Panics
+    /// Panics if any user is out of range for `cur`'s snapshot.
+    pub(crate) fn recommend_many_at_with_deal(
+        &self,
+        cur: &VersionedSnapshot,
+        deal_gen: u64,
+        deal: Option<&BitMatrix>,
+        users: &[u32],
+        k: usize,
+    ) -> Vec<Arc<Vec<ScoredItem>>> {
         let snapshot = cur.snapshot();
         let n_users = snapshot.n_users();
         for &user in users {
@@ -558,7 +657,6 @@ impl QueryEngine {
             );
         }
         let version = cur.version();
-        let (deal_gen, deal) = self.deal_slot();
         let mut out: Vec<Option<Arc<Vec<ScoredItem>>>> = vec![None; users.len()];
 
         // Probe the cache once per *distinct* user, exactly as a
@@ -579,11 +677,7 @@ impl QueryEngine {
             }
             first_slot.insert(user, slot);
             if let Some(cache) = &self.cache {
-                if let Some(hit) = cache
-                    .lock()
-                    .expect("cache lock")
-                    .get(&(version, deal_gen, user, k))
-                {
+                if let Some(hit) = lock_recover(cache).get(&(version, deal_gen, user, k)) {
                     out[slot] = Some(Arc::clone(hit));
                     continue;
                 }
@@ -593,14 +687,11 @@ impl QueryEngine {
 
         for block in pending.chunks(self.user_block) {
             let block_users: Vec<u32> = block.iter().map(|&(user, _)| user).collect();
-            let ranked = self.rank_many(cur, deal.as_deref(), &block_users, k);
+            let ranked = self.rank_many(cur, deal, &block_users, k);
             for (&(user, slot), result) in block.iter().zip(ranked) {
                 let result = Arc::new(result);
                 if let Some(cache) = &self.cache {
-                    cache
-                        .lock()
-                        .expect("cache lock")
-                        .insert((version, deal_gen, user, k), Arc::clone(&result));
+                    lock_recover(cache).insert((version, deal_gen, user, k), Arc::clone(&result));
                 }
                 out[slot] = Some(result);
             }
@@ -615,10 +706,12 @@ impl QueryEngine {
         for slot in duplicates {
             let user = users[slot];
             let first = first_slot[&user];
+            // invariant: the first occurrence of every user was either a
+            // cache hit or ranked in the pending loop above.
             let result = Arc::clone(out[first].as_ref().expect("first occurrence answered"));
             out[slot] = Some(match &self.cache {
                 Some(cache) => {
-                    let mut cache = cache.lock().expect("cache lock");
+                    let mut cache = lock_recover(cache);
                     match cache.get(&(version, deal_gen, user, k)) {
                         Some(hit) => Arc::clone(hit),
                         None => {
@@ -631,6 +724,8 @@ impl QueryEngine {
             });
         }
 
+        // invariant: every slot is a hit, a ranked pending entry, or a
+        // duplicate resolved above — no fourth kind of slot exists.
         out.into_iter()
             .map(|r| r.expect("every user answered"))
             .collect()
@@ -645,6 +740,9 @@ impl QueryEngine {
         user: u32,
         k: usize,
     ) -> Vec<ScoredItem> {
+        if let Some(plan) = &self.faults {
+            plan.at_score();
+        }
         match self.retrieval {
             Retrieval::Exact => self.rank_exact(cur.snapshot(), deal, user, k),
             Retrieval::Ivf {
@@ -670,6 +768,9 @@ impl QueryEngine {
         users: &[u32],
         k: usize,
     ) -> Vec<Vec<ScoredItem>> {
+        if let Some(plan) = &self.faults {
+            plan.at_score();
+        }
         match self.retrieval {
             Retrieval::Exact => self.rank_many_exact(cur.snapshot(), deal, users, k),
             Retrieval::Ivf {
@@ -871,6 +972,23 @@ pub trait ServeEngine: Send + Sync + 'static {
     /// Top-`k` per user, all pinned to one version (returned alongside).
     fn recommend_many(&self, users: &[u32], k: usize) -> (u64, Vec<Arc<Vec<ScoredItem>>>);
 
+    /// Fallible [`ServeEngine::recommend_many`]: validation failures and
+    /// caught scoring panics come back as typed [`ServeError`]s instead
+    /// of panicking the caller — the supervision boundary the service's
+    /// workers score through. The default wraps the infallible path in
+    /// `catch_unwind`; implementations with richer failure structure
+    /// (the sharded router's degraded scatter) override it.
+    fn try_recommend_many(&self, users: &[u32], k: usize) -> VersionedBatchResult {
+        let n_users = self.n_users();
+        if let Some(&user) = users.iter().find(|&&u| u as usize >= n_users) {
+            return Err(ServeError::InvalidRequest {
+                reason: format!("user {user} out of range ({n_users} users)"),
+            });
+        }
+        catch_unwind(AssertUnwindSafe(|| self.recommend_many(users, k)))
+            .map_err(|p| ServeError::poisoned(p.as_ref(), "batched scoring"))
+    }
+
     /// Top-`k` for one user (version discarded).
     fn recommend(&self, user: u32, k: usize) -> Arc<Vec<ScoredItem>> {
         self.recommend_versioned(user, k).1
@@ -900,6 +1018,10 @@ impl ServeEngine for QueryEngine {
 
     fn recommend_many(&self, users: &[u32], k: usize) -> (u64, Vec<Arc<Vec<ScoredItem>>>) {
         QueryEngine::recommend_many(self, users, k)
+    }
+
+    fn try_recommend_many(&self, users: &[u32], k: usize) -> VersionedBatchResult {
+        QueryEngine::try_recommend_batch(self, users, k)
     }
 }
 

@@ -91,6 +91,13 @@
 //!   [`gb_eval::timing::Stopwatch`]; non-finite scores are dropped by
 //!   [`topk::TopK::push`] so a diverged snapshot can never serve a NaN
 //!   ranking.
+//! * [`error::ServeError`] / [`faults::FaultPlan`] — the failure story:
+//!   every tier exposes fallible `try_*` APIs returning typed errors
+//!   (overload shedding, queue deadlines, caught scoring panics,
+//!   degraded partial scatters), and a deterministic seeded
+//!   fault-injection harness drives those paths in proptests and CI
+//!   soaks. See the README's "Failure semantics" section for the
+//!   contract.
 //!
 //! Served rankings are *provably consistent* with offline evaluation:
 //! the blocked kernel accumulates in the same order as the
@@ -106,6 +113,8 @@
 
 pub mod cache;
 pub mod engine;
+pub mod error;
+pub mod faults;
 pub mod ivf;
 pub mod mmap;
 pub mod router;
@@ -115,11 +124,13 @@ pub mod snapshot_io;
 pub mod topk;
 
 pub use cache::LruCache;
-pub use engine::{EngineConfig, QueryEngine, Retrieval, ServeEngine};
+pub use engine::{EngineConfig, QueryEngine, Retrieval, ServeEngine, VersionedBatchResult};
+pub use error::ServeError;
+pub use faults::{corrupt_file, FaultPlan};
 pub use gb_models::{EmbeddingSnapshot, SnapshotHandle, SnapshotSource, VersionedSnapshot};
 pub use ivf::IvfIndex;
 pub use mmap::{open_mmap_snapshot, open_mmap_snapshot_heap, save_mmap_snapshot};
-pub use router::{ShardedConfig, ShardedEngine};
+pub use router::{DegradedBatch, DegradedResponse, ShardedConfig, ShardedEngine};
 pub use service::{RecommendService, ServiceConfig};
 pub use shard::ShardPlan;
 pub use snapshot_io::{load_from_path, load_snapshot, save_snapshot, save_to_path};

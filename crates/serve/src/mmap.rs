@@ -334,6 +334,23 @@ pub fn open_mmap_snapshot(path: impl AsRef<Path>) -> Result<EmbeddingSnapshot> {
     open_mmap_snapshot_heap(path)
 }
 
+/// [`open_mmap_snapshot`] behind a fault plan: a scripted open failure
+/// ([`FaultPlan::fail_opens`](crate::faults::FaultPlan::fail_opens))
+/// surfaces as the same `Err` shape a real I/O failure would, so soaks
+/// can exercise the caller's recovery path without touching the disk.
+/// With no failure scheduled this is exactly `open_mmap_snapshot`.
+pub fn open_mmap_snapshot_faulted(
+    path: impl AsRef<Path>,
+    faults: &crate::faults::FaultPlan,
+) -> Result<EmbeddingSnapshot> {
+    if faults.fail_next_open() {
+        return Err(Error::other(
+            "fault injection: scripted snapshot open failure",
+        ));
+    }
+    open_mmap_snapshot(path)
+}
+
 /// Opens a v2 snapshot through the heap fallback path unconditionally:
 /// one read into an `f32`-aligned buffer, then the same validation and
 /// pointer wiring as the mapped path. Bit-identical to
@@ -370,6 +387,8 @@ fn parse(keep: Arc<Backing>) -> Result<EmbeddingSnapshot> {
             &bytes[..4]
         )));
     }
+    // invariant: the header-length check above guarantees every fixed-width
+    // field slice below is exactly 4 or 8 bytes, so `try_into` cannot fail.
     let version = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
     if version != MMAP_VERSION {
         return Err(invalid(format!(
@@ -384,6 +403,8 @@ fn parse(keep: Arc<Backing>) -> Result<EmbeddingSnapshot> {
     let mut prev_end = HEADER_BYTES;
     for (i, desc) in descs.iter_mut().enumerate() {
         let at = 16 + i * DESC_BYTES;
+        // invariant: descriptor offsets stay inside the length-checked
+        // header, so the 8-byte slice always exists.
         let read_u64 =
             |off: usize| u64::from_le_bytes(bytes[at + off..at + off + 8].try_into().unwrap());
         let rows = usize::try_from(read_u64(0)).map_err(|_| invalid("rows overflow"))?;

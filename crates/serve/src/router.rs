@@ -48,13 +48,17 @@
 //! tables first ([`EmbeddingSnapshot::to_shared`]), so the N slices of
 //! a version alias one copy of the catalogue.
 
-use crate::engine::{EngineConfig, QueryEngine, Retrieval, ServeEngine};
+use crate::engine::{EngineConfig, QueryEngine, Retrieval, ServeEngine, VersionedBatchResult};
+use crate::error::{lock_recover, read_recover, write_recover, ServeError};
+use crate::faults::FaultPlan;
 use crate::shard::ShardPlan;
 use crate::topk::{ScoredItem, TopK};
 use gb_eval::timing::LatencyBreakdown;
 use gb_graph::BitMatrix;
 use gb_models::{DeltaStamp, EmbeddingSnapshot, SnapshotDelta, SnapshotHandle, VersionedSnapshot};
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
@@ -68,6 +72,19 @@ pub struct ShardedConfig {
     /// on a single-core host the threaded scatter only adds switch
     /// overhead; flip it on when shards get their own cores).
     pub parallel_scatter: bool,
+    /// How many times a failed (panicked) shard scatter is retried
+    /// before the shard counts as missing for that query. Retries hit
+    /// the same shard engine — its state is valid after a caught panic
+    /// (see `crate::error`) — so a transient failure heals in-query.
+    pub scatter_retries: usize,
+    /// Degraded-response policy when shards are still missing after
+    /// retries: `true` serves the merge of the surviving shards, with
+    /// the missing shards listed on the response
+    /// ([`DegradedResponse::missing_shards`]); `false` (the default)
+    /// fails the query with [`ServeError::ShardFailed`]. Either way a
+    /// query where *every* shard failed is an error, and infallible
+    /// callers observe a panic, never a silently incomplete ranking.
+    pub allow_partial: bool,
     /// Per-shard engine tuning. `cache_capacity` and `user_block` apply
     /// per shard; `retrieval: Ivf` builds one independent index per
     /// shard (each clustering only its own item range — build cost per
@@ -80,9 +97,41 @@ impl Default for ShardedConfig {
         Self {
             n_shards: 4,
             parallel_scatter: false,
+            scatter_retries: 1,
+            allow_partial: false,
             engine: EngineConfig::default(),
         }
     }
+}
+
+/// A scatter-gather response that may be missing shards, under the
+/// [`ShardedConfig::allow_partial`] policy. `missing_shards` empty means
+/// the response is complete — bit-identical to the infallible path;
+/// non-empty means the ranking was merged from the surviving shards
+/// only, and items homed on the listed shards are absent.
+#[derive(Clone, Debug)]
+pub struct DegradedResponse {
+    /// The snapshot version every surviving contribution was pinned to.
+    pub version: u64,
+    /// The merged ranking (complete, or partial per `missing_shards`).
+    pub items: Arc<Vec<ScoredItem>>,
+    /// Shards (plan order indices, ascending) that produced no answer
+    /// after retries. Empty ⇔ complete.
+    pub missing_shards: Vec<usize>,
+}
+
+/// The batched counterpart of [`DegradedResponse`]: per-user merged
+/// rankings in input order, all pinned to one version, with one shared
+/// `missing_shards` list (a shard fails the whole scattered block, so
+/// every user in the batch is missing the same shards).
+#[derive(Clone, Debug)]
+pub struct DegradedBatch {
+    /// The snapshot version every surviving contribution was pinned to.
+    pub version: u64,
+    /// Per-user merged rankings, input order; duplicates share an `Arc`.
+    pub results: Vec<Arc<Vec<ScoredItem>>>,
+    /// Shards that produced no answer after retries. Empty ⇔ complete.
+    pub missing_shards: Vec<usize>,
 }
 
 /// The per-shard slice set of one published version: slice `s` is the
@@ -91,6 +140,19 @@ impl Default for ShardedConfig {
 struct ShardSet {
     version: u64,
     slices: Vec<Arc<VersionedSnapshot>>,
+}
+
+/// The router-level deal-filter slot: one generation counter and the
+/// per-shard filter slices, installed together under one write lock.
+/// A query reads the slot once and pins every shard of its scatter to
+/// that `(generation, slices)` pair — the whole atomic-install fix:
+/// there is no instant at which a scatter can pair shard 0's slice of
+/// filter A with shard 1's slice of filter B, because slices of A and B
+/// never coexist in the slot (per-shard slicing happens *before* the
+/// swap, in the prepare phase).
+struct RouterDealSlot {
+    generation: u64,
+    slices: Option<Arc<Vec<BitMatrix>>>,
 }
 
 /// N shard engines behind one handle, merged under the single-engine
@@ -108,7 +170,22 @@ pub struct ShardedEngine {
     /// Serializes slice-set *builds* so a post-publish thundering herd
     /// shares one build instead of racing N identical ones.
     set_build: Mutex<()>,
+    /// The cross-shard-atomic deal-filter slot (see [`RouterDealSlot`]).
+    /// Shard engines' own slots are bypassed entirely on this tier —
+    /// scatters pass the router's `(generation, slice)` down explicitly.
+    deal: RwLock<RouterDealSlot>,
     parallel: bool,
+    /// Failed scatter attempts after which the shard counts as missing.
+    retries: usize,
+    /// Serve partial merges (flagged) instead of failing the query.
+    allow_partial: bool,
+    /// Caught scatter panics per shard (each failed attempt counts).
+    shard_failures: Vec<AtomicU64>,
+    /// Queries served with at least one shard missing.
+    degraded: AtomicU64,
+    /// Scripted fault schedule (tests/soaks): consulted per shard per
+    /// scatter and inside `set_deal_filter`'s install window.
+    faults: Option<Arc<FaultPlan>>,
     /// Per-shard scatter latency plus the merge stage, for tail
     /// attribution ("which shard drags p99?").
     timing: Mutex<LatencyBreakdown>,
@@ -164,6 +241,7 @@ impl ShardedEngine {
             .map(|s| format!("shard{s}"))
             .chain(std::iter::once("merge".to_string()))
             .collect();
+        let shard_failures = (0..plan.n_shards()).map(|_| AtomicU64::new(0)).collect();
         Self {
             handle,
             plan,
@@ -173,9 +251,28 @@ impl ShardedEngine {
                 slices,
             })]),
             set_build: Mutex::new(()),
+            deal: RwLock::new(RouterDealSlot {
+                generation: 0,
+                slices: None,
+            }),
             parallel: cfg.parallel_scatter,
+            retries: cfg.scatter_retries,
+            allow_partial: cfg.allow_partial,
+            shard_failures,
+            degraded: AtomicU64::new(0),
+            faults: None,
             timing: Mutex::new(LatencyBreakdown::new(labels)),
         }
+    }
+
+    /// Attaches a scripted [`FaultPlan`] (tests and soaks): consulted
+    /// once per shard per scatter (where an injected panic exercises the
+    /// degraded gather) and inside `set_deal_filter`'s prepare→install
+    /// window (where an injected delay widens the race the atomic
+    /// install must win). Production routers carry `None`.
+    pub fn with_faults(mut self, plan: Arc<FaultPlan>) -> Self {
+        self.faults = Some(plan);
+        self
     }
 
     /// Installs a seen-item filter, sliced per shard: shard `s` receives
@@ -218,11 +315,17 @@ impl ShardedEngine {
     /// on a single engine. Items past the filter's columns (appended by
     /// later grow-only publishes) probe as allowed.
     ///
-    /// The install is atomic per shard, not across shards: a query
-    /// scattering concurrently with the install may gather some shards
-    /// under the old filter and some under the new (each internally
-    /// consistent). Queries issued after the install returns see the new
-    /// filter everywhere.
+    /// The install is **atomic across shards**: the per-shard slices are
+    /// prepared first, then the whole `(generation, slices)` pair is
+    /// swapped into the router's deal slot under one write lock. Every
+    /// query reads that slot exactly once and pins all of its shard
+    /// scatters to the pair it read — so a scatter racing the install
+    /// serves either the old filter on *every* shard or the new filter
+    /// on *every* shard, never a mix (property-tested in
+    /// `fault_proptests.rs`). Queries issued after the install returns
+    /// see the new filter everywhere. Per-shard response caches retire
+    /// their old entries by the router generation, exactly as a single
+    /// engine does by its own.
     ///
     /// # Panics
     /// Panics unless the filter is one row covering at least the planned
@@ -235,18 +338,45 @@ impl ShardedEngine {
             filter.cols(),
             self.plan.n_items()
         );
+        // Phase 1 — prepare: slice per shard with no lock held.
         let ranges = self.effective_ranges(filter.cols());
-        for (shard, &(start, len)) in self.shards.iter().zip(&ranges) {
-            shard.set_deal_filter(filter.slice_cols(start, len));
+        let slices: Vec<BitMatrix> = ranges
+            .iter()
+            .map(|&(start, len)| filter.slice_cols(start, len))
+            .collect();
+        if let Some(plan) = &self.faults {
+            plan.at_filter_install();
         }
+        // Phase 2 — install: one pointer-sized swap under the write lock.
+        let mut slot = write_recover(&self.deal);
+        slot.generation += 1;
+        slot.slices = Some(Arc::new(slices));
     }
 
-    /// Removes the deal-state filter from every shard; see
-    /// [`QueryEngine::clear_deal_filter`].
+    /// Removes the deal-state filter from every shard, through the same
+    /// atomic slot swap as [`ShardedEngine::set_deal_filter`]; bumps the
+    /// generation so cached responses computed under the cleared filter
+    /// retire by key.
     pub fn clear_deal_filter(&self) {
-        for shard in &self.shards {
-            shard.clear_deal_filter();
+        if let Some(plan) = &self.faults {
+            plan.at_filter_install();
         }
+        let mut slot = write_recover(&self.deal);
+        slot.generation += 1;
+        slot.slices = None;
+    }
+
+    /// How many times the deal-state filter has been installed, replaced,
+    /// or cleared on this router.
+    pub fn deal_generation(&self) -> u64 {
+        read_recover(&self.deal).generation
+    }
+
+    /// One consistent `(generation, per-shard slices)` read for a whole
+    /// query — the read side of the atomic install.
+    fn deal_slot(&self) -> (u64, Option<Arc<Vec<BitMatrix>>>) {
+        let slot = read_recover(&self.deal);
+        (slot.generation, slot.slices.clone())
     }
 
     /// The global handle every shard serves from; publish to it (or via
@@ -293,7 +423,22 @@ impl ShardedEngine {
     /// `parallel_scatter` the per-shard stages still record true
     /// per-shard durations (measured on the shard's thread).
     pub fn latency_breakdown(&self) -> LatencyBreakdown {
-        self.timing.lock().expect("timing lock").clone()
+        lock_recover(&self.timing).clone()
+    }
+
+    /// Caught scatter panics per shard, plan order — every failed
+    /// attempt counts, including ones a retry then healed.
+    pub fn shard_failures(&self) -> Vec<u64> {
+        self.shard_failures
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Queries served with at least one shard missing (only possible
+    /// under [`ShardedConfig::allow_partial`]).
+    pub fn degraded_served(&self) -> u64 {
+        self.degraded.load(Ordering::Relaxed)
     }
 
     /// Users in the served universe (fixed across publishes).
@@ -313,18 +458,53 @@ impl ShardedEngine {
     /// Like [`ShardedEngine::recommend`], also reporting the snapshot
     /// version that produced the response. Every shard contribution is
     /// pinned to exactly that version, even across a concurrent publish.
+    ///
+    /// # Panics
+    /// Panics if `user` is out of range, or on a typed serving failure
+    /// ([`ShardedEngine::try_recommend`] reports those as errors).
     pub fn recommend_versioned(&self, user: u32, k: usize) -> (u64, Arc<Vec<ScoredItem>>) {
         let cur = self.handle.load();
         self.check_user(&cur, user);
+        match self.try_recommend(user, k) {
+            Ok(r) => (r.version, r.items),
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`ShardedEngine::recommend`]: a bad user id comes back
+    /// as [`ServeError::InvalidRequest`], and shards still missing after
+    /// [`ShardedConfig::scatter_retries`] either fail the query with
+    /// [`ServeError::ShardFailed`] (strict policy, the default) or are
+    /// listed on the returned [`DegradedResponse`] while the surviving
+    /// shards' merge is served ([`ShardedConfig::allow_partial`]). A
+    /// query where every shard failed is an error under either policy.
+    pub fn try_recommend(&self, user: u32, k: usize) -> Result<DegradedResponse, ServeError> {
+        let cur = self.handle.load();
+        let n_users = cur.snapshot().n_users();
+        if user as usize >= n_users {
+            return Err(ServeError::InvalidRequest {
+                reason: format!("user {user} out of range ({n_users} users)"),
+            });
+        }
         let set = self.set_for(&cur);
-        let (locals, shard_times) =
-            self.scatter(&set, |shard, slice| shard.recommend_at(slice, user, k));
+        let (deal_gen, deal) = self.deal_slot();
+        let (locals, shard_times) = self.scatter(&set, |s, shard, slice| {
+            shard.recommend_at_with_deal(slice, deal_gen, deal.as_ref().map(|d| &d[s]), user, k)
+        });
+        let missing = self.check_missing(&locals)?;
         let merge_start = Instant::now();
         let mut topk = TopK::new(k);
-        self.offer_locals(&mut topk, locals.iter().map(|l| l.as_slice()));
+        self.offer_locals(
+            &mut topk,
+            locals.iter().map(|l| l.as_ref().map(|v| v.as_slice())),
+        );
         let merged = Arc::new(topk.into_sorted());
         self.record_query(&shard_times, merge_start.elapsed());
-        (cur.version(), merged)
+        Ok(DegradedResponse {
+            version: cur.version(),
+            items: merged,
+            missing_shards: missing,
+        })
     }
 
     /// Top-`k` per user, all pinned to one snapshot version: each shard
@@ -335,16 +515,45 @@ impl ShardedEngine {
     /// single unsharded engine.
     ///
     /// # Panics
-    /// Panics if any user is out of range for the served snapshot.
+    /// Panics if any user is out of range, or on a typed serving failure
+    /// ([`ShardedEngine::try_recommend_batch`] reports those as errors).
     pub fn recommend_many(&self, users: &[u32], k: usize) -> (u64, Vec<Arc<Vec<ScoredItem>>>) {
         let cur = self.handle.load();
         for &user in users {
             self.check_user(&cur, user);
         }
+        match self.try_recommend_batch(users, k) {
+            Ok(b) => (b.version, b.results),
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`ShardedEngine::recommend_many`] under the same policy
+    /// as [`ShardedEngine::try_recommend`]: the whole batch is validated
+    /// up front, a shard fails (or survives) for the whole scattered
+    /// block at once, and the merged per-user rankings come back with
+    /// one shared `missing_shards` list.
+    pub fn try_recommend_batch(
+        &self,
+        users: &[u32],
+        k: usize,
+    ) -> Result<DegradedBatch, ServeError> {
+        let cur = self.handle.load();
+        let n_users = cur.snapshot().n_users();
+        if let Some(&user) = users.iter().find(|&&u| u as usize >= n_users) {
+            return Err(ServeError::InvalidRequest {
+                reason: format!("user {user} out of range ({n_users} users)"),
+            });
+        }
         if users.is_empty() {
-            return (cur.version(), Vec::new());
+            return Ok(DegradedBatch {
+                version: cur.version(),
+                results: Vec::new(),
+                missing_shards: Vec::new(),
+            });
         }
         let set = self.set_for(&cur);
+        let (deal_gen, deal) = self.deal_slot();
         // Scatter only distinct users; duplicate slots share the merge.
         let mut first_of: HashMap<u32, usize> = HashMap::with_capacity(users.len());
         let mut distinct: Vec<u32> = Vec::new();
@@ -354,14 +563,26 @@ impl ShardedEngine {
                 distinct.len() - 1
             });
         }
-        let (per_shard, shard_times) = self.scatter(&set, |shard, slice| {
-            shard.recommend_many_at(slice, &distinct, k)
+        let (per_shard, shard_times) = self.scatter(&set, |s, shard, slice| {
+            shard.recommend_many_at_with_deal(
+                slice,
+                deal_gen,
+                deal.as_ref().map(|d| &d[s]),
+                &distinct,
+                k,
+            )
         });
+        let missing = self.check_missing(&per_shard)?;
         let merge_start = Instant::now();
         let merged: Vec<Arc<Vec<ScoredItem>>> = (0..distinct.len())
             .map(|i| {
                 let mut topk = TopK::new(k);
-                self.offer_locals(&mut topk, per_shard.iter().map(|rows| rows[i].as_slice()));
+                self.offer_locals(
+                    &mut topk,
+                    per_shard
+                        .iter()
+                        .map(|rows| rows.as_ref().map(|r| r[i].as_slice())),
+                );
                 Arc::new(topk.into_sorted())
             })
             .collect();
@@ -370,7 +591,31 @@ impl ShardedEngine {
             .map(|user| Arc::clone(&merged[first_of[user]]))
             .collect();
         self.record_query(&shard_times, merge_start.elapsed());
-        (cur.version(), out)
+        Ok(DegradedBatch {
+            version: cur.version(),
+            results: out,
+            missing_shards: missing,
+        })
+    }
+
+    /// Applies the degraded-gather policy to one scatter's results:
+    /// returns the (possibly empty) missing-shard list when the query
+    /// may be served, or the error that refuses it. Serving a degraded
+    /// query bumps the counter here so every serve site agrees.
+    fn check_missing<T>(&self, locals: &[Option<T>]) -> Result<Vec<usize>, ServeError> {
+        let missing: Vec<usize> = locals
+            .iter()
+            .enumerate()
+            .filter_map(|(s, l)| l.is_none().then_some(s))
+            .collect();
+        if missing.is_empty() {
+            return Ok(missing);
+        }
+        if !self.allow_partial || missing.len() == self.shards.len() {
+            return Err(ServeError::ShardFailed { shards: missing });
+        }
+        self.degraded.fetch_add(1, Ordering::Relaxed);
+        Ok(missing)
     }
 
     /// Rejects out-of-range users against the pinned snapshot.
@@ -414,11 +659,11 @@ impl ShardedEngine {
                 .find(|s| s.version == cur.version())
                 .map(Arc::clone)
         };
-        if let Some(set) = lookup(&self.sets.read().expect("set lock")) {
+        if let Some(set) = lookup(&read_recover(&self.sets)) {
             return set;
         }
-        let _building = self.set_build.lock().expect("set build lock");
-        if let Some(set) = lookup(&self.sets.read().expect("set lock")) {
+        let _building = lock_recover(&self.set_build);
+        if let Some(set) = lookup(&read_recover(&self.sets)) {
             return set;
         }
         // Share once per version (O(1) if the publisher already shared),
@@ -459,7 +704,7 @@ impl ShardedEngine {
             version: cur.version(),
             slices,
         });
-        let mut sets = self.sets.write().expect("set lock");
+        let mut sets = write_recover(&self.sets);
         sets.push(Arc::clone(&built));
         sets.sort_by_key(|s| s.version);
         if sets.len() > 2 {
@@ -473,17 +718,42 @@ impl ShardedEngine {
     /// With `parallel_scatter`, shards 1.. run on scoped threads while
     /// shard 0 runs on the caller's thread; durations are measured on
     /// the executing thread either way, so the attribution stays honest.
+    ///
+    /// Each per-shard call is supervised: a panic (real or injected via
+    /// the fault plan's shard site) is caught, counted against that
+    /// shard, and retried up to [`ShardedConfig::scatter_retries`]
+    /// times; a shard still failing after its retries yields `None` in
+    /// its slot. The duration covers all attempts — a flapping shard's
+    /// retries show up in its own latency stage, where tail attribution
+    /// will find them.
     fn scatter<T: Send>(
         &self,
         set: &ShardSet,
-        f: impl Fn(&QueryEngine, &VersionedSnapshot) -> T + Sync,
-    ) -> (Vec<T>, Vec<Duration>) {
+        f: impl Fn(usize, &QueryEngine, &VersionedSnapshot) -> T + Sync,
+    ) -> (Vec<Option<T>>, Vec<Duration>) {
         let run = |s: usize| {
             let start = Instant::now();
-            let out = f(&self.shards[s], &set.slices[s]);
+            let mut out = None;
+            for _attempt in 0..=self.retries {
+                let result = catch_unwind(AssertUnwindSafe(|| {
+                    if let Some(plan) = &self.faults {
+                        plan.at_shard(s);
+                    }
+                    f(s, &self.shards[s], &set.slices[s])
+                }));
+                match result {
+                    Ok(v) => {
+                        out = Some(v);
+                        break;
+                    }
+                    Err(_) => {
+                        self.shard_failures[s].fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
             (out, start.elapsed())
         };
-        let results: Vec<(T, Duration)> = if self.parallel && self.shards.len() > 1 {
+        let results: Vec<(Option<T>, Duration)> = if self.parallel && self.shards.len() > 1 {
             std::thread::scope(|scope| {
                 let handles: Vec<_> = (1..self.shards.len())
                     .map(|s| scope.spawn(move || run(s)))
@@ -491,6 +761,9 @@ impl ShardedEngine {
                 let mut all = Vec::with_capacity(self.shards.len());
                 all.push(run(0));
                 for handle in handles {
+                    // invariant: `run` catches every panic `f` can raise,
+                    // so a scatter thread can only die on its own stack
+                    // unwinding machinery failing.
                     all.push(handle.join().expect("shard scatter thread"));
                 }
                 all
@@ -504,9 +777,16 @@ impl ShardedEngine {
     /// Offers every gathered local result to `topk`, translating each
     /// shard's local item ids back to global ids (`global = shard range
     /// start + local`). The heap's strict total order makes the offer
-    /// order irrelevant — this *is* the merge.
-    fn offer_locals<'a>(&self, topk: &mut TopK, locals: impl Iterator<Item = &'a [ScoredItem]>) {
+    /// order irrelevant — this *is* the merge. Missing shards (`None`,
+    /// failed after retries under the degraded policy) contribute
+    /// nothing.
+    fn offer_locals<'a>(
+        &self,
+        topk: &mut TopK,
+        locals: impl Iterator<Item = Option<&'a [ScoredItem]>>,
+    ) {
         for ((start, _), local) in self.plan.ranges().iter().zip(locals) {
+            let Some(local) = local else { continue };
             let offset = *start as u32;
             for entry in local {
                 topk.push(offset + entry.item, entry.score);
@@ -514,9 +794,11 @@ impl ShardedEngine {
         }
     }
 
-    /// Records one query's per-shard and merge durations.
+    /// Records one query's per-shard and merge durations. Only *served*
+    /// queries get here (complete or degraded) — refused queries never
+    /// pollute the latency percentiles.
     fn record_query(&self, shard_times: &[Duration], merge: Duration) {
-        let mut timing = self.timing.lock().expect("timing lock");
+        let mut timing = lock_recover(&self.timing);
         for (s, &d) in shard_times.iter().enumerate() {
             timing.record(s, d);
         }
@@ -548,6 +830,13 @@ impl ServeEngine for ShardedEngine {
 
     fn recommend_many(&self, users: &[u32], k: usize) -> (u64, Vec<Arc<Vec<ScoredItem>>>) {
         ShardedEngine::recommend_many(self, users, k)
+    }
+
+    fn try_recommend_many(&self, users: &[u32], k: usize) -> VersionedBatchResult {
+        // Degraded detail (which shards were missing) is available on the
+        // inherent API; through the service trait a permitted partial
+        // batch serves like a complete one.
+        ShardedEngine::try_recommend_batch(self, users, k).map(|b| (b.version, b.results))
     }
 }
 

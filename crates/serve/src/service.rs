@@ -35,8 +35,34 @@
 //! [`gb_eval::timing::Stopwatch`] for the efficiency tables;
 //! [`RecommendService::requests_served`] is a separate monotone counter
 //! that draining does not reset.
+//!
+//! ## Failure semantics
+//!
+//! The `try_*` APIs return typed [`ServeError`]s; the legacy infallible
+//! APIs are thin wrappers that panic with the same messages they always
+//! did. Three failure paths, three counters, one rule — **only served
+//! requests feed the latency percentiles** (the same exclusion the
+//! warm-up traffic already gets):
+//!
+//! * **Shedding** ([`ServiceConfig::shed_watermark`]): a request that
+//!   arrives while the queue depth is at/above the watermark is refused
+//!   with [`ServeError::Overloaded`] *before* it is enqueued — bounded
+//!   queue wait for everyone already admitted, a cheap typed error for
+//!   the flash crowd. Counted in [`RecommendService::requests_shed`].
+//! * **Deadlines** ([`ServiceConfig::deadline`]): each admitted request
+//!   carries an enqueue-stamped budget; a worker drops it *before*
+//!   scoring if the budget has already expired — no catalogue pass is
+//!   wasted on an answer nobody is waiting for. The caller gets
+//!   [`ServeError::DeadlineExceeded`]; counted in
+//!   [`RecommendService::requests_expired`].
+//! * **Supervision**: workers score through
+//!   [`ServeEngine::try_recommend_many`], whose `catch_unwind` boundary
+//!   turns a scoring panic into [`ServeError::Poisoned`] for every
+//!   caller in the coalesced group — the worker survives, the service
+//!   keeps serving, and [`RecommendService::worker_panics`] records it.
 
 use crate::engine::{QueryEngine, ServeEngine};
+use crate::error::{lock_recover, ServeError};
 use crate::topk::ScoredItem;
 use gb_eval::timing::Stopwatch;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -58,6 +84,18 @@ pub struct ServiceConfig {
     /// limit adapts between the engine's `user_block` and this cap with
     /// the live queue depth (see [`coalesce_limit`]).
     pub coalesce_cap: usize,
+    /// Queue depth at/above which admission control sheds new `try_*`
+    /// requests with [`ServeError::Overloaded`] instead of queueing
+    /// them. The default (`usize::MAX`) never sheds — the bounded
+    /// queue's blocking backpressure applies, exactly as before this
+    /// knob existed. Warm-ups are never shed (they are the cheapest
+    /// work to do late).
+    pub shed_watermark: usize,
+    /// Per-request queue budget: a request still queued this long after
+    /// enqueue is dropped by the dequeuing worker *before* scoring and
+    /// its caller gets [`ServeError::DeadlineExceeded`]. `None` (the
+    /// default) never expires.
+    pub deadline: Option<Duration>,
 }
 
 impl Default for ServiceConfig {
@@ -67,6 +105,8 @@ impl Default for ServiceConfig {
             queue_depth: 256,
             warm_k: 10,
             coalesce_cap: 64,
+            shed_watermark: usize::MAX,
+            deadline: None,
         }
     }
 }
@@ -83,17 +123,22 @@ pub fn coalesce_limit(user_block: usize, depth: usize, cap: usize) -> usize {
     user_block.max(depth.min(cap)).max(1)
 }
 
-/// One reply: `(request tag, snapshot version, ranked items)`.
-type Reply = (usize, u64, Arc<Vec<ScoredItem>>);
+/// One reply: the request tag plus either `(snapshot version, ranked
+/// items)` or the typed error that refused it.
+type Reply = (usize, Result<(u64, Arc<Vec<ScoredItem>>), ServeError>);
 
 /// A queued query, stamped at enqueue time so the recorded latency is
-/// enqueue→reply (queue wait included), not dequeue→reply.
+/// enqueue→reply (queue wait included), not dequeue→reply — and so the
+/// deadline budget measures true queue wait.
 struct QueryJob {
     user: u32,
     k: usize,
     reply: SyncSender<Reply>,
     tag: usize,
     enqueued: Instant,
+    /// Queue budget; a worker drops the job unscored once
+    /// `enqueued.elapsed() > budget`. `None` never expires.
+    budget: Option<Duration>,
 }
 
 enum Job {
@@ -124,8 +169,15 @@ struct Stats {
     /// Largest coalesced group seen so far.
     largest_group: AtomicUsize,
     /// Jobs currently enqueued (inc at send, dec at dequeue) — the
-    /// signal [`coalesce_limit`] adapts on.
+    /// signal [`coalesce_limit`] adapts on, and the one admission
+    /// control sheds on.
     depth: AtomicUsize,
+    /// Requests refused at admission (never enqueued, never scored).
+    shed: AtomicU64,
+    /// Requests dropped unscored because their queue budget expired.
+    expired: AtomicU64,
+    /// Scoring panics caught by worker supervision.
+    panics: AtomicU64,
 }
 
 /// A running recommendation service over any [`ServeEngine`].
@@ -137,6 +189,8 @@ pub struct RecommendService<E: ServeEngine = QueryEngine> {
     workers: Vec<JoinHandle<()>>,
     stats: Arc<Stats>,
     warm_k: usize,
+    shed_watermark: usize,
+    deadline: Option<Duration>,
 }
 
 impl<E: ServeEngine> RecommendService<E> {
@@ -159,6 +213,9 @@ impl<E: ServeEngine> RecommendService<E> {
             batches: AtomicU64::new(0),
             largest_group: AtomicUsize::new(0),
             depth: AtomicUsize::new(0),
+            shed: AtomicU64::new(0),
+            expired: AtomicU64::new(0),
+            panics: AtomicU64::new(0),
         });
         let coalesce_cap = cfg.coalesce_cap.max(1);
         let (tx, rx) = sync_channel::<Job>(cfg.queue_depth.max(1));
@@ -180,6 +237,8 @@ impl<E: ServeEngine> RecommendService<E> {
             workers,
             stats,
             warm_k: cfg.warm_k.max(1),
+            shed_watermark: cfg.shed_watermark,
+            deadline: cfg.deadline,
         }
     }
 
@@ -210,19 +269,57 @@ impl<E: ServeEngine> RecommendService<E> {
     /// publishes concurrently.
     ///
     /// # Panics
-    /// Panics if `user` is out of range for the served snapshot.
+    /// Panics if `user` is out of range for the served snapshot, or on
+    /// a typed serving failure (shed, expired, or poisoned — see
+    /// [`RecommendService::try_recommend_versioned`] for the fallible
+    /// contract).
     pub fn recommend_versioned(&self, user: u32, k: usize) -> (u64, Arc<Vec<ScoredItem>>) {
         self.check_user(user);
+        match self.try_recommend_versioned(user, k) {
+            Ok(r) => r,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`RecommendService::recommend`]: admission control, the
+    /// queue deadline, and worker supervision all report as typed
+    /// [`ServeError`]s instead of blocking forever or panicking. See
+    /// the module docs for the full failure contract.
+    pub fn try_recommend(&self, user: u32, k: usize) -> Result<Arc<Vec<ScoredItem>>, ServeError> {
+        self.try_recommend_versioned(user, k).map(|(_, r)| r)
+    }
+
+    /// [`RecommendService::try_recommend`] reporting the snapshot
+    /// version the response was computed from.
+    pub fn try_recommend_versioned(
+        &self,
+        user: u32,
+        k: usize,
+    ) -> Result<(u64, Arc<Vec<ScoredItem>>), ServeError> {
+        let n_users = self.engine.n_users();
+        if user as usize >= n_users {
+            return Err(ServeError::InvalidRequest {
+                reason: format!("user {user} out of range ({n_users} users)"),
+            });
+        }
         let (reply_tx, reply_rx) = sync_channel(1);
-        self.send(Job::Query(QueryJob {
+        self.try_send(Job::Query(QueryJob {
             user,
             k,
             reply: reply_tx,
             tag: 0,
             enqueued: Instant::now(),
-        }));
-        let (_, version, result) = reply_rx.recv().expect("worker dropped reply channel");
-        (version, result)
+            budget: self.deadline,
+        }))?;
+        match reply_rx.recv() {
+            Ok((_, result)) => result,
+            // invariant: workers reply to every dequeued job (success,
+            // expiry, and caught panic all send) — the channel can only
+            // drop if the pool is torn down mid-request.
+            Err(_) => Err(ServeError::Poisoned {
+                reason: "worker pool shut down before replying".into(),
+            }),
+        }
     }
 
     /// Top-`k` items for a batch of users.
@@ -233,28 +330,65 @@ impl<E: ServeEngine> RecommendService<E> {
     /// issuing [`Self::recommend`] per user sequentially.
     ///
     /// # Panics
-    /// Panics if any user is out of range for the served snapshot.
+    /// Panics if any user is out of range for the served snapshot, or
+    /// on any per-request typed failure (see
+    /// [`RecommendService::try_recommend_batch`]).
     pub fn recommend_batch(&self, users: &[u32], k: usize) -> Vec<Arc<Vec<ScoredItem>>> {
         users.iter().for_each(|&u| self.check_user(u));
+        self.try_recommend_batch(users, k)
+            .into_iter()
+            .map(|r| r.unwrap_or_else(|e| panic!("{e}")))
+            .collect()
+    }
+
+    /// Fallible [`RecommendService::recommend_batch`]: one outcome per
+    /// input slot, in input order. Slots fail independently — a shed or
+    /// expired request costs its own slot an error while the rest of
+    /// the batch serves normally, so one flash crowd cannot turn a
+    /// whole batch into wasted work.
+    pub fn try_recommend_batch(
+        &self,
+        users: &[u32],
+        k: usize,
+    ) -> Vec<Result<Arc<Vec<ScoredItem>>, ServeError>> {
+        let n_users = self.engine.n_users();
         let (reply_tx, reply_rx): (SyncSender<Reply>, Receiver<Reply>) =
             sync_channel(users.len().max(1));
+        let mut out: Vec<Option<Result<Arc<Vec<ScoredItem>>, ServeError>>> =
+            vec![None; users.len()];
+        let mut waiting = 0usize;
         for (tag, &user) in users.iter().enumerate() {
-            self.send(Job::Query(QueryJob {
+            if user as usize >= n_users {
+                out[tag] = Some(Err(ServeError::InvalidRequest {
+                    reason: format!("user {user} out of range ({n_users} users)"),
+                }));
+                continue;
+            }
+            match self.try_send(Job::Query(QueryJob {
                 user,
                 k,
                 reply: reply_tx.clone(),
                 tag,
                 enqueued: Instant::now(),
-            }));
+                budget: self.deadline,
+            })) {
+                Ok(()) => waiting += 1,
+                Err(e) => out[tag] = Some(Err(e)),
+            }
         }
         drop(reply_tx);
-        let mut out: Vec<Option<Arc<Vec<ScoredItem>>>> = vec![None; users.len()];
-        for _ in 0..users.len() {
-            let (tag, _, result) = reply_rx.recv().expect("worker dropped reply channel");
-            out[tag] = Some(result);
+        for _ in 0..waiting {
+            match reply_rx.recv() {
+                Ok((tag, result)) => out[tag] = Some(result.map(|(_, r)| r)),
+                Err(_) => break, // pool torn down; leftovers filled below
+            }
         }
         out.into_iter()
-            .map(|r| r.expect("every tag answered"))
+            .map(|r| {
+                r.unwrap_or(Err(ServeError::Poisoned {
+                    reason: "worker pool shut down before replying".into(),
+                }))
+            })
             .collect()
     }
 
@@ -293,7 +427,7 @@ impl<E: ServeEngine> RecommendService<E> {
     /// Draining does not affect [`RecommendService::requests_served`].
     pub fn latency_stopwatch(&self) -> Stopwatch {
         let mut sw = Stopwatch::new();
-        let mut samples = self.stats.latencies.lock().expect("latency lock");
+        let mut samples = lock_recover(&self.stats.latencies);
         for d in samples.drain(..) {
             sw.record(d);
         }
@@ -328,6 +462,42 @@ impl<E: ServeEngine> RecommendService<E> {
         self.stats.largest_group.load(Ordering::Relaxed)
     }
 
+    /// Requests refused at admission with [`ServeError::Overloaded`] —
+    /// never enqueued, never scored, never in the latency percentiles.
+    pub fn requests_shed(&self) -> usize {
+        self.stats.shed.load(Ordering::Relaxed) as usize
+    }
+
+    /// Requests dropped unscored because their queue budget expired
+    /// ([`ServeError::DeadlineExceeded`]). Excluded from
+    /// [`RecommendService::requests_served`] and the percentiles.
+    pub fn requests_expired(&self) -> usize {
+        self.stats.expired.load(Ordering::Relaxed) as usize
+    }
+
+    /// Scoring panics caught by worker supervision — each one returned
+    /// [`ServeError::Poisoned`] to its coalesced group's callers while
+    /// the worker survived.
+    pub fn worker_panics(&self) -> usize {
+        self.stats.panics.load(Ordering::Relaxed) as usize
+    }
+
+    /// Admission control for caller-facing requests: shed at/above the
+    /// watermark, otherwise enqueue (blocking on a full bounded queue,
+    /// the pre-watermark backpressure semantics).
+    fn try_send(&self, job: Job) -> Result<(), ServeError> {
+        let depth = self.stats.depth.load(Ordering::Relaxed);
+        if depth >= self.shed_watermark {
+            self.stats.shed.fetch_add(1, Ordering::Relaxed);
+            return Err(ServeError::Overloaded {
+                depth,
+                watermark: self.shed_watermark,
+            });
+        }
+        self.send(job);
+        Ok(())
+    }
+
     fn send(&self, job: Job) {
         // Count before sending: a worker may dequeue (and decrement)
         // the instant the job lands.
@@ -338,6 +508,9 @@ impl<E: ServeEngine> RecommendService<E> {
             .expect("service is running")
             .send(job)
             .is_ok();
+        // invariant: workers only exit when the sender side is dropped,
+        // and `&self` holds the sender — supervision guarantees no
+        // worker dies to a scoring panic.
         assert!(sent, "worker pool is alive");
     }
 }
@@ -366,7 +539,7 @@ fn worker_loop<E: ServeEngine>(
         let job = match carry.take() {
             Some(job) => job,
             // Hold the queue lock only while popping, never while scoring.
-            None => match rx.lock().expect("queue lock").recv() {
+            None => match lock_recover(rx).recv() {
                 Ok(job) => {
                     stats.depth.fetch_sub(1, Ordering::Relaxed);
                     job
@@ -411,31 +584,74 @@ fn worker_loop<E: ServeEngine>(
                         }
                     }
                 }
-                let users: Vec<u32> = group.iter().map(|j| j.user).collect();
-                let (version, results) = engine.recommend_many(&users, group[0].k);
-                stats.batches.fetch_add(1, Ordering::Relaxed);
-                stats
-                    .largest_group
-                    .fetch_max(group.len(), Ordering::Relaxed);
-                for (job, result) in group.into_iter().zip(results) {
-                    // Record before replying: once the caller has the
-                    // answer, the request is visible in the counters.
-                    stats
-                        .latencies
-                        .lock()
-                        .expect("latency lock")
-                        .push(job.enqueued.elapsed());
-                    stats.served.fetch_add(1, Ordering::Relaxed);
-                    // The caller may have given up (e.g. panicked); ignore.
-                    let _ = job.reply.send((job.tag, version, result));
+                // Deadline check at the last instant before scoring: a
+                // job whose budget expired in the queue is dropped here,
+                // its caller notified, and no catalogue pass spent on it.
+                // Expired jobs never touch `served` or the percentiles.
+                let now = Instant::now();
+                let mut live = Vec::with_capacity(group.len());
+                for job in group {
+                    match job.budget {
+                        Some(budget) if now.duration_since(job.enqueued) > budget => {
+                            stats.expired.fetch_add(1, Ordering::Relaxed);
+                            let _ = job
+                                .reply
+                                .send((job.tag, Err(ServeError::DeadlineExceeded { budget })));
+                        }
+                        _ => live.push(job),
+                    }
+                }
+                if live.is_empty() {
+                    continue;
+                }
+                let users: Vec<u32> = live.iter().map(|j| j.user).collect();
+                // Supervised scoring: a panic anywhere in the engine is
+                // caught at this boundary and fanned out as one typed
+                // error to every caller in the group — the worker (and
+                // the service) outlives any single poisonous query.
+                match engine.try_recommend_many(&users, live[0].k) {
+                    Ok((version, results)) => {
+                        stats.batches.fetch_add(1, Ordering::Relaxed);
+                        stats.largest_group.fetch_max(live.len(), Ordering::Relaxed);
+                        for (job, result) in live.into_iter().zip(results) {
+                            // Record before replying: once the caller has
+                            // the answer, the request is in the counters.
+                            lock_recover(&stats.latencies).push(job.enqueued.elapsed());
+                            stats.served.fetch_add(1, Ordering::Relaxed);
+                            // The caller may have given up; ignore.
+                            let _ = job.reply.send((job.tag, Ok((version, result))));
+                        }
+                    }
+                    Err(e) => {
+                        if matches!(e, ServeError::Poisoned { .. }) {
+                            stats.panics.fetch_add(1, Ordering::Relaxed);
+                        }
+                        // Failed requests are not served: no latency
+                        // sample, no `served` tick — errors must never
+                        // flatter the percentiles.
+                        for job in live {
+                            let _ = job.reply.send((job.tag, Err(e.clone())));
+                        }
+                    }
                 }
             }
             Job::Warm { user, k } => {
                 // Populate the cache, but keep the serving metrics clean:
                 // no caller waited on this, so its wall clock belongs in
-                // neither the latency percentiles nor `served`.
-                let _ = engine.recommend(user, k);
-                stats.warmed.fetch_add(1, Ordering::Relaxed);
+                // neither the latency percentiles nor `served`. Warm-ups
+                // score through the supervised path too — a poisonous
+                // warm-up must not kill the worker (nobody would even
+                // notice the hang it would cause).
+                match engine.try_recommend_many(&[user], k) {
+                    Ok(_) => {
+                        stats.warmed.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err(e) => {
+                        if matches!(e, ServeError::Poisoned { .. }) {
+                            stats.panics.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
             }
         }
     }
