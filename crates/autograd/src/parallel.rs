@@ -38,7 +38,7 @@ use crate::params::Gradients;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 
 /// A unit of pool work: a lifetime-erased closure (see the safety notes in
@@ -68,6 +68,8 @@ impl Pool {
                 std::thread::Builder::new()
                     .name(format!("gb-shard-{i}"))
                     .spawn(move || worker_loop(&rx))
+                    // invariant: Builder::spawn errs only on OS thread
+                    // exhaustion — nothing to serve or train with then.
                     .expect("spawn shard worker thread")
             })
             .collect();
@@ -80,6 +82,10 @@ impl Pool {
 
     fn dispatch(&self, job: Job) {
         self.dispatched.fetch_add(1, Ordering::Relaxed);
+        // invariant: `dispatch` is only reachable between `Pool::start`
+        // and `Drop` — the sender exists and the workers holding the
+        // receiver stay alive for exactly that window (worker panics
+        // are impossible: job bodies run under `catch_unwind`).
         self.queue
             .as_ref()
             .expect("pool is running")
@@ -98,10 +104,20 @@ impl Drop for Pool {
     }
 }
 
+/// Locks the shard queue, recovering from poisoning. Sound because the
+/// critical section is only ever `recv()` — job bodies (the only code
+/// that can panic) run outside the lock under `catch_unwind`, so a
+/// poisoned mutex still guards a fully consistent receiver, and one
+/// crashed worker must not wedge the whole pool.
+fn lock_queue(rx: &Mutex<Receiver<Job>>) -> MutexGuard<'_, Receiver<Job>> {
+    // lint:allow(no-bare-locks): this is the recover helper itself
+    rx.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
 fn worker_loop(rx: &Mutex<Receiver<Job>>) {
     loop {
         // Hold the queue lock only while popping, never while computing.
-        let job = match rx.lock().expect("shard queue lock").recv() {
+        let job = match lock_queue(rx).recv() {
             Ok(job) => job,
             Err(_) => return, // queue closed: executor dropped
         };
@@ -137,6 +153,9 @@ impl DispatchBarrier {
     fn wait_one(&mut self) -> ChunkResult {
         debug_assert!(self.pending > 0, "no job pending");
         self.pending -= 1;
+        // invariant: every dispatched job sends exactly once before its
+        // sender clone drops, so `pending > 0` proves a live sender —
+        // `recv` cannot see a closed channel here.
         self.done_rx
             .recv()
             .expect("shard worker vanished mid-batch")
@@ -300,6 +319,9 @@ impl ShardExecutor {
                     }
                 });
             }
+            // invariant: `ShardExecutor::new` starts a pool whenever
+            // `threads > 1`, and the arms above consumed every
+            // `threads <= 1`, nested, and scoped case.
             None => unreachable!("non-scoped executors with threads > 1 always own a pool"),
             Some(pool) => {
                 // Contiguous static partition: chunk `t` owns shards
@@ -319,6 +341,8 @@ impl ShardExecutor {
                     pending: 0,
                 };
                 let mut chunks = slots.chunks_mut(chunk);
+                // invariant: `n_shards == 0` returned early above, so
+                // `chunks_mut` yields at least one chunk.
                 let caller_chunk = chunks.next().expect("n_shards > 0");
                 for (t, slot_chunk) in chunks.enumerate() {
                     let base = (t + 1) * chunk;
@@ -383,6 +407,9 @@ impl ShardExecutor {
         let mut merged = Gradients::empty(n_params);
         let mut loss = 0.0f32;
         for slot in slots {
+            // invariant: every arm above either filled all `n_shards`
+            // slots or unwound before reaching the merge — a `None`
+            // slot cannot survive to this loop.
             let (shard_loss, grads) = slot.expect("every shard computed");
             loss += shard_loss;
             merged.merge(grads);

@@ -163,7 +163,7 @@ fn median_secs<F: FnMut()>(mut f: F) -> f64 {
             t.elapsed().as_secs_f64()
         })
         .collect();
-    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite sample times"));
+    samples.sort_by(f64::total_cmp);
     samples[samples.len() / 2]
 }
 

@@ -35,10 +35,7 @@ fn main() {
 
     // Shape check on NDCG@10 (the rank-sensitive metric): the best alpha
     // should be interior (neither 0.1 nor 0.9).
-    let best = series
-        .iter()
-        .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
-        .unwrap();
+    let best = series.iter().max_by(|a, b| a.1.total_cmp(&b.1)).unwrap();
     println!(
         "\nbest alpha = {:.1} (paper: 0.6); curve is {}",
         best.0,

@@ -77,12 +77,21 @@ impl Stopwatch {
             return 0.0;
         }
         let mut secs: Vec<f64> = self.samples.iter().map(Duration::as_secs_f64).collect();
+        Self::select_percentile(&mut secs, p)
+    }
+
+    /// Nearest-rank selection over raw seconds. `total_cmp` (not
+    /// `partial_cmp().unwrap()`) on purpose: samples recorded through
+    /// [`Duration`] are always finite, but the comparator must not be a
+    /// NaN panic waiting for the first caller that feeds it derived
+    /// floats — under the total order NaN ranks above every finite
+    /// value, so finite percentiles are unaffected (regression-tested).
+    fn select_percentile(secs: &mut [f64], p: f64) -> f64 {
         let idx = Self::nearest_rank_index(p, secs.len());
         // O(n) selection instead of a full O(n log n) sort: the element
         // landing at `idx` is exactly the one a sort (with the same
         // comparator) would put there, so the result is bit-identical.
-        let (_, v, _) = secs
-            .select_nth_unstable_by(idx, |a, b| a.partial_cmp(b).expect("durations are finite"));
+        let (_, v, _) = secs.select_nth_unstable_by(idx, f64::total_cmp);
         *v
     }
 
@@ -105,7 +114,7 @@ impl Stopwatch {
             return vec![0.0; ps.len()];
         }
         let mut sorted: Vec<f64> = self.samples.iter().map(Duration::as_secs_f64).collect();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+        sorted.sort_by(f64::total_cmp);
         ps.iter()
             .map(|&p| sorted[Self::nearest_rank_index(p, sorted.len())])
             .collect()
@@ -247,6 +256,25 @@ mod tests {
             );
         }
         assert_eq!(Stopwatch::new().percentiles_secs(&ps), vec![0.0; ps.len()]);
+    }
+
+    #[test]
+    fn nan_samples_no_longer_panic_the_comparators() {
+        // Regression: both percentile paths used
+        // `partial_cmp().expect("durations are finite")` — correct for
+        // `Duration`-sourced samples, but a panic trap for any future
+        // caller feeding derived floats. Under `total_cmp` a NaN ranks
+        // above +inf, so it parks at the top and finite percentiles
+        // below the NaN mass are exactly what they were.
+        let mut secs = [1.0f64, f64::NAN, 0.5];
+        assert_eq!(Stopwatch::select_percentile(&mut secs, 0.0), 0.5);
+        let mut secs = [1.0f64, f64::NAN, 0.5];
+        assert_eq!(Stopwatch::select_percentile(&mut secs, 50.0), 1.0);
+        let mut secs = [1.0f64, f64::NAN, 0.5];
+        assert!(Stopwatch::select_percentile(&mut secs, 100.0).is_nan());
+        let mut secs = [f64::INFINITY, f64::NAN];
+        assert!(Stopwatch::select_percentile(&mut secs, 100.0).is_nan());
+        assert!(Stopwatch::select_percentile(&mut secs, 0.0).is_infinite());
     }
 
     #[test]

@@ -1,0 +1,12 @@
+//! Fixture for the `bad-suppression` meta-rule: a reasonless allow and
+//! an allow naming an unknown rule are findings themselves, and a
+//! reasonless allow does not suppress anything.
+
+pub fn missing_reason(v: Option<u32>) -> u32 {
+    // lint:allow(panic-needs-invariant)
+    v.unwrap()
+}
+
+pub fn unknown_rule() {
+    // lint:allow(no-such-rule): the rule name does not exist
+}

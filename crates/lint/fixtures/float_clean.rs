@@ -1,0 +1,11 @@
+//! Must-not-fire fixture for `float-total-order`.
+
+pub fn total_sort(xs: &mut [f32]) {
+    xs.sort_by(f32::total_cmp);
+}
+
+pub fn not_code() {
+    // partial_cmp in a comment is fine
+    let _s = "partial_cmp in a string";
+    let _r = r"partial_cmp in a raw string";
+}

@@ -1,0 +1,9 @@
+//! Must-fire fixture for `float-total-order`.
+
+pub fn nan_partial_sort(xs: &mut [f32]) {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}
+
+pub fn nan_partial_max(xs: &[f64]) -> Option<f64> {
+    xs.iter().copied().max_by(|a, b| a.partial_cmp(b).unwrap())
+}

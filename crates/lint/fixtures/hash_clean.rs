@@ -1,0 +1,25 @@
+//! Must-not-fire fixture for `no-hash-iteration`.
+
+use std::collections::{BTreeMap, HashMap};
+
+pub fn ordered() -> usize {
+    let m: BTreeMap<u32, u32> = BTreeMap::new();
+    m.len()
+}
+
+pub fn suppressed_lookup_only() -> usize {
+    // lint:allow(no-hash-iteration): fixture lookup-only map
+    let m: HashMap<u32, u32> = HashMap::new();
+    m.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn hash_in_tests_is_fine() {
+        let m: HashMap<u32, u32> = HashMap::new();
+        assert_eq!(m.len(), 0);
+    }
+}

@@ -1,0 +1,9 @@
+//! Must-fire fixture for `no-hash-iteration`.
+
+use std::collections::{HashMap, HashSet};
+
+pub fn hash_state() -> usize {
+    let m: HashMap<u32, u32> = HashMap::new();
+    let s: HashSet<u32> = HashSet::new();
+    m.len() + s.len()
+}

@@ -1,0 +1,25 @@
+//! Must-not-fire fixture for `no-bare-locks`.
+
+use std::io::Write;
+use std::sync::{Mutex, PoisonError};
+
+pub fn recovered(m: &Mutex<u32>) -> u32 {
+    // lint:allow(no-bare-locks): fixture recover-helper body
+    *m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+pub fn io_write_takes_arguments(out: &mut Vec<u8>) {
+    let _ = out.write(b"bytes");
+    let _ = out.write_all(b"more");
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Mutex;
+
+    #[test]
+    fn tests_poison_locks_on_purpose() {
+        let poisoned = Mutex::new(1u32);
+        let _ = poisoned.lock().unwrap();
+    }
+}

@@ -1,0 +1,15 @@
+//! Must-fire fixture for `no-bare-locks`.
+
+use std::sync::{Mutex, RwLock};
+
+pub fn bare_lock(m: &Mutex<u32>) -> u32 {
+    *m.lock().unwrap()
+}
+
+pub fn bare_read(l: &RwLock<u32>) -> u32 {
+    *l.read().unwrap()
+}
+
+pub fn bare_write(l: &RwLock<u32>) {
+    *l.write().unwrap() += 1;
+}

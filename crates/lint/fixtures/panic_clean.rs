@@ -1,0 +1,25 @@
+//! Must-not-fire fixture for `panic-needs-invariant`.
+
+pub fn annotated(v: Option<u32>) -> u32 {
+    // invariant: constructors always set `v`.
+    v.unwrap()
+}
+
+pub fn suppressed(v: Option<u32>) -> u32 {
+    // lint:allow(panic-needs-invariant): fixture demonstrates suppression
+    v.unwrap()
+}
+
+pub fn not_code() {
+    // v.unwrap() in a comment is fine
+    let _s = "v.unwrap() in a string";
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_is_exempt() {
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+    }
+}

@@ -1,0 +1,16 @@
+//! Must-fire fixture for `panic-needs-invariant`.
+
+pub fn bare_unwrap(v: Option<u32>) -> u32 {
+    v.unwrap()
+}
+
+pub fn bare_expect(v: Option<u32>) -> u32 {
+    v.expect("always set")
+}
+
+pub fn bare_macro(n: u32) -> u32 {
+    match n {
+        0 => 1,
+        _ => unreachable!("callers pass zero"),
+    }
+}

@@ -1,0 +1,16 @@
+//! Must-not-fire fixture for `unsafe-needs-safety`.
+
+/// Reads one byte.
+///
+/// # Safety
+/// `p` must be valid for reads.
+pub unsafe fn documented(p: *const u8) -> u8 {
+    // SAFETY: the fn contract guarantees `p` is valid.
+    unsafe { *p }
+}
+
+pub fn not_code() {
+    // an `unsafe` mention in a comment is not a finding
+    let _s = "unsafe { *p }";
+    let _r = r#"unsafe in a raw string"#;
+}

@@ -1,0 +1,12 @@
+//! Must-fire fixture for `unsafe-needs-safety` — expected spans are
+//! asserted in `tests/fixtures.rs`.
+
+pub unsafe fn no_safety_doc(p: *const u8) -> u8 {
+    *p
+}
+
+pub fn undocumented_block() {
+    let x = 7u8;
+    let p = &x as *const u8;
+    let _v = unsafe { *p };
+}

@@ -1,0 +1,15 @@
+//! Must-not-fire fixture for `no-wallclock-in-kernels`.
+
+pub fn pure_kernel(xs: &[f32]) -> f32 {
+    // Instant::now() in a comment is fine
+    let _s = "SystemTime in a string";
+    xs.iter().sum()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn timing_in_tests_is_fine() {
+        let _t0 = std::time::Instant::now();
+    }
+}

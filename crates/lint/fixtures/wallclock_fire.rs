@@ -1,0 +1,11 @@
+//! Must-fire fixture for `no-wallclock-in-kernels`.
+
+pub fn timed_kernel(xs: &[f32]) -> (f32, f64) {
+    let t0 = std::time::Instant::now();
+    let sum: f32 = xs.iter().sum();
+    (sum, t0.elapsed().as_secs_f64())
+}
+
+pub fn stamped() -> std::time::SystemTime {
+    std::time::SystemTime::now()
+}

@@ -1,0 +1,89 @@
+//! CLI for the workspace invariant checker.
+//!
+//! ```text
+//! cargo run -p gb-lint [--release] -- [--root DIR] [--baseline FILE] [--format human|json]
+//! ```
+//!
+//! Exit codes: 0 clean (every finding fixed, suppressed with a
+//! justified `lint:allow`, or baselined), 1 unsuppressed findings,
+//! 2 usage/IO error.
+
+use gb_lint::{apply_baseline, lint_workspace, parse_baseline, render_human, render_json};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    root: PathBuf,
+    baseline: Option<PathBuf>,
+    json: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut root = PathBuf::from(".");
+    let mut baseline = None;
+    let mut json = false;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => root = PathBuf::from(it.next().ok_or("--root needs a value")?),
+            "--baseline" => {
+                baseline = Some(PathBuf::from(it.next().ok_or("--baseline needs a value")?))
+            }
+            "--format" => match it.next().as_deref() {
+                Some("human") => json = false,
+                Some("json") => json = true,
+                other => return Err(format!("--format must be human or json, got {other:?}")),
+            },
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok(Args {
+        root,
+        baseline,
+        json,
+    })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("gb-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let baseline_path = args
+        .baseline
+        .clone()
+        .unwrap_or_else(|| args.root.join("lint-baseline.txt"));
+    let baseline = match std::fs::read_to_string(&baseline_path) {
+        Ok(text) => match parse_baseline(&text) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("gb-lint: {}: {e}", baseline_path.display());
+                return ExitCode::from(2);
+            }
+        },
+        // A missing baseline file just means "nothing grandfathered".
+        Err(_) => Vec::new(),
+    };
+    let findings = match lint_workspace(&args.root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("gb-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let (kept, n_baselined, stale) = apply_baseline(findings, &baseline);
+    let report = if args.json {
+        render_json(&kept, n_baselined, &stale)
+    } else {
+        render_human(&kept, n_baselined, &stale)
+    };
+    print!("{report}");
+    if kept.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

@@ -26,7 +26,23 @@
 //!    invalidation rule; asserted by the serve integration tests).
 
 use crate::snapshot::{EmbeddingSnapshot, SnapshotDelta};
-use std::sync::{Arc, PoisonError, RwLock};
+use std::sync::{Arc, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// Reads `l`, recovering from poisoning instead of propagating the
+/// panic to every later reader. Sound for the snapshot slot because
+/// every panic in the publish paths (the validation asserts,
+/// `SnapshotDelta::apply`) fires *before* the slot is mutated — a
+/// poisoned lock still guards a fully consistent previous version.
+fn read_recover<T>(l: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    // lint:allow(no-bare-locks): this is the recover helper itself
+    l.read().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// [`read_recover`] for writers — same soundness argument.
+fn write_recover<T>(l: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    // lint:allow(no-bare-locks): this is the recover helper itself
+    l.write().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// What a delta publish changed, stamped onto the version it produced.
 ///
@@ -173,12 +189,10 @@ impl SnapshotHandle {
     /// catalogue end, so existing item ids, filter columns, and shard
     /// ranges never shift. Serving filters probe appended ids as unseen.
     pub fn publish(&self, snapshot: EmbeddingSnapshot) -> u64 {
-        // Recover from poison rather than propagate it: every panic in the
-        // publish paths (the validation asserts below, `SnapshotDelta::apply`)
-        // fires *before* the slot is mutated, so a poisoned lock still guards
-        // a fully consistent previous version — one rejected publish must not
-        // take serving down with it.
-        let mut slot = self.current.write().unwrap_or_else(PoisonError::into_inner);
+        // Recover from poison rather than propagate it (see
+        // `write_recover`) — one rejected publish must not take serving
+        // down with it.
+        let mut slot = write_recover(&self.current);
         assert_eq!(
             snapshot.n_users(),
             slot.snapshot.n_users(),
@@ -217,7 +231,7 @@ impl SnapshotHandle {
     /// widths, non-finite values).
     pub fn publish_delta(&self, delta: &SnapshotDelta) -> u64 {
         // Poison recovery is sound here for the same reason as in `publish`.
-        let mut slot = self.current.write().unwrap_or_else(PoisonError::into_inner);
+        let mut slot = write_recover(&self.current);
         let snapshot = delta.apply(&slot.snapshot);
         let version = slot.version + 1;
         let stamp = DeltaStamp {
@@ -238,15 +252,12 @@ impl SnapshotHandle {
     /// The returned `Arc` stays valid (and unchanged) for as long as the
     /// caller holds it, regardless of later publishes.
     pub fn load(&self) -> Arc<VersionedSnapshot> {
-        Arc::clone(&self.current.read().unwrap_or_else(PoisonError::into_inner))
+        Arc::clone(&read_recover(&self.current))
     }
 
     /// The currently-served version without cloning the snapshot pointer.
     pub fn version(&self) -> u64 {
-        self.current
-            .read()
-            .unwrap_or_else(PoisonError::into_inner)
-            .version
+        read_recover(&self.current).version
     }
 }
 

@@ -667,6 +667,7 @@ impl QueryEngine {
         // and the per-ranked-user fill below are O(1) per slot instead of
         // an O(users) rescan each (this path sits under IVF-batched wide
         // serving and must not go quadratic in the batch width).
+        // lint:allow(no-hash-iteration): lookup-only map, never iterated — order cannot leak
         let mut first_slot: HashMap<u32, usize> = HashMap::with_capacity(users.len());
         let mut pending: Vec<(u32, usize)> = Vec::new();
         let mut duplicates: Vec<usize> = Vec::new();

@@ -110,16 +110,19 @@ impl std::error::Error for ServeError {}
 /// the guarded data is still valid. Callers that cannot argue that
 /// (none today) must not use this helper.
 pub(crate) fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    // lint:allow(no-bare-locks): this is the recover helper itself
     m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
 /// [`lock_recover`] for `RwLock` reads.
 pub(crate) fn read_recover<T>(l: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    // lint:allow(no-bare-locks): this is the recover helper itself
     l.read().unwrap_or_else(PoisonError::into_inner)
 }
 
 /// [`lock_recover`] for `RwLock` writes.
 pub(crate) fn write_recover<T>(l: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    // lint:allow(no-bare-locks): this is the recover helper itself
     l.write().unwrap_or_else(PoisonError::into_inner)
 }
 

@@ -156,6 +156,9 @@ impl FaultPlan {
         if self.panic_calls.binary_search(&call).is_ok()
             || (self.panic_every > 0 && call.is_multiple_of(self.panic_every))
         {
+            // invariant: this panic IS the product — the scripted fault
+            // that worker supervision must catch and convert to a typed
+            // error; it never fires without an explicit fault plan.
             panic!("fault injection: scripted panic at scoring call {call}");
         }
     }
@@ -176,6 +179,9 @@ impl FaultPlan {
                 .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| n.checked_sub(1))
                 .is_ok();
             if budgeted || (fail.every > 0 && call.is_multiple_of(fail.every)) {
+                // invariant: this panic IS the product — the scripted
+                // shard failure the degraded scatter must absorb; it
+                // never fires without an explicit fault plan.
                 panic!("fault injection: scripted failure of shard {shard} (scatter {call})");
             }
         }

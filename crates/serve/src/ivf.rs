@@ -444,6 +444,7 @@ impl IvfIndex {
         if self.lists.is_empty() {
             return users.iter().map(|_| Arc::new(Vec::new())).collect();
         }
+        // lint:allow(no-hash-iteration): lookup-only memo, never iterated — order cannot leak
         let mut memo: HashMap<Vec<u32>, Arc<Vec<usize>>> = HashMap::new();
         users
             .iter()

@@ -108,6 +108,13 @@ mod sys {
     /// Maps `len` bytes of `fd` read-only/private from offset 0.
     /// Returns the kernel's raw result: a page-aligned address, or a
     /// negated errno in `[-4095, -1]`.
+    ///
+    /// # Safety
+    /// `fd` must be a live, readable file descriptor and `len` nonzero
+    /// (zero-length mmap is EINVAL). The caller owns the returned
+    /// mapping: it must treat a `[-4095, -1]` result as an error, never
+    /// dereference past `len`, and pass exactly this address/length
+    /// pair to [`munmap`] exactly once.
     pub unsafe fn mmap(len: usize, fd: i32) -> isize {
         let ret: isize;
         #[cfg(target_arch = "x86_64")]
@@ -140,6 +147,10 @@ mod sys {
     }
 
     /// Unmaps a region returned by [`mmap`].
+    ///
+    /// # Safety
+    /// `ptr`/`len` must be exactly what a successful [`mmap`] returned,
+    /// unmapped at most once, with no live references into the region.
     pub unsafe fn munmap(ptr: *const u8, len: usize) {
         let _ret: isize;
         #[cfg(target_arch = "x86_64")]
@@ -204,6 +215,10 @@ impl MmapRegion {
         if len == 0 {
             return None; // zero-length mmap is EINVAL
         }
+        // SAFETY: `file` is a live readable descriptor for the whole
+        // call and `len > 0` was checked above; error results are
+        // rejected below and a success is owned by the returned region,
+        // which unmaps it exactly once in `Drop`.
         let ret = unsafe { sys::mmap(len, file.as_raw_fd()) };
         if (-4095..0).contains(&ret) {
             return None;
@@ -395,6 +410,7 @@ fn parse(keep: Arc<Backing>) -> Result<EmbeddingSnapshot> {
             "unsupported snapshot version {version} (mmap reader supports {MMAP_VERSION})"
         )));
     }
+    // invariant: same header-length check — `bytes[8..12]` is exactly 4 bytes.
     let alpha = f32::from_le_bytes(bytes[8..12].try_into().unwrap());
     if !alpha.is_finite() || !(0.0..=1.0).contains(&alpha) {
         return Err(invalid(format!("alpha {alpha} outside [0, 1]")));

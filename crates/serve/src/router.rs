@@ -467,6 +467,8 @@ impl ShardedEngine {
         self.check_user(&cur, user);
         match self.try_recommend(user, k) {
             Ok(r) => (r.version, r.items),
+            // invariant: the documented contract of this infallible
+            // wrapper — callers wanting typed errors use try_recommend.
             Err(e) => panic!("{e}"),
         }
     }
@@ -524,6 +526,8 @@ impl ShardedEngine {
         }
         match self.try_recommend_batch(users, k) {
             Ok(b) => (b.version, b.results),
+            // invariant: the documented contract of this infallible
+            // wrapper — callers wanting typed errors use the try_ form.
             Err(e) => panic!("{e}"),
         }
     }

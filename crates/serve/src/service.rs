@@ -228,6 +228,8 @@ impl<E: ServeEngine> RecommendService<E> {
                 std::thread::Builder::new()
                     .name(format!("gb-serve-{i}"))
                     .spawn(move || worker_loop(engine.as_ref(), &rx, &stats, coalesce_cap))
+                    // invariant: Builder::spawn errs only on OS thread
+                    // exhaustion — nothing to serve with in that state.
                     .expect("spawn worker thread")
             })
             .collect();
@@ -277,6 +279,8 @@ impl<E: ServeEngine> RecommendService<E> {
         self.check_user(user);
         match self.try_recommend_versioned(user, k) {
             Ok(r) => r,
+            // invariant: the documented contract of this infallible
+            // wrapper — callers wanting typed errors use the try_ form.
             Err(e) => panic!("{e}"),
         }
     }
@@ -337,6 +341,8 @@ impl<E: ServeEngine> RecommendService<E> {
         users.iter().for_each(|&u| self.check_user(u));
         self.try_recommend_batch(users, k)
             .into_iter()
+            // invariant: the documented contract of this infallible
+            // wrapper — callers wanting typed errors use the try_ form.
             .map(|r| r.unwrap_or_else(|e| panic!("{e}")))
             .collect()
     }
@@ -505,6 +511,8 @@ impl<E: ServeEngine> RecommendService<E> {
         let sent = self
             .queue
             .as_ref()
+            // invariant: `send` is only reachable while `&self` exists,
+            // and the queue sender lives until `Drop` takes it.
             .expect("service is running")
             .send(job)
             .is_ok();

@@ -155,7 +155,7 @@ mod tests {
         let pairs: Vec<(u32, f32)> = (0..100u32).map(|i| (i, ((i * 37) % 100) as f32)).collect();
         let got = collect(&pairs, 5);
         let mut expect = pairs.clone();
-        expect.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        expect.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         expect.truncate(5);
         assert_eq!(got, expect);
     }

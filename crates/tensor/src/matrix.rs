@@ -30,6 +30,7 @@ enum Storage {
 // construction contract), so aliased reads from any thread are sound;
 // `Owned` is a plain `Vec<f32>`, which is already `Send + Sync`.
 unsafe impl Send for Storage {}
+// SAFETY: as above — immutable shared reads only.
 unsafe impl Sync for Storage {}
 
 impl Clone for Storage {
@@ -668,6 +669,8 @@ mod tests {
     #[test]
     fn from_raw_shared_serves_external_memory() {
         let backing: Arc<Vec<f32>> = Arc::new(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        // SAFETY: the Arc'd Vec provides 2*3 aligned, initialized f32s,
+        // `backing.clone()` keeps it alive, and nobody writes to it.
         let m = unsafe { Matrix::from_raw_shared(2, 3, backing.as_ptr(), backing.clone()) };
         assert!(m.is_shared());
         assert_eq!(m.row(1), &[4.0, 5.0, 6.0]);

@@ -82,7 +82,7 @@ fn main() {
     // Significance vs the best baseline by NDCG@10, as the paper reports.
     let (best_name, best) = results
         .iter()
-        .max_by(|a, b| a.1.ndcg_at(10).partial_cmp(&b.1.ndcg_at(10)).unwrap())
+        .max_by(|a, b| a.1.ndcg_at(10).total_cmp(&b.1.ndcg_at(10)))
         .unwrap();
     let t = paired_t_test(&gm.ndcg_column(10), &best.ndcg_column(10));
     println!(

@@ -24,7 +24,7 @@ fn top_k(scores: &[f32], k: usize) -> Vec<(u32, f32)> {
         .enumerate()
         .map(|(i, &s)| (i as u32, s))
         .collect();
-    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
     ranked.truncate(k);
     ranked
 }

@@ -44,7 +44,7 @@ fn main() {
     let items: Vec<u32> = (0..data.n_items() as u32).collect();
     let scores = model.score_items(user, &items);
     let mut ranked: Vec<(u32, f32)> = items.iter().copied().zip(scores).collect();
-    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
 
     println!("top-5 group-buying launch recommendations for user {user}:");
     for (rank, (item, score)) in ranked.iter().take(5).enumerate() {
