@@ -252,6 +252,107 @@ mod tests {
     }
 
     #[test]
+    fn gradcheck_add_scale_sum_all() {
+        let mut store = ParamStore::new();
+        let a = store.add("a", seeded(3, 3, 0.11));
+        let b = store.add("b", seeded(3, 3, 0.81));
+        for p in [a, b] {
+            assert_grads_match(&mut store, p, 2e-2, |s, t| {
+                let av = t.param(s, a);
+                let bv = t.param(s, b);
+                let y = t.add(av, bv);
+                let y = t.scale(y, 1.7);
+                t.sum_all(y)
+            });
+        }
+    }
+
+    #[test]
+    fn gradcheck_sub_mean_all() {
+        let mut store = ParamStore::new();
+        let a = store.add("a", seeded(4, 2, 0.33));
+        let b = store.add("b", seeded(4, 2, 0.66));
+        for p in [a, b] {
+            assert_grads_match(&mut store, p, 2e-2, |s, t| {
+                let av = t.param(s, a);
+                let bv = t.param(s, b);
+                let d = t.sub(av, bv);
+                let sq = t.mul(d, d);
+                t.mean_all(sq)
+            });
+        }
+    }
+
+    #[test]
+    fn gradcheck_sigmoid_standalone() {
+        let mut store = ParamStore::new();
+        let w = store.add("w", seeded(3, 4, 0.5));
+        assert_grads_match(&mut store, w, 2e-2, |s, t| {
+            let wv = t.param(s, w);
+            let sg = t.sigmoid(wv);
+            t.sum_all(sg)
+        });
+    }
+
+    #[test]
+    fn gradcheck_tanh_standalone() {
+        let mut store = ParamStore::new();
+        let w = store.add("w", seeded(3, 4, 0.7));
+        assert_grads_match(&mut store, w, 2e-2, |s, t| {
+            let wv = t.param(s, w);
+            let a = t.tanh(wv);
+            t.mean_all(a)
+        });
+    }
+
+    #[test]
+    fn gradcheck_constant_blocks_gradient_but_composes() {
+        // Constants carry no gradient; the param side of the mix must
+        // still match finite differences exactly.
+        let mut store = ParamStore::new();
+        let w = store.add("w", seeded(3, 3, 0.27));
+        let fixed = seeded(3, 3, 1.11);
+        assert_grads_match(&mut store, w, 2e-2, move |s, t| {
+            let wv = t.param(s, w);
+            let c = t.constant(fixed.clone());
+            let prod = t.mul(wv, c);
+            let shifted = t.add(prod, wv);
+            t.sum_sq(shifted)
+        });
+    }
+
+    #[test]
+    fn gradcheck_segment_mean_with_empty_segments() {
+        // Empty segments (loner users without friends) produce zero rows
+        // and must route no gradient — the exact shape the social graph
+        // feeds the GBGCN and GBMF losses.
+        let mut store = ParamStore::new();
+        let emb = store.add("emb", seeded(5, 3, 0.4));
+        let offsets = Arc::new(vec![0usize, 0, 2, 2, 5, 5]);
+        let members = Arc::new(vec![0u32, 3, 1, 2, 4]);
+        assert_grads_match(&mut store, emb, 2e-2, move |s, t| {
+            let e = t.param(s, emb);
+            let agg = t.segment_mean(e, offsets.clone(), members.clone());
+            let sg = t.sigmoid(agg);
+            t.sum_sq(sg)
+        });
+    }
+
+    #[test]
+    fn gradcheck_concat_cols_single_part() {
+        // Degenerate concat of one part: backward must slice the full
+        // cotangent straight back into the lone operand.
+        let mut store = ParamStore::new();
+        let a = store.add("a", seeded(3, 2, 0.52));
+        assert_grads_match(&mut store, a, 2e-2, |s, t| {
+            let av = t.param(s, a);
+            let cat = t.concat_cols(&[av]);
+            let act = t.tanh(cat);
+            t.sum_sq(act)
+        });
+    }
+
+    #[test]
     fn gradcheck_two_layer_gcn_like_composite() {
         // Mimics the paper's in-view propagation followed by cross-view FC:
         // emb -> segment_mean -> segment_mean -> concat -> FC -> sigmoid ->

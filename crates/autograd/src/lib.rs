@@ -7,8 +7,14 @@
 //! transforms, and pairwise ranking losses. The original code relies on
 //! PyTorch + DGL; this crate is the from-scratch replacement. It provides:
 //!
-//! * [`Tape`] — a record of the forward computation; each op stores enough
-//!   to compute vector-Jacobian products in [`Tape::backward`].
+//! * [`Tape`] — a record of the forward computation; each op pushes a
+//!   boxed `FnOnce` backward closure owning (or `Arc`-sharing) exactly
+//!   the operands its vector-Jacobian product needs, consumed in fixed
+//!   reverse order by [`Tape::backward`]. Tapes compose across threads:
+//!   [`Tape::input`] binds a read-only view of another tape's value,
+//!   [`Tape::backward_with_inputs`] returns the cotangents of those
+//!   views, and [`Tape::backward_seeded`] resumes the producing tape's
+//!   backward from accumulated seeds.
 //! * [`ParamStore`] — named trainable parameters (embedding tables, FC
 //!   weights and biases) addressed by stable [`ParamId`]s.
 //! * [`Gradients`] — per-parameter gradient accumulator returned by

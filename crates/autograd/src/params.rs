@@ -127,6 +127,22 @@ impl Gradients {
         }
     }
 
+    /// Fused gather backward: scatters the rows of `g` at `indices`
+    /// straight into the `(rows x cols)` accumulator slot for `id`,
+    /// allocating the zeroed table at most once per backward sweep
+    /// instead of once per gather node.
+    pub fn scatter_accumulate(
+        &mut self,
+        id: ParamId,
+        rows: usize,
+        cols: usize,
+        indices: &[u32],
+        g: &Matrix,
+    ) {
+        let acc = self.grads[id].get_or_insert_with(|| Matrix::zeros(rows, cols));
+        gb_tensor::kernels::scatter_add_rows(acc, indices, g);
+    }
+
     /// Merges `other` into `self` by accumulating every touched slot.
     ///
     /// Both sides must have been created for the same parameter count.

@@ -1,4 +1,13 @@
 //! The computation tape: forward op recording and reverse-mode backward.
+//!
+//! Recording is dfdx-style: each forward op pushes a boxed `FnOnce`
+//! that owns (or `Arc`-shares) exactly the operands its vector-Jacobian
+//! product needs. The reverse sweep visits nodes in strictly descending
+//! index order — the same fixed execution order the enum-dispatch tape
+//! used — so parallel==serial bitwise determinism is preserved while
+//! backward kernels are free to fuse (gather backwards scatter into the
+//! reused accumulator slot instead of allocating a zeroed table per
+//! node).
 
 use crate::params::{Gradients, ParamId, ParamStore};
 use gb_tensor::{kernels, Matrix};
@@ -8,94 +17,58 @@ use std::sync::Arc;
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub struct Var(usize);
 
-/// One recorded operation. Each variant stores its inputs (as `Var`s or
-/// captured data) so `backward` can compute exact vector-Jacobian products.
-enum Op {
-    /// Leaf with no gradient (input data, fixed masks, …).
-    Constant,
-    /// Full parameter matrix as a node.
-    Param(ParamId),
-    /// Rows of a parameter table selected by index (embedding lookup).
-    GatherParam {
-        param: ParamId,
-        indices: Arc<Vec<u32>>,
-    },
-    /// Rows of an upstream node selected by index.
-    Gather {
-        src: Var,
-        indices: Arc<Vec<u32>>,
-    },
-    /// CSR-driven neighbourhood mean (GCN aggregation, Eqs. 1–2, 4–7).
-    SegmentMean {
-        src: Var,
-        offsets: Arc<Vec<usize>>,
-        members: Arc<Vec<u32>>,
-    },
-    MatMul {
-        a: Var,
-        b: Var,
-    },
-    Add {
-        a: Var,
-        b: Var,
-    },
-    Sub {
-        a: Var,
-        b: Var,
-    },
-    Mul {
-        a: Var,
-        b: Var,
-    },
-    AddBias {
-        x: Var,
-        bias: Var,
-    },
-    Scale {
-        a: Var,
-        alpha: f32,
-    },
-    ConcatCols {
-        parts: Vec<Var>,
-    },
-    RowwiseDot {
-        a: Var,
-        b: Var,
-    },
-    Sigmoid {
-        a: Var,
-    },
-    Tanh {
-        a: Var,
-    },
-    LeakyRelu {
-        a: Var,
-        alpha: f32,
-    },
-    LogSigmoid {
-        a: Var,
-    },
-    SumAll {
-        a: Var,
-    },
-    MeanAll {
-        a: Var,
-    },
-    SumSq {
-        a: Var,
-    },
-    MeanRows {
-        a: Var,
-    },
-    ScaleRows {
-        a: Var,
-        s: Var,
-    },
-}
+/// A recorded backward op: consumes the node's incoming cotangent and
+/// routes contributions to upstream nodes (`NodeGrads`) or terminal
+/// sinks (`GradSinks`: parameter slots and input leaves).
+type BackwardOp = Box<dyn FnOnce(Matrix, &mut NodeGrads, &mut GradSinks) + Send>;
 
 struct Node {
-    value: Matrix,
-    op: Op,
+    /// Forward value, `Arc`-shared so backward closures (and callers via
+    /// [`Tape::arc_value`]) can hold it without copying the matrix.
+    value: Arc<Matrix>,
+    /// `None` for non-differentiable leaves (constants); taken (consumed)
+    /// by the single reverse sweep otherwise.
+    backward: Option<BackwardOp>,
+}
+
+/// Per-node gradient accumulator used during one reverse sweep.
+struct NodeGrads {
+    slots: Vec<Option<Matrix>>,
+}
+
+impl NodeGrads {
+    fn accumulate(&mut self, v: Var, g: Matrix) {
+        match &mut self.slots[v.0] {
+            Some(existing) => kernels::add_assign(existing, &g),
+            slot @ None => *slot = Some(g),
+        }
+    }
+
+    /// Fused gather backward: scatters `g` rows straight into the
+    /// accumulator slot for `v`, allocating the zeroed table at most
+    /// once per slot instead of once per gather node.
+    fn scatter_accumulate(
+        &mut self,
+        v: Var,
+        rows: usize,
+        cols: usize,
+        indices: &[u32],
+        g: &Matrix,
+    ) {
+        let acc = self.slots[v.0].get_or_insert_with(|| Matrix::zeros(rows, cols));
+        kernels::scatter_add_rows(acc, indices, g);
+    }
+
+    fn take(&mut self, idx: usize) -> Option<Matrix> {
+        self.slots[idx].take()
+    }
+}
+
+/// Terminal gradient sinks of a reverse sweep: parameter gradients and
+/// the cotangents that reached [`Tape::input`] leaves.
+struct GradSinks {
+    params: Gradients,
+    inputs: Vec<Option<Matrix>>,
 }
 
 /// A forward-computation record supporting one reverse sweep.
@@ -117,9 +90,24 @@ struct Node {
 /// let grads = tape.backward(loss, &store);
 /// Sgd::new(0.1).step(&mut store, &grads);
 /// ```
+///
+/// Ownership rules of the boxed-op model: the backward closures are
+/// `FnOnce` and are consumed by the sweep, so a tape supports exactly
+/// one backward pass (`backward`, `backward_with_inputs`, or
+/// `backward_seeded`) — a second call panics. Forward values stay
+/// readable through [`Tape::value`] afterwards.
 #[derive(Default)]
 pub struct Tape {
     nodes: Vec<Node>,
+    /// Number of [`Tape::input`] leaves recorded so far; sizes the
+    /// `GradSinks::inputs` vector at backward time.
+    n_inputs: usize,
+    /// Set once a backward pass has consumed the closures.
+    consumed: bool,
+    /// When `false`, gather backwards reproduce the seed tape's
+    /// allocate-then-add pattern (one zeroed table per gather node).
+    /// Bench-only: the A/B side of the fused-scatter comparison.
+    fused_scatter: bool,
 }
 
 impl Tape {
@@ -127,6 +115,20 @@ impl Tape {
     pub fn new() -> Self {
         Self {
             nodes: Vec::with_capacity(64),
+            n_inputs: 0,
+            consumed: false,
+            fused_scatter: true,
+        }
+    }
+
+    /// Tape whose gather backwards allocate a fresh zeroed table per
+    /// node (the seed tape's behaviour). Exists only as the "before"
+    /// side of the `BENCH_PR10` fused-scatter A/B; training uses
+    /// [`Tape::new`].
+    pub fn new_unfused() -> Self {
+        Self {
+            fused_scatter: false,
+            ..Self::new()
         }
     }
 
@@ -145,9 +147,19 @@ impl Tape {
         &self.nodes[v.0].value
     }
 
-    fn push(&mut self, value: Matrix, op: Op) -> Var {
+    /// Shared handle to a node's value. This is how the sharded trainer
+    /// hands propagated tables to shard tapes without copying them.
+    pub fn arc_value(&self, v: Var) -> Arc<Matrix> {
+        Arc::clone(&self.nodes[v.0].value)
+    }
+
+    fn push(&mut self, value: Matrix, backward: Option<BackwardOp>) -> Var {
+        self.push_arc(Arc::new(value), backward)
+    }
+
+    fn push_arc(&mut self, value: Arc<Matrix>, backward: Option<BackwardOp>) -> Var {
         debug_assert!(!value.has_non_finite(), "non-finite forward value");
-        self.nodes.push(Node { value, op });
+        self.nodes.push(Node { value, backward });
         Var(self.nodes.len() - 1)
     }
 
@@ -155,18 +167,59 @@ impl Tape {
 
     /// Records a constant (non-differentiable) leaf.
     pub fn constant(&mut self, value: Matrix) -> Var {
-        self.push(value, Op::Constant)
+        self.push(value, None)
     }
 
     /// Records a full parameter matrix as a node.
     pub fn param(&mut self, store: &ParamStore, id: ParamId) -> Var {
-        self.push(store.value(id).clone(), Op::Param(id))
+        let value = store.value(id).clone();
+        self.push(
+            value,
+            Some(Box::new(move |g, _ng, sinks| {
+                sinks.params.accumulate(id, g)
+            })),
+        )
+    }
+
+    /// Records an externally computed matrix as a differentiable input
+    /// leaf. The cotangent that reaches it is collected by
+    /// [`Tape::backward_with_inputs`], positionally in recording order —
+    /// this is the shard side of the shared-forward protocol: the batch
+    /// tape computes a table once, each shard tape `input`s the `Arc`'d
+    /// value and later seeds the batch tape with the reduced gradients.
+    pub fn input(&mut self, value: Arc<Matrix>) -> Var {
+        let slot = self.n_inputs;
+        self.n_inputs += 1;
+        self.push_arc(
+            value,
+            Some(Box::new(move |g, _ng, sinks| {
+                match &mut sinks.inputs[slot] {
+                    Some(existing) => kernels::add_assign(existing, &g),
+                    s @ None => *s = Some(g),
+                }
+            })),
+        )
     }
 
     /// Embedding lookup: rows of parameter `id` at `indices`.
     pub fn gather_param(&mut self, store: &ParamStore, id: ParamId, indices: Arc<Vec<u32>>) -> Var {
         let value = kernels::gather_rows(store.value(id), &indices);
-        self.push(value, Op::GatherParam { param: id, indices })
+        let (rows, cols) = store.value(id).shape();
+        let fused = self.fused_scatter;
+        self.push(
+            value,
+            Some(Box::new(move |g, _ng, sinks| {
+                if fused {
+                    sinks
+                        .params
+                        .scatter_accumulate(id, rows, cols, &indices, &g);
+                } else {
+                    let mut acc = Matrix::zeros(rows, cols);
+                    kernels::scatter_add_rows(&mut acc, &indices, &g);
+                    sinks.params.accumulate(id, acc);
+                }
+            })),
+        )
     }
 
     // ----- structural ops ------------------------------------------------
@@ -174,7 +227,20 @@ impl Tape {
     /// Rows of node `src` at `indices`.
     pub fn gather(&mut self, src: Var, indices: Arc<Vec<u32>>) -> Var {
         let value = kernels::gather_rows(&self.nodes[src.0].value, &indices);
-        self.push(value, Op::Gather { src, indices })
+        let (rows, cols) = self.nodes[src.0].value.shape();
+        let fused = self.fused_scatter;
+        self.push(
+            value,
+            Some(Box::new(move |g, ng, _sinks| {
+                if fused {
+                    ng.scatter_accumulate(src, rows, cols, &indices, &g);
+                } else {
+                    let mut acc = Matrix::zeros(rows, cols);
+                    kernels::scatter_add_rows(&mut acc, &indices, &g);
+                    ng.accumulate(src, acc);
+                }
+            })),
+        )
     }
 
     /// CSR segment mean: output row `i` is the mean of
@@ -186,25 +252,33 @@ impl Tape {
         members: Arc<Vec<u32>>,
     ) -> Var {
         let value = kernels::segment_mean(&self.nodes[src.0].value, &offsets, &members);
+        let src_rows = self.nodes[src.0].value.rows();
         self.push(
             value,
-            Op::SegmentMean {
-                src,
-                offsets,
-                members,
-            },
+            Some(Box::new(move |g, ng, _sinks| {
+                let back = kernels::segment_mean_backward(&g, &offsets, &members, src_rows);
+                ng.accumulate(src, back);
+            })),
         )
     }
 
     /// Horizontal concatenation of nodes with equal row counts.
     pub fn concat_cols(&mut self, parts: &[Var]) -> Var {
-        let mats: Vec<&Matrix> = parts.iter().map(|p| &self.nodes[p.0].value).collect();
+        let mats: Vec<&Matrix> = parts.iter().map(|p| &*self.nodes[p.0].value).collect();
         let value = kernels::concat_cols(&mats);
+        let parts: Vec<(Var, usize)> = parts
+            .iter()
+            .map(|&p| (p, self.nodes[p.0].value.cols()))
+            .collect();
         self.push(
             value,
-            Op::ConcatCols {
-                parts: parts.to_vec(),
-            },
+            Some(Box::new(move |g, ng, _sinks| {
+                let mut at = 0;
+                for (p, w) in parts {
+                    ng.accumulate(p, kernels::slice_cols(&g, at, w));
+                    at += w;
+                }
+            })),
         )
     }
 
@@ -212,77 +286,189 @@ impl Tape {
 
     /// Matrix product `a * b`.
     pub fn matmul(&mut self, a: Var, b: Var) -> Var {
-        let value = kernels::matmul(&self.nodes[a.0].value, &self.nodes[b.0].value);
-        self.push(value, Op::MatMul { a, b })
+        let av = self.arc_value(a);
+        let bv = self.arc_value(b);
+        let value = kernels::matmul(&av, &bv);
+        self.push(
+            value,
+            Some(Box::new(move |g, ng, _sinks| {
+                let da = kernels::matmul_nt(&g, &bv);
+                let db = kernels::matmul_tn(&av, &g);
+                ng.accumulate(a, da);
+                ng.accumulate(b, db);
+            })),
+        )
     }
 
     /// Elementwise sum.
     pub fn add(&mut self, a: Var, b: Var) -> Var {
         let value = kernels::add(&self.nodes[a.0].value, &self.nodes[b.0].value);
-        self.push(value, Op::Add { a, b })
+        self.push(
+            value,
+            Some(Box::new(move |g, ng, _sinks| {
+                ng.accumulate(a, g.clone());
+                ng.accumulate(b, g);
+            })),
+        )
     }
 
     /// Elementwise difference `a - b`.
     pub fn sub(&mut self, a: Var, b: Var) -> Var {
         let value = kernels::sub(&self.nodes[a.0].value, &self.nodes[b.0].value);
-        self.push(value, Op::Sub { a, b })
+        self.push(
+            value,
+            Some(Box::new(move |g, ng, _sinks| {
+                ng.accumulate(b, kernels::scale(&g, -1.0));
+                ng.accumulate(a, g);
+            })),
+        )
     }
 
     /// Elementwise (Hadamard) product.
     pub fn mul(&mut self, a: Var, b: Var) -> Var {
-        let value = kernels::mul(&self.nodes[a.0].value, &self.nodes[b.0].value);
-        self.push(value, Op::Mul { a, b })
+        let av = self.arc_value(a);
+        let bv = self.arc_value(b);
+        let value = kernels::mul(&av, &bv);
+        self.push(
+            value,
+            Some(Box::new(move |g, ng, _sinks| {
+                let da = kernels::mul(&g, &bv);
+                let db = kernels::mul(&g, &av);
+                ng.accumulate(a, da);
+                ng.accumulate(b, db);
+            })),
+        )
     }
 
     /// Adds a `1 x cols` bias row to every row of `x`.
     pub fn add_bias(&mut self, x: Var, bias: Var) -> Var {
         let value = kernels::add_bias(&self.nodes[x.0].value, &self.nodes[bias.0].value);
-        self.push(value, Op::AddBias { x, bias })
+        self.push(
+            value,
+            Some(Box::new(move |g, ng, _sinks| {
+                ng.accumulate(bias, kernels::col_sum(&g));
+                ng.accumulate(x, g);
+            })),
+        )
     }
 
     /// Scalar multiple `alpha * a`.
     pub fn scale(&mut self, a: Var, alpha: f32) -> Var {
         let value = kernels::scale(&self.nodes[a.0].value, alpha);
-        self.push(value, Op::Scale { a, alpha })
+        self.push(
+            value,
+            Some(Box::new(move |g, ng, _sinks| {
+                ng.accumulate(a, kernels::scale(&g, alpha));
+            })),
+        )
     }
 
     /// Row-wise dot products, producing an `n x 1` column of scores.
     pub fn rowwise_dot(&mut self, a: Var, b: Var) -> Var {
-        let value = kernels::rowwise_dot(&self.nodes[a.0].value, &self.nodes[b.0].value);
-        self.push(value, Op::RowwiseDot { a, b })
+        let av = self.arc_value(a);
+        let bv = self.arc_value(b);
+        let value = kernels::rowwise_dot(&av, &bv);
+        self.push(
+            value,
+            Some(Box::new(move |g, ng, _sinks| {
+                // d(a·b)/da = g[i] * b[i] rowwise (g is n x 1).
+                let mut da = (*bv).clone();
+                let mut db = (*av).clone();
+                for r in 0..g.rows() {
+                    let gr = g.get(r, 0);
+                    da.row_mut(r).iter_mut().for_each(|v| *v *= gr);
+                    db.row_mut(r).iter_mut().for_each(|v| *v *= gr);
+                }
+                ng.accumulate(a, da);
+                ng.accumulate(b, db);
+            })),
+        )
     }
 
     /// Scales row `i` of `a` by the scalar `s[i]` (`s` is `n x 1`).
     pub fn scale_rows(&mut self, a: Var, s: Var) -> Var {
-        let value = kernels::scale_rows(&self.nodes[a.0].value, &self.nodes[s.0].value);
-        self.push(value, Op::ScaleRows { a, s })
+        let av = self.arc_value(a);
+        let sv = self.arc_value(s);
+        let value = kernels::scale_rows(&av, &sv);
+        self.push(
+            value,
+            Some(Box::new(move |g, ng, _sinks| {
+                // out[i] = s[i] * a[i]  =>  da[i] = s[i] * g[i],
+                // ds[i] = g[i] · a[i].
+                let da = kernels::scale_rows(&g, &sv);
+                let ds = kernels::rowwise_dot(&g, &av);
+                ng.accumulate(a, da);
+                ng.accumulate(s, ds);
+            })),
+        )
     }
 
     // ----- activations -----------------------------------------------------
 
     /// Elementwise logistic sigmoid.
     pub fn sigmoid(&mut self, a: Var) -> Var {
-        let value = kernels::sigmoid(&self.nodes[a.0].value);
-        self.push(value, Op::Sigmoid { a })
+        let value = Arc::new(kernels::sigmoid(&self.nodes[a.0].value));
+        let y = Arc::clone(&value);
+        self.push_arc(
+            value,
+            Some(Box::new(move |mut g, ng, _sinks| {
+                // dσ/dx = σ(x)(1-σ(x)); use stored output.
+                for (d, &yy) in g.as_mut_slice().iter_mut().zip(y.as_slice()) {
+                    *d *= yy * (1.0 - yy);
+                }
+                ng.accumulate(a, g);
+            })),
+        )
     }
 
     /// Elementwise tanh.
     pub fn tanh(&mut self, a: Var) -> Var {
-        let value = kernels::tanh(&self.nodes[a.0].value);
-        self.push(value, Op::Tanh { a })
+        let value = Arc::new(kernels::tanh(&self.nodes[a.0].value));
+        let y = Arc::clone(&value);
+        self.push_arc(
+            value,
+            Some(Box::new(move |mut g, ng, _sinks| {
+                for (d, &yy) in g.as_mut_slice().iter_mut().zip(y.as_slice()) {
+                    *d *= 1.0 - yy * yy;
+                }
+                ng.accumulate(a, g);
+            })),
+        )
     }
 
     /// Elementwise LeakyReLU (negative slope `alpha`).
     pub fn leaky_relu(&mut self, a: Var, alpha: f32) -> Var {
-        let value = kernels::leaky_relu(&self.nodes[a.0].value, alpha);
-        self.push(value, Op::LeakyRelu { a, alpha })
+        let value = Arc::new(kernels::leaky_relu(&self.nodes[a.0].value, alpha));
+        let y = Arc::clone(&value);
+        self.push_arc(
+            value,
+            Some(Box::new(move |mut g, ng, _sinks| {
+                // For alpha > 0 the output sign matches the input sign.
+                for (d, &yy) in g.as_mut_slice().iter_mut().zip(y.as_slice()) {
+                    if yy < 0.0 {
+                        *d *= alpha;
+                    }
+                }
+                ng.accumulate(a, g);
+            })),
+        )
     }
 
     /// Numerically stable `ln(sigmoid(x))` — the BPR building block
     /// (Eqs. 10–11 of the paper).
     pub fn log_sigmoid(&mut self, a: Var) -> Var {
-        let value = self.nodes[a.0].value.map(kernels::log_sigmoid_scalar);
-        self.push(value, Op::LogSigmoid { a })
+        let x = self.arc_value(a);
+        let value = x.map(kernels::log_sigmoid_scalar);
+        self.push(
+            value,
+            Some(Box::new(move |mut g, ng, _sinks| {
+                // d/dx ln σ(x) = σ(-x); uses the stored input.
+                for (d, &xx) in g.as_mut_slice().iter_mut().zip(x.as_slice()) {
+                    *d *= kernels::sigmoid_scalar(-xx);
+                }
+                ng.accumulate(a, g);
+            })),
+        )
     }
 
     // ----- reductions -------------------------------------------------------
@@ -290,30 +476,62 @@ impl Tape {
     /// Sum of all elements, as a `1 x 1` node.
     pub fn sum_all(&mut self, a: Var) -> Var {
         let value = kernels::sum_all(&self.nodes[a.0].value);
-        self.push(value, Op::SumAll { a })
+        let (rows, cols) = self.nodes[a.0].value.shape();
+        self.push(
+            value,
+            Some(Box::new(move |g, ng, _sinks| {
+                ng.accumulate(a, Matrix::full(rows, cols, g.get(0, 0)));
+            })),
+        )
     }
 
     /// Mean of all elements, as a `1 x 1` node.
     pub fn mean_all(&mut self, a: Var) -> Var {
         let value = kernels::mean_all(&self.nodes[a.0].value);
-        self.push(value, Op::MeanAll { a })
+        let (rows, cols) = self.nodes[a.0].value.shape();
+        self.push(
+            value,
+            Some(Box::new(move |g, ng, _sinks| {
+                let n = (rows * cols).max(1) as f32;
+                ng.accumulate(a, Matrix::full(rows, cols, g.get(0, 0) / n));
+            })),
+        )
     }
 
     /// Sum of squared elements, as a `1 x 1` node (L2 regularization term).
     pub fn sum_sq(&mut self, a: Var) -> Var {
-        let value = Matrix::from_vec(1, 1, vec![self.nodes[a.0].value.sq_norm()]);
-        self.push(value, Op::SumSq { a })
+        let x = self.arc_value(a);
+        let value = Matrix::from_vec(1, 1, vec![x.sq_norm()]);
+        self.push(
+            value,
+            Some(Box::new(move |g, ng, _sinks| {
+                ng.accumulate(a, kernels::scale(&x, 2.0 * g.get(0, 0)));
+            })),
+        )
     }
 
     /// Mean over rows producing a `1 x cols` row vector.
     pub fn mean_rows(&mut self, a: Var) -> Var {
         let m = &self.nodes[a.0].value;
+        let (rows, cols) = m.shape();
         let mut value = kernels::col_sum(m);
-        if m.rows() > 0 {
-            let inv = 1.0 / m.rows() as f32;
+        if rows > 0 {
+            let inv = 1.0 / rows as f32;
             value.map_inplace(|v| v * inv);
         }
-        self.push(value, Op::MeanRows { a })
+        self.push(
+            value,
+            Some(Box::new(move |g, ng, _sinks| {
+                let inv = 1.0 / rows.max(1) as f32;
+                let mut da = Matrix::zeros(rows, cols);
+                for r in 0..rows {
+                    for (d, &gg) in da.row_mut(r).iter_mut().zip(g.row(0)) {
+                        *d = gg * inv;
+                    }
+                }
+                ng.accumulate(a, da);
+            })),
+        )
     }
 
     // ----- backward ---------------------------------------------------------
@@ -321,178 +539,82 @@ impl Tape {
     /// Reverse sweep from scalar node `loss`, returning parameter gradients.
     ///
     /// # Panics
-    /// Panics if `loss` is not `1 x 1`.
-    pub fn backward(&self, loss: Var, store: &ParamStore) -> Gradients {
+    /// Panics if `loss` is not `1 x 1`, or if the tape's backward
+    /// closures were already consumed by a previous sweep.
+    pub fn backward(&mut self, loss: Var, store: &ParamStore) -> Gradients {
+        self.backward_with_inputs(loss, store).0
+    }
+
+    /// Like [`Tape::backward`], additionally returning the cotangents
+    /// that reached each [`Tape::input`] leaf (positionally, in
+    /// recording order; `None` where no gradient flowed).
+    pub fn backward_with_inputs(
+        &mut self,
+        loss: Var,
+        store: &ParamStore,
+    ) -> (Gradients, Vec<Option<Matrix>>) {
         assert_eq!(
             self.nodes[loss.0].value.shape(),
             (1, 1),
             "backward seed must be a scalar node"
         );
-        let mut node_grads: Vec<Option<Matrix>> = (0..self.nodes.len()).map(|_| None).collect();
-        node_grads[loss.0] = Some(Matrix::from_vec(1, 1, vec![1.0]));
-        let mut param_grads = Gradients::empty(store.len());
+        self.sweep(vec![(loss, Matrix::from_vec(1, 1, vec![1.0]))], store)
+    }
 
-        for idx in (0..=loss.0).rev() {
-            let Some(g) = node_grads[idx].take() else {
-                continue;
-            };
-            let node = &self.nodes[idx];
-            match &node.op {
-                Op::Constant => {}
-                Op::Param(pid) => param_grads.accumulate(*pid, g),
-                Op::GatherParam { param, indices } => {
-                    let mut acc =
-                        Matrix::zeros(store.value(*param).rows(), store.value(*param).cols());
-                    kernels::scatter_add_rows(&mut acc, indices, &g);
-                    param_grads.accumulate(*param, acc);
-                }
-                Op::Gather { src, indices } => {
-                    let src_shape = self.nodes[src.0].value.shape();
-                    let mut acc = Matrix::zeros(src_shape.0, src_shape.1);
-                    kernels::scatter_add_rows(&mut acc, indices, &g);
-                    accumulate(&mut node_grads, *src, acc);
-                }
-                Op::SegmentMean {
-                    src,
-                    offsets,
-                    members,
-                } => {
-                    let src_rows = self.nodes[src.0].value.rows();
-                    let back = kernels::segment_mean_backward(&g, offsets, members, src_rows);
-                    accumulate(&mut node_grads, *src, back);
-                }
-                Op::MatMul { a, b } => {
-                    let da = kernels::matmul_nt(&g, &self.nodes[b.0].value);
-                    let db = kernels::matmul_tn(&self.nodes[a.0].value, &g);
-                    accumulate(&mut node_grads, *a, da);
-                    accumulate(&mut node_grads, *b, db);
-                }
-                Op::Add { a, b } => {
-                    accumulate(&mut node_grads, *a, g.clone());
-                    accumulate(&mut node_grads, *b, g);
-                }
-                Op::Sub { a, b } => {
-                    accumulate(&mut node_grads, *b, kernels::scale(&g, -1.0));
-                    accumulate(&mut node_grads, *a, g);
-                }
-                Op::Mul { a, b } => {
-                    let da = kernels::mul(&g, &self.nodes[b.0].value);
-                    let db = kernels::mul(&g, &self.nodes[a.0].value);
-                    accumulate(&mut node_grads, *a, da);
-                    accumulate(&mut node_grads, *b, db);
-                }
-                Op::AddBias { x, bias } => {
-                    accumulate(&mut node_grads, *bias, kernels::col_sum(&g));
-                    accumulate(&mut node_grads, *x, g);
-                }
-                Op::Scale { a, alpha } => {
-                    accumulate(&mut node_grads, *a, kernels::scale(&g, *alpha));
-                }
-                Op::ConcatCols { parts } => {
-                    let mut at = 0;
-                    for p in parts {
-                        let w = self.nodes[p.0].value.cols();
-                        accumulate(&mut node_grads, *p, kernels::slice_cols(&g, at, w));
-                        at += w;
-                    }
-                }
-                Op::RowwiseDot { a, b } => {
-                    // d(a·b)/da = g[i] * b[i] rowwise (g is n x 1).
-                    let av = &self.nodes[a.0].value;
-                    let bv = &self.nodes[b.0].value;
-                    let mut da = bv.clone();
-                    let mut db = av.clone();
-                    for r in 0..g.rows() {
-                        let gr = g.get(r, 0);
-                        da.row_mut(r).iter_mut().for_each(|v| *v *= gr);
-                        db.row_mut(r).iter_mut().for_each(|v| *v *= gr);
-                    }
-                    accumulate(&mut node_grads, *a, da);
-                    accumulate(&mut node_grads, *b, db);
-                }
-                Op::Sigmoid { a } => {
-                    // dσ/dx = σ(x)(1-σ(x)); use stored output.
-                    let y = &node.value;
-                    let mut da = g;
-                    for (d, &yy) in da.as_mut_slice().iter_mut().zip(y.as_slice()) {
-                        *d *= yy * (1.0 - yy);
-                    }
-                    accumulate(&mut node_grads, *a, da);
-                }
-                Op::Tanh { a } => {
-                    let y = &node.value;
-                    let mut da = g;
-                    for (d, &yy) in da.as_mut_slice().iter_mut().zip(y.as_slice()) {
-                        *d *= 1.0 - yy * yy;
-                    }
-                    accumulate(&mut node_grads, *a, da);
-                }
-                Op::LeakyRelu { a, alpha } => {
-                    // For alpha > 0 the output sign matches the input sign.
-                    let y = &node.value;
-                    let mut da = g;
-                    for (d, &yy) in da.as_mut_slice().iter_mut().zip(y.as_slice()) {
-                        if yy < 0.0 {
-                            *d *= alpha;
-                        }
-                    }
-                    accumulate(&mut node_grads, *a, da);
-                }
-                Op::LogSigmoid { a } => {
-                    // d/dx ln σ(x) = σ(-x).
-                    let x = &self.nodes[a.0].value;
-                    let mut da = g;
-                    for (d, &xx) in da.as_mut_slice().iter_mut().zip(x.as_slice()) {
-                        *d *= kernels::sigmoid_scalar(-xx);
-                    }
-                    accumulate(&mut node_grads, *a, da);
-                }
-                Op::SumAll { a } => {
-                    let shape = self.nodes[a.0].value.shape();
-                    let da = Matrix::full(shape.0, shape.1, g.get(0, 0));
-                    accumulate(&mut node_grads, *a, da);
-                }
-                Op::MeanAll { a } => {
-                    let shape = self.nodes[a.0].value.shape();
-                    let n = (shape.0 * shape.1).max(1) as f32;
-                    let da = Matrix::full(shape.0, shape.1, g.get(0, 0) / n);
-                    accumulate(&mut node_grads, *a, da);
-                }
-                Op::SumSq { a } => {
-                    let da = kernels::scale(&self.nodes[a.0].value, 2.0 * g.get(0, 0));
-                    accumulate(&mut node_grads, *a, da);
-                }
-                Op::ScaleRows { a, s } => {
-                    // out[i] = s[i] * a[i]  =>  da[i] = s[i] * g[i],
-                    // ds[i] = g[i] · a[i].
-                    let av = &self.nodes[a.0].value;
-                    let sv = &self.nodes[s.0].value;
-                    let da = kernels::scale_rows(&g, sv);
-                    let ds = kernels::rowwise_dot(&g, av);
-                    accumulate(&mut node_grads, *a, da);
-                    accumulate(&mut node_grads, *s, ds);
-                }
-                Op::MeanRows { a } => {
-                    let shape = self.nodes[a.0].value.shape();
-                    let inv = 1.0 / shape.0.max(1) as f32;
-                    let mut da = Matrix::zeros(shape.0, shape.1);
-                    for r in 0..shape.0 {
-                        for (d, &gg) in da.row_mut(r).iter_mut().zip(g.row(0)) {
-                            *d = gg * inv;
-                        }
-                    }
-                    accumulate(&mut node_grads, *a, da);
-                }
+    /// Reverse sweep seeded with explicit cotangents instead of a scalar
+    /// loss — the batch-tape side of the shared-forward protocol: after
+    /// the shards' input gradients are reduced in fixed shard order,
+    /// one seeded sweep backpropagates them through the shared forward.
+    ///
+    /// # Panics
+    /// Panics if a seed's shape differs from its node's value shape, or
+    /// if the tape was already consumed.
+    pub fn backward_seeded(&mut self, seeds: Vec<(Var, Matrix)>, store: &ParamStore) -> Gradients {
+        self.sweep(seeds, store).0
+    }
+
+    /// The single reverse sweep: consumes the backward closures in
+    /// strictly descending node order (the fixed execution order the
+    /// bitwise determinism proptests pin).
+    fn sweep(
+        &mut self,
+        seeds: Vec<(Var, Matrix)>,
+        store: &ParamStore,
+    ) -> (Gradients, Vec<Option<Matrix>>) {
+        assert!(
+            !self.consumed,
+            "tape already consumed by a previous backward pass"
+        );
+        self.consumed = true;
+        let mut node_grads = NodeGrads {
+            slots: (0..self.nodes.len()).map(|_| None).collect(),
+        };
+        let mut start = None;
+        for (v, g) in seeds {
+            assert_eq!(
+                g.shape(),
+                self.nodes[v.0].value.shape(),
+                "backward seed shape must match its node value"
+            );
+            start = Some(start.map_or(v.0, |s: usize| s.max(v.0)));
+            node_grads.accumulate(v, g);
+        }
+        let mut sinks = GradSinks {
+            params: Gradients::empty(store.len()),
+            inputs: (0..self.n_inputs).map(|_| None).collect(),
+        };
+        if let Some(start) = start {
+            for idx in (0..=start).rev() {
+                let Some(g) = node_grads.take(idx) else {
+                    continue;
+                };
+                let Some(back) = self.nodes[idx].backward.take() else {
+                    continue;
+                };
+                back(g, &mut node_grads, &mut sinks);
             }
         }
-        param_grads
-    }
-}
-
-fn accumulate(node_grads: &mut [Option<Matrix>], v: Var, g: Matrix) {
-    match &mut node_grads[v.0] {
-        Some(existing) => kernels::add_assign(existing, &g),
-        slot @ None => *slot = Some(g),
+        (sinks.params, sinks.inputs)
     }
 }
 
@@ -633,5 +755,118 @@ mod tests {
         for &v in grads.get(w).unwrap().as_slice() {
             assert!((v - 0.25).abs() < 1e-6);
         }
+    }
+
+    // ----- boxed-op ownership model ---------------------------------------
+
+    #[test]
+    #[should_panic(expected = "already consumed")]
+    fn double_backward_panics() {
+        let (store, w) = store_with("w", Matrix::full(2, 2, 1.0));
+        let mut t = Tape::new();
+        let wv = t.param(&store, w);
+        let loss = t.sum_all(wv);
+        let _ = t.backward(loss, &store);
+        let _ = t.backward(loss, &store);
+    }
+
+    #[test]
+    fn values_stay_readable_after_backward() {
+        let (store, w) = store_with("w", Matrix::full(2, 2, 1.5));
+        let mut t = Tape::new();
+        let wv = t.param(&store, w);
+        let loss = t.sum_all(wv);
+        let _ = t.backward(loss, &store);
+        assert_eq!(t.value(loss).get(0, 0), 6.0);
+        assert_eq!(t.value(wv).as_slice(), &[1.5; 4]);
+    }
+
+    #[test]
+    fn input_leaf_collects_gradient() {
+        // loss = sum(3 * input): the input leaf's cotangent is 3s, and
+        // fan-out accumulates into one slot.
+        let store = ParamStore::new();
+        let mut t = Tape::new();
+        let x = t.input(Arc::new(Matrix::full(2, 2, 1.0)));
+        let s = t.scale(x, 3.0);
+        let l1 = t.sum_all(s);
+        let l2 = t.sum_all(x);
+        let loss = t.add(l1, l2);
+        let (grads, inputs) = t.backward_with_inputs(loss, &store);
+        assert_eq!(grads.touched(), 0);
+        assert_eq!(inputs.len(), 1);
+        assert_eq!(inputs[0].as_ref().unwrap().as_slice(), &[4.0; 4]);
+    }
+
+    #[test]
+    fn seeded_backward_composes_with_input_tapes() {
+        // Split one computation across two tapes at a table boundary and
+        // check the composition reproduces the single-tape gradients
+        // bitwise: fwd = segment_mean(w); shard = sum(3 * gather(fwd)).
+        let (store, w) = store_with(
+            "emb",
+            Matrix::from_fn(3, 2, |r, c| 0.5 + r as f32 - c as f32),
+        );
+        let offsets = Arc::new(vec![0usize, 2, 3]);
+        let members = Arc::new(vec![0u32, 1, 2]);
+        let idx = Arc::new(vec![1u32, 0, 1]);
+
+        // Single-tape reference.
+        let mut full = Tape::new();
+        let wv = full.param(&store, w);
+        let sm = full.segment_mean(wv, Arc::clone(&offsets), Arc::clone(&members));
+        let gt = full.gather(sm, Arc::clone(&idx));
+        let sc = full.scale(gt, 3.0);
+        let loss = full.sum_all(sc);
+        let want = full.backward(loss, &store);
+
+        // Two-tape composition over the table boundary.
+        let mut fwd = Tape::new();
+        let wv2 = fwd.param(&store, w);
+        let sm2 = fwd.segment_mean(wv2, offsets, members);
+        let table = fwd.arc_value(sm2);
+
+        let mut shard = Tape::new();
+        let tin = shard.input(table);
+        let gt2 = shard.gather(tin, idx);
+        let sc2 = shard.scale(gt2, 3.0);
+        let loss2 = shard.sum_all(sc2);
+        let (mut got, input_grads) = shard.backward_with_inputs(loss2, &store);
+        let seed = input_grads.into_iter().next().unwrap().unwrap();
+        got.merge(fwd.backward_seeded(vec![(sm2, seed)], &store));
+
+        assert_eq!(
+            got.get(w).unwrap().as_slice(),
+            want.get(w).unwrap().as_slice()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "seed shape")]
+    fn seeded_backward_rejects_shape_mismatch() {
+        let (store, w) = store_with("w", Matrix::full(2, 2, 1.0));
+        let mut t = Tape::new();
+        let wv = t.param(&store, w);
+        let _ = t.backward_seeded(vec![(wv, Matrix::zeros(1, 1))], &store);
+    }
+
+    #[test]
+    fn unfused_gather_backward_matches_fused() {
+        let (store, w) = store_with("emb", Matrix::from_fn(4, 2, |r, c| (r + c) as f32 * 0.3));
+        let run = |mut t: Tape| {
+            let wv = t.param(&store, w);
+            let g1 = t.gather(wv, Arc::new(vec![0, 2, 2]));
+            let g2 = t.gather(wv, Arc::new(vec![1, 2]));
+            let s1 = t.sum_all(g1);
+            let s2 = t.sum_all(g2);
+            let loss = t.add(s1, s2);
+            t.backward(loss, &store)
+        };
+        let fused = run(Tape::new());
+        let unfused = run(Tape::new_unfused());
+        assert_eq!(
+            fused.get(w).unwrap().as_slice(),
+            unfused.get(w).unwrap().as_slice()
+        );
     }
 }

@@ -74,9 +74,10 @@ fn bench_epochs(c: &mut Criterion) {
     }
 
     // Sharded-parallel GBGCN fine-tuning epochs, same fixed 4-shard
-    // decomposition. Each shard replays the propagation forward pass on
-    // its own tape, so perfect scaling is bounded by the batch-work
-    // fraction of an epoch (Amdahl over the replicated propagation).
+    // decomposition. The propagation forward runs once per batch on the
+    // calling thread (shards bind read-only views of the propagated
+    // tables and seed its single backward), so the serial fraction is
+    // one propagation per batch instead of one per shard per batch.
     for threads in [1usize, 2, 4] {
         group.bench_function(format!("gbgcn_finetune4_x{threads}").as_str(), |b| {
             let cfg = GbgcnConfig {

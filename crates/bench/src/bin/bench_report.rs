@@ -1,5 +1,5 @@
 //! Machine-readable perf trajectory: measures the serving/training hot
-//! paths before/after and writes `BENCH_PR8.json` (pass a path as argv[1]
+//! paths before/after and writes `BENCH_PR10.json` (pass a path as argv[1]
 //! to write elsewhere).
 //!
 //! Every row is an honest in-process A/B — both sides run in this binary,
@@ -65,6 +65,19 @@
 //!   entry combines both rows into end-to-end publish→serveable lag
 //!   and the sustainable publish rate of each path.
 //!
+//! And the PR 10 training-refactor rows:
+//!
+//! * `epoch_time_shared_forward` — one GBGCN fine-tuning epoch, 4 shards
+//!   on 2 threads: every shard replaying the full propagation forward on
+//!   its own tape (the pre-PR 10 recipe, kept as
+//!   `sharded_grad_replicated`) vs one shared propagation forward per
+//!   batch with per-shard backwards seeded from read-only table views.
+//! * `tape_backward_fused` — forward + backward of a gather-heavy
+//!   BPR-shaped graph (six 2048-row gathers from one 4096x32 table):
+//!   the seed tape's allocate-a-zeroed-table-per-gather backward
+//!   (`Tape::new_unfused`) vs the boxed-op tape's fused scatter into one
+//!   reused accumulator per parameter slot (`Tape::new`).
+//!
 //! And the PR 8 robustness-overhead rows:
 //!
 //! * `supervised_vs_raw_batch_scoring` — the price of worker
@@ -79,7 +92,8 @@
 //! Medians over repeated runs; single-run wall clock, so treat small
 //! deltas as noise and mind the core-count note embedded in the output.
 
-use gb_autograd::ShardExecutor;
+use gb_autograd::{ParamStore, ShardExecutor, Tape};
+use gb_core::{GbgcnConfig, GbgcnModel, ParallelTrainConfig};
 use gb_data::convert::InteractionKind;
 use gb_data::synth::{generate, SynthConfig};
 use gb_eval::metrics::recall_vs_exact;
@@ -95,6 +109,7 @@ use gb_tensor::{init, Matrix};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::io::Write;
+use std::sync::Arc;
 use std::time::Instant;
 
 const N_ITEMS: usize = 20_000;
@@ -1004,10 +1019,98 @@ fn epoch_row() -> Row {
     }
 }
 
+/// PR 10's shared propagation forward: one GBGCN fine-tuning epoch at
+/// 4 shards on 2 threads, per-shard propagate replay (the pre-PR 10
+/// recipe, kept as `sharded_grad_replicated`) vs one shared forward per
+/// batch whose backward is seeded by the reduced per-shard table
+/// cotangents. Both recipes produce bitwise-equal losses and
+/// rounding-equal gradients (asserted in gb-core's tests); this row
+/// prices the redundant propagation work the shared path removes.
+fn shared_forward_epoch_row() -> Row {
+    let data = generate(&SynthConfig {
+        n_users: 600,
+        n_items: 150,
+        ..SynthConfig::beibei_like()
+    });
+    let cfg = GbgcnConfig {
+        dim: 32,
+        batch_size: 64,
+        ..GbgcnConfig::test_config()
+    };
+    let par = ParallelTrainConfig {
+        n_shards: 4,
+        n_threads: 2,
+        refresh_every: 0,
+    };
+    let mut m = GbgcnModel::new(cfg, &data);
+    let before = median_secs(|| {
+        std::hint::black_box(m.measure_epoch_secs_replicated(1, &par));
+    });
+    let after = median_secs(|| {
+        std::hint::black_box(m.measure_epoch_secs_parallel(1, &par));
+    });
+    Row {
+        name: "epoch_time_shared_forward",
+        unit: "s_per_gbgcn_epoch_600users_4shards_2threads_batch64",
+        before_impl: "per-shard propagation replay (every shard re-records propagate on its tape)",
+        after_impl:
+            "shared propagation forward + per-shard seeded backwards (propagate once per batch)",
+        before_median_s: before,
+        after_median_s: after,
+    }
+}
+
+/// PR 10's boxed-op tape: forward + backward of a gather-heavy
+/// BPR-shaped graph — six 2048-row gathers from one 4096x32 embedding
+/// table feeding rowwise dots and a log-sigmoid head. The unfused side
+/// reproduces the seed tape's backward (a zeroed full-size table
+/// allocated per gather node); the fused side scatters every gather
+/// cotangent into one reused accumulator per parameter slot.
+fn tape_backward_row() -> Row {
+    let mut rng = StdRng::seed_from_u64(31);
+    let mut store = ParamStore::new();
+    let emb = store.add("emb", init::xavier_uniform(4096, 32, &mut rng));
+    let idx: Vec<Arc<Vec<u32>>> = (0..6u32)
+        .map(|k| Arc::new((0..2048u32).map(|i| (i * 37 + k * 131) % 4096).collect()))
+        .collect();
+    let run = |fused: bool| {
+        let mut tape = if fused {
+            Tape::new()
+        } else {
+            Tape::new_unfused()
+        };
+        let g: Vec<_> = idx
+            .iter()
+            .map(|ix| tape.gather_param(&store, emb, Arc::clone(ix)))
+            .collect();
+        let pos_a = tape.rowwise_dot(g[0], g[1]);
+        let neg_a = tape.rowwise_dot(g[0], g[2]);
+        let pos_b = tape.rowwise_dot(g[3], g[4]);
+        let neg_b = tape.rowwise_dot(g[3], g[5]);
+        let diff_a = tape.sub(pos_a, neg_a);
+        let diff_b = tape.sub(pos_b, neg_b);
+        let ls_a = tape.log_sigmoid(diff_a);
+        let ls_b = tape.log_sigmoid(diff_b);
+        let both = tape.add(ls_a, ls_b);
+        let m = tape.mean_all(both);
+        let loss = tape.scale(m, -1.0);
+        std::hint::black_box(tape.backward(loss, &store));
+    };
+    Row {
+        name: "tape_backward_fused",
+        unit: "s_per_fwd_bwd_6x2048row_gathers_4096x32_table",
+        before_impl:
+            "seed-tape backward (zeroed full-size gradient table allocated per gather node)",
+        after_impl: "boxed-op fused scatter (one reused accumulator per parameter slot)",
+        before_median_s: median_secs(|| run(false)),
+        after_median_s: median_secs(|| run(true)),
+    }
+}
+
 fn main() {
     let out_path = std::env::args()
         .nth(1)
-        .unwrap_or_else(|| "BENCH_PR8.json".to_string());
+        .unwrap_or_else(|| "BENCH_PR10.json".to_string());
     let cores = std::thread::available_parallelism().map_or(0, |n| n.get());
 
     let snap = synthetic_snapshot();
@@ -1022,6 +1125,8 @@ fn main() {
         topk_row(&snap),
         topk_multi_row(&snap),
         epoch_row(),
+        shared_forward_epoch_row(),
+        tape_backward_row(),
         ivf_latency_row(&exact_scaled, &ivf_scaled),
         mmap_load_row(&million),
         delta_publish_row(&scaled),
@@ -1120,20 +1225,22 @@ fn main() {
     let json = format!(
         concat!(
             "{{\n",
-            "  \"pr\": 8,\n",
-            "  \"title\": \"Fault-tolerant serving: typed errors, deadlines + load shedding, ",
-            "worker supervision, degraded scatter-gather\",\n",
+            "  \"pr\": 10,\n",
+            "  \"title\": \"Boxed-op autograd tape + shared propagation forward across ",
+            "training shards\",\n",
             "  \"host_cores\": {},\n",
             "  \"note\": \"Medians of {} runs on the dev container (1 core — parallel-path rows ",
-            "understate real-hardware wins). New this PR: the robustness overhead rows. ",
-            "supervised_vs_raw_batch_scoring prices worker supervision on the uncontended hot ",
-            "path — the same 8-user catalogue pass through recommend_many vs try_recommend_many ",
-            "(validation + catch_unwind); catch_unwind costs nothing until a panic unwinds, so ",
-            "this should sit within noise of 1.0x. shed_vs_queue_p99_under_burst runs the ",
-            "identical burst overload with blocking backpressure only vs a depth-32 admission ",
-            "watermark; percentiles cover served requests on both sides (shed requests are ",
-            "refused in O(1) and never enter the clock), so the row reads as the served-p99 an ",
-            "operator can promise under overload. Carried-over rows: the freshness workload ",
+            "understate real-hardware wins; epoch_time_shared_forward in particular removes ",
+            "work that shards redo concurrently on real cores, so its multi-core win is larger ",
+            "than measured here). New this PR: the training-refactor rows. ",
+            "epoch_time_shared_forward runs one GBGCN fine-tuning epoch at 4 shards on 2 ",
+            "threads with every shard replaying the full propagation forward on its own tape ",
+            "(the pre-PR 10 recipe) vs one shared propagation forward per batch whose backward ",
+            "is seeded by the reduced per-shard table cotangents. tape_backward_fused prices ",
+            "the boxed-op tape's fused gather backward — six 2048-row gathers from one 4096x32 ",
+            "table through a BPR head, with the seed tape's zeroed-table-per-gather-node ",
+            "backward vs scattering into one reused accumulator per parameter slot. ",
+            "Carried-over rows: the robustness overhead rows (PR 8), the freshness workload ",
             "(PR 7), the sharded 1M tier + mmap cold load (PR 6), the scaled-catalogue IVF A/B ",
             "and recall (PR 5), batched multi-user scoring and the enqueue-to-reply clock ",
             "(PR 4), and the PR 3 kernel trajectory.\",\n",

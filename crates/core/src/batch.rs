@@ -13,23 +13,29 @@
 
 use gb_data::{Dataset, NegativeSampler};
 use rand::rngs::StdRng;
+use std::sync::Arc;
 
 /// Flattened index lists for one training batch.
+///
+/// The index vectors are `Arc`-shared: the gather ops on the tape keep a
+/// handle to the very vectors built at batch/split time, so a grad step
+/// never re-clones them (they used to be copied once per gather per
+/// step).
 #[derive(Debug, Default)]
 pub struct LossBatch {
     /// Users of the forward BPR pairs (initiators + successful
     /// participants).
-    pub fwd_users: Vec<u32>,
+    pub fwd_users: Arc<Vec<u32>>,
     /// Observed items of the forward pairs.
-    pub fwd_pos: Vec<u32>,
+    pub fwd_pos: Arc<Vec<u32>>,
     /// Negative items of the forward pairs.
-    pub fwd_neg: Vec<u32>,
+    pub fwd_neg: Arc<Vec<u32>>,
     /// Friends of failed-behavior initiators (reversed pairs).
-    pub rev_users: Vec<u32>,
+    pub rev_users: Arc<Vec<u32>>,
     /// The *negative* item, ranked higher for the friend (Eq. 10).
-    pub rev_pos: Vec<u32>,
+    pub rev_pos: Arc<Vec<u32>>,
     /// The failed target item, ranked lower for the friend.
-    pub rev_neg: Vec<u32>,
+    pub rev_neg: Arc<Vec<u32>>,
     /// Number of behaviors represented (loss normalizer).
     pub n_behaviors: usize,
 }
@@ -43,10 +49,12 @@ impl LossBatch {
         sampler: &NegativeSampler,
         rng: &mut StdRng,
     ) -> Self {
-        let mut batch = LossBatch {
-            n_behaviors: indices.len() * neg_ratio.max(1),
-            ..Default::default()
-        };
+        let mut fwd_users = Vec::new();
+        let mut fwd_pos = Vec::new();
+        let mut fwd_neg = Vec::new();
+        let mut rev_users = Vec::new();
+        let mut rev_pos = Vec::new();
+        let mut rev_neg = Vec::new();
         for &idx in indices {
             let b = &dataset.behaviors()[idx];
             let successful = dataset.is_successful(b);
@@ -54,28 +62,36 @@ impl LossBatch {
                 let neg = sampler.sample_one(b.initiator, rng);
                 // Initiator term: present for successful AND failed
                 // behaviors (the initiator did want the item).
-                batch.fwd_users.push(b.initiator);
-                batch.fwd_pos.push(b.item);
-                batch.fwd_neg.push(neg);
+                fwd_users.push(b.initiator);
+                fwd_pos.push(b.item);
+                fwd_neg.push(neg);
                 if successful {
                     // Participants wanted the item too (Eq. 11).
                     for &p in &b.participants {
-                        batch.fwd_users.push(p);
-                        batch.fwd_pos.push(b.item);
-                        batch.fwd_neg.push(neg);
+                        fwd_users.push(p);
+                        fwd_pos.push(b.item);
+                        fwd_neg.push(neg);
                     }
                 } else {
                     // Friends implicitly rejected the item (Eq. 10):
                     // ranked the unobserved item above the failed one.
                     for &f in dataset.social().friends(b.initiator) {
-                        batch.rev_users.push(f);
-                        batch.rev_pos.push(neg);
-                        batch.rev_neg.push(b.item);
+                        rev_users.push(f);
+                        rev_pos.push(neg);
+                        rev_neg.push(b.item);
                     }
                 }
             }
         }
-        batch
+        LossBatch {
+            fwd_users: Arc::new(fwd_users),
+            fwd_pos: Arc::new(fwd_pos),
+            fwd_neg: Arc::new(fwd_neg),
+            rev_users: Arc::new(rev_users),
+            rev_pos: Arc::new(rev_pos),
+            rev_neg: Arc::new(rev_neg),
+            n_behaviors: indices.len() * neg_ratio.max(1),
+        }
     }
 
     /// Whether the batch carries no loss pairs at all (neither forward
@@ -113,12 +129,12 @@ impl LossBatch {
                 continue;
             }
             shards.push(LossBatch {
-                fwd_users: self.fwd_users[f0..f1].to_vec(),
-                fwd_pos: self.fwd_pos[f0..f1].to_vec(),
-                fwd_neg: self.fwd_neg[f0..f1].to_vec(),
-                rev_users: self.rev_users[r0..r1].to_vec(),
-                rev_pos: self.rev_pos[r0..r1].to_vec(),
-                rev_neg: self.rev_neg[r0..r1].to_vec(),
+                fwd_users: Arc::new(self.fwd_users[f0..f1].to_vec()),
+                fwd_pos: Arc::new(self.fwd_pos[f0..f1].to_vec()),
+                fwd_neg: Arc::new(self.fwd_neg[f0..f1].to_vec()),
+                rev_users: Arc::new(self.rev_users[r0..r1].to_vec()),
+                rev_pos: Arc::new(self.rev_pos[r0..r1].to_vec()),
+                rev_neg: Arc::new(self.rev_neg[r0..r1].to_vec()),
                 n_behaviors: self.n_behaviors,
             });
         }
@@ -130,7 +146,7 @@ impl LossBatch {
         let mut users: Vec<u32> = self
             .fwd_users
             .iter()
-            .chain(&self.rev_users)
+            .chain(self.rev_users.iter())
             .copied()
             .collect();
         users.sort_unstable();
@@ -143,9 +159,9 @@ impl LossBatch {
         let mut items: Vec<u32> = self
             .fwd_pos
             .iter()
-            .chain(&self.fwd_neg)
-            .chain(&self.rev_pos)
-            .chain(&self.rev_neg)
+            .chain(self.fwd_neg.iter())
+            .chain(self.rev_pos.iter())
+            .chain(self.rev_neg.iter())
             .copied()
             .collect();
         items.sort_unstable();
@@ -180,8 +196,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(0);
         let b = LossBatch::build(&d, &[0], 1, &sampler, &mut rng);
         // initiator + 2 participants
-        assert_eq!(b.fwd_users, vec![0, 1, 2]);
-        assert_eq!(b.fwd_pos, vec![0, 0, 0]);
+        assert_eq!(*b.fwd_users, vec![0, 1, 2]);
+        assert_eq!(*b.fwd_pos, vec![0, 0, 0]);
         assert_eq!(b.fwd_neg.len(), 3);
         // same negative shared within the behavior
         assert!(b.fwd_neg.iter().all(|&n| n == b.fwd_neg[0]));
@@ -195,9 +211,9 @@ mod tests {
         let sampler = NegativeSampler::from_dataset(&d);
         let mut rng = StdRng::seed_from_u64(0);
         let b = LossBatch::build(&d, &[1], 1, &sampler, &mut rng);
-        assert_eq!(b.fwd_users, vec![3]); // initiator still a positive pair
-        assert_eq!(b.rev_users, vec![4]); // friend 4 gets the reversed pair
-        assert_eq!(b.rev_neg, vec![1]); // failed item ranked lower
+        assert_eq!(*b.fwd_users, vec![3]); // initiator still a positive pair
+        assert_eq!(*b.rev_users, vec![4]); // friend 4 gets the reversed pair
+        assert_eq!(*b.rev_neg, vec![1]); // failed item ranked lower
         assert_eq!(b.rev_pos.len(), 1); // the sampled negative ranked higher
         assert_ne!(b.rev_pos[0], 1);
     }
@@ -236,10 +252,16 @@ mod tests {
         for n_shards in 1..=8 {
             let shards = b.split(n_shards);
             assert!(shards.len() <= n_shards);
-            let fwd: Vec<u32> = shards.iter().flat_map(|s| s.fwd_users.clone()).collect();
-            let rev: Vec<u32> = shards.iter().flat_map(|s| s.rev_users.clone()).collect();
-            assert_eq!(fwd, b.fwd_users, "{n_shards} shards");
-            assert_eq!(rev, b.rev_users, "{n_shards} shards");
+            let fwd: Vec<u32> = shards
+                .iter()
+                .flat_map(|s| s.fwd_users.iter().copied())
+                .collect();
+            let rev: Vec<u32> = shards
+                .iter()
+                .flat_map(|s| s.rev_users.iter().copied())
+                .collect();
+            assert_eq!(fwd, *b.fwd_users, "{n_shards} shards");
+            assert_eq!(rev, *b.rev_users, "{n_shards} shards");
             assert!(shards.iter().all(|s| s.n_behaviors == b.n_behaviors));
             // Aligned lists stay aligned within every shard.
             for s in &shards {
@@ -267,9 +289,9 @@ mod tests {
     #[test]
     fn split_drops_fully_empty_shards() {
         let b = LossBatch {
-            fwd_users: vec![1, 2],
-            fwd_pos: vec![0, 0],
-            fwd_neg: vec![3, 4],
+            fwd_users: Arc::new(vec![1, 2]),
+            fwd_pos: Arc::new(vec![0, 0]),
+            fwd_neg: Arc::new(vec![3, 4]),
             n_behaviors: 2,
             ..Default::default()
         };

@@ -13,14 +13,68 @@ use gb_models::{EmbeddingSnapshot, Recommender, SnapshotHandle, SnapshotSource, 
 use gb_tensor::{kernels, Matrix};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
-/// Cached post-training representations used for scoring (Eq. 9).
+/// The twelve propagated tables of one forward pass, `Arc`-shared off
+/// the tape that computed them — capturing them copies nothing, which is
+/// what lets `finalize` cache the full pass for `embedding_analysis`.
+struct PropagatedTables {
+    u_inview_i: Arc<Matrix>,
+    u_inview_p: Arc<Matrix>,
+    v_inview_i: Arc<Matrix>,
+    v_inview_p: Arc<Matrix>,
+    u_cross_i: Arc<Matrix>,
+    u_cross_p: Arc<Matrix>,
+    v_cross_i: Arc<Matrix>,
+    v_cross_p: Arc<Matrix>,
+    u_hat_i: Arc<Matrix>,
+    u_hat_p: Arc<Matrix>,
+    v_hat_i: Arc<Matrix>,
+    v_hat_p: Arc<Matrix>,
+}
+
+impl PropagatedTables {
+    fn capture(tape: &Tape, ve: &ViewEmbeddings) -> Self {
+        Self {
+            u_inview_i: tape.arc_value(ve.u_inview_i),
+            u_inview_p: tape.arc_value(ve.u_inview_p),
+            v_inview_i: tape.arc_value(ve.v_inview_i),
+            v_inview_p: tape.arc_value(ve.v_inview_p),
+            u_cross_i: tape.arc_value(ve.u_cross_i),
+            u_cross_p: tape.arc_value(ve.u_cross_p),
+            v_cross_i: tape.arc_value(ve.v_cross_i),
+            v_cross_p: tape.arc_value(ve.v_cross_p),
+            u_hat_i: tape.arc_value(ve.u_hat_i),
+            u_hat_p: tape.arc_value(ve.u_hat_p),
+            v_hat_i: tape.arc_value(ve.v_hat_i),
+            v_hat_p: tape.arc_value(ve.v_hat_p),
+        }
+    }
+
+    fn to_analysis(&self) -> EmbeddingAnalysis {
+        EmbeddingAnalysis {
+            u_inview_i: (*self.u_inview_i).clone(),
+            u_inview_p: (*self.u_inview_p).clone(),
+            v_inview_i: (*self.v_inview_i).clone(),
+            v_inview_p: (*self.v_inview_p).clone(),
+            u_cross_i: (*self.u_cross_i).clone(),
+            u_cross_p: (*self.u_cross_p).clone(),
+            v_cross_i: (*self.v_cross_i).clone(),
+            v_cross_p: (*self.v_cross_p).clone(),
+            u_hat_i: (*self.u_hat_i).clone(),
+            u_hat_p: (*self.u_hat_p).clone(),
+            v_hat_i: (*self.v_hat_i).clone(),
+            v_hat_p: (*self.v_hat_p).clone(),
+        }
+    }
+}
+
+/// Cached post-training representations used for scoring (Eq. 9) and,
+/// via the cached [`PropagatedTables`], for `embedding_analysis`.
 struct FinalEmbeddings {
-    u_hat_i: Matrix,
-    v_hat_i: Matrix,
-    v_hat_p: Matrix,
+    views: PropagatedTables,
     /// Per-user mean of friends' participant-view embeddings — Eq. 9's
     /// social term precomputed by linearity of the dot product.
     friend_mean_p: Matrix,
@@ -63,6 +117,33 @@ pub struct GbgcnModel {
     social: Csr,
     dataset: Dataset,
     finals: Option<FinalEmbeddings>,
+    /// Counts full GBGCN propagation forward passes — observability for
+    /// the shared-forward contract (`sharded_grad` runs `propagate`
+    /// exactly once per batch regardless of shard count).
+    propagate_calls: AtomicU64,
+}
+
+/// Tape vars of the propagated tables Eq. 9 reads, whether they live on
+/// a full forward tape (serial path) or entered a shard tape as `input`
+/// leaves (shared-forward path).
+struct ScoreTables {
+    u_hat_i: Var,
+    v_hat_i: Var,
+    v_hat_p: Var,
+    friend_mean: Var,
+}
+
+/// One shared forward pass per training batch: the propagated tables
+/// every shard reads, recorded once on the calling thread. Shards bind
+/// `tables` positionally as `input` leaves (same order as `vars`),
+/// return cotangents w.r.t. them, and the reduced cotangents seed one
+/// backward sweep over `tape`.
+struct SharedForward {
+    tape: Tape,
+    /// Vars of the shared tables on `tape`, in fixed slot order.
+    vars: Vec<Var>,
+    /// The tables' values, `Arc`-shared with every shard tape.
+    tables: Vec<Arc<Matrix>>,
 }
 
 impl GbgcnModel {
@@ -81,7 +162,21 @@ impl GbgcnModel {
             social,
             dataset: train.clone(),
             finals: None,
+            propagate_calls: AtomicU64::new(0),
         }
+    }
+
+    /// Number of full propagation forward passes run so far (tests and
+    /// benches assert the shared-forward once-per-batch contract on it).
+    pub fn propagation_forward_count(&self) -> u64 {
+        self.propagate_calls.load(Ordering::Relaxed)
+    }
+
+    /// The one gateway to [`propagate`]: every forward pass is counted,
+    /// so [`GbgcnModel::propagation_forward_count`] is trustworthy.
+    fn propagate_counted(&self, tape: &mut Tape) -> ViewEmbeddings {
+        self.propagate_calls.fetch_add(1, Ordering::Relaxed);
+        propagate(&self.store, &self.params, tape, &self.graphs, &self.cfg)
     }
 
     /// The active configuration.
@@ -98,15 +193,14 @@ impl GbgcnModel {
     fn tape_scores(
         &self,
         tape: &mut Tape,
-        ve: &ViewEmbeddings,
-        friend_mean: Var,
+        t: &ScoreTables,
         users: Arc<Vec<u32>>,
         items: Arc<Vec<u32>>,
     ) -> Var {
-        let ue = tape.gather(ve.u_hat_i, users.clone());
-        let vi = tape.gather(ve.v_hat_i, items.clone());
-        let fm = tape.gather(friend_mean, users);
-        let vp = tape.gather(ve.v_hat_p, items);
+        let ue = tape.gather(t.u_hat_i, users.clone());
+        let vi = tape.gather(t.v_hat_i, items.clone());
+        let fm = tape.gather(t.friend_mean, users);
+        let vp = tape.gather(t.v_hat_p, items);
         let own = tape.rowwise_dot(ue, vi);
         let social = tape.rowwise_dot(fm, vp);
         let own_w = tape.scale(own, 1.0 - self.cfg.alpha);
@@ -137,6 +231,11 @@ impl GbgcnModel {
 
     /// Assembles the double-pairwise loss (Eqs. 10–12) from scored pairs,
     /// then adds L2 and social regularization on the raw embeddings.
+    ///
+    /// `social_vars`, when given, are `(user_raw_full, raw_friend_mean)`
+    /// vars already on the tape (shard tapes pass their `input` leaves);
+    /// when `None` the social-reg term records its own param node and
+    /// segment mean (the replicated/serial path).
     fn assemble_loss(
         &self,
         tape: &mut Tape,
@@ -144,6 +243,7 @@ impl GbgcnModel {
         fwd_pos: Var,
         fwd_neg: Var,
         rev: Option<(Var, Var)>,
+        social_vars: Option<(Var, Var)>,
     ) -> Var {
         let diff = tape.sub(fwd_pos, fwd_neg);
         let ls = tape.log_sigmoid(diff);
@@ -171,8 +271,12 @@ impl GbgcnModel {
 
         // Social regularization [1] on raw user embeddings.
         if self.cfg.social_reg > 0.0 {
-            let u_full = tape.param(&self.store, self.params.user_raw);
-            let fm_raw = tape.segment_mean(u_full, self.social.offsets(), self.social.members());
+            let (u_full, fm_raw) = social_vars.unwrap_or_else(|| {
+                let u_full = tape.param(&self.store, self.params.user_raw);
+                let fm_raw =
+                    tape.segment_mean(u_full, self.social.offsets(), self.social.members());
+                (u_full, fm_raw)
+            });
             let ub = tape.gather(u_full, touched_u.clone());
             let fmb = tape.gather(fm_raw, touched_u);
             let gap = tape.sub(ub, fmb);
@@ -183,57 +287,53 @@ impl GbgcnModel {
         loss
     }
 
-    /// Forward/backward of the full model on one (shard) batch against
-    /// the current frozen parameters; returns `(loss, gradients)` without
-    /// stepping. Pure in `(self, batch)`, so shard gradients may be
-    /// computed on any thread in any order.
+    /// Replicated-forward gradient of the full model on one batch: the
+    /// whole pass — propagation included — is recorded on one tape.
+    /// Pure in `(self, batch)`. This is the serial validation trainer's
+    /// step and the "before" side of the shared-forward bench A/B; the
+    /// sharded trainer shares one propagation per batch instead
+    /// ([`GbgcnModel::sharded_grad`]).
     fn finetune_grad(&self, batch: &LossBatch) -> (f32, Gradients) {
         let mut tape = Tape::new();
-        let ve = propagate(
-            &self.store,
-            &self.params,
-            &mut tape,
-            &self.graphs,
-            &self.cfg,
-        );
+        let ve = self.propagate_counted(&mut tape);
         let friend_mean =
             tape.segment_mean(ve.u_hat_p, self.social.offsets(), self.social.members());
-        let fwd_users = Arc::new(batch.fwd_users.clone());
+        let st = ScoreTables {
+            u_hat_i: ve.u_hat_i,
+            v_hat_i: ve.v_hat_i,
+            v_hat_p: ve.v_hat_p,
+            friend_mean,
+        };
         let fwd_pos = self.tape_scores(
             &mut tape,
-            &ve,
-            friend_mean,
-            fwd_users.clone(),
-            Arc::new(batch.fwd_pos.clone()),
+            &st,
+            batch.fwd_users.clone(),
+            batch.fwd_pos.clone(),
         );
         let fwd_neg = self.tape_scores(
             &mut tape,
-            &ve,
-            friend_mean,
-            fwd_users,
-            Arc::new(batch.fwd_neg.clone()),
+            &st,
+            batch.fwd_users.clone(),
+            batch.fwd_neg.clone(),
         );
         let rev = if batch.rev_users.is_empty() {
             None
         } else {
-            let rev_users = Arc::new(batch.rev_users.clone());
             let rp = self.tape_scores(
                 &mut tape,
-                &ve,
-                friend_mean,
-                rev_users.clone(),
-                Arc::new(batch.rev_pos.clone()),
+                &st,
+                batch.rev_users.clone(),
+                batch.rev_pos.clone(),
             );
             let rn = self.tape_scores(
                 &mut tape,
-                &ve,
-                friend_mean,
-                rev_users,
-                Arc::new(batch.rev_neg.clone()),
+                &st,
+                batch.rev_users.clone(),
+                batch.rev_neg.clone(),
             );
             Some((rp, rn))
         };
-        let loss = self.assemble_loss(&mut tape, batch, fwd_pos, fwd_neg, rev);
+        let loss = self.assemble_loss(&mut tape, batch, fwd_pos, fwd_neg, rev, None);
         let value = tape.value(loss).get(0, 0);
         let grads = tape.backward(loss, &self.store);
         (value, grads)
@@ -246,48 +346,47 @@ impl GbgcnModel {
         value
     }
 
-    /// Forward/backward of the propagation-free pre-training model on one
-    /// (shard) batch; returns `(loss, gradients)` without stepping.
+    /// Replicated-forward gradient of the propagation-free pre-training
+    /// model on one batch; returns `(loss, gradients)` without stepping.
+    /// Serial counterpart of [`GbgcnModel::pretrain_shard_grad`].
     fn pretrain_grad(&self, batch: &LossBatch) -> (f32, Gradients) {
         let mut tape = Tape::new();
         let u_raw = tape.param(&self.store, self.params.user_raw);
         let friend_mean = tape.segment_mean(u_raw, self.social.offsets(), self.social.members());
-        let fwd_users = Arc::new(batch.fwd_users.clone());
         let fwd_pos = self.pretrain_scores(
             &mut tape,
             u_raw,
             friend_mean,
-            fwd_users.clone(),
-            Arc::new(batch.fwd_pos.clone()),
+            batch.fwd_users.clone(),
+            batch.fwd_pos.clone(),
         );
         let fwd_neg = self.pretrain_scores(
             &mut tape,
             u_raw,
             friend_mean,
-            fwd_users,
-            Arc::new(batch.fwd_neg.clone()),
+            batch.fwd_users.clone(),
+            batch.fwd_neg.clone(),
         );
         let rev = if batch.rev_users.is_empty() {
             None
         } else {
-            let rev_users = Arc::new(batch.rev_users.clone());
             let rp = self.pretrain_scores(
                 &mut tape,
                 u_raw,
                 friend_mean,
-                rev_users.clone(),
-                Arc::new(batch.rev_pos.clone()),
+                batch.rev_users.clone(),
+                batch.rev_pos.clone(),
             );
             let rn = self.pretrain_scores(
                 &mut tape,
                 u_raw,
                 friend_mean,
-                rev_users,
-                Arc::new(batch.rev_neg.clone()),
+                batch.rev_users.clone(),
+                batch.rev_neg.clone(),
             );
             Some((rp, rn))
         };
-        let loss = self.assemble_loss(&mut tape, batch, fwd_pos, fwd_neg, rev);
+        let loss = self.assemble_loss(&mut tape, batch, fwd_pos, fwd_neg, rev, None);
         let value = tape.value(loss).get(0, 0);
         let grads = tape.backward(loss, &self.store);
         (value, grads)
@@ -300,9 +399,156 @@ impl GbgcnModel {
         value
     }
 
+    /// Records the per-batch shared forward pass: one propagation (or
+    /// one raw-table read for pre-training) computed on the calling
+    /// thread, whose tables every shard consumes read-only.
+    ///
+    /// Fixed slot order — fine-tuning: `[u_hat_i, v_hat_i, v_hat_p,
+    /// friend_mean]` plus `[user_raw, raw_friend_mean]` when social
+    /// regularization is active; pre-training: `[user_raw,
+    /// raw_friend_mean]` (the raw friend mean doubles as the social-reg
+    /// term's segment mean — it is the same computation).
+    fn shared_forward(&self, finetune: bool) -> SharedForward {
+        let mut tape = Tape::new();
+        let mut vars = Vec::with_capacity(6);
+        if finetune {
+            let ve = self.propagate_counted(&mut tape);
+            let friend_mean =
+                tape.segment_mean(ve.u_hat_p, self.social.offsets(), self.social.members());
+            vars.extend([ve.u_hat_i, ve.v_hat_i, ve.v_hat_p, friend_mean]);
+            if self.cfg.social_reg > 0.0 {
+                let u_full = tape.param(&self.store, self.params.user_raw);
+                let fm_raw =
+                    tape.segment_mean(u_full, self.social.offsets(), self.social.members());
+                vars.extend([u_full, fm_raw]);
+            }
+        } else {
+            let u_raw = tape.param(&self.store, self.params.user_raw);
+            let friend_mean =
+                tape.segment_mean(u_raw, self.social.offsets(), self.social.members());
+            vars.extend([u_raw, friend_mean]);
+        }
+        let tables = vars.iter().map(|&v| tape.arc_value(v)).collect();
+        SharedForward { tape, vars, tables }
+    }
+
+    /// Consumer side of the shared-forward protocol for one fine-tuning
+    /// shard: binds `tables` as `input` leaves (slot order of
+    /// [`GbgcnModel::shared_forward`]), scores and assembles the loss on
+    /// a private tape, and returns `(loss, param gradients, per-table
+    /// cotangents)`. Pure in `(self, batch, tables)`, so shards may run
+    /// on any thread in any order.
+    fn finetune_shard_grad(
+        &self,
+        batch: &LossBatch,
+        tables: &[Arc<Matrix>],
+    ) -> (f32, Gradients, Vec<Option<Matrix>>) {
+        let mut tape = Tape::new();
+        let inputs: Vec<Var> = tables.iter().map(|t| tape.input(Arc::clone(t))).collect();
+        let st = ScoreTables {
+            u_hat_i: inputs[0],
+            v_hat_i: inputs[1],
+            v_hat_p: inputs[2],
+            friend_mean: inputs[3],
+        };
+        let social_vars = (self.cfg.social_reg > 0.0).then(|| (inputs[4], inputs[5]));
+        let fwd_pos = self.tape_scores(
+            &mut tape,
+            &st,
+            batch.fwd_users.clone(),
+            batch.fwd_pos.clone(),
+        );
+        let fwd_neg = self.tape_scores(
+            &mut tape,
+            &st,
+            batch.fwd_users.clone(),
+            batch.fwd_neg.clone(),
+        );
+        let rev = if batch.rev_users.is_empty() {
+            None
+        } else {
+            let rp = self.tape_scores(
+                &mut tape,
+                &st,
+                batch.rev_users.clone(),
+                batch.rev_pos.clone(),
+            );
+            let rn = self.tape_scores(
+                &mut tape,
+                &st,
+                batch.rev_users.clone(),
+                batch.rev_neg.clone(),
+            );
+            Some((rp, rn))
+        };
+        let loss = self.assemble_loss(&mut tape, batch, fwd_pos, fwd_neg, rev, social_vars);
+        let value = tape.value(loss).get(0, 0);
+        let (grads, table_grads) = tape.backward_with_inputs(loss, &self.store);
+        (value, grads, table_grads)
+    }
+
+    /// Pre-training counterpart of [`GbgcnModel::finetune_shard_grad`]:
+    /// the shared tables are `[user_raw, raw_friend_mean]`, reused by
+    /// both Eq. 9 scoring and the social-regularization term.
+    fn pretrain_shard_grad(
+        &self,
+        batch: &LossBatch,
+        tables: &[Arc<Matrix>],
+    ) -> (f32, Gradients, Vec<Option<Matrix>>) {
+        let mut tape = Tape::new();
+        let inputs: Vec<Var> = tables.iter().map(|t| tape.input(Arc::clone(t))).collect();
+        let (u_raw, friend_mean) = (inputs[0], inputs[1]);
+        let social_vars = (self.cfg.social_reg > 0.0).then_some((u_raw, friend_mean));
+        let fwd_pos = self.pretrain_scores(
+            &mut tape,
+            u_raw,
+            friend_mean,
+            batch.fwd_users.clone(),
+            batch.fwd_pos.clone(),
+        );
+        let fwd_neg = self.pretrain_scores(
+            &mut tape,
+            u_raw,
+            friend_mean,
+            batch.fwd_users.clone(),
+            batch.fwd_neg.clone(),
+        );
+        let rev = if batch.rev_users.is_empty() {
+            None
+        } else {
+            let rp = self.pretrain_scores(
+                &mut tape,
+                u_raw,
+                friend_mean,
+                batch.rev_users.clone(),
+                batch.rev_pos.clone(),
+            );
+            let rn = self.pretrain_scores(
+                &mut tape,
+                u_raw,
+                friend_mean,
+                batch.rev_users.clone(),
+                batch.rev_neg.clone(),
+            );
+            Some((rp, rn))
+        };
+        let loss = self.assemble_loss(&mut tape, batch, fwd_pos, fwd_neg, rev, social_vars);
+        let value = tape.value(loss).get(0, 0);
+        let (grads, table_grads) = tape.backward_with_inputs(loss, &self.store);
+        (value, grads, table_grads)
+    }
+
     /// Shard-summed loss and merged gradient of one mini-batch under the
     /// `cfg.n_shards` decomposition, computed on `executor`'s threads and
     /// reduced in fixed shard order.
+    ///
+    /// The forward pass through the propagation layers runs **once per
+    /// batch** on the calling thread ([`GbgcnModel::shared_forward`]);
+    /// shards read the `Arc`'d tables, their per-table cotangents are
+    /// reduced in fixed shard order, and a single seeded backward sweep
+    /// over the shared tape produces the propagation gradients. The
+    /// whole pipeline stays a pure function of `(self, batch, n_shards)`
+    /// — thread count never changes a bit.
     fn sharded_grad(
         &self,
         batch: &LossBatch,
@@ -316,61 +562,103 @@ impl GbgcnModel {
             return (0.0, Gradients::empty(self.store.len()));
         }
         let shards = batch.split(n_shards);
-        executor.accumulate(self.store.len(), shards.len(), |s| {
-            if finetune {
-                self.finetune_grad(&shards[s])
+        let mut fwd = self.shared_forward(finetune);
+        // Per-shard table-cotangent side channel: `accumulate` merges
+        // only `(loss, Gradients)`, so the third output travels through
+        // shard-indexed one-shot slots instead.
+        let table_grads: Vec<OnceLock<Vec<Option<Matrix>>>> =
+            (0..shards.len()).map(|_| OnceLock::new()).collect();
+        let (loss, mut grads) = executor.accumulate(self.store.len(), shards.len(), |s| {
+            let (value, grads, tg) = if finetune {
+                self.finetune_shard_grad(&shards[s], &fwd.tables)
             } else {
-                self.pretrain_grad(&shards[s])
+                self.pretrain_shard_grad(&shards[s], &fwd.tables)
+            };
+            assert!(
+                table_grads[s].set(tg).is_ok(),
+                "shard {s} ran twice within one accumulate call"
+            );
+            (value, grads)
+        });
+        // Reduce the per-shard table cotangents in fixed shard order —
+        // the same determinism anchor the parameter-gradient merge uses.
+        let mut reduced: Vec<Option<Matrix>> = (0..fwd.vars.len()).map(|_| None).collect();
+        for slot in table_grads {
+            // invariant: `accumulate` runs every shard closure exactly
+            // once before returning (or propagates its panic), so every
+            // slot is filled here.
+            let shard_grads = slot
+                .into_inner()
+                .expect("shard table gradients published before accumulate returned");
+            for (acc, g) in reduced.iter_mut().zip(shard_grads) {
+                if let Some(g) = g {
+                    match acc {
+                        Some(a) => kernels::add_assign(a, &g),
+                        slot @ None => *slot = Some(g),
+                    }
+                }
             }
+        }
+        // One propagation backward per batch, seeded with the reduced
+        // cotangents.
+        let seeds: Vec<(Var, Matrix)> = fwd
+            .vars
+            .iter()
+            .zip(reduced)
+            .filter_map(|(&v, g)| g.map(|g| (v, g)))
+            .collect();
+        if !seeds.is_empty() {
+            grads.merge(fwd.tape.backward_seeded(seeds, &self.store));
+        }
+        (loss, grads)
+    }
+
+    /// Per-shard replicated-forward gradient: every shard replays the
+    /// full propagation on its own tape (the pre-shared-forward recipe).
+    /// Kept only as the "before" side of the `BENCH_PR10` epoch-time A/B
+    /// ([`GbgcnModel::measure_epoch_secs_replicated`]).
+    fn sharded_grad_replicated(
+        &self,
+        batch: &LossBatch,
+        n_shards: usize,
+        executor: &ShardExecutor,
+    ) -> (f32, Gradients) {
+        if batch.is_empty() {
+            return (0.0, Gradients::empty(self.store.len()));
+        }
+        let shards = batch.split(n_shards);
+        executor.accumulate(self.store.len(), shards.len(), |s| {
+            self.finetune_grad(&shards[s])
         })
     }
 
-    /// Runs the full forward pass once and caches the final embeddings
-    /// for scoring and analysis.
+    /// Runs the full forward pass once and caches all twelve propagated
+    /// tables (`Arc`-shared off the tape — no copies) for scoring and
+    /// analysis. `embedding_analysis` reads this cache instead of
+    /// re-propagating.
     fn finalize(&mut self) {
         let mut tape = Tape::new();
-        let ve = propagate(
-            &self.store,
-            &self.params,
-            &mut tape,
-            &self.graphs,
-            &self.cfg,
-        );
-        let u_hat_p = tape.value(ve.u_hat_p).clone();
+        let ve = self.propagate_counted(&mut tape);
+        let views = PropagatedTables::capture(&tape, &ve);
         let (offsets, members) = self.social.segments();
-        let friend_mean_p = kernels::segment_mean(&u_hat_p, offsets, members);
+        let friend_mean_p = kernels::segment_mean(&views.u_hat_p, offsets, members);
         self.finals = Some(FinalEmbeddings {
-            u_hat_i: tape.value(ve.u_hat_i).clone(),
-            v_hat_i: tape.value(ve.v_hat_i).clone(),
-            v_hat_p: tape.value(ve.v_hat_p).clone(),
+            views,
             friend_mean_p,
         });
     }
 
     /// Extracts the embedding matrices for the Fig. 5 / Fig. 6 analyses.
+    ///
+    /// Served from the forward pass `finalize` cached when available;
+    /// only an unfitted model pays for a fresh propagation here.
     pub fn embedding_analysis(&self) -> EmbeddingAnalysis {
-        let mut tape = Tape::new();
-        let ve = propagate(
-            &self.store,
-            &self.params,
-            &mut tape,
-            &self.graphs,
-            &self.cfg,
-        );
-        EmbeddingAnalysis {
-            u_inview_i: tape.value(ve.u_inview_i).clone(),
-            u_inview_p: tape.value(ve.u_inview_p).clone(),
-            v_inview_i: tape.value(ve.v_inview_i).clone(),
-            v_inview_p: tape.value(ve.v_inview_p).clone(),
-            u_cross_i: tape.value(ve.u_cross_i).clone(),
-            u_cross_p: tape.value(ve.u_cross_p).clone(),
-            v_cross_i: tape.value(ve.v_cross_i).clone(),
-            v_cross_p: tape.value(ve.v_cross_p).clone(),
-            u_hat_i: tape.value(ve.u_hat_i).clone(),
-            u_hat_p: tape.value(ve.u_hat_p).clone(),
-            v_hat_i: tape.value(ve.v_hat_i).clone(),
-            v_hat_p: tape.value(ve.v_hat_p).clone(),
+        if let Some(f) = &self.finals {
+            return f.views.to_analysis();
         }
+        let mut tape = Tape::new();
+        let ve = self.propagate_counted(&mut tape);
+        PropagatedTables::capture(&tape, &ve).to_analysis()
     }
 
     /// Fits with validation-based model selection (Sec. IV-A.2: "we save
@@ -597,6 +885,17 @@ impl GbgcnModel {
     /// Parallel counterpart of [`GbgcnModel::measure_epoch_secs`]: mean
     /// wall-clock seconds of one sharded fine-tuning epoch under `par`.
     pub fn measure_epoch_secs_parallel(&mut self, n: usize, par: &ParallelTrainConfig) -> f64 {
+        self.measure_epoch_loop(n, par, true)
+    }
+
+    /// Epoch timing of the pre-shared-forward recipe: every shard
+    /// replays the full propagation forward on its own tape. Kept only
+    /// as the "before" side of the `BENCH_PR10` shared-forward A/B.
+    pub fn measure_epoch_secs_replicated(&mut self, n: usize, par: &ParallelTrainConfig) -> f64 {
+        self.measure_epoch_loop(n, par, false)
+    }
+
+    fn measure_epoch_loop(&mut self, n: usize, par: &ParallelTrainConfig, shared: bool) -> f64 {
         let executor = ShardExecutor::new(par.n_threads);
         let n_shards = par.n_shards.max(1);
         let mut rng = StdRng::seed_from_u64(self.cfg.seed ^ 0xBEEF);
@@ -616,7 +915,11 @@ impl GbgcnModel {
                     &sampler,
                     &mut rng,
                 );
-                let (_, grads) = self.sharded_grad(&batch, n_shards, &executor, true);
+                let (_, grads) = if shared {
+                    self.sharded_grad(&batch, n_shards, &executor, true)
+                } else {
+                    self.sharded_grad_replicated(&batch, n_shards, &executor)
+                };
                 sgd.step(&mut self.store, &grads);
             }
         }
@@ -645,13 +948,16 @@ impl SnapshotSource for GbgcnModel {
     /// reads them, so a served snapshot reproduces offline scores
     /// bit-for-bit.
     fn export_snapshot(&self) -> EmbeddingSnapshot {
+        // invariant: exporting an unfitted model is a caller programming
+        // error — every trainer path finalizes before export, and the
+        // should-panic tests pin the message.
         let f = self.finals.as_ref().expect("model not fitted");
         EmbeddingSnapshot::new(
             self.cfg.alpha,
-            f.u_hat_i.clone(),
-            f.v_hat_i.clone(),
+            (*f.views.u_hat_i).clone(),
+            (*f.views.v_hat_i).clone(),
             f.friend_mean_p.clone(),
-            f.v_hat_p.clone(),
+            (*f.views.v_hat_p).clone(),
         )
     }
 }
@@ -661,15 +967,18 @@ impl Scorer for GbgcnModel {
     /// accumulation order the serving kernel uses, so exported snapshots
     /// score bit-for-bit like this method.
     fn score_items(&self, user: u32, items: &[u32]) -> Vec<f32> {
+        // invariant: scoring an unfitted model is a caller programming
+        // error — every trainer path finalizes before scoring, and the
+        // should-panic tests pin the message.
         let f = self.finals.as_ref().expect("model not fitted");
-        let own = f.u_hat_i.row(user as usize);
+        let own = f.views.u_hat_i.row(user as usize);
         let social = f.friend_mean_p.row(user as usize);
         let a = self.cfg.alpha;
         items
             .iter()
             .map(|&i| {
-                let o = kernels::dot(own, f.v_hat_i.row(i as usize));
-                let s = kernels::dot(social, f.v_hat_p.row(i as usize));
+                let o = kernels::dot(own, f.views.v_hat_i.row(i as usize));
+                let s = kernels::dot(social, f.views.v_hat_p.row(i as usize));
                 (1.0 - a) * o + a * s
             })
             .collect()
@@ -756,10 +1065,11 @@ mod tests {
         // With alpha = 0 the score must equal the initiator-view dot alone.
         let f = m.finals.as_ref().unwrap();
         let manual: f32 = f
+            .views
             .u_hat_i
             .row(0)
             .iter()
-            .zip(f.v_hat_i.row(5))
+            .zip(f.views.v_hat_i.row(5))
             .map(|(a, b)| a * b)
             .sum();
         let scored = m.score_items(0, &[5])[0];
@@ -908,6 +1218,83 @@ mod tests {
                 four_threads.score_items(user, &items),
                 "user {user}"
             );
+        }
+    }
+
+    #[test]
+    fn sharded_grad_propagates_exactly_once_per_batch() {
+        let d = tiny_train();
+        let m = GbgcnModel::new(GbgcnConfig::test_config(), &d);
+        let sampler = NegativeSampler::from_dataset(&d);
+        let mut rng = StdRng::seed_from_u64(11);
+        let batch = LossBatch::build(&d, &[0, 1, 2, 3, 4, 5], 2, &sampler, &mut rng);
+        let executor = ShardExecutor::new(2);
+        for n_shards in [1usize, 4, 8] {
+            let before = m.propagation_forward_count();
+            let _ = m.sharded_grad(&batch, n_shards, &executor, true);
+            assert_eq!(
+                m.propagation_forward_count() - before,
+                1,
+                "fine-tuning at {n_shards} shards must propagate once"
+            );
+        }
+        // Pre-training has no propagation layers at all.
+        let before = m.propagation_forward_count();
+        let _ = m.sharded_grad(&batch, 4, &executor, false);
+        assert_eq!(m.propagation_forward_count(), before);
+    }
+
+    #[test]
+    fn embedding_analysis_reads_the_finalize_cache() {
+        let d = tiny_train();
+        let cfg = GbgcnConfig {
+            pretrain_epochs: 1,
+            finetune_epochs: 1,
+            ..GbgcnConfig::test_config()
+        };
+        let mut m = GbgcnModel::new(cfg, &d);
+        m.fit(&d);
+        let after_fit = m.propagation_forward_count();
+        let a = m.embedding_analysis();
+        let b = m.embedding_analysis();
+        assert_eq!(
+            m.propagation_forward_count(),
+            after_fit,
+            "analysis after fit must reuse the finalize cache"
+        );
+        assert_eq!(a.u_hat_i.as_slice(), b.u_hat_i.as_slice());
+        // An unfitted model still works — via a fresh (counted) pass.
+        let fresh = GbgcnModel::new(GbgcnConfig::test_config(), &d);
+        let _ = fresh.embedding_analysis();
+        assert_eq!(fresh.propagation_forward_count(), 1);
+    }
+
+    #[test]
+    fn shared_forward_matches_replicated_recipe() {
+        // The shared-forward decomposition is mathematically identical to
+        // the per-shard replicated forward: bitwise-equal loss (forward
+        // values are the same computation) and gradients equal up to
+        // float re-association in the backward reduction.
+        let d = tiny_train();
+        let m = GbgcnModel::new(GbgcnConfig::test_config(), &d);
+        let sampler = NegativeSampler::from_dataset(&d);
+        let mut rng = StdRng::seed_from_u64(5);
+        let batch = LossBatch::build(&d, &[0, 2, 4, 6], 2, &sampler, &mut rng);
+        let executor = ShardExecutor::new(3);
+        for n_shards in [1usize, 4] {
+            let (shared_loss, shared) = m.sharded_grad(&batch, n_shards, &executor, true);
+            let (repl_loss, repl) = m.sharded_grad_replicated(&batch, n_shards, &executor);
+            assert_eq!(shared_loss, repl_loss, "{n_shards} shards");
+            assert_eq!(shared.touched(), repl.touched(), "{n_shards} shards");
+            for ((id_a, ga), (id_b, gb)) in shared.iter().zip(repl.iter()) {
+                assert_eq!(id_a, id_b);
+                for (x, y) in ga.as_slice().iter().zip(gb.as_slice()) {
+                    assert!(
+                        (x - y).abs() <= 1e-4 * x.abs().max(y.abs()).max(1.0),
+                        "param {id_a}: {x} vs {y} ({n_shards} shards)"
+                    );
+                }
+            }
         }
     }
 

@@ -54,8 +54,9 @@ pub const ALL_RULES: &[&str] = &[
 ///   anywhere, test code included.
 /// * `panic-needs-invariant` covers the request path (`gb-serve`) and
 ///   the training hot path that serves it (`SnapshotHandle`, the shard
-///   executor, snapshot construction) — the modules where an
-///   unannotated panic takes live traffic or a training run down.
+///   executor, snapshot construction, the boxed-op tape, and the GBGCN
+///   trainer) — the modules where an unannotated panic takes live
+///   traffic or a training run down.
 /// * `no-bare-locks` covers every crate that adopted the PR 8
 ///   poison-recovery convention.
 /// * `no-hash-iteration` and `no-wallclock-in-kernels` cover the
@@ -69,6 +70,8 @@ pub fn rule_scope(rule: &str) -> &'static [&'static str] {
             "crates/models/src/handle.rs",
             "crates/models/src/snapshot.rs",
             "crates/autograd/src/parallel.rs",
+            "crates/autograd/src/tape.rs",
+            "crates/core/src/model.rs",
         ],
         NO_BARE_LOCKS => &[
             "crates/serve/src/",

@@ -11,7 +11,7 @@ use gb_graph::Csr;
 use gb_tensor::{init, kernels, Matrix};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
 /// GBMF configuration: the shared hyper-parameters plus the role
@@ -88,9 +88,13 @@ impl Gbmf {
 
     /// Sharded-parallel training: every mini-batch (negatives sampled on
     /// the calling thread) is split into `n_shards` contiguous spans
-    /// whose gradients — each running the social `segment_mean` on its
-    /// own tape — are computed on `executor`'s threads and reduced in
-    /// fixed shard order before one Adam step.
+    /// whose gradients are computed on `executor`'s threads and reduced
+    /// in fixed shard order before one Adam step. The full-table social
+    /// `segment_mean` is identical for every shard, so it is recorded
+    /// **once per batch** on a shared forward tape; shards bind
+    /// read-only `Arc` views of the user and friend-mean tables via
+    /// [`Tape::input`] and their reduced table cotangents seed the
+    /// single backward through that shared forward.
     ///
     /// [`Recommender::fit`] is exactly `fit_sharded(train, 1,
     /// &ShardExecutor::serial())`; for a fixed shard count, every thread
@@ -148,35 +152,86 @@ impl Gbmf {
                 }
 
                 let spans = shard_spans(n, n_shards);
-                let (loss, grads) = executor.accumulate(store.len(), spans.len(), |s| {
-                    let (a, b) = spans[s];
-                    let shard_users = Arc::new(users[a..b].to_vec());
+                // Shared forward: record the user table and the social
+                // segment mean once per batch; shards see them read-only.
+                let mut fwd = Tape::new();
+                let u_full = fwd.param(&store, u);
+                let friend_mean = fwd.segment_mean(u_full, social.offsets(), social.members());
+                let tables = [fwd.arc_value(u_full), fwd.arc_value(friend_mean)];
+                // Per-span index vectors built once on the calling thread.
+                let shard_idx: Vec<[Arc<Vec<u32>>; 3]> = spans
+                    .iter()
+                    .map(|&(a, b)| {
+                        [
+                            Arc::new(users[a..b].to_vec()),
+                            Arc::new(pos[a..b].to_vec()),
+                            Arc::new(neg[a..b].to_vec()),
+                        ]
+                    })
+                    .collect();
+                let table_grads: Vec<OnceLock<Vec<Option<Matrix>>>> =
+                    (0..spans.len()).map(|_| OnceLock::new()).collect();
+                let (loss, mut grads) = executor.accumulate(store.len(), spans.len(), |s| {
+                    let [shard_users, shard_pos, shard_neg] = &shard_idx[s];
                     let mut tape = Tape::new();
-                    let u_full = tape.param(&store, u);
-                    let friend_mean = tape.segment_mean(u_full, social.offsets(), social.members());
-                    let pe = tape.gather_param(&store, v, Arc::new(pos[a..b].to_vec()));
-                    let ne = tape.gather_param(&store, v, Arc::new(neg[a..b].to_vec()));
+                    let u_in = tape.input(Arc::clone(&tables[0]));
+                    let fm_in = tape.input(Arc::clone(&tables[1]));
+                    let pe = tape.gather_param(&store, v, Arc::clone(shard_pos));
+                    let ne = tape.gather_param(&store, v, Arc::clone(shard_neg));
                     let pos_s = eq9_score(
                         &mut tape,
-                        u_full,
-                        friend_mean,
+                        u_in,
+                        fm_in,
                         pe,
-                        shard_users.clone(),
+                        Arc::clone(shard_users),
                         cfg.alpha,
                     );
                     let neg_s = eq9_score(
                         &mut tape,
-                        u_full,
-                        friend_mean,
+                        u_in,
+                        fm_in,
                         ne,
-                        shard_users.clone(),
+                        Arc::clone(shard_users),
                         cfg.alpha,
                     );
                     let loss = sharded_bpr_loss(&mut tape, pos_s, neg_s, n);
-                    let ue = tape.gather(u_full, shard_users);
+                    let ue = tape.gather(u_in, Arc::clone(shard_users));
                     let loss = add_l2(&mut tape, loss, &[ue, pe, ne], base.l2, n);
-                    (tape.value(loss).get(0, 0), tape.backward(loss, &store))
+                    let value = tape.value(loss).get(0, 0);
+                    let (g, tg) = tape.backward_with_inputs(loss, &store);
+                    assert!(
+                        table_grads[s].set(tg).is_ok(),
+                        "shard {s} ran twice within one accumulate call"
+                    );
+                    (value, g)
                 });
+                // Reduce table cotangents in fixed shard order, then run
+                // the single shared backward seeded by the reduction.
+                let mut reduced: Vec<Option<Matrix>> = vec![None, None];
+                for slot in table_grads {
+                    // invariant: `accumulate` runs every shard closure
+                    // exactly once before returning, so each slot was
+                    // published by the `set` above.
+                    let shard_grads = slot
+                        .into_inner()
+                        .expect("shard table gradients published before accumulate returned");
+                    for (acc, g) in reduced.iter_mut().zip(shard_grads) {
+                        if let Some(g) = g {
+                            match acc {
+                                Some(a) => kernels::add_assign(a, &g),
+                                slot @ None => *slot = Some(g),
+                            }
+                        }
+                    }
+                }
+                let seeds: Vec<(Var, Matrix)> = [u_full, friend_mean]
+                    .iter()
+                    .zip(reduced)
+                    .filter_map(|(&var, g)| g.map(|g| (var, g)))
+                    .collect();
+                if !seeds.is_empty() {
+                    grads.merge(fwd.backward_seeded(seeds, &store));
+                }
                 epoch_loss += loss;
                 n_batches += 1;
                 adam.step(&mut store, &grads);

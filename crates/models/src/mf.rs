@@ -109,12 +109,25 @@ impl Mf {
                 }
 
                 let spans = shard_spans(n, n_shards);
+                // Per-span index vectors are built once on the calling
+                // thread; worker closures only clone `Arc`s instead of
+                // re-slicing the batch vectors per gradient call.
+                let shard_idx: Vec<[Arc<Vec<u32>>; 3]> = spans
+                    .iter()
+                    .map(|&(a, b)| {
+                        [
+                            Arc::new(users[a..b].to_vec()),
+                            Arc::new(pos[a..b].to_vec()),
+                            Arc::new(neg[a..b].to_vec()),
+                        ]
+                    })
+                    .collect();
                 let (loss, grads) = executor.accumulate(store.len(), spans.len(), |s| {
-                    let (a, b) = spans[s];
+                    let [shard_users, shard_pos, shard_neg] = &shard_idx[s];
                     let mut tape = Tape::new();
-                    let ue = tape.gather_param(&store, u, Arc::new(users[a..b].to_vec()));
-                    let pe = tape.gather_param(&store, v, Arc::new(pos[a..b].to_vec()));
-                    let ne = tape.gather_param(&store, v, Arc::new(neg[a..b].to_vec()));
+                    let ue = tape.gather_param(&store, u, Arc::clone(shard_users));
+                    let pe = tape.gather_param(&store, v, Arc::clone(shard_pos));
+                    let ne = tape.gather_param(&store, v, Arc::clone(shard_neg));
                     let pos_s = tape.rowwise_dot(ue, pe);
                     let neg_s = tape.rowwise_dot(ue, ne);
                     let loss = sharded_bpr_loss(&mut tape, pos_s, neg_s, n);

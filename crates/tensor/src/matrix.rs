@@ -421,8 +421,26 @@ impl Matrix {
     }
 
     /// Returns true if any element is NaN or infinite.
+    ///
+    /// Scanned in 8-wide lane blocks with a branch-free OR-fold per block
+    /// and an early exit between blocks: the tape's per-node debug assert
+    /// runs this on every recorded value, so the all-finite common case
+    /// must stay close to memory bandwidth instead of branching per
+    /// element.
     pub fn has_non_finite(&self) -> bool {
-        self.as_slice().iter().any(|v| !v.is_finite())
+        const LANES: usize = 8;
+        let data = self.as_slice();
+        let mut chunks = data.chunks_exact(LANES);
+        for block in &mut chunks {
+            let mut any = false;
+            for v in block {
+                any |= !v.is_finite();
+            }
+            if any {
+                return true;
+            }
+        }
+        chunks.remainder().iter().any(|v| !v.is_finite())
     }
 
     /// Copies `src` into row `r`.
@@ -582,6 +600,24 @@ mod tests {
         assert!(!m.has_non_finite());
         m.set(0, 1, f32::NAN);
         assert!(m.has_non_finite());
+    }
+
+    #[test]
+    fn non_finite_found_at_every_lane_block_position() {
+        // 3x7 = 21 elements: two full 8-lane blocks plus a 5-element
+        // remainder. A bad value must be caught wherever it lands —
+        // first block, middle block, or the scalar tail — for every
+        // non-finite kind.
+        for bad in [f32::NAN, f32::INFINITY, f32::NEG_INFINITY] {
+            for pos in [0, 7, 8, 15, 16, 20] {
+                let mut m = Matrix::from_fn(3, 7, |r, c| (r * 7 + c) as f32);
+                m.as_mut_slice()[pos] = bad;
+                assert!(m.has_non_finite(), "missed {bad} at element {pos}");
+            }
+        }
+        let clean = Matrix::from_fn(3, 7, |r, c| (r * 7 + c) as f32);
+        assert!(!clean.has_non_finite());
+        assert!(!Matrix::zeros(0, 0).has_non_finite());
     }
 
     #[test]
